@@ -1,0 +1,136 @@
+"""Figure 2 — the cycle-true VLIW controller hold behaviour.
+
+The paper's central claim for Fig. 2: when hold_request asserts, the
+current instruction is delayed, nops freeze the datapath state, the PC
+is retained, and on release the interrupted instruction executes.  The
+benchmarks measure the controller's simulation cost and verify the
+freeze/resume semantics at the transceiver level.
+"""
+
+import pytest
+
+from repro.core import Clock, System
+from repro.designs.dect import build_pcctrl, build_vliw
+from repro.designs.dect.irom import InstructionRom, Program
+from repro.sim import CycleScheduler
+
+
+def build_sequencer_system(program: Program):
+    """PC controller + VLIW distributor + IROM, with dangling buses."""
+    clk = Clock("seq")
+    pcctrl = build_pcctrl(clk)
+    vliw = build_vliw(clk)
+    irom = InstructionRom(program.assemble())
+    system = System("sequencer")
+    system.add(pcctrl)
+    system.add(vliw)
+    system.add(irom)
+    pc = system.connect(pcctrl.port("pc"), irom.port("pc"), name="pc")
+    system.connect(irom.port("word"), vliw.port("word"))
+    system.connect(pcctrl.port("hold_active"), vliw.port("hold_active"),
+                   name="hold_active")
+    system.connect(vliw.port("pc_op"), pcctrl.port("pc_op"))
+    system.connect(vliw.port("cond"), pcctrl.port("cond_sel"))
+    system.connect(vliw.port("target"), pcctrl.port("target"))
+    hold = system.connect(None, pcctrl.port("hold"), name="hold")
+    flags = {}
+    from repro.designs.dect.irom import CONDITIONS
+
+    for name in CONDITIONS:
+        flags[name] = system.connect(None, pcctrl.port(name), name=f"f_{name}")
+    # Instruction buses terminate unconnected (observability only).
+    from repro.designs.dect.datapaths import DATAPATH_TABLES
+
+    buses = {}
+    for name, _table in DATAPATH_TABLES:
+        buses[name] = system.connect(vliw.port(name), name=f"bus_{name}")
+    return system, pc, hold, flags, buses
+
+
+def straight_line_program(n: int = 32) -> Program:
+    program = Program()
+    for index in range(n):
+        program.step(io_i="LOAD" if index % 2 else "NOP")
+    program.label("end")
+    program.step(pc_op="JMP", target="end")
+    return program
+
+
+class TestHoldSemantics:
+    def test_pc_freezes_and_resumes(self):
+        system, pc, hold, _flags, _buses = build_sequencer_system(
+            straight_line_program())
+        scheduler = CycleScheduler(system)
+        trace = []
+        for cycle in range(20):
+            assert_hold = 1 if 5 <= cycle < 10 else 0
+            inputs = {hold: assert_hold}
+            for chan in _flags.values():
+                inputs[chan] = 0
+            scheduler.step(inputs)
+            trace.append(int(pc.value))
+        # The pin is sampled into a register (one cycle) and the FSM
+        # reacts one cycle later; the PC then freezes for the 5 held
+        # cycles and resumes counting.
+        frozen = [value for value, nxt in zip(trace, trace[1:])
+                  if value == nxt]
+        assert len(frozen) == 5
+        assert trace[-1] == trace[0] + 19 - 5
+
+    def test_nop_distributed_during_hold(self):
+        system, pc, hold, flags, buses = build_sequencer_system(
+            straight_line_program())
+        scheduler = CycleScheduler(system)
+        io_bus = buses["io_i"]
+        saw_load = saw_nop_during_hold = False
+        for cycle in range(20):
+            inputs = {hold: 1 if 6 <= cycle < 12 else 0}
+            for chan in flags.values():
+                inputs[chan] = 0
+            scheduler.step(inputs)
+            value = int(io_bus.value)
+            if 8 <= cycle < 12:
+                saw_nop_during_hold = True
+                assert value == 0, f"cycle {cycle} issued {value} during hold"
+            elif value == 1:
+                saw_load = True
+        assert saw_load and saw_nop_during_hold
+
+    def test_interrupted_instruction_reissued(self):
+        """The instruction at the held PC executes exactly once, after
+        the hold releases — no microword is skipped."""
+        system, pc, hold, flags, buses = build_sequencer_system(
+            straight_line_program())
+        scheduler = CycleScheduler(system)
+        issued = []
+        for cycle in range(24):
+            inputs = {hold: 1 if 7 <= cycle < 10 else 0}
+            for chan in flags.values():
+                inputs[chan] = 0
+            scheduler.step(inputs)
+            if int(buses["io_i"].value) == 1:
+                issued.append(int(pc.value))
+        # Every LOAD microword address appears exactly once.
+        assert len(issued) == len(set(issued))
+
+
+def test_bench_sequencer_throughput(benchmark):
+    """Simulation cost of one controller cycle (Fig. 2 machinery)."""
+    system, _pc, hold, flags, _buses = build_sequencer_system(
+        straight_line_program())
+    scheduler = CycleScheduler(system)
+    inputs = {hold: 0}
+    for chan in flags.values():
+        inputs[chan] = 0
+    benchmark(lambda: scheduler.step(inputs))
+
+
+def test_bench_hold_cycle_cost(benchmark):
+    """A held cycle costs no more than an executing cycle."""
+    system, _pc, hold, flags, _buses = build_sequencer_system(
+        straight_line_program())
+    scheduler = CycleScheduler(system)
+    inputs = {hold: 1}
+    for chan in flags.values():
+        inputs[chan] = 0
+    benchmark(lambda: scheduler.step(inputs))

@@ -1,0 +1,96 @@
+"""Figures 3 and 4 — design capture through the embedded DSL.
+
+Fig. 3: operator overloading re-uses the host-language parser to build
+the signal-flow-graph data structure.  Fig. 4: the FSM textual form maps
+one-to-one onto the graphical machine.  These benchmarks measure capture
+(elaboration) cost — the "lightweight environment, only a compiler and a
+library" claim of the conclusions — and check the structural fidelity of
+what gets built.
+"""
+
+import pytest
+
+from repro.core import (
+    FSM,
+    SFG,
+    BinOp,
+    Clock,
+    Register,
+    Sig,
+    always,
+    cnd,
+)
+from repro.fixpt import FxFormat
+
+W = FxFormat(16, 8)
+
+
+class TestFig3Structure:
+    def test_expression_is_a_data_structure(self):
+        a, b = Sig("a", W), Sig("b", W)
+        node = a + b
+        assert isinstance(node, BinOp)
+        assert node.left is a and node.right is b
+
+    def test_deep_expression_capture(self):
+        a = Sig("a", W)
+        node = a
+        for _ in range(200):
+            node = node + 1
+        assert len(list(node.leaves())) == 201
+
+
+class TestFig4Structure:
+    def test_textual_fsm_equals_graphical(self):
+        clk = Clock()
+        eof = Register("eof", clk, FxFormat(1, 1, signed=False))
+        sfg1, sfg2, sfg3 = SFG("sfg1"), SFG("sfg2"), SFG("sfg3")
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s1 = f.state("s1")
+        s0 << always << sfg1 << s1
+        s1 << cnd(eof) << sfg2 << s1
+        s1 << ~cnd(eof) << sfg3 << s0
+        # The graphical machine of Fig. 4, edge for edge:
+        assert [(t.source.name, t.target.name, t.sfgs[0].name)
+                for t in f.transitions] == [
+            ("s0", "s1", "sfg1"),
+            ("s1", "s1", "sfg2"),
+            ("s1", "s0", "sfg3"),
+        ]
+
+
+def _capture_sfg(n_terms: int) -> SFG:
+    a = Sig("a", W)
+    out = Sig("out", W)
+    sfg = SFG("big")
+    with sfg:
+        node = a
+        for i in range(n_terms):
+            node = node + (a * i) if i % 2 else node - (a >> 1)
+        out <<= node
+    sfg.inp(a).out(out)
+    return sfg
+
+
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_bench_sfg_capture(benchmark, size):
+    """Elaboration speed of SFG capture (Fig. 3 mechanism)."""
+    benchmark(lambda: _capture_sfg(size))
+
+
+def test_bench_fsm_capture(benchmark):
+    """Elaboration speed of a 57-transition FSM (Fig. 4 mechanism)."""
+    clk = Clock()
+    flag = Register("flag", clk, FxFormat(1, 1, signed=False))
+
+    def build():
+        f = FSM("big")
+        states = [f.state(f"s{i}") for i in range(57)]
+        for i, state in enumerate(states):
+            state << cnd(flag) << states[(i + 1) % 57]
+            state << ~cnd(flag) << states[(i * 3 + 1) % 57]
+        return f
+
+    fsm = benchmark(build)
+    assert len(fsm.transitions) == 114

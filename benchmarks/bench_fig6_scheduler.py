@@ -1,0 +1,188 @@
+"""Figure 6 — the three-phase cycle scheduler.
+
+The paper's argument: a traditional two-phase (evaluate / update)
+scheduler cannot start the loop of Fig. 6 because of the apparent
+deadlock between components; the cycle scheduler's token-production
+phase creates the initial tokens that a data-flow view would need buffer
+hardware for.  The benchmarks demonstrate the deadlock of a naive
+two-phase whole-component scheduler, and measure the three-phase
+scheduler's cost as systems scale.
+"""
+
+import pytest
+
+from repro.core import (
+    SFG,
+    Clock,
+    DeadlockError,
+    Register,
+    Sig,
+    System,
+    TimedProcess,
+    actor,
+)
+from repro.fixpt import FxFormat
+from repro.sim import CycleScheduler
+
+import sys, os
+sys.path.insert(0, os.path.dirname(__file__))
+from common import _timed_rate  # noqa: E402
+
+W = FxFormat(16, 16)
+
+
+def build_fig6_system():
+    """Two timed components + an untimed RAM in a circular dependency."""
+    clk = Clock()
+    addr = Register("addr", clk, W)
+    d_in = Sig("d_in", W)
+    hold = Register("hold", clk, W)
+    sfg1 = SFG("c1")
+    with sfg1:
+        addr <<= addr + 1
+        hold <<= d_in
+    sfg1.inp(d_in)
+    c1 = TimedProcess("c1", clk, sfgs=[sfg1])
+    c1.add_output("addr", addr)
+    c1.add_input("d", d_in)
+
+    a_in, a_out = Sig("a_in", W), Sig("a_out", W)
+    sfg2 = SFG("c2")
+    with sfg2:
+        a_out <<= a_in + 100
+    sfg2.inp(a_in).out(a_out)
+    c2 = TimedProcess("c2", clk, sfgs=[sfg2])
+    c2.add_input("a", a_in)
+    c2.add_output("y", a_out)
+
+    memory = {i: i * 2 for i in range(4096)}
+    ram = actor("ram", lambda addr: {"q": memory.get(int(addr), 0)},
+                inputs={"addr": 1}, outputs={"q": 1})
+
+    system = System("fig6")
+    system.add(c1)
+    system.add(c2)
+    system.add(ram)
+    system.connect(c1.port("addr"), c2.port("a"))
+    system.connect(c2.port("y"), ram.port("addr"))
+    system.connect(ram.port("q"), c1.port("d"))
+    return system, hold
+
+
+class TwoPhaseScheduler:
+    """A traditional whole-component evaluate/update scheduler.
+
+    Components fire only when ALL their inputs carry tokens (no token
+    production phase, no partial evaluation) — the strawman the paper's
+    three-phase scheduler improves on.
+    """
+
+    def __init__(self, system: System):
+        self.system = system
+        self.timed = system.timed_processes()
+        self.untimed = system.untimed_processes()
+        self.clocks = system.clocks()
+
+    def step(self) -> None:
+        for chan in self.system.channels:
+            chan.clear()
+        pending = list(self.timed) + list(self.untimed)
+        progress = True
+        while pending and progress:
+            progress = False
+            for process in list(pending):
+                ready = all(
+                    port.channel is not None and port.channel.valid
+                    for port in process.in_ports()
+                )
+                if not ready:
+                    continue
+                pending.remove(process)
+                progress = True
+                if process.is_timed():
+                    for sfg in process.select_sfgs():
+                        for port in process.in_ports():
+                            port.sig.value = port.channel.value
+                        sfg.run()
+                    for port in process.out_ports():
+                        value = port.sig.current if port.sig.is_register() \
+                            else port.sig.value
+                        if port.channel is not None:
+                            port.channel.put(value)
+                    process.commit()
+                else:
+                    kwargs = {p.name: p.channel.value
+                              for p in process.in_ports()}
+                    results = process.behavior(**kwargs)
+                    for port in process.out_ports():
+                        port.channel.put(results[port.name])
+        if pending:
+            raise DeadlockError(
+                "two-phase scheduler deadlocked: "
+                + ", ".join(p.name for p in pending)
+            )
+        for clock in self.clocks:
+            clock.tick()
+
+
+class TestDeadlockAvoidance:
+    def test_two_phase_deadlocks_on_fig6(self):
+        """The strawman cannot simulate the paper's Fig. 6 loop."""
+        system, _hold = build_fig6_system()
+        scheduler = TwoPhaseScheduler(system)
+        with pytest.raises(DeadlockError):
+            scheduler.step()
+
+    def test_three_phase_simulates_fig6(self):
+        system, hold = build_fig6_system()
+        scheduler = CycleScheduler(system)
+        scheduler.run(8)
+        assert float(hold.current) == float((7 + 100) * 2)
+
+
+def _chain_system(n_components: int):
+    """A pipeline of n timed components (for scaling measurements)."""
+    clk = Clock()
+    system = System(f"chain{n_components}")
+    previous = None
+    for index in range(n_components):
+        x, y = Sig(f"x{index}", W), Sig(f"y{index}", W)
+        reg = Register(f"r{index}", clk, W)
+        sfg = SFG(f"s{index}")
+        with sfg:
+            reg <<= x + 1
+            y <<= reg + x
+        sfg.inp(x).out(y)
+        process = TimedProcess(f"p{index}", clk, sfgs=[sfg])
+        process.add_input("x", x)
+        process.add_output("y", y)
+        system.add(process)
+        if previous is None:
+            first = system.connect(None, process.port("x"), name="in")
+        else:
+            system.connect(previous.port("y"), process.port("x"))
+        previous = process
+    system.connect(previous.port("y"), name="out")
+    return system, first
+
+
+@pytest.mark.parametrize("size", [4, 16, 64])
+def test_bench_scheduler_scaling(benchmark, size):
+    """Cycle cost grows ~linearly with component count."""
+    system, pin = _chain_system(size)
+    scheduler = CycleScheduler(system)
+    inputs = {pin: 1}
+    benchmark(lambda: scheduler.step(inputs))
+
+
+def test_scaling_is_subquadratic():
+    small_sys, small_pin = _chain_system(8)
+    large_sys, large_pin = _chain_system(64)
+    small = CycleScheduler(small_sys)
+    large = CycleScheduler(large_sys)
+    small_rate = _timed_rate(lambda: small.step({small_pin: 1}),
+                             min_seconds=0.3)
+    large_rate = _timed_rate(lambda: large.step({large_pin: 1}),
+                             min_seconds=0.3)
+    # 8x the components must not cost more than ~24x the time.
+    assert small_rate / large_rate < 24

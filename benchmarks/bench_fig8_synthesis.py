@@ -1,0 +1,156 @@
+"""Figure 8 — the divide-and-conquer synthesis strategy.
+
+Benchmarked claims:
+
+* datapath synthesis run time stays small even for the 57-instruction
+  datapath (the paper: "run times less than 15 minutes even for the most
+  complex, 57-instruction datapath");
+* word-level operator sharing (Cathedral-3's contribution) reduces area
+  versus direct mapping once instructions share expensive operators;
+* controller encodings (binary/gray/one-hot) and two-level minimization
+  are area/verification ablations;
+* generated testbenches verify every synthesized component (the
+  "verification generation" boxes of Fig. 8).
+"""
+
+import time
+
+import pytest
+
+from repro.core import BOOL, FSM, SFG, Clock, Register, Sig, System, TimedProcess, cnd, eq
+from repro.fixpt import FxFormat
+from repro.sim import CycleScheduler, PortLog
+from repro.synth import synthesize_process, verify_component
+
+W = FxFormat(10, 5)
+
+
+def instruction_datapath(n_instructions: int):
+    """A datapath with n mutually exclusive arithmetic instructions,
+    selected by an opcode register — the Cathedral-3 workload shape."""
+    clk = Clock()
+    opcode_bits = max(1, (n_instructions - 1).bit_length())
+    op_fmt = FxFormat(opcode_bits, opcode_bits, signed=False)
+    op_pin = Sig("op_pin", op_fmt)
+    op_reg = Register("op", clk, op_fmt)
+    x = Sig("x", W)
+    acc = Register("acc", clk, W)
+
+    sample = SFG("sample")
+    with sample:
+        op_reg <<= op_pin
+    sample.inp(op_pin)
+
+    fsm = FSM("seq")
+    state = fsm.initial("s0")
+    for index in range(n_instructions):
+        body = SFG(f"instr{index}")
+        with body:
+            # A multiplier-heavy instruction mix — the workload shape
+            # where Cathedral-3's word-level sharing pays off.
+            if index % 4 == 0:
+                acc <<= x * acc
+            elif index % 4 == 1:
+                acc <<= x * x
+            elif index % 4 == 2:
+                acc <<= (x + index) * acc
+            else:
+                acc <<= acc + (x >> (index % 3))
+        body.inp(x)
+        if index < n_instructions - 1:
+            state << cnd(eq(op_reg, index)) << body << state
+        else:
+            from repro.core import always
+
+            state << always << body << state
+
+    process = TimedProcess(f"dp{n_instructions}", clk, fsm=fsm,
+                           sfgs=[sample])
+    process.add_input("x", x)
+    process.add_input("op", op_pin)
+    process.add_output("acc", acc)
+    system = System(f"sys{n_instructions}")
+    system.add(process)
+    x_pin = system.connect(None, process.port("x"), name="x")
+    op_chan = system.connect(None, process.port("op"), name="op")
+    system.connect(process.port("acc"), name="acc")
+    return system, process, x_pin, op_chan
+
+
+class TestSynthesisRuntime:
+    def test_57_instruction_datapath_synthesizes_fast(self):
+        """The paper's bound: < 15 minutes; ours: a few seconds."""
+        _system, process, _x, _op = instruction_datapath(57)
+        start = time.perf_counter()
+        synthesis = synthesize_process(process)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 120
+        assert synthesis.gate_count > 0
+
+    def test_runtime_grows_mildly_with_instruction_count(self):
+        times = {}
+        for count in (2, 16, 57):
+            _system, process, _x, _op = instruction_datapath(count)
+            start = time.perf_counter()
+            synthesize_process(process)
+            times[count] = time.perf_counter() - start
+        assert times[57] < 80 * max(times[2], 1e-3)
+
+
+class TestSharingAblation:
+    def test_sharing_reduces_multiplier_instances(self):
+        _system, process, _x, _op = instruction_datapath(16)
+        shared = synthesize_process(process, share=True)
+        unshared = synthesize_process(process, share=False)
+        assert shared.sharing["instances"] < unshared.sharing["instances"]
+        assert shared.gate_count < unshared.gate_count
+
+    def test_both_variants_verify(self):
+        import random
+
+        rng = random.Random(3)
+        system, process, x_pin, op_chan = instruction_datapath(8)
+        log = PortLog(process)
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(log)
+        for _ in range(50):
+            scheduler.step({x_pin: rng.randint(-10, 10),
+                            op_chan: rng.randint(0, 7)})
+        for share in (True, False):
+            synthesis = synthesize_process(process, share=share)
+            assert verify_component(log, synthesis) == [], share
+
+
+class TestControllerAblation:
+    @pytest.mark.parametrize("encoding", ["binary", "gray", "onehot"])
+    def test_encodings_verify_and_report_area(self, encoding):
+        import random
+
+        rng = random.Random(9)
+        system, process, x_pin, op_chan = instruction_datapath(6)
+        log = PortLog(process)
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(log)
+        for _ in range(30):
+            scheduler.step({x_pin: rng.randint(-5, 5),
+                            op_chan: rng.randint(0, 5)})
+        synthesis = synthesize_process(process, encoding=encoding)
+        assert verify_component(log, synthesis) == []
+
+
+@pytest.mark.parametrize("count", [2, 8, 24, 57])
+def test_bench_datapath_synthesis(benchmark, count):
+    """Synthesis wall time per instruction-set size (the Fig. 8 sweep)."""
+    _system, process, _x, _op = instruction_datapath(count)
+    benchmark.pedantic(lambda: synthesize_process(process),
+                       rounds=2, iterations=1)
+
+
+def test_bench_optimizer(benchmark):
+    """Post-optimization pass cost on an unoptimized netlist."""
+    _system, process, _x, _op = instruction_datapath(24)
+    raw = synthesize_process(process, optimize=False)
+    from repro.synth import optimize_netlist
+
+    benchmark.pedantic(lambda: optimize_netlist(raw.netlist),
+                       rounds=2, iterations=1)

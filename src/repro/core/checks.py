@@ -1,0 +1,191 @@
+"""Semantic checks on SFGs, FSMs and systems.
+
+The paper (section 3.1): declaring SFG inputs and outputs *"allows to do
+semantical checks such as dangling input and dead code detection, which
+warn the user of code inconsistency."*  Each check returns a list of
+:class:`Issue` records; :func:`assert_clean` raises on errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from .errors import CheckError
+from .fsm import FSM
+from .sfg import SFG
+from .signal import Register, Sig
+from .system import System
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One finding of a semantic check."""
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def check_sfg(sfg: SFG) -> List[Issue]:
+    """Check one SFG for dangling inputs, undriven reads, and dead code."""
+    issues: List[Issue] = []
+    targets = sfg.targets()
+    reads: Set[Sig] = set()
+    for assignment in sfg.assignments:
+        reads |= assignment.reads()
+
+    # Dangling input: declared but never read.
+    for inp in sfg.inputs:
+        if inp not in reads:
+            issues.append(Issue(
+                WARNING, "dangling-input",
+                f"SFG {sfg.name!r}: input {inp.name!r} is never read",
+            ))
+
+    # Inputs must not be driven inside the SFG.
+    for inp in sfg.inputs:
+        if inp in targets:
+            issues.append(Issue(
+                ERROR, "driven-input",
+                f"SFG {sfg.name!r}: input {inp.name!r} is also assigned",
+            ))
+
+    # Undriven: a plain signal read but neither assigned nor declared input.
+    for sig in reads:
+        if sig.is_register():
+            continue
+        if sig not in targets and sig not in sfg.inputs:
+            issues.append(Issue(
+                ERROR, "undriven-signal",
+                f"SFG {sfg.name!r}: signal {sig.name!r} is read but is neither "
+                "driven, an input, nor a register",
+            ))
+
+    # Outputs must be driven or be registers (whose current value is emitted).
+    for out in sfg.outputs:
+        if out not in targets and not out.is_register():
+            issues.append(Issue(
+                ERROR, "undriven-output",
+                f"SFG {sfg.name!r}: output {out.name!r} is never driven",
+            ))
+
+    # Dead code: an assigned plain signal that feeds neither an output,
+    # a register, nor any other assignment.
+    useful = set(sfg.outputs)
+    for assignment in sfg.assignments:
+        if assignment.target.is_register():
+            useful |= assignment.reads()
+    changed = True
+    while changed:
+        changed = False
+        for assignment in sfg.assignments:
+            if assignment.target in useful:
+                new = assignment.reads() - useful
+                if new:
+                    useful |= new
+                    changed = True
+    for assignment in sfg.assignments:
+        target = assignment.target
+        if not target.is_register() and target not in useful:
+            issues.append(Issue(
+                WARNING, "dead-code",
+                f"SFG {sfg.name!r}: assignment to {target.name!r} is dead "
+                "(reaches no output or register)",
+            ))
+
+    # Combinational loops are detected by ordering; surface them as issues.
+    try:
+        sfg.ordered_assignments()
+    except CheckError as exc:
+        issues.append(Issue(ERROR, "combinational-loop", str(exc)))
+
+    return issues
+
+
+def check_fsm(fsm: FSM) -> List[Issue]:
+    """Check an FSM for reachability, determinism, and condition legality."""
+    issues: List[Issue] = []
+
+    if fsm.initial_state is None:
+        issues.append(Issue(ERROR, "no-initial-state",
+                            f"FSM {fsm.name!r} has no states"))
+        return issues
+
+    # Reachability from the initial state.
+    reachable = {fsm.initial_state}
+    frontier = [fsm.initial_state]
+    while frontier:
+        state = frontier.pop()
+        for transition in state.transitions:
+            if transition.target not in reachable:
+                reachable.add(transition.target)
+                frontier.append(transition.target)
+    for state in fsm.states:
+        if state not in reachable:
+            issues.append(Issue(
+                WARNING, "unreachable-state",
+                f"FSM {fsm.name!r}: state {state.name!r} is unreachable",
+            ))
+
+    for state in fsm.states:
+        if state in reachable and not state.transitions:
+            issues.append(Issue(
+                ERROR, "stuck-state",
+                f"FSM {fsm.name!r}: state {state.name!r} has no outgoing "
+                "transitions",
+            ))
+        # An 'always' guard before other transitions makes them dead.
+        for index, transition in enumerate(state.transitions):
+            if transition.condition.is_always() and index < len(state.transitions) - 1:
+                issues.append(Issue(
+                    WARNING, "shadowed-transition",
+                    f"FSM {fsm.name!r}: transitions after the unconditional one "
+                    f"from state {state.name!r} can never fire",
+                ))
+                break
+
+    # Conditions must depend only on registered or constant signals
+    # (paper: "the conditions are stored in registers inside the SFGs").
+    for transition in fsm.transitions:
+        expr = transition.condition.expr
+        if expr is None:
+            continue
+        for sig in expr.signals():
+            if not sig.is_register():
+                issues.append(Issue(
+                    ERROR, "unregistered-condition",
+                    f"FSM {fsm.name!r}: condition of {transition!r} reads "
+                    f"non-registered signal {sig.name!r}; conditions must be "
+                    "stored in registers",
+                ))
+    return issues
+
+
+def check_system(system: System) -> List[Issue]:
+    """Check the whole system: wiring plus every SFG and FSM."""
+    issues: List[Issue] = []
+    for port in system.unconnected_ports():
+        issues.append(Issue(
+            WARNING, "unconnected-port",
+            f"port {port.process.name}.{port.name} is not connected",
+        ))
+    for process in system.timed_processes():
+        if process.fsm is not None:
+            issues.extend(check_fsm(process.fsm))
+        for sfg in process.all_sfgs():
+            issues.extend(check_sfg(sfg))
+    return issues
+
+
+def assert_clean(issues: List[Issue]) -> None:
+    """Raise :class:`CheckError` if any issue has error severity."""
+    errors = [issue for issue in issues if issue.severity == ERROR]
+    if errors:
+        raise CheckError("; ".join(str(issue) for issue in errors))

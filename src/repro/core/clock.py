@@ -1,0 +1,43 @@
+"""Clock objects controlling registered-signal update.
+
+The paper (section 3.1): *"Registered signals are related to a clock object
+clk that controls signal update."*  A :class:`Clock` keeps the list of
+registers bound to it; :meth:`Clock.tick` performs the register-update phase
+(next-value copied to current-value) and advances the cycle counter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Clock:
+    """A clock domain: owns registers and drives their update."""
+
+    def __init__(self, name: str = "clk"):
+        self.name = name
+        self.cycle = 0
+        self._registers: List["Register"] = []  # noqa: F821 (bound lazily)
+
+    def _attach(self, register) -> None:
+        self._registers.append(register)
+
+    @property
+    def registers(self):
+        """The registers bound to this clock, in attachment order."""
+        return tuple(self._registers)
+
+    def tick(self) -> None:
+        """Register update phase: copy every register's next to current."""
+        for register in self._registers:
+            register._update()
+        self.cycle += 1
+
+    def reset(self) -> None:
+        """Return every register to its initial value and zero the cycle count."""
+        for register in self._registers:
+            register._reset()
+        self.cycle = 0
+
+    def __repr__(self) -> str:
+        return f"Clock({self.name!r}, cycle={self.cycle}, registers={len(self._registers)})"

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the design environment."""
+
+
+class ReproError(Exception):
+    """Base class for all design-environment errors."""
+
+
+class ModelError(ReproError):
+    """A design description is malformed (bad SFG, FSM, or system wiring)."""
+
+
+class CheckError(ModelError):
+    """A semantic check failed (dangling input, dead code, multiple drivers)."""
+
+
+class SimulationError(ReproError):
+    """A simulation could not proceed."""
+
+
+class DeadlockError(SimulationError):
+    """The scheduler detected a deadlock / combinational loop (paper section 4)."""
+
+
+class SynthesisError(ReproError):
+    """A description could not be synthesized (e.g. missing wordlengths)."""
+
+
+class CodegenError(ReproError):
+    """Code generation (HDL or compiled-simulator) failed."""

@@ -1,0 +1,230 @@
+"""Mealy-type finite state machines with the paper's ``<<`` chaining DSL.
+
+The paper's Figure 4 describes an FSM textually as::
+
+    fsm f;  initial s0;  state s1;
+    s0 << always   << sfg1 << s1;
+    s1 << cnd(eof) << sfg2 << s1;
+    s1 << !cnd(eof) << sfg3 << s0;
+
+This module reproduces that surface syntax in Python::
+
+    f = FSM("f")
+    s0 = f.initial("s0")
+    s1 = f.state("s1")
+    s0 << always << sfg1 << s1
+    s1 << cnd(eof) << sfg2 << s1
+    s1 << ~cnd(eof) << sfg3 << s0
+
+Each transition carries a condition, the SFGs executed when it is taken
+(the Mealy actions — one clock cycle of data processing each), and the next
+state.  Conditions are evaluated at the start of a clock cycle and must
+depend only on registered or constant signals, as in the paper (*"the
+conditions are stored in registers inside the signal flow graphs"*).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .errors import ModelError, SimulationError
+from .expr import Expr, _as_expr
+from .sfg import SFG
+
+
+class Condition:
+    """A transition guard: a boolean expression over registered signals."""
+
+    __slots__ = ("expr", "negated")
+
+    def __init__(self, expr: Optional[Expr], negated: bool = False):
+        self.expr = expr
+        self.negated = negated
+
+    def evaluate(self) -> bool:
+        """Evaluate the guard against current register values."""
+        if self.expr is None:
+            return not self.negated
+        value = self.expr.evaluate()
+        truth = bool(int(value)) if not isinstance(value, float) else bool(value)
+        return truth != self.negated
+
+    def is_always(self) -> bool:
+        """True for the unconditional guard."""
+        return self.expr is None and not self.negated
+
+    def __invert__(self) -> "Condition":
+        return Condition(self.expr, not self.negated)
+
+    def __repr__(self) -> str:
+        if self.expr is None:
+            return "never" if self.negated else "always"
+        return f"{'!' if self.negated else ''}cnd({self.expr!r})"
+
+
+#: The unconditional transition guard.
+always = Condition(None)
+
+
+def cnd(expr) -> Condition:
+    """Wrap a signal expression as a transition condition."""
+    return Condition(_as_expr(expr))
+
+
+class Transition:
+    """One FSM transition: guard, Mealy-action SFGs, and next state."""
+
+    __slots__ = ("source", "condition", "sfgs", "target")
+
+    def __init__(self, source: "State", condition: Condition,
+                 sfgs: Sequence[SFG], target: "State"):
+        self.source = source
+        self.condition = condition
+        self.sfgs = tuple(sfgs)
+        self.target = target
+
+    def __repr__(self) -> str:
+        names = "+".join(s.name for s in self.sfgs) or "(no action)"
+        return (f"{self.source.name} --[{self.condition!r}]/{names}--> "
+                f"{self.target.name}")
+
+
+class _TransitionBuilder:
+    """Accumulates ``cond << sfg... << state`` after ``state << cond``."""
+
+    __slots__ = ("source", "condition", "sfgs")
+
+    def __init__(self, source: "State", condition: Condition):
+        self.source = source
+        self.condition = condition
+        self.sfgs: List[SFG] = []
+
+    def __lshift__(self, item):
+        if isinstance(item, SFG):
+            self.sfgs.append(item)
+            return self
+        if isinstance(item, State):
+            transition = Transition(self.source, self.condition, self.sfgs, item)
+            self.source.fsm._add_transition(transition)
+            return transition
+        raise ModelError(
+            f"expected an SFG or target state after the condition, got {item!r}"
+        )
+
+
+class State:
+    """One FSM state; ``state << condition`` starts a transition."""
+
+    __slots__ = ("fsm", "name", "transitions")
+
+    def __init__(self, fsm: "FSM", name: str):
+        self.fsm = fsm
+        self.name = name
+        self.transitions: List[Transition] = []
+
+    def __lshift__(self, item):
+        if isinstance(item, Condition):
+            return _TransitionBuilder(self, item)
+        if isinstance(item, SFG):
+            builder = _TransitionBuilder(self, always)
+            builder.sfgs.append(item)
+            return builder
+        if isinstance(item, State):
+            # Unconditional transition with no action.
+            transition = Transition(self, always, (), item)
+            self.fsm._add_transition(transition)
+            return transition
+        raise ModelError(
+            f"expected a condition, SFG, or state after {self.name!r}, got {item!r}"
+        )
+
+    def __repr__(self) -> str:
+        return f"State({self.name!r})"
+
+
+class FSM:
+    """A Mealy finite state machine built from :class:`State` objects.
+
+    Transition guards are evaluated in declaration order at the start of
+    each cycle; the first true guard wins (priority encoding).  State
+    commits at the register-update phase, like any registered signal.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.states: List[State] = []
+        self.transitions: List[Transition] = []
+        self._initial: Optional[State] = None
+        self._initial_explicit = False
+        self.current: Optional[State] = None
+        self._pending: Optional[State] = None
+
+    # -- construction --------------------------------------------------------
+
+    def state(self, name: str, initial: bool = False) -> State:
+        """Declare a state; the first state declared defaults to initial."""
+        if any(s.name == name for s in self.states):
+            raise ModelError(f"duplicate state name {name!r} in FSM {self.name!r}")
+        st = State(self, name)
+        self.states.append(st)
+        if initial:
+            if self._initial_explicit:
+                raise ModelError(f"FSM {self.name!r} already has an initial state")
+            self._initial_explicit = True
+            self._initial = st
+            self.current = st
+        elif self._initial is None:
+            self._initial = st
+            self.current = st
+        return st
+
+    def initial(self, name: str) -> State:
+        """Declare the initial state (the paper's ``initial s0``)."""
+        return self.state(name, initial=True)
+
+    def _add_transition(self, transition: Transition) -> None:
+        transition.source.transitions.append(transition)
+        self.transitions.append(transition)
+
+    @property
+    def initial_state(self) -> Optional[State]:
+        return self._initial
+
+    # -- simulation -------------------------------------------------------------
+
+    def select(self) -> Transition:
+        """Phase 0: pick this cycle's transition from the current state."""
+        if self.current is None:
+            raise SimulationError(f"FSM {self.name!r} has no states")
+        for transition in self.current.transitions:
+            if transition.condition.evaluate():
+                self._pending = transition.target
+                return transition
+        raise SimulationError(
+            f"FSM {self.name!r}: no transition enabled from state "
+            f"{self.current.name!r} (add a default 'always' transition)"
+        )
+
+    def commit(self) -> None:
+        """Register-update phase: make the pending state current."""
+        if self._pending is not None:
+            self.current = self._pending
+            self._pending = None
+
+    def reset(self) -> None:
+        """Return to the initial state."""
+        self.current = self._initial
+        self._pending = None
+
+    def sfgs(self) -> List[SFG]:
+        """Every SFG referenced by this FSM, in first-use order."""
+        seen: List[SFG] = []
+        for transition in self.transitions:
+            for sfg in transition.sfgs:
+                if sfg not in seen:
+                    seen.append(sfg)
+        return seen
+
+    def __repr__(self) -> str:
+        return (f"FSM({self.name!r}, states={[s.name for s in self.states]}, "
+                f"current={self.current.name if self.current else None})")

@@ -1,0 +1,12 @@
+"""The driver designs of the paper, captured with the repro environment.
+
+* :mod:`repro.designs.hcor` — the DECT header correlator processor
+  (Table 1's 6 Kgate design).
+* :mod:`repro.designs.dect` — the DECT base-station radiolink transceiver
+  ASIC (the 75 Kgate driver design): central VLIW controller, program
+  counter controller, instruction ROM, 22 datapaths and 7 RAM cells.
+"""
+
+from .hcor import HcorDesign, SOFT_FMT, build_hcor
+
+__all__ = ["HcorDesign", "SOFT_FMT", "build_hcor"]

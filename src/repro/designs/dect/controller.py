@@ -1,0 +1,54 @@
+"""The central VLIW controller: instruction distribution (paper Fig. 5).
+
+Receives the fetched microword from the instruction ROM, slices it into
+one opcode field per datapath, and distributes the fields on the
+instruction busses.  While the PC controller signals ``hold_active``,
+every field is forced to 0 — opcode 0 is NOP in every datapath, so *"a
+nop instruction is distributed to the datapaths to freeze the datapath
+state"* (Fig. 2).
+
+The sequencer fields (pc_op / cond / target) are forwarded to the PC
+controller unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...core import SFG, Clock, Sig, TimedProcess, bits, mux
+from ...fixpt import FxFormat
+from .datapaths import DATAPATH_TABLES
+from .formats import BIT, field_width
+from .irom import WORD_BITS, field_slice
+
+WORD_FMT = FxFormat(WORD_BITS, WORD_BITS, signed=False)
+
+
+def build_vliw(clk: Clock) -> TimedProcess:
+    """Build the instruction-distribution component."""
+    word = Sig("iword", WORD_FMT)
+    hold_active = Sig("vliw_hold", BIT)
+
+    sfg = SFG("vliw")
+    outputs: Dict[str, Sig] = {}
+    with sfg:
+        for name, table in DATAPATH_TABLES:
+            lsb, width = field_slice(name)
+            out = Sig(f"ibus_{name}",
+                      FxFormat(width, width, signed=False))
+            out <<= mux(hold_active, 0, bits(word, lsb + width - 1, lsb))
+            outputs[name] = out
+        for seq_field in ("pc_op", "cond", "target"):
+            lsb, width = field_slice(seq_field)
+            out = Sig(f"seq_{seq_field}",
+                      FxFormat(width, width, signed=False))
+            out <<= bits(word, lsb + width - 1, lsb)
+            outputs[seq_field] = out
+    sfg.inp(word, hold_active).out(*outputs.values())
+
+    process = TimedProcess("vliw", clk, sfgs=[sfg])
+    process.add_input("word", word)
+    process.add_input("hold_active", hold_active)
+    for name, sig in outputs.items():
+        process.add_output(name, sig)
+    return process

@@ -1,0 +1,665 @@
+"""The 22 datapaths of the DECT transceiver (paper Fig. 5).
+
+Each datapath is a timed component whose single static SFG decodes an
+instruction input — the hardware equivalent of the paper's "each decoding
+between 2 and 57 instructions".  Opcode 0 is NOP (hold) in every
+datapath, so distributing all-zero instruction fields freezes the
+datapath state exactly as Fig. 2's hold behaviour requires.
+
+All datapaths share one clock and are steered by the central VLIW
+controller; the builders here return :class:`~repro.core.TimedProcess`
+objects with their port sets, and :func:`build_all` instantiates the full
+set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ...core import (
+    SFG,
+    Clock,
+    Expr,
+    Register,
+    Sig,
+    TimedProcess,
+    bit,
+    eq,
+    ge,
+    gt,
+    mux,
+)
+from ...dsp.dect import RCRC_POLY, SYNC_RFP
+from ...fixpt import FxFormat, Overflow, quantize
+from . import formats as F
+from .formats import field_width, opcode
+
+#: LMS step: mu = 2**-MU_SHIFT.
+MU_SHIFT = 5
+
+
+def _instr_fmt(table) -> FxFormat:
+    return FxFormat(field_width(table), field_width(table), signed=False)
+
+
+def _decode(instr: Sig, table, cases: Dict[str, Expr], default: Expr) -> Expr:
+    """Priority mux chain: instruction decode for one target."""
+    expr = default
+    for name in reversed(list(cases)):
+        expr = mux(eq(instr, opcode(table, name)), cases[name], expr)
+    return expr
+
+
+def build_io(name: str, clk: Clock) -> TimedProcess:
+    """Input interface (2 instructions): latch one sample channel.
+
+    Outputs the latched sample and an ``ack`` pulse on LOAD so the
+    testbench can pace the sample stream to the microcode.
+    """
+    table = F.IO_OPS
+    instr = Sig(f"{name}_instr", _instr_fmt(table))
+    sample_in = Sig(f"{name}_in", F.SAMPLE)
+    held = Register(f"{name}_held", clk, F.SAMPLE)
+    ack = Sig(f"{name}_ack", F.BIT)
+    sfg = SFG(name)
+    with sfg:
+        held <<= _decode(instr, table, {"LOAD": sample_in}, held)
+        ack <<= eq(instr, opcode(table, "LOAD"))
+    sfg.inp(instr, sample_in).out(ack)
+    process = TimedProcess(name, clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("sample", sample_in)
+    process.add_output("q", held)
+    process.add_output("ack", ack)
+    return process
+
+
+def build_agc(clk: Clock) -> TimedProcess:
+    """Gain scaling (4 instructions): pass / double / halve both rails."""
+    table = F.AGC_OPS
+    instr = Sig("agc_instr", _instr_fmt(table))
+    in_i = Sig("agc_in_i", F.SAMPLE)
+    in_q = Sig("agc_in_q", F.SAMPLE)
+    out_i = Register("agc_i", clk, F.SAMPLE)
+    out_q = Register("agc_q", clk, F.SAMPLE)
+    sfg = SFG("agc")
+    with sfg:
+        for src, dst in ((in_i, out_i), (in_q, out_q)):
+            dst <<= _decode(instr, table, {
+                "PASS": src,
+                "SHL": src << 1,
+                "SHR": src >> 1,
+            }, dst)
+    sfg.inp(instr, in_i, in_q)
+    process = TimedProcess("agc", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("i", in_i)
+    process.add_input("q", in_q)
+    process.add_output("yi", out_i)
+    process.add_output("yq", out_q)
+    return process
+
+
+def build_fir_slice(index: int, n_taps: int, clk: Clock) -> TimedProcess:
+    """One FIR slice (8 instructions): *n_taps* complex taps of the
+    15-tap T/2-spaced equalizer.
+
+    SHIFT pushes the incoming complex sample through the local delay
+    slots (cascading the oldest slot to the next slice); LC0..LC3 load a
+    complex coefficient from the CTL coefficient bus into tap k.  The
+    complex partial sum is produced every cycle.
+    """
+    table = F.FIR_OPS
+    name = f"fir{index}"
+    instr = Sig(f"{name}_instr", _instr_fmt(table))
+    in_re = Sig(f"{name}_in_re", F.SAMPLE)
+    in_im = Sig(f"{name}_in_im", F.SAMPLE)
+    coef_re = Sig(f"{name}_cre", F.COEF)
+    coef_im = Sig(f"{name}_cim", F.COEF)
+    slots_re = [Register(f"{name}_xre{k}", clk, F.SAMPLE) for k in range(n_taps)]
+    slots_im = [Register(f"{name}_xim{k}", clk, F.SAMPLE) for k in range(n_taps)]
+    taps_re = [Register(f"{name}_wre{k}", clk, F.COEF) for k in range(n_taps)]
+    taps_im = [Register(f"{name}_wim{k}", clk, F.COEF) for k in range(n_taps)]
+    p_re = Sig(f"{name}_pre", F.ACC)
+    p_im = Sig(f"{name}_pim", F.ACC)
+
+    sfg = SFG(name)
+    with sfg:
+        shifting = eq(instr, opcode(table, "SHIFT"))
+        clearing = eq(instr, opcode(table, "CLRD"))
+        for k in range(n_taps):
+            source = in_re if k == 0 else slots_re[k - 1]
+            slots_re[k] <<= mux(clearing, 0,
+                                mux(shifting, source, slots_re[k]))
+            source_im = in_im if k == 0 else slots_im[k - 1]
+            slots_im[k] <<= mux(clearing, 0,
+                                mux(shifting, source_im, slots_im[k]))
+        coef_clear = eq(instr, opcode(table, "CLRC"))
+        for k in range(n_taps):
+            load = eq(instr, opcode(table, f"LC{k}")) if k < 4 else None
+            if load is not None:
+                taps_re[k] <<= mux(coef_clear, 0,
+                                   mux(load, coef_re, taps_re[k]))
+                taps_im[k] <<= mux(coef_clear, 0,
+                                   mux(load, coef_im, taps_im[k]))
+            else:
+                taps_re[k] <<= mux(coef_clear, 0, taps_re[k])
+                taps_im[k] <<= mux(coef_clear, 0, taps_im[k])
+        # Complex partial sums over the current (pre-shift) slots.
+        sum_re: Expr = None
+        sum_im: Expr = None
+        for k in range(n_taps):
+            term_re = taps_re[k] * slots_re[k] - taps_im[k] * slots_im[k]
+            term_im = taps_re[k] * slots_im[k] + taps_im[k] * slots_re[k]
+            sum_re = term_re if sum_re is None else sum_re + term_re
+            sum_im = term_im if sum_im is None else sum_im + term_im
+        p_re <<= sum_re
+        p_im <<= sum_im
+    sfg.inp(instr, in_re, in_im, coef_re, coef_im).out(p_re, p_im)
+
+    process = TimedProcess(name, clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("in_re", in_re)
+    process.add_input("in_im", in_im)
+    process.add_input("coef_re", coef_re)
+    process.add_input("coef_im", coef_im)
+    process.add_output("p_re", p_re)
+    process.add_output("p_im", p_im)
+    # Cascade: the oldest slot's *current* value feeds the next slice.
+    process.add_output("cas_re", slots_re[-1])
+    process.add_output("cas_im", slots_im[-1])
+    return process
+
+
+def build_sum(clk: Clock) -> TimedProcess:
+    """Partial-sum combiner (6 instructions): the FIR output y."""
+    table = F.SUM_OPS
+    instr = Sig("sum_instr", _instr_fmt(table))
+    parts_re = [Sig(f"sum_re{i}", F.ACC) for i in range(4)]
+    parts_im = [Sig(f"sum_im{i}", F.ACC) for i in range(4)]
+    y_re = Register("sum_yre", clk, F.ACC)
+    y_im = Register("sum_yim", clk, F.ACC)
+    center_re = Register("sum_cre", clk, F.ACC)
+    center_im = Register("sum_cim", clk, F.ACC)
+    sfg = SFG("sum")
+    with sfg:
+        total_re = parts_re[0] + parts_re[1] + parts_re[2] + parts_re[3]
+        total_im = parts_im[0] + parts_im[1] + parts_im[2] + parts_im[3]
+        y_re <<= _decode(instr, table, {"SUM": total_re, "CLR": 0}, y_re)
+        y_im <<= _decode(instr, table, {"SUM": total_im, "CLR": 0}, y_im)
+        center_re <<= _decode(instr, table,
+                              {"SAVEC": y_re, "CLR": 0}, center_re)
+        center_im <<= _decode(instr, table,
+                              {"SAVEC": y_im, "CLR": 0}, center_im)
+    sfg.inp(instr, *parts_re, *parts_im)
+    process = TimedProcess("sum", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    for i in range(4):
+        process.add_input(f"p_re{i}", parts_re[i])
+        process.add_input(f"p_im{i}", parts_im[i])
+    process.add_output("y_re", y_re)
+    process.add_output("y_im", y_im)
+    process.add_output("c_re", center_re)
+    process.add_output("c_im", center_im)
+    return process
+
+
+def build_disc(clk: Clock) -> TimedProcess:
+    """Discriminator (7 instructions).
+
+    SOFT computes the small-angle phase difference between the current
+    equalized center sample and the previous one (soft = Im(c * conj(p)))
+    and saves the new previous; SOFTRAW/SAVERAW do the same on the raw
+    AGC output rails (the sync-hunt path, before coefficients exist).
+    """
+    table = F.DISC_OPS
+    instr = Sig("disc_instr", _instr_fmt(table))
+    c_re = Sig("disc_cre", F.ACC)
+    c_im = Sig("disc_cim", F.ACC)
+    raw_re = Sig("disc_rre", F.SAMPLE)
+    raw_im = Sig("disc_rim", F.SAMPLE)
+    prev_re = Register("disc_pre", clk, F.ACC)
+    prev_im = Register("disc_pim", clk, F.ACC)
+    soft = Register("disc_soft", clk, F.SOFT)
+    sfg = SFG("disc")
+    with sfg:
+        eq_soft = c_im * prev_re - c_re * prev_im
+        raw_soft = raw_im * prev_re - raw_re * prev_im
+        soft <<= _decode(instr, table, {
+            "SOFT": eq_soft,
+            "SOFTRAW": raw_soft,
+            "CLR": 0,
+        }, soft)
+        save = eq(instr, opcode(table, "SOFT")) \
+            | eq(instr, opcode(table, "SAVE"))
+        save_raw = eq(instr, opcode(table, "SOFTRAW")) \
+            | eq(instr, opcode(table, "SAVERAW"))
+        clear = eq(instr, opcode(table, "CLR"))
+        prev_re <<= mux(clear, 0,
+                        mux(save, c_re, mux(save_raw, raw_re, prev_re)))
+        prev_im <<= mux(clear, 0,
+                        mux(save, c_im, mux(save_raw, raw_im, prev_im)))
+    sfg.inp(instr, c_re, c_im, raw_re, raw_im)
+    process = TimedProcess("disc", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("c_re", c_re)
+    process.add_input("c_im", c_im)
+    process.add_input("raw_re", raw_re)
+    process.add_input("raw_im", raw_im)
+    process.add_output("soft", soft)
+    return process
+
+
+def build_slicer(clk: Clock) -> TimedProcess:
+    """Hard decision (3 instructions)."""
+    table = F.SLICER_OPS
+    instr = Sig("slicer_instr", _instr_fmt(table))
+    soft = Sig("slicer_soft", F.SOFT)
+    bit_reg = Register("slicer_bit", clk, F.BIT)
+    sfg = SFG("slicer")
+    with sfg:
+        bit_reg <<= _decode(instr, table, {"SLICE": gt(soft, 0)}, bit_reg)
+    sfg.inp(instr, soft)
+    process = TimedProcess("slicer", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("soft", soft)
+    process.add_output("bit", bit_reg)
+    return process
+
+
+def build_hcor_dp(clk: Clock) -> TimedProcess:
+    """Embedded header correlator (5 instructions).
+
+    SHIFT pushes a soft symbol through the 16-stage window and updates
+    the correlation register; the threshold datapath consumes it.
+    """
+    table = F.HCOR_OPS
+    instr = Sig("hcor_instr", _instr_fmt(table))
+    soft = Sig("hcor_soft", F.SOFT)
+    window = [Register(f"hcor_w{k}", clk, F.SOFT) for k in range(16)]
+    corr = Register("hcor_corr", clk, F.CORR)
+    pattern = list(SYNC_RFP)
+    sfg = SFG("hcor_dp")
+    with sfg:
+        shifting = eq(instr, opcode(table, "SHIFT"))
+        clearing = eq(instr, opcode(table, "CLR"))
+        for k in range(16):
+            source = soft if k == 0 else window[k - 1]
+            window[k] <<= mux(clearing, 0,
+                              mux(shifting, source, window[k]))
+        incoming = [soft] + window[:-1]
+        total: Expr = None
+        for k in range(16):
+            term = incoming[k] if pattern[15 - k] else -incoming[k]
+            total = term if total is None else total + term
+        corr <<= mux(clearing, 0, mux(shifting, total, corr))
+    sfg.inp(instr, soft)
+    process = TimedProcess("hcor_dp", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("soft", soft)
+    process.add_output("corr", corr)
+    return process
+
+
+#: Sync detection threshold.  Partial pattern overlaps reach ~10.5 on
+#: hard multipath channels while true peaks exceed 14; 12.75 rejects the
+#: partials with margin on both sides.
+SYNC_THRESHOLD = 12.75
+
+
+def build_thresh(clk: Clock, threshold: float = SYNC_THRESHOLD) -> TimedProcess:
+    """Sync threshold detector (4 instructions); `hit` is a PC condition."""
+    table = F.THRESH_OPS
+    instr = Sig("thresh_instr", _instr_fmt(table))
+    corr = Sig("thresh_corr", F.CORR)
+    hit = Register("thresh_hit", clk, F.BIT)
+    sfg = SFG("thresh")
+    with sfg:
+        hit <<= _decode(instr, table, {
+            "CMP": ge(corr, quantize(threshold, F.CORR)),
+            "CLR": 0,
+        }, hit)
+    sfg.inp(instr, corr)
+    process = TimedProcess("thresh", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("corr", corr)
+    process.add_output("hit", hit)
+    return process
+
+
+def build_symcnt(clk: Clock, a_len: int = 64, d_len: int = 388,
+                 burst_len: int = 420) -> TimedProcess:
+    """Symbol counter and burst phase flags (8 instructions)."""
+    table = F.SYMCNT_OPS
+    instr = Sig("symcnt_instr", _instr_fmt(table))
+    count = Register("symcnt", clk, F.COUNT)
+    a_done = Register("symcnt_a", clk, F.BIT)
+    d_done = Register("symcnt_d", clk, F.BIT)
+    b_done = Register("symcnt_b", clk, F.BIT)
+    sfg = SFG("symcnt")
+    with sfg:
+        count <<= _decode(instr, table, {
+            "CLR": 0,
+            "INC": count + 1,
+            "DEC": count - 1,
+        }, count)
+        a_done <<= _decode(instr, table,
+                           {"CMPA": ge(count, a_len), "CLR": 0}, a_done)
+        d_done <<= _decode(instr, table,
+                           {"CMPD": ge(count, d_len), "CLR": 0}, d_done)
+        b_done <<= _decode(instr, table,
+                           {"CMPB": ge(count, burst_len), "CLR": 0}, b_done)
+    sfg.inp(instr)
+    process = TimedProcess("symcnt", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_output("count", count)
+    process.add_output("a_done", a_done)
+    process.add_output("d_done", d_done)
+    process.add_output("b_done", b_done)
+    return process
+
+
+def build_crc(clk: Clock) -> TimedProcess:
+    """A-field R-CRC LFSR (5 instructions); `ok` is a PC condition."""
+    table = F.CRC_OPS
+    crc_fmt = FxFormat(16, 16, signed=False, overflow=Overflow.WRAP)
+    instr = Sig("crc_instr", _instr_fmt(table))
+    data = Sig("crc_bit", F.BIT)
+    lfsr = Register("crc_lfsr", clk, crc_fmt)
+    ok = Register("crc_ok", clk, F.BIT)
+    poly_low = RCRC_POLY & 0xFFFF
+    sfg = SFG("crc")
+    with sfg:
+        carry = bit(lfsr, 15)
+        shifted = (lfsr << 1) | data
+        reduced = mux(carry, shifted ^ poly_low, shifted)
+        shifted0 = lfsr << 1
+        reduced0 = mux(carry, shifted0 ^ poly_low, shifted0)
+        lfsr <<= _decode(instr, table,
+                         {"CLR": 0, "SHIFT": reduced, "SHIFT0": reduced0},
+                         lfsr)
+        ok <<= _decode(instr, table, {"CHECK": eq(lfsr, 0), "CLR": 0}, ok)
+    sfg.inp(instr, data)
+    process = TimedProcess("crc", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("bit", data)
+    process.add_output("ok", ok)
+    process.add_output("lfsr", lfsr)
+    return process
+
+
+def build_deframe(clk: Clock) -> TimedProcess:
+    """Field steering (6 instructions): which field the current bit is in."""
+    table = F.DEFRAME_OPS
+    instr = Sig("deframe_instr", _instr_fmt(table))
+    field = Register("deframe_field", clk, FxFormat(2, 2, signed=False))
+    a_en = Sig("deframe_a_en", F.BIT)
+    b_en = Sig("deframe_b_en", F.BIT)
+    sfg = SFG("deframe")
+    with sfg:
+        field <<= _decode(instr, table, {
+            "CLR": 0, "AMODE": 1, "BMODE": 2, "XMODE": 3,
+        }, field)
+        a_en <<= eq(field, 1)
+        b_en <<= eq(field, 2)
+    sfg.inp(instr).out(a_en, b_en)
+    process = TimedProcess("deframe", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_output("field", field)
+    process.add_output("a_en", a_en)
+    process.add_output("b_en", b_en)
+    return process
+
+
+def _build_counter(name: str, table, clk: Clock) -> TimedProcess:
+    """Generic address counter (5 instructions): CLR / INC / RST."""
+    instr = Sig(f"{name}_instr", _instr_fmt(table))
+    addr = Register(f"{name}_addr", clk, F.ADDR)
+    sfg = SFG(name)
+    with sfg:
+        addr <<= _decode(instr, table, {
+            "CLR": 0, "INC": addr + 1, "RST": 0,
+        }, addr)
+    sfg.inp(instr)
+    process = TimedProcess(name, clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_output("addr", addr)
+    return process
+
+
+def build_outadr(clk: Clock) -> TimedProcess:
+    """Output RAM address generator (5 instructions)."""
+    return _build_counter("outadr", F.OUTADR_OPS, clk)
+
+
+def build_coefadr(clk: Clock) -> TimedProcess:
+    """Coefficient-load sequencer (5 instructions)."""
+    return _build_counter("coefadr", F.COEFADR_OPS, clk)
+
+
+def build_drout(clk: Clock) -> TimedProcess:
+    """Wire-link driver output (4 instructions): bit-to-byte serializer."""
+    table = F.DROUT_OPS
+    instr = Sig("drout_instr", _instr_fmt(table))
+    data = Sig("drout_bit", F.BIT)
+    shift = Register("drout_shift", clk,
+                     FxFormat(8, 8, signed=False, overflow=Overflow.WRAP))
+    word = Register("drout_word", clk, F.BYTE)
+    valid = Sig("drout_valid", F.BIT)
+    push = Sig("drout_push", F.BIT)
+    sfg = SFG("drout")
+    with sfg:
+        shift <<= _decode(instr, table,
+                          {"PUSH": (shift << 1) | data, "WORD": 0}, shift)
+        word <<= _decode(instr, table, {"WORD": shift}, word)
+        valid <<= eq(instr, opcode(table, "WORD"))
+        push <<= eq(instr, opcode(table, "PUSH"))
+    sfg.inp(instr, data).out(valid, push)
+    process = TimedProcess("drout", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("bit", data)
+    process.add_output("word", word)
+    process.add_output("valid", valid)
+    process.add_output("push", push)
+    return process
+
+
+def build_ctlreg(clk: Clock) -> TimedProcess:
+    """Control/status register for the CTL component (4 instructions)."""
+    table = F.CTLREG_OPS
+    instr = Sig("ctlreg_instr", _instr_fmt(table))
+    crc_ok = Sig("ctlreg_crcin", F.BIT)
+    status = Register("ctl_status", clk, FxFormat(4, 4, signed=False))
+    sfg = SFG("ctlreg")
+    with sfg:
+        status <<= _decode(instr, table, {
+            "SETSYNC": status | 1,
+            "SETCRC": status | mux(crc_ok, 2, 4),
+            "CLR": 0,
+        }, status)
+    sfg.inp(instr, crc_ok)
+    process = TimedProcess("ctlreg", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("crc_ok", crc_ok)
+    process.add_output("status", status)
+    return process
+
+
+def build_lms(clk: Clock) -> TimedProcess:
+    """LMS coefficient-update lane (10 instructions).
+
+    Computes w' = w - mu * e * conj(x) with mu = 2**-MU_SHIFT, one
+    complex tap per UPDRE/UPDIM pair; WR pulses the coefficient-RAM
+    write enable.
+    """
+    table = F.LMS_OPS
+    instr = Sig("lms_instr", _instr_fmt(table))
+    e_in_re = Sig("lms_ein_re", F.SOFT)
+    e_in_im = Sig("lms_ein_im", F.SOFT)
+    x_re = Sig("lms_xre", F.SAMPLE)
+    x_im = Sig("lms_xim", F.SAMPLE)
+    w_re = Sig("lms_wre", F.COEF)
+    w_im = Sig("lms_wim", F.COEF)
+    e_re = Register("lms_ere", clk, F.SOFT)
+    e_im = Register("lms_eim", clk, F.SOFT)
+    out_re = Register("lms_ore", clk, F.COEF)
+    out_im = Register("lms_oim", clk, F.COEF)
+    we = Sig("lms_we", F.BIT)
+    sfg = SFG("lms")
+    with sfg:
+        e_re <<= _decode(instr, table, {
+            "LOADE": e_in_re,
+            "NEGE": -e_re,
+            "SCALE": e_re >> 1,
+            "CLR": 0,
+        }, e_re)
+        e_im <<= _decode(instr, table, {
+            "LOADE": e_in_im,
+            "NEGE": -e_im,
+            "SCALE": e_im >> 1,
+            "CLR": 0,
+        }, e_im)
+        grad_re = (e_re * x_re + e_im * x_im) >> MU_SHIFT
+        grad_im = (e_im * x_re - e_re * x_im) >> MU_SHIFT
+        out_re <<= _decode(instr, table, {
+            "UPDRE": w_re - grad_re,
+            "PASS": w_re,
+            "CLR": 0,
+        }, out_re)
+        out_im <<= _decode(instr, table, {
+            "UPDIM": w_im - grad_im,
+            "PASS": w_im,
+            "CLR": 0,
+        }, out_im)
+        we <<= eq(instr, opcode(table, "WR"))
+    sfg.inp(instr, e_in_re, e_in_im, x_re, x_im, w_re, w_im).out(we)
+    process = TimedProcess("lms", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("e_re", e_in_re)
+    process.add_input("e_im", e_in_im)
+    process.add_input("x_re", x_re)
+    process.add_input("x_im", x_im)
+    process.add_input("w_re", w_re)
+    process.add_input("w_im", w_im)
+    process.add_output("out_re", out_re)
+    process.add_output("out_im", out_im)
+    process.add_output("we", we)
+    return process
+
+
+def build_alu(clk: Clock) -> TimedProcess:
+    """General-purpose ALU — the 57-instruction datapath of the paper.
+
+    Four 16-bit registers; every operation targets one register with the
+    next register around as the implicit source, giving NOP + 14 ops x 4
+    destinations = 57 decoded instructions.
+    """
+    table = F.ALU_OPS
+    instr = Sig("alu_instr", _instr_fmt(table))
+    ext = Sig("alu_ext", F.WORD16)
+    regs = [Register(f"alu_r{k}", clk, F.WORD16) for k in range(4)]
+    flag = Register("alu_flag", clk, F.BIT)
+    sfg = SFG("alu")
+    with sfg:
+        flag_cases: Dict[str, Expr] = {}
+        for k in range(4):
+            dst = regs[k]
+            src = regs[(k + 1) % 4]
+            cases: Dict[str, Expr] = {
+                f"ADD{k}": dst + src,
+                f"SUB{k}": dst - src,
+                f"AND{k}": dst & src,
+                f"OR{k}": dst | src,
+                f"XOR{k}": dst ^ src,
+                f"SHL{k}": dst << 1,
+                f"SHR{k}": dst >> 1,
+                f"INC{k}": dst + 1,
+                f"DEC{k}": dst - 1,
+                f"NEG{k}": -dst,
+                f"NOT{k}": ~dst,
+                f"PASS{k}": ext,
+            }
+            dst <<= _decode(instr, table, cases, dst)
+            flag_cases[f"CMPLT{k}"] = gt(src, dst)
+            flag_cases[f"CMPEQ{k}"] = eq(dst, src)
+        flag <<= _decode(instr, table, flag_cases, flag)
+    sfg.inp(instr, ext)
+    process = TimedProcess("alu", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("ext", ext)
+    for k in range(4):
+        process.add_output(f"r{k}", regs[k])
+    process.add_output("flag", flag)
+    return process
+
+
+#: Declaration order of the 22 datapaths with their opcode tables —
+#: this is also the field order of the VLIW instruction word.
+DATAPATH_TABLES = [
+    ("io_i", F.IO_OPS),
+    ("io_q", F.IO_OPS),
+    ("agc", F.AGC_OPS),
+    ("fir0", F.FIR_OPS),
+    ("fir1", F.FIR_OPS),
+    ("fir2", F.FIR_OPS),
+    ("fir3", F.FIR_OPS),
+    ("sum", F.SUM_OPS),
+    ("disc", F.DISC_OPS),
+    ("slicer", F.SLICER_OPS),
+    ("hcor_dp", F.HCOR_OPS),
+    ("thresh", F.THRESH_OPS),
+    ("symcnt", F.SYMCNT_OPS),
+    ("crc", F.CRC_OPS),
+    ("deframe", F.DEFRAME_OPS),
+    ("outadr", F.OUTADR_OPS),
+    ("coefadr", F.COEFADR_OPS),
+    ("drout", F.DROUT_OPS),
+    ("ctlreg", F.CTLREG_OPS),
+    ("lms", F.LMS_OPS),
+    ("alu", F.ALU_OPS),
+    ("dbg", F.IO_OPS),
+]
+
+
+def build_dbg(clk: Clock) -> TimedProcess:
+    """Observation register (2 instructions): snapshots the soft symbol."""
+    table = F.IO_OPS
+    instr = Sig("dbg_instr", _instr_fmt(table))
+    probe = Sig("dbg_in", F.SOFT)
+    held = Register("dbg_held", clk, F.SOFT)
+    sfg = SFG("dbg")
+    with sfg:
+        held <<= _decode(instr, table, {"LOAD": probe}, held)
+    sfg.inp(instr, probe)
+    process = TimedProcess("dbg", clk, sfgs=[sfg])
+    process.add_input("instr", instr)
+    process.add_input("probe", probe)
+    process.add_output("q", held)
+    return process
+
+
+def build_all(clk: Clock) -> Dict[str, TimedProcess]:
+    """Instantiate all 22 datapaths on one clock."""
+    datapaths: Dict[str, TimedProcess] = {
+        "io_i": build_io("io_i", clk),
+        "io_q": build_io("io_q", clk),
+        "agc": build_agc(clk),
+        "sum": build_sum(clk),
+        "disc": build_disc(clk),
+        "slicer": build_slicer(clk),
+        "hcor_dp": build_hcor_dp(clk),
+        "thresh": build_thresh(clk),
+        "symcnt": build_symcnt(clk),
+        "crc": build_crc(clk),
+        "deframe": build_deframe(clk),
+        "outadr": build_outadr(clk),
+        "coefadr": build_coefadr(clk),
+        "drout": build_drout(clk),
+        "ctlreg": build_ctlreg(clk),
+        "lms": build_lms(clk),
+        "alu": build_alu(clk),
+        "dbg": build_dbg(clk),
+    }
+    for index, taps in enumerate(F.TAPS_PER_SLICE):
+        datapaths[f"fir{index}"] = build_fir_slice(index, taps, clk)
+    return datapaths

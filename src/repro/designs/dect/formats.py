@@ -1,0 +1,91 @@
+"""Fixed-point formats and instruction opcodes of the DECT transceiver.
+
+Every datapath decodes a small instruction set (between 2 and 57
+instructions, as the paper reports); opcode 0 is NOP everywhere so the
+central controller can freeze the whole machine by distributing zeros
+(the Fig. 2 hold behaviour).
+"""
+
+from __future__ import annotations
+
+from ...fixpt import FxFormat
+
+# -- data formats ---------------------------------------------------------------
+
+#: Complex baseband samples after the AGC: range (-4, 4), step 1/64.
+#: (Wordlengths chosen with the range-tracing flow of repro.fixpt.trace;
+#: one bit of margin over the observed burst dynamics.)
+SAMPLE = FxFormat(9, 3)
+#: Equalizer coefficients: range (-4, 4), step 1/256.
+COEF = FxFormat(11, 3)
+#: FIR partial sums and filter outputs.
+ACC = FxFormat(14, 5)
+#: Discriminator soft symbols.
+SOFT = FxFormat(11, 4)
+#: Correlation values (16 softs accumulated).
+CORR = FxFormat(16, 8)
+#: Symbol / cycle counters.
+COUNT = FxFormat(12, 12, signed=False)
+#: CRC shift register (16 bits).
+CRC16 = FxFormat(16, 16, signed=False)
+#: Single control/status bits.
+BIT = FxFormat(1, 1, signed=False)
+#: General-purpose ALU words.
+WORD16 = FxFormat(16, 16)
+#: Output data bytes to the wire-link driver.
+BYTE = FxFormat(8, 8, signed=False)
+#: RAM addresses.
+ADDR = FxFormat(10, 10, signed=False)
+
+# -- equalizer geometry ----------------------------------------------------------
+
+#: T/2-spaced FIR taps (matches the reference ComplexLmsEqualizer).
+N_TAPS = 15
+#: Taps per FIR slice datapath (fir0..fir3 hold 4+4+4+3).
+TAPS_PER_SLICE = (4, 4, 4, 3)
+#: Decision delay in T/2 pushes introduced by the causal re-indexing
+#: of the reference filter (chip tap j holds reference weight 14-j).
+FIR_DELAY_PUSHES = N_TAPS // 2
+
+# -- per-datapath opcode tables ----------------------------------------------------
+# Opcode 0 is NOP in every table.
+
+IO_OPS = ["NOP", "LOAD"]                                        # 2
+AGC_OPS = ["NOP", "PASS", "SHL", "SHR"]                         # 4
+FIR_OPS = ["NOP", "SHIFT", "LC0", "LC1", "LC2", "LC3",
+           "CLRD", "CLRC"]                                      # 8
+SUM_OPS = ["NOP", "SUM", "SAVEC", "SAVEM", "CLR", "HOLD"]       # 6
+DISC_OPS = ["NOP", "SOFT", "SAVE", "SOFTRAW", "SAVERAW",
+            "CLR", "HOLD"]                                      # 7
+SLICER_OPS = ["NOP", "SLICE", "HOLD"]                           # 3
+HCOR_OPS = ["NOP", "SHIFT", "CLR", "ARM", "HOLD"]               # 5
+THRESH_OPS = ["NOP", "CMP", "CLR", "HOLD"]                      # 4
+SYMCNT_OPS = ["NOP", "CLR", "INC", "CMPA", "CMPD", "CMPB",
+              "DEC", "HOLD"]                                    # 8
+CRC_OPS = ["NOP", "CLR", "SHIFT", "SHIFT0", "CHECK"]            # 5
+DEFRAME_OPS = ["NOP", "CLR", "AMODE", "BMODE", "XMODE",
+               "HOLD"]                                          # 6
+OUTADR_OPS = ["NOP", "CLR", "INC", "RST", "HOLD"]               # 5
+DROUT_OPS = ["NOP", "PUSH", "WORD", "HOLD"]                     # 4
+CTLREG_OPS = ["NOP", "SETSYNC", "SETCRC", "CLR"]                # 4
+COEFADR_OPS = ["NOP", "CLR", "INC", "RST", "HOLD"]              # 5
+LMS_OPS = ["NOP", "LOADE", "UPDRE", "UPDIM", "WR", "NEGE",
+           "SCALE", "PASS", "CLR", "HOLD"]                      # 10
+
+#: The 57-instruction general-purpose ALU: NOP plus 14 operations on
+#: each of 4 destination registers (source is the next register around).
+ALU_OPERATIONS = ["ADD", "SUB", "AND", "OR", "XOR", "SHL", "SHR", "INC",
+                  "DEC", "NEG", "NOT", "CMPLT", "CMPEQ", "PASS"]
+ALU_OPS = ["NOP"] + [
+    f"{op}{reg}" for op in ALU_OPERATIONS for reg in range(4)
+]                                                               # 57
+
+
+def opcode(table, name: str) -> int:
+    """The numeric opcode of *name* in an opcode table."""
+    return table.index(name)
+
+
+def field_width(table) -> int:
+    """Instruction-field width in bits for an opcode table."""
+    return max(1, (len(table) - 1).bit_length())

@@ -1,0 +1,106 @@
+"""Program counter controller with the paper's Figure-2 hold behaviour.
+
+A Mealy FSM with two states, ``execute`` and ``hold``:
+
+* in **execute**, the program counter advances (sequential or branch,
+  decided by the microword's sequencer fields and the selected datapath
+  condition flag);
+* when the external ``hold_request`` pin (sampled into a register, as
+  the paper requires for FSM conditions) asserts, the machine moves to
+  **hold**: the PC freezes — the interrupted instruction's address is
+  retained (the paper's ``hold_pc``) — and the ``hold_active`` line
+  makes the VLIW controller distribute ``nop`` to every datapath,
+  freezing the datapath state;
+* when the request is released, execution resumes at the held PC: the
+  interrupted instruction is issued after all.
+"""
+
+from __future__ import annotations
+
+from ...core import (
+    FSM,
+    SFG,
+    Clock,
+    Register,
+    Sig,
+    TimedProcess,
+    cnd,
+    eq,
+    mux,
+)
+from ...fixpt import FxFormat
+from .formats import BIT
+from .irom import CONDITIONS, PC_OPS, TARGET_BITS
+
+PC_FMT = FxFormat(TARGET_BITS, TARGET_BITS, signed=False)
+OP_FMT = FxFormat(2, 2, signed=False)
+COND_FMT = FxFormat(3, 3, signed=False)
+
+
+def build_pcctrl(clk: Clock) -> TimedProcess:
+    """Build the PC controller component."""
+    hold_pin = Sig("hold_request", BIT)
+    hold_req = Register("hold_req", clk, BIT)
+    pc = Register("pc", clk, PC_FMT)
+    hold_pc = Register("hold_pc", clk, PC_FMT)
+    hold_active = Sig("hold_active", BIT)
+
+    pc_op = Sig("pc_op", OP_FMT)
+    cond_sel = Sig("cond_sel", COND_FMT)
+    target = Sig("pc_target", PC_FMT)
+    flags = {name: Sig(f"flag_{name}", BIT) for name in CONDITIONS}
+
+    # Hold-request pin sampling: runs every cycle (static SFG) — the
+    # condition is "stored in a register inside the signal flow graphs".
+    sample = SFG("pc_sample")
+    with sample:
+        hold_req <<= hold_pin
+    sample.inp(hold_pin)
+
+    # Execute: advance or branch.
+    run_sfg = SFG("pc_execute")
+    with run_sfg:
+        selected = flags[CONDITIONS[-1]]
+        for index in range(len(CONDITIONS) - 2, -1, -1):
+            selected = mux(eq(cond_sel, index), flags[CONDITIONS[index]],
+                           selected)
+        take = mux(
+            eq(pc_op, PC_OPS.index("JMP")), 1,
+            mux(eq(pc_op, PC_OPS.index("JCC")), selected,
+                mux(eq(pc_op, PC_OPS.index("JNC")),
+                    eq(selected, 0), 0)),
+        )
+        pc <<= mux(take, target, pc + 1)
+        hold_pc <<= pc
+        hold_active <<= 0
+    run_sfg.inp(pc_op, cond_sel, target, *flags.values())
+    run_sfg.out(hold_active)
+
+    # Hold: freeze the PC at the interrupted instruction's address (the
+    # paper stores it in hold_pc and re-issues from there on release) and
+    # raise hold_active so the VLIW controller distributes nop.
+    hold_sfg = SFG("pc_hold")
+    with hold_sfg:
+        pc <<= pc
+        hold_pc <<= pc
+        hold_active <<= 1
+    hold_sfg.out(hold_active)
+
+    fsm = FSM("pc_fsm")
+    execute = fsm.initial("execute")
+    hold = fsm.state("hold")
+    execute << ~cnd(hold_req) << run_sfg << execute
+    execute << cnd(hold_req) << hold_sfg << hold
+    hold << cnd(hold_req) << hold_sfg << hold
+    hold << ~cnd(hold_req) << run_sfg << execute
+
+    process = TimedProcess("pcctrl", clk, fsm=fsm, sfgs=[sample])
+    process.add_input("hold", hold_pin)
+    process.add_input("pc_op", pc_op)
+    process.add_input("cond_sel", cond_sel)
+    process.add_input("target", target)
+    for name in CONDITIONS:
+        process.add_input(name, flags[name])
+    process.add_output("pc", pc)
+    process.add_output("hold_active", hold_active)
+    return process

@@ -1,0 +1,127 @@
+"""The burst-processing microcode of the DECT transceiver.
+
+The program implements the central-control architecture the paper's
+section 3.3 motivates: burst processing is a straight-line microcode flow
+with *global exceptions as jumps in the instruction ROM* — here the
+sync-found branch, the field boundaries and the end-of-burst jump.
+
+Phases:
+
+1. **INIT / LOADC** — clear the machine and load the 15 complex
+   equalizer coefficients through the CTL bus (one per microword).
+2. **HUNT** — a two-word loop (one DECT symbol, two T/2 samples): raw
+   discriminator + header correlation; loops until the threshold
+   condition fires (the first "global exception").
+3. **WARMUP** — pipeline/FIR group-delay alignment symbols.
+4. **ALOOP** — four words per symbol: equalized FIR, discriminate,
+   slice, CRC-shift and capture the 64 A-field bits.
+5. **CRCCHK** — 16 zero-augmentation shifts + check, status capture.
+6. **BLOOP** — same per-symbol loop for the 324 B+X bits.
+7. **DONE** — idle loop (the burst hand-off point).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .formats import N_TAPS
+from .irom import Program
+
+#: Pipeline + FIR group-delay warm-up, in symbols, between the sync
+#: branch and the first captured A-field bit, and the half-symbol pad
+#: that puts the FIR evaluation on symbol-center windows (the windows
+#: the coefficients were trained on).  Calibrated against the reference
+#: model (see tests/designs/test_transceiver.py): the 15-tap causal FIR
+#: re-indexing costs 7 T/2 pushes of decision delay, and the datapath
+#: pipeline (io -> agc -> fir -> sum -> disc registers) the rest.
+DEFAULT_WARMUP_SYMBOLS = 1
+DEFAULT_EQ_PHASE_PAD = 1
+
+ALL_FIR_SHIFT = {f"fir{i}": "SHIFT" for i in range(4)}
+
+
+def _symbol_steps(program: Program, extra_a1=None):
+    """Emit the two sample-push words of one symbol (pipeline front)."""
+    program.step(io_i="LOAD", io_q="LOAD", agc="PASS",
+                 sum="SUM", **ALL_FIR_SHIFT)
+    fields = dict(io_i="LOAD", io_q="LOAD", agc="PASS",
+                  sum="SUM", disc="SOFT", **ALL_FIR_SHIFT)
+    if extra_a1:
+        fields.update(extra_a1)
+    program.step(**fields)
+
+
+def burst_program(a_len: int = 64, payload_len: int = 388,
+                  warmup_symbols: int = DEFAULT_WARMUP_SYMBOLS,
+                  phase_pad: int = 0,
+                  eq_phase_pad: int = DEFAULT_EQ_PHASE_PAD) -> Program:
+    """Assemble the burst-processing program."""
+    program = Program()
+
+    # -- INIT ----------------------------------------------------------------
+    program.step(symcnt="CLR", crc="CLR", hcor_dp="CLR", thresh="CLR",
+                 deframe="CLR", outadr="CLR", coefadr="CLR", ctlreg="CLR",
+                 sum="CLR", disc="CLR", lms="CLR",
+                 **{f"fir{i}": "CLRD" for i in range(4)})
+    program.step(**{f"fir{i}": "CLRC" for i in range(4)})
+
+    # -- LOADC: one complex coefficient per word -------------------------------
+    for tap in range(N_TAPS):
+        slice_index, k = divmod(tap, 4)
+        program.step(coefadr="INC", **{f"fir{slice_index}": f"LC{k}"})
+
+    # -- optional sample-phase padding (half-symbol alignment) ------------------
+    for _ in range(phase_pad):
+        program.step(io_i="LOAD", io_q="LOAD", agc="PASS", **ALL_FIR_SHIFT)
+
+    # -- HUNT -------------------------------------------------------------------
+    program.label("hunt")
+    program.step(io_i="LOAD", io_q="LOAD", agc="PASS", **ALL_FIR_SHIFT)
+    program.step(io_i="LOAD", io_q="LOAD", agc="PASS", disc="SOFTRAW",
+                 hcor_dp="SHIFT", thresh="CMP", symcnt="INC",
+                 pc_op="JNC", cond="hit", target="hunt",
+                 **ALL_FIR_SHIFT)
+
+    # -- SYNCED: bookkeeping; sample stream pauses (chip-paced IO) --------------
+    program.step(symcnt="CLR", crc="CLR", ctlreg="SETSYNC", outadr="CLR",
+                 deframe="CLR", disc="CLR", sum="CLR")
+
+    # -- equalizer T/2-phase alignment: an odd number of extra pushes
+    #    moves the FIR evaluation from mid-symbol to symbol-center
+    #    windows (the windows the coefficients were trained on).
+    for _ in range(eq_phase_pad):
+        program.step(io_i="LOAD", io_q="LOAD", agc="PASS", sum="SUM",
+                     **ALL_FIR_SHIFT)
+
+    # -- WARMUP: flush the raw-path discriminator state through the
+    #    equalized path; no capture.
+    for _ in range(warmup_symbols):
+        _symbol_steps(program)
+
+    program.step(deframe="AMODE", symcnt="CLR", outadr="CLR")
+
+    # -- ALOOP: 4 words per A-field symbol ----------------------------------------
+    program.label("aloop")
+    _symbol_steps(program, extra_a1={"symcnt": "INC"})
+    program.step(slicer="SLICE", symcnt="CMPA")
+    program.step(crc="SHIFT", drout="PUSH", outadr="INC",
+                 pc_op="JNC", cond="a_done", target="aloop")
+
+    # -- CRC check: 16 zero shifts then compare --------------------------------
+    for _ in range(16):
+        program.step(crc="SHIFT0")
+    program.step(crc="CHECK")
+    program.step(ctlreg="SETCRC")
+    program.step(deframe="BMODE", outadr="CLR")
+
+    # -- BLOOP: remaining payload (B-field + X-field) ----------------------------
+    program.label("bloop")
+    _symbol_steps(program, extra_a1={"symcnt": "INC"})
+    program.step(slicer="SLICE", symcnt="CMPD")
+    program.step(drout="PUSH", outadr="INC",
+                 pc_op="JNC", cond="d_done", target="bloop")
+
+    # -- DONE ----------------------------------------------------------------------
+    program.label("done")
+    program.step(deframe="CLR", pc_op="JMP", target="done")
+    return program

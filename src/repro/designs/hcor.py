@@ -1,0 +1,189 @@
+"""HCOR — the DECT header correlator processor (Table 1, 6 Kgate design).
+
+One soft symbol enters per clock cycle.  A 16-stage soft-symbol delay
+line correlates against the DECT RFP sync word; when the correlation
+crosses the detection threshold the controller locks and counts out the
+burst, reporting the symbol index so downstream components can deframe.
+
+Structure:
+
+* a static SFG (``shift``): delay line, +/- correlation adder tree,
+  threshold compare into a condition register;
+* a Mealy FSM (``SEARCH``/``LOCKED``): in SEARCH every cycle hunts; on
+  the hit condition the machine locks, zeroes the symbol counter and
+  counts the burst out, then rearms.
+
+The correlation is the bit-true counterpart of
+:func:`repro.dsp.correlator.detect`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core import (
+    FSM,
+    SFG,
+    Clock,
+    Register,
+    Sig,
+    System,
+    TimedProcess,
+    cnd,
+    ge,
+    mux,
+)
+from ..core.expr import Expr
+from ..dsp.dect import SYNC_RFP
+from ..fixpt import Fx, FxFormat, quantize
+
+#: Soft symbols enter as s<6,3>: range (-4, 4) in steps of 1/8.
+SOFT_FMT = FxFormat(6, 3)
+#: Correlation accumulates 16 soft symbols: s<10,7>.
+CORR_FMT = FxFormat(10, 7)
+#: Burst symbol counter: counts up to the 420-bit burst.
+COUNT_FMT = FxFormat(10, 10, signed=False)
+BIT = FxFormat(1, 1, signed=False)
+
+#: Detection threshold: 0.65 * 16 (matching the reference model default).
+DEFAULT_THRESHOLD = 10.4
+
+#: Burst length counted out after lock (D-field + X-field).
+DEFAULT_BURST_SYMBOLS = 388
+
+
+@dataclass
+class HcorDesign:
+    """The assembled HCOR system and its interface handles."""
+
+    system: System
+    clk: Clock
+    process: TimedProcess
+    soft_in: "Channel"          # drive: one soft value per cycle
+    sync_found: "Channel"       # 1 on the locking cycle
+    corr_out: "Channel"         # current correlation value
+    locked: "Channel"           # 1 while counting a burst out
+    symbol_index: "Channel"     # symbols since lock
+    taps: List[Register]
+    fsm: FSM
+
+
+def build_hcor(pattern_bits: Sequence[int] = SYNC_RFP,
+               threshold: float = DEFAULT_THRESHOLD,
+               burst_symbols: int = DEFAULT_BURST_SYMBOLS) -> HcorDesign:
+    """Capture the HCOR processor with the programming environment."""
+    clk = Clock("hcor_clk")
+    pattern = [int(b) for b in pattern_bits]
+    n_taps = len(pattern)
+
+    soft = Sig("soft", SOFT_FMT)
+    taps = [Register(f"tap{i}", clk, SOFT_FMT) for i in range(n_taps)]
+    corr = Register("corr", clk, CORR_FMT)
+    hit = Register("hit", clk, BIT)
+    count = Register("count", clk, COUNT_FMT)
+    burst_done = Register("burst_done", clk, BIT)
+    sync_pulse = Sig("sync_pulse", BIT)
+    locked_out = Sig("locked_out", BIT)
+
+    # -- static SFG: delay line + correlation + threshold ---------------------
+    shift = SFG("shift")
+    with shift:
+        taps[0] <<= soft
+        for i in range(1, n_taps):
+            taps[i] <<= taps[i - 1]
+        # +/- correlation tree over the window *including* the incoming
+        # symbol: window[0] is the newest sample and correlates with the
+        # last pattern bit.
+        window = [soft] + taps[:-1]
+        total: Expr = None
+        for i in range(n_taps):
+            term = window[i] if pattern[n_taps - 1 - i] else -window[i]
+            total = term if total is None else total + term
+        corr <<= total
+        hit <<= ge(total, quantize(threshold, CORR_FMT))
+    shift.inp(soft)
+
+    # -- FSM action SFGs ---------------------------------------------------------
+    hunt = SFG("hunt")
+    with hunt:
+        sync_pulse <<= 0
+        locked_out <<= 0
+        count <<= 0
+        burst_done <<= 0
+    hunt.out(sync_pulse, locked_out)
+
+    lock = SFG("lock")
+    with lock:
+        sync_pulse <<= 1
+        locked_out <<= 1
+        count <<= 0
+        burst_done <<= 0
+    lock.out(sync_pulse, locked_out)
+
+    track = SFG("track")
+    with track:
+        sync_pulse <<= 0
+        locked_out <<= 1
+        count <<= count + 1
+        burst_done <<= ge(count + 1, burst_symbols - 1)
+    track.out(sync_pulse, locked_out)
+
+    fsm = FSM("hcor_ctl")
+    search = fsm.initial("search")
+    locked = fsm.state("locked")
+    search << cnd(hit) << lock << locked
+    search << ~cnd(hit) << hunt << search
+    locked << cnd(burst_done) << hunt << search
+    locked << ~cnd(burst_done) << track << locked
+
+    process = TimedProcess("hcor", clk, fsm=fsm, sfgs=[shift])
+    process.add_input("soft", soft)
+    process.add_output("sync", sync_pulse)
+    process.add_output("locked", locked_out)
+    process.add_output("corr", corr)
+    process.add_output("count", count)
+
+    system = System("hcor_sys")
+    system.add(process)
+    soft_in = system.connect(None, process.port("soft"), name="soft")
+    sync_found = system.connect(process.port("sync"), name="sync")
+    locked_chan = system.connect(process.port("locked"), name="locked")
+    corr_out = system.connect(process.port("corr"), name="corr")
+    symbol_index = system.connect(process.port("count"), name="count")
+
+    return HcorDesign(
+        system=system,
+        clk=clk,
+        process=process,
+        soft_in=soft_in,
+        sync_found=sync_found,
+        corr_out=corr_out,
+        locked=locked_chan,
+        symbol_index=symbol_index,
+        taps=taps,
+        fsm=fsm,
+    )
+
+
+def run_hcor(design: HcorDesign, soft_symbols: Sequence[float]):
+    """Feed a soft-symbol stream; returns lock positions (symbol indices).
+
+    A lock at position p means the sync word's last symbol entered at
+    cycle p-1, i.e. payload starts at stream index p — the same
+    convention as :func:`repro.dsp.correlator.detect`.
+    """
+    from ..sim import CycleScheduler, Recorder
+
+    scheduler = CycleScheduler(design.system)
+    recorder = Recorder(design.sync_found)
+    scheduler.monitors.append(recorder)
+    for value in soft_symbols:
+        scheduler.step({design.soft_in: value})
+    hits = []
+    for cycle, token in enumerate(recorder["sync"]):
+        if token is not None and int(token) == 1:
+            # The pulse fires one cycle after the last sync symbol loaded
+            # (delay line + hit register), i.e. at stream index p + 1.
+            hits.append(cycle)
+    return hits

@@ -1,0 +1,81 @@
+"""Algorithm-level (Matlab-equivalent) reference models for the DECT
+driver design: burst structure, GFSK modem, multipath channel, equalizer
+and header correlator.  These are the "high level design environment"
+descriptions of the paper's section 1, against which the bit-true
+hardware descriptions in :mod:`repro.designs` are refined and verified.
+"""
+
+from .channel import MultipathChannel, ideal_channel, indoor_channel, severe_channel
+from .correlator import CorrelationHit, correlate, detect, detect_all
+from .dect import (
+    A_FIELD_BITS,
+    B_FIELD_BITS,
+    D_FIELD_BITS,
+    LATENCY_BUDGET_SECONDS,
+    LATENCY_BUDGET_SYMBOLS,
+    PREAMBLE_RFP,
+    SLOT_BITS,
+    SLOTS_PER_FRAME,
+    SYMBOL_RATE,
+    SYNC_PP,
+    SYNC_RFP,
+    Burst,
+    build_burst,
+    check_a_field,
+    crc_bits,
+    nrz,
+    random_payloads,
+    rcrc,
+    s_field,
+    to_bits,
+)
+from .equalizer import (
+    ComplexLmsEqualizer,
+    DecisionFeedbackEqualizer,
+    DfeConfig,
+    bit_error_rate,
+    equalize_burst,
+)
+from .modem import BT, MODULATION_INDEX, demodulate, discriminate, gaussian_pulse, modulate
+
+__all__ = [
+    "A_FIELD_BITS",
+    "B_FIELD_BITS",
+    "BT",
+    "Burst",
+    "ComplexLmsEqualizer",
+    "CorrelationHit",
+    "D_FIELD_BITS",
+    "DecisionFeedbackEqualizer",
+    "DfeConfig",
+    "LATENCY_BUDGET_SECONDS",
+    "LATENCY_BUDGET_SYMBOLS",
+    "MODULATION_INDEX",
+    "MultipathChannel",
+    "PREAMBLE_RFP",
+    "SLOT_BITS",
+    "SLOTS_PER_FRAME",
+    "SYMBOL_RATE",
+    "SYNC_PP",
+    "SYNC_RFP",
+    "bit_error_rate",
+    "build_burst",
+    "check_a_field",
+    "correlate",
+    "crc_bits",
+    "demodulate",
+    "detect",
+    "detect_all",
+    "discriminate",
+    "equalize_burst",
+    "gaussian_pulse",
+    "ideal_channel",
+    "indoor_channel",
+    "modulate",
+    "nrz",
+    "random_payloads",
+    "rcrc",
+    "s_field",
+    "severe_channel",
+    "to_bits",
+]

@@ -1,0 +1,79 @@
+"""Header correlation reference model (the HCOR processor's algorithm).
+
+The HCOR design of Table 1 hunts for the S-field sync word in the
+incoming soft-symbol stream: a sliding correlation of the last N soft
+symbols against the known +/-1 sync pattern, peak-detected against a
+threshold to produce burst timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dect import SYNC_RFP, nrz
+
+
+@dataclass
+class CorrelationHit:
+    """A detected sync word."""
+
+    position: int   # index of the symbol *after* the sync word
+    score: float    # correlation magnitude at the peak
+
+
+def correlate(soft_symbols: Sequence[float],
+              pattern_bits: Sequence[int] = SYNC_RFP) -> np.ndarray:
+    """Sliding correlation of the stream against the sync pattern.
+
+    ``result[k]`` is the correlation of the pattern with the window
+    *ending* at symbol k (so a hit at k means the sync word's last bit is
+    at k).
+    """
+    soft = np.asarray(soft_symbols, dtype=float)
+    pattern = nrz(pattern_bits)
+    n = len(pattern)
+    result = np.zeros(len(soft))
+    if len(soft) < n:
+        return result
+    window = np.convolve(soft, pattern[::-1], mode="full")
+    result[n - 1:] = window[n - 1:len(soft)]
+    return result
+
+
+def detect(soft_symbols: Sequence[float],
+           pattern_bits: Sequence[int] = SYNC_RFP,
+           threshold: float = 0.65) -> Optional[CorrelationHit]:
+    """First position where correlation exceeds threshold * max score."""
+    pattern_len = len(pattern_bits)
+    scores = correlate(soft_symbols, pattern_bits)
+    limit = threshold * pattern_len
+    for index in range(pattern_len - 1, len(scores)):
+        if scores[index] >= limit:
+            return CorrelationHit(position=index + 1,
+                                  score=float(scores[index]))
+    return None
+
+
+def detect_all(soft_symbols: Sequence[float],
+               pattern_bits: Sequence[int] = SYNC_RFP,
+               threshold: float = 0.65,
+               dead_time: Optional[int] = None) -> List[CorrelationHit]:
+    """Every detection, applying a post-hit dead time (default: pattern)."""
+    pattern_len = len(pattern_bits)
+    if dead_time is None:
+        dead_time = pattern_len
+    scores = correlate(soft_symbols, pattern_bits)
+    limit = threshold * pattern_len
+    hits: List[CorrelationHit] = []
+    index = pattern_len - 1
+    while index < len(scores):
+        if scores[index] >= limit:
+            hits.append(CorrelationHit(position=index + 1,
+                                       score=float(scores[index])))
+            index += dead_time
+        else:
+            index += 1
+    return hits

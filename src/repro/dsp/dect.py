@@ -1,0 +1,136 @@
+"""DECT burst structure and timing (the driver application's air interface).
+
+The transceiver ASIC of the paper processes DECT burst signals in a base
+station.  This module models the parts of the DECT physical layer the
+design needs: slot/frame timing, the S-field synchronization word that the
+header correlator (HCOR) hunts for, the A-field R-CRC, and burst assembly
+/ disassembly.
+
+Numbers follow the DECT common interface: 1.152 Mbit/s symbol rate, 10 ms
+frames of 24 slots, 480-bit slot of which a full slot carries a 32-bit
+S-field, a 388-bit D-field and guard space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+#: Symbol (bit) rate of the DECT air interface, in bits per second.
+SYMBOL_RATE = 1_152_000
+
+#: Bits per full slot, S-field, A-field, B-field and D-field.
+SLOT_BITS = 480
+S_FIELD_BITS = 32
+A_FIELD_BITS = 64
+B_FIELD_BITS = 320
+X_FIELD_BITS = 4
+D_FIELD_BITS = A_FIELD_BITS + B_FIELD_BITS + X_FIELD_BITS  # 388
+
+#: Slots per frame and frame duration.
+SLOTS_PER_FRAME = 24
+FRAME_SECONDS = 0.010
+
+#: The S-field: 16 preamble bits + 16-bit sync word.  Fixed Part (base
+#: station) transmissions use AAAAE98A; Portable Part uses 55551675.
+PREAMBLE_RFP = [1, 0] * 8          # 0xAAAA msb-first
+SYNC_RFP = [1, 1, 1, 0, 1, 0, 0, 1, 1, 0, 0, 0, 1, 0, 1, 0]  # 0xE98A
+PREAMBLE_PP = [0, 1] * 8           # 0x5555
+SYNC_PP = [0, 0, 0, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 1, 0, 1]   # 0x1675
+
+#: The latency budget quoted in the paper: 29 DECT symbols (25.2 us).
+LATENCY_BUDGET_SYMBOLS = 29
+LATENCY_BUDGET_SECONDS = LATENCY_BUDGET_SYMBOLS / SYMBOL_RATE
+
+#: A-field R-CRC generator polynomial: x^16 + x^10 + x^8 + x^7 + x^3 + 1.
+RCRC_POLY = 0x10589
+
+
+def s_field(base_station: bool = True) -> List[int]:
+    """The 32 S-field bits (preamble + sync word)."""
+    if base_station:
+        return list(PREAMBLE_RFP) + list(SYNC_RFP)
+    return list(PREAMBLE_PP) + list(SYNC_PP)
+
+
+def rcrc(bits: Sequence[int]) -> int:
+    """The 16-bit R-CRC over *bits* (MSB-first polynomial division)."""
+    register = 0
+    for bit in bits:
+        register = (register << 1) | (int(bit) & 1)
+        if register & 0x10000:
+            register ^= RCRC_POLY
+    for _ in range(16):
+        register <<= 1
+        if register & 0x10000:
+            register ^= RCRC_POLY
+    return register & 0xFFFF
+
+
+def crc_bits(value: int, width: int = 16) -> List[int]:
+    """Expand a CRC value to MSB-first bits."""
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+@dataclass
+class Burst:
+    """One assembled physical burst."""
+
+    bits: List[int]
+    a_field: List[int]
+    b_field: List[int]
+
+    @property
+    def sync_position(self) -> int:
+        """Index of the first bit after the S-field."""
+        return S_FIELD_BITS
+
+
+def build_burst(a_payload: Sequence[int], b_payload: Sequence[int],
+                base_station: bool = True) -> Burst:
+    """Assemble a full-slot burst: S-field + A-field(+CRC) + B-field + X.
+
+    The A-field is 48 payload bits + 16 R-CRC bits; the X-field is a
+    4-bit parity check over the B-field tail (simplified to the first 4
+    bits of the B-field CRC here).
+    """
+    a_payload = [int(b) & 1 for b in a_payload]
+    b_payload = [int(b) & 1 for b in b_payload]
+    if len(a_payload) != A_FIELD_BITS - 16:
+        raise ValueError(f"A-field payload must be {A_FIELD_BITS - 16} bits")
+    if len(b_payload) != B_FIELD_BITS:
+        raise ValueError(f"B-field payload must be {B_FIELD_BITS} bits")
+    a_field = a_payload + crc_bits(rcrc(a_payload))
+    x_field = crc_bits(rcrc(b_payload))[:X_FIELD_BITS]
+    bits = s_field(base_station) + a_field + b_payload + x_field
+    return Burst(bits=bits, a_field=a_field, b_field=b_payload)
+
+
+def check_a_field(a_field: Sequence[int]) -> bool:
+    """Verify the A-field R-CRC."""
+    if len(a_field) != A_FIELD_BITS:
+        return False
+    payload = list(a_field[:-16])
+    received = 0
+    for bit in a_field[-16:]:
+        received = (received << 1) | (int(bit) & 1)
+    return rcrc(payload) == received
+
+
+def random_payloads(rng: np.random.Generator):
+    """Random A- and B-field payloads for testing."""
+    a = rng.integers(0, 2, size=A_FIELD_BITS - 16).tolist()
+    b = rng.integers(0, 2, size=B_FIELD_BITS).tolist()
+    return a, b
+
+
+def nrz(bits: Sequence[int]) -> np.ndarray:
+    """Map bits {0,1} to NRZ symbols {-1,+1}."""
+    return 2.0 * np.asarray(bits, dtype=float) - 1.0
+
+
+def to_bits(symbols: np.ndarray) -> List[int]:
+    """Hard-decide NRZ soft symbols back to bits."""
+    return [1 if s > 0 else 0 for s in np.asarray(symbols)]

@@ -1,0 +1,30 @@
+"""Fixed-point arithmetic library.
+
+The paper (section 3) simulates finite-wordlength effects with a C++
+fixed-point library, simulating the *quantization* of values rather than
+their bit-vector representation.  This package is the Python equivalent:
+
+* :class:`FxFormat` — a wordlength specification (total bits, integer bits,
+  signedness, rounding and overflow behaviour).
+* :class:`Fx` — a fixed-point value; arithmetic grows precision exactly and
+  quantization only happens at explicit format boundaries, mirroring
+  hardware datapath behaviour.
+* :func:`quantize` — quantize any real number into a format.
+* :class:`RangeTracer` — record observed value ranges and overflow events to
+  drive wordlength optimization.
+"""
+
+from .fixed import Fx, FxFormat, Overflow, Rounding
+from .quantize import quantize, quantize_raw
+from .trace import RangeRecord, RangeTracer
+
+__all__ = [
+    "Fx",
+    "FxFormat",
+    "Overflow",
+    "Rounding",
+    "quantize",
+    "quantize_raw",
+    "RangeRecord",
+    "RangeTracer",
+]

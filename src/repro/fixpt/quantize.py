@@ -1,0 +1,45 @@
+"""Quantization of real values into fixed-point formats."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from .fixed import Fx, FxFormat, Rounding, _apply_overflow
+
+
+def quantize_raw(value: Union[int, float, Fraction, Fx], fmt: FxFormat) -> int:
+    """Quantize *value* and return the raw integer in *fmt*.
+
+    Rounding is applied first (per ``fmt.rounding``) to resolve bits below
+    the LSB, then overflow handling (per ``fmt.overflow``) folds the result
+    into the representable range.
+    """
+    if isinstance(value, Fx):
+        exact = value.as_fraction()
+    elif isinstance(value, float):
+        exact = Fraction(value)
+    elif isinstance(value, (int, Fraction)):
+        exact = Fraction(value)
+    else:
+        raise TypeError(f"cannot quantize {type(value).__name__}")
+
+    fb = fmt.frac_bits
+    scaled = exact * (1 << fb) if fb >= 0 else exact / (1 << -fb)
+
+    if scaled.denominator == 1:
+        raw = scaled.numerator
+    elif fmt.rounding is Rounding.ROUND:
+        # Round half up: floor(x + 1/2).
+        shifted = scaled + Fraction(1, 2)
+        raw = shifted.numerator // shifted.denominator
+    else:
+        # Truncate toward minus infinity (hardware bit-drop).
+        raw = scaled.numerator // scaled.denominator
+
+    return _apply_overflow(raw, fmt)
+
+
+def quantize(value: Union[int, float, Fraction, Fx], fmt: FxFormat) -> Fx:
+    """Quantize *value* into *fmt*, returning an :class:`Fx`."""
+    return Fx(raw=quantize_raw(value, fmt), fmt=fmt)

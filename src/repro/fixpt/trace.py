@@ -1,0 +1,128 @@
+"""Range tracing for wordlength optimization.
+
+The paper's flow starts from a floating-point (Matlab-level) algorithm and
+refines it to a bit-true description.  Choosing wordlengths needs observed
+dynamic ranges; :class:`RangeTracer` records, per named signal, the min/max
+values seen, quantization error statistics and overflow counts, and can then
+recommend the smallest :class:`FxFormat` covering the observations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from .fixed import Fx, FxFormat
+
+
+@dataclass
+class RangeRecord:
+    """Observed statistics for one signal."""
+
+    name: str
+    count: int = 0
+    min_value: float = math.inf
+    max_value: float = -math.inf
+    overflow_count: int = 0
+    abs_error_sum: float = 0.0
+    sq_error_sum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observed value."""
+        self.count += 1
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def observe_quantized(self, exact: float, quantized: float) -> None:
+        """Record one value together with its quantized counterpart."""
+        self.observe(exact)
+        err = exact - quantized
+        self.abs_error_sum += abs(err)
+        self.sq_error_sum += err * err
+
+    @property
+    def mean_abs_error(self) -> float:
+        """Mean absolute quantization error over all observations."""
+        return self.abs_error_sum / self.count if self.count else 0.0
+
+    @property
+    def rms_error(self) -> float:
+        """RMS quantization error over all observations."""
+        return math.sqrt(self.sq_error_sum / self.count) if self.count else 0.0
+
+    def required_integer_bits(self) -> int:
+        """Integer bits (excluding sign) needed to cover the observed range."""
+        if self.count == 0:
+            return 1
+        mag = max(abs(self.min_value), abs(self.max_value))
+        if mag < 1.0:
+            return 0
+        return int(math.floor(math.log2(mag))) + 1
+
+    def is_signed(self) -> bool:
+        """True when negative values were observed."""
+        return self.min_value < 0
+
+
+class RangeTracer:
+    """Accumulates :class:`RangeRecord` entries across a simulation run."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, RangeRecord] = {}
+
+    def record(self, name: str, value: Union[int, float, Fx]) -> None:
+        """Observe *value* for signal *name*."""
+        rec = self._records.get(name)
+        if rec is None:
+            rec = RangeRecord(name)
+            self._records[name] = rec
+        rec.observe(float(value))
+
+    def record_quantization(self, name: str, exact: float, fx: Fx) -> None:
+        """Observe *exact* together with its quantized value *fx*."""
+        rec = self._records.get(name)
+        if rec is None:
+            rec = RangeRecord(name)
+            self._records[name] = rec
+        quantized = float(fx)
+        rec.observe_quantized(exact, quantized)
+        if quantized != exact and not (fx.fmt.min_value <= exact <= fx.fmt.max_value):
+            rec.overflow_count += 1
+
+    def __getitem__(self, name: str) -> RangeRecord:
+        return self._records[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def records(self) -> Dict[str, RangeRecord]:
+        """All records, keyed by signal name."""
+        return dict(self._records)
+
+    def recommend_format(self, name: str, frac_bits: int = 8) -> FxFormat:
+        """Smallest format covering the observed range of *name*.
+
+        Parameters
+        ----------
+        frac_bits:
+            Fraction bits to allocate; integer bits come from the trace.
+        """
+        rec = self._records[name]
+        signed = rec.is_signed()
+        int_bits = rec.required_integer_bits() + (1 if signed else 0)
+        int_bits = max(int_bits, 1)
+        return FxFormat(wl=int_bits + frac_bits, iwl=int_bits, signed=signed)
+
+    def report(self) -> str:
+        """Human-readable table of all traced signals."""
+        lines = [f"{'signal':<24} {'count':>8} {'min':>12} {'max':>12} {'ovf':>6} {'rms err':>10}"]
+        for name in sorted(self._records):
+            rec = self._records[name]
+            lines.append(
+                f"{name:<24} {rec.count:>8} {rec.min_value:>12.4g} "
+                f"{rec.max_value:>12.4g} {rec.overflow_count:>6} {rec.rms_error:>10.3g}"
+            )
+        return "\n".join(lines)

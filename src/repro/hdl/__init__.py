@@ -1,0 +1,26 @@
+"""HDL code generation: VHDL, Verilog, and generated testbenches.
+
+Paper, section 5: the same control/data-flow data structure that drives
+simulation is *"processed by a code generator to yield ... a synthesizable
+HDL description"*, and section 6: system stimuli are translated into
+test-benches verifying each synthesized component.
+"""
+
+from .naming import NameScope, sanitize
+from .testbench import vector_file, verilog_testbench, vhdl_testbench
+from .verilog import VerilogGenerator, generate_verilog
+from .vhdl import VhdlGenerator, generate_vhdl, line_count, support_package
+
+__all__ = [
+    "NameScope",
+    "VerilogGenerator",
+    "VhdlGenerator",
+    "generate_verilog",
+    "generate_vhdl",
+    "line_count",
+    "sanitize",
+    "support_package",
+    "vector_file",
+    "verilog_testbench",
+    "vhdl_testbench",
+]

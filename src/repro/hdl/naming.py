@@ -1,0 +1,76 @@
+"""HDL identifier handling: sanitizing and uniquifying names."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+#: Reserved words of both VHDL and Verilog (union, lowercase).
+_RESERVED = {
+    # VHDL
+    "abs", "access", "after", "alias", "all", "and", "architecture", "array",
+    "assert", "attribute", "begin", "block", "body", "buffer", "bus", "case",
+    "component", "configuration", "constant", "disconnect", "downto", "else",
+    "elsif", "end", "entity", "exit", "file", "for", "function", "generate",
+    "generic", "group", "guarded", "if", "impure", "in", "inertial", "inout",
+    "is", "label", "library", "linkage", "literal", "loop", "map", "mod",
+    "nand", "new", "next", "nor", "not", "null", "of", "on", "open", "or",
+    "others", "out", "package", "port", "postponed", "procedure", "process",
+    "pure", "range", "record", "register", "reject", "rem", "report",
+    "return", "rol", "ror", "select", "severity", "shared", "signal", "sla",
+    "sll", "sra", "srl", "subtype", "then", "to", "transport", "type",
+    "unaffected", "units", "until", "use", "variable", "wait", "when",
+    "while", "with", "xnor", "xor",
+    # Verilog additions
+    "always", "assign", "automatic", "case", "casex", "casez", "default",
+    "defparam", "design", "edge", "endcase", "endfunction", "endmodule",
+    "endtask", "event", "force", "forever", "fork", "initial", "input",
+    "integer", "join", "localparam", "module", "negedge", "output",
+    "parameter", "posedge", "real", "reg", "repeat", "scalared", "table",
+    "task", "time", "tri", "vectored", "wire",
+}
+
+
+def sanitize(name: str) -> str:
+    """Turn an arbitrary model name into a legal HDL identifier."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    # No leading digit, no leading/trailing/double underscores (VHDL rules).
+    while "__" in text:
+        text = text.replace("__", "_")
+    text = text.strip("_")
+    if not text:
+        text = "sig"
+    if text[0].isdigit():
+        text = "s_" + text
+    if text.lower() in _RESERVED:
+        text = text + "_x"
+    return text
+
+
+class NameScope:
+    """Allocates unique sanitized names within one HDL scope."""
+
+    def __init__(self) -> None:
+        self._by_obj: Dict[int, str] = {}
+        self._used: Set[str] = set()
+
+    def name(self, obj, hint: str) -> str:
+        """A stable unique identifier for *obj*, derived from *hint*."""
+        existing = self._by_obj.get(id(obj))
+        if existing is not None:
+            return existing
+        base = sanitize(hint)
+        candidate = base
+        counter = 0
+        while candidate.lower() in self._used:
+            counter += 1
+            candidate = f"{base}_{counter}"
+        self._used.add(candidate.lower())
+        self._by_obj[id(obj)] = candidate
+        return candidate
+
+    def fresh(self, hint: str) -> str:
+        """A unique identifier not tied to any object."""
+        return self.name(object(), hint)

@@ -1,0 +1,647 @@
+"""VHDL code generation (paper sections 5 and 6, Figures 7 and 8).
+
+*"The writing of HDL is avoided through code generation from C++."*
+
+Each timed component is translated to a synthesizable VHDL entity in the
+classical two-process FSMD style: one combinational process holding the
+FSM case statement and the datapath expressions, one clocked process for
+the register update.  A structural top level instantiates the components
+and wires the channels (the paper's "system linkage", Fig. 8).  Untimed
+blocks (the high-level descriptions, e.g. RAM cells) become behavioural
+stub entities unless they supply their own architecture via a
+``vhdl_architecture`` attribute.
+
+All values are represented as ``signed`` vectors; unsigned model formats
+get one extra headroom bit so the signed representation is exact.  A small
+support package supplies quantization (rounding/saturation/wrap), bit
+slicing and multiplexing helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..fixpt import Fx, FxFormat, Overflow, Rounding, quantize_raw
+from ..core.errors import CodegenError
+from ..core.expr import (
+    BinOp,
+    BitSelect,
+    Cast,
+    Concat,
+    Constant,
+    Expr,
+    Mux,
+    SliceSelect,
+    UnOp,
+)
+from ..core.process import TimedProcess, UntimedProcess
+from ..core.signal import Register, Sig
+from ..core.system import System
+from .naming import NameScope, sanitize
+
+PACKAGE_NAME = "repro_pkg"
+
+
+def vector_width(fmt: FxFormat) -> int:
+    """Bits of the signed internal representation of *fmt*."""
+    return fmt.wl if fmt.signed else fmt.wl + 1
+
+
+def _sig_fmt(sig: Sig) -> FxFormat:
+    if sig.fmt is None:
+        raise CodegenError(
+            f"signal {sig.name!r} has no fixed-point format; HDL generation "
+            "needs bit-true wordlengths on every signal"
+        )
+    return sig.fmt
+
+
+def support_package() -> str:
+    """The static VHDL support package used by all generated entities."""
+    return f"""\
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+package {PACKAGE_NAME} is
+  function b2s(b : boolean) return signed;
+  function pick(c : boolean; t : signed; f : signed) return signed;
+  function bit_at(x : signed; i : natural; w : natural) return signed;
+  function slice_u(x : signed; hi : natural; lo : natural; w : natural)
+    return signed;
+  function quantize(x : signed; shift : integer; w : natural;
+                    rnd : boolean; sat : boolean) return signed;
+end package {PACKAGE_NAME};
+
+package body {PACKAGE_NAME} is
+
+  function b2s(b : boolean) return signed is
+  begin
+    if b then
+      return to_signed(1, 2);
+    else
+      return to_signed(0, 2);
+    end if;
+  end function;
+
+  function pick(c : boolean; t : signed; f : signed) return signed is
+  begin
+    if c then
+      return t;
+    else
+      return f;
+    end if;
+  end function;
+
+  function bit_at(x : signed; i : natural; w : natural) return signed is
+    variable r : signed(w - 1 downto 0) := (others => '0');
+  begin
+    if x(i) = '1' then
+      r(0) := '1';
+    end if;
+    return r;
+  end function;
+
+  function slice_u(x : signed; hi : natural; lo : natural; w : natural)
+    return signed is
+    variable r : signed(w - 1 downto 0) := (others => '0');
+  begin
+    r(hi - lo downto 0) := signed(x(hi downto lo));
+    r(w - 1) := '0';
+    return r;
+  end function;
+
+  function quantize(x : signed; shift : integer; w : natural;
+                    rnd : boolean; sat : boolean) return signed is
+    variable wide : signed(x'length downto 0);
+    variable shifted : signed(x'length downto 0);
+    variable lo : signed(w - 1 downto 0);
+    variable hi : signed(w - 1 downto 0);
+  begin
+    wide := resize(x, x'length + 1);
+    if shift > 0 then
+      if rnd then
+        wide := wide + shift_left(to_signed(1, x'length + 1), shift - 1);
+      end if;
+      shifted := shift_right(wide, shift);
+    elsif shift < 0 then
+      shifted := shift_left(wide, -shift);
+    else
+      shifted := wide;
+    end if;
+    if sat then
+      hi := (others => '1');
+      hi(w - 1) := '0';
+      lo := (others => '0');
+      lo(w - 1) := '1';
+      if shifted > resize(hi, x'length + 1) then
+        return hi;
+      elsif shifted < resize(lo, x'length + 1) then
+        return lo;
+      end if;
+    end if;
+    return resize(shifted, w);
+  end function;
+
+end package body {PACKAGE_NAME};
+"""
+
+
+class _VhdlExpr:
+    """Translates expression DAGs into VHDL ``signed`` expressions."""
+
+    def __init__(self, sig_name):
+        self.sig_name = sig_name  # Sig -> VHDL identifier
+
+    def gen(self, expr: Expr) -> Tuple[str, int, int]:
+        """Return ``(code, frac_bits, width)`` for *expr*."""
+        if isinstance(expr, Sig):
+            fmt = _sig_fmt(expr)
+            return self.sig_name(expr), fmt.frac_bits, vector_width(fmt)
+        if isinstance(expr, Constant):
+            fmt = expr.result_fmt()
+            if fmt is None:
+                raise CodegenError(f"constant {expr.value!r} has no format")
+            raw = expr.value.raw if isinstance(expr.value, Fx) \
+                else quantize_raw(expr.value, fmt)
+            width = vector_width(fmt)
+            return f"to_signed({raw}, {width})", fmt.frac_bits, width
+        if isinstance(expr, BinOp):
+            return self._binop(expr)
+        if isinstance(expr, UnOp):
+            return self._unop(expr)
+        if isinstance(expr, Mux):
+            return self._mux(expr)
+        if isinstance(expr, Cast):
+            code, frac, _w = self.gen(expr.operand)
+            return self._quantize(code, frac, expr.fmt)
+        if isinstance(expr, BitSelect):
+            code, _frac, _w = self.gen(expr.operand)
+            return f"bit_at({code}, {expr.index}, 2)", 0, 2
+        if isinstance(expr, SliceSelect):
+            code, _frac, _w = self.gen(expr.operand)
+            width = expr.width + 1
+            return (f"slice_u({code}, {expr.hi}, {expr.lo}, {width})",
+                    0, width)
+        if isinstance(expr, Concat):
+            return self._concat(expr)
+        raise CodegenError(f"cannot translate {expr!r} to VHDL")
+
+    def _resize_align(self, code: str, frac: int, width: int,
+                      to_frac: int, to_width: int) -> str:
+        out = code
+        if to_width != width:
+            out = f"resize({out}, {to_width})"
+        if to_frac > frac:
+            out = f"shift_left({out}, {to_frac - frac})"
+        elif to_frac < frac:
+            out = f"shift_right({out}, {frac - to_frac})"
+        return out
+
+    def _binop(self, expr: BinOp):
+        op = expr.op
+        lcode, lfrac, lwidth = self.gen(expr.left)
+        if op in ("<<", ">>"):
+            bits = int(expr.right.evaluate())
+            if op == "<<":
+                width = lwidth + bits
+                code = f"shift_left(resize({lcode}, {width}), {bits})"
+                return code, lfrac, width
+            # '>>' grows the fraction: the raw bits are unchanged.
+            return lcode, lfrac + bits, lwidth
+        rcode, rfrac, rwidth = self.gen(expr.right)
+        if op in ("+", "-"):
+            frac = max(lfrac, rfrac)
+            width = max(lwidth + (frac - lfrac), rwidth + (frac - rfrac)) + 1
+            la = self._resize_align(lcode, lfrac, lwidth, frac, width)
+            ra = self._resize_align(rcode, rfrac, rwidth, frac, width)
+            return f"({la} {'+' if op == '+' else '-'} {ra})", frac, width
+        if op == "*":
+            width = lwidth + rwidth
+            return f"({lcode} * {rcode})", lfrac + rfrac, width
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            frac = max(lfrac, rfrac)
+            width = max(lwidth + (frac - lfrac), rwidth + (frac - rfrac)) + 1
+            la = self._resize_align(lcode, lfrac, lwidth, frac, width)
+            ra = self._resize_align(rcode, rfrac, rwidth, frac, width)
+            vhdl_op = {"==": "=", "!=": "/=", "<": "<", "<=": "<=",
+                       ">": ">", ">=": ">="}[op]
+            return f"b2s({la} {vhdl_op} {ra})", 0, 2
+        # Bitwise.
+        if lfrac != 0 or rfrac != 0:
+            raise CodegenError("bitwise operators need integer formats")
+        width = max(lwidth, rwidth)
+        la = self._resize_align(lcode, 0, lwidth, 0, width)
+        ra = self._resize_align(rcode, 0, rwidth, 0, width)
+        vhdl_op = {"&": "and", "|": "or", "^": "xor"}[op]
+        return f"({la} {vhdl_op} {ra})", 0, width
+
+    def _unop(self, expr: UnOp):
+        code, frac, width = self.gen(expr.operand)
+        if expr.op == "-":
+            return f"(- resize({code}, {width + 1}))", frac, width + 1
+        if expr.op == "abs":
+            return f"(abs resize({code}, {width + 1}))", frac, width + 1
+        if frac != 0:
+            raise CodegenError("bitwise invert needs an integer format")
+        return f"(not {code})", 0, width
+
+    def _mux(self, expr: Mux):
+        scode, _sfrac, _sw = self.gen(expr.sel)
+        tcode, tfrac, twidth = self.gen(expr.if_true)
+        fcode, ffrac, fwidth = self.gen(expr.if_false)
+        frac = max(tfrac, ffrac)
+        width = max(twidth + (frac - tfrac), fwidth + (frac - ffrac))
+        ta = self._resize_align(tcode, tfrac, twidth, frac, width)
+        fa = self._resize_align(fcode, ffrac, fwidth, frac, width)
+        return f"pick({scode} /= 0, {ta}, {fa})", frac, width
+
+    def _concat(self, expr: Concat):
+        parts = []
+        total = 0
+        for child in expr.children:
+            fmt = child.require_fmt()
+            code, frac, width = self.gen(child)
+            if frac != 0:
+                code = self._resize_align(code, frac, width, 0, width)
+            parts.append(
+                f"std_logic_vector(resize({code}, {fmt.wl}))"
+            )
+            total += fmt.wl
+        joined = " & ".join(parts)
+        width = total + 1
+        return f"resize(signed('0' & ({joined})), {width})", 0, width
+
+    def _quantize(self, code: str, frac: int, fmt: FxFormat):
+        width = vector_width(fmt)
+        shift = frac - fmt.frac_bits
+        rnd = "true" if fmt.rounding is Rounding.ROUND else "false"
+        sat = "true" if fmt.overflow is Overflow.SATURATE else "false"
+        out = f"quantize({code}, {shift}, {width}, {rnd}, {sat})"
+        return out, fmt.frac_bits, width
+
+
+class VhdlGenerator:
+    """Generates VHDL for a whole system: package, entities, top level."""
+
+    def __init__(self, system: System):
+        self.system = system
+
+    def generate(self) -> Dict[str, str]:
+        """Return a mapping of file name to VHDL source."""
+        files: Dict[str, str] = {f"{PACKAGE_NAME}.vhd": support_package()}
+        for process in self.system.timed_processes():
+            name = sanitize(process.name)
+            files[f"{name}.vhd"] = self.component(process)
+        for process in self.system.untimed_processes():
+            name = sanitize(process.name)
+            files[f"{name}.vhd"] = self.untimed_stub(process)
+        files[f"{sanitize(self.system.name)}_top.vhd"] = self.top_level()
+        return files
+
+    # -- per-component entity -----------------------------------------------------
+
+    def component(self, process: TimedProcess) -> str:
+        """Generate one entity: two-process (comb + seq) FSMD VHDL."""
+        scope = NameScope()
+        name = sanitize(process.name)
+        lines: List[str] = []
+        emit = lines.append
+
+        # Collect structure.
+        all_sfgs = process.all_sfgs()
+        registers: List[Register] = []
+        seen: Set[int] = set()
+        for sfg in all_sfgs:
+            for reg in sfg.registers():
+                if id(reg) not in seen:
+                    seen.add(id(reg))
+                    registers.append(reg)
+        port_sigs = {port.sig for port in process.ports.values()}
+        # Every non-register target gets a process variable; output-port
+        # targets additionally drive their port from that variable, so that
+        # other assignments can read the value.
+        internal: List[Sig] = []
+        for sfg in all_sfgs:
+            for assignment in sfg.assignments:
+                target = assignment.target
+                if not target.is_register() and target not in internal:
+                    internal.append(target)
+
+        sig_names: Dict[int, str] = {}
+        # Reserve entity port names first, and map input-port signals to
+        # their port so reads inside SFGs reference the entity port.
+        scope.name(object(), "clk")
+        scope.name(object(), "rst")
+        for port in process.ports.values():
+            port_id = scope.name(port, port.name)
+            if port.direction == "in":
+                sig_names[id(port.sig)] = port_id
+
+        def sig_name(sig: Sig) -> str:
+            got = sig_names.get(id(sig))
+            if got is None:
+                got = scope.name(sig, sig.name)
+                sig_names[id(sig)] = got
+            return got
+
+        translator = _VhdlExpr(sig_name)
+
+        emit("library ieee;")
+        emit("use ieee.std_logic_1164.all;")
+        emit("use ieee.numeric_std.all;")
+        emit(f"use work.{PACKAGE_NAME}.all;")
+        emit("")
+        emit(f"entity {name} is")
+        emit("  port (")
+        port_lines = ["    clk : in std_logic;", "    rst : in std_logic;"]
+        for port in process.ports.values():
+            fmt = _sig_fmt(port.sig)
+            width = vector_width(fmt)
+            direction = "in" if port.direction == "in" else "out"
+            port_lines.append(
+                f"    {scope.name(port, port.name)} : {direction} "
+                f"signed({width - 1} downto 0);"
+            )
+        port_lines[-1] = port_lines[-1].rstrip(";")
+        lines.extend(port_lines)
+        emit("  );")
+        emit(f"end entity {name};")
+        emit("")
+        emit(f"architecture rtl of {name} is")
+
+        fsm = process.fsm
+        if fsm is not None:
+            states = ", ".join(f"st_{sanitize(s.name)}" for s in fsm.states)
+            emit(f"  type state_t is ({states});")
+            emit(f"  signal state, state_next : state_t := "
+                 f"st_{sanitize(fsm.initial_state.name)};")
+        for reg in registers:
+            fmt = _sig_fmt(reg)
+            width = vector_width(fmt)
+            reg_id = sig_name(reg)
+            init = reg.init.raw if isinstance(reg.init, Fx) else int(reg.init)
+            emit(f"  signal {reg_id}, {reg_id}_next : "
+                 f"signed({width - 1} downto 0) := to_signed({init}, {width});")
+        emit("begin")
+        emit("")
+        emit("  -- combinational process: FSM transitions + datapath SFGs")
+        emit("  comb : process (all)")
+        for sig in internal:
+            fmt = _sig_fmt(sig)
+            width = vector_width(fmt)
+            emit(f"    variable {sig_name(sig)} : signed({width - 1} downto 0);")
+        emit("  begin")
+        if fsm is not None:
+            emit("    state_next <= state;")
+        for reg in registers:
+            reg_id = sig_name(reg)
+            emit(f"    {reg_id}_next <= {reg_id};")
+        for port in process.out_ports():
+            if not port.sig.is_register():
+                fmt = _sig_fmt(port.sig)
+                width = vector_width(fmt)
+                emit(f"    {scope.name(port, port.name)} <= to_signed(0, {width});")
+        emit("")
+
+        def emit_sfg(sfg, indent: str) -> None:
+            for assignment in sfg.ordered_assignments():
+                target = assignment.target
+                code, frac, _width = translator.gen(assignment.expr)
+                fmt = _sig_fmt(target)
+                qcode, _f, _w = translator._quantize(code, frac, fmt)
+                if target.is_register():
+                    emit(f"{indent}{sig_name(target)}_next <= {qcode};")
+                else:
+                    emit(f"{indent}{sig_name(target)} := {qcode};")
+                    if target in port_sigs:
+                        out_port = next(p for p in process.out_ports()
+                                        if p.sig is target)
+                        emit(f"{indent}{scope.name(out_port, out_port.name)} <= "
+                             f"{sig_name(target)};")
+
+        for sfg in process.static_sfgs:
+            emit(f"    -- static SFG {sfg.name}")
+            emit_sfg(sfg, "    ")
+        if fsm is not None:
+            emit("    case state is")
+            for state in fsm.states:
+                emit(f"      when st_{sanitize(state.name)} =>")
+                transitions = [
+                    t for t in state.transitions
+                    if not (t.condition.expr is None and t.condition.negated)
+                ]
+
+                def emit_body(transition, indent):
+                    emit(f"{indent}state_next <= "
+                         f"st_{sanitize(transition.target.name)};")
+                    for sfg in transition.sfgs:
+                        emit(f"{indent}-- SFG {sfg.name}")
+                        emit_sfg(sfg, indent)
+
+                opened = False
+                for index, transition in enumerate(transitions):
+                    condition = transition.condition
+                    if condition.is_always():
+                        if index == 0:
+                            emit_body(transition, "        ")
+                        else:
+                            emit("        else")
+                            emit_body(transition, "          ")
+                        break
+                    code, _frac, _w = translator.gen(condition.expr)
+                    test = f"{code} /= 0"
+                    if condition.negated:
+                        test = f"not ({test})"
+                    emit(f"        {'if' if index == 0 else 'elsif'} "
+                         f"{test} then")
+                    opened = True
+                    emit_body(transition, "          ")
+                if opened:
+                    emit("        end if;")
+            emit("    end case;")
+        emit("  end process comb;")
+        emit("")
+        emit("  -- register update process")
+        emit("  seq : process (clk, rst)")
+        emit("  begin")
+        emit("    if rst = '1' then")
+        if fsm is not None:
+            emit(f"      state <= st_{sanitize(fsm.initial_state.name)};")
+        for reg in registers:
+            fmt = _sig_fmt(reg)
+            width = vector_width(fmt)
+            init = reg.init.raw if isinstance(reg.init, Fx) else int(reg.init)
+            emit(f"      {sig_name(reg)} <= to_signed({init}, {width});")
+        emit("    elsif rising_edge(clk) then")
+        if fsm is not None:
+            emit("      state <= state_next;")
+        for reg in registers:
+            reg_id = sig_name(reg)
+            emit(f"      {reg_id} <= {reg_id}_next;")
+        emit("    end if;")
+        emit("  end process seq;")
+        emit("")
+        # Register-bound output ports are driven continuously.
+        for port in process.out_ports():
+            if port.sig.is_register():
+                emit(f"  {scope.name(port, port.name)} <= {sig_name(port.sig)};")
+        emit("")
+        emit(f"end architecture rtl;")
+        return "\n".join(lines) + "\n"
+
+    # -- untimed stubs ---------------------------------------------------------------
+
+    def untimed_stub(self, process: UntimedProcess) -> str:
+        """Entity shell for a high-level (untimed) block, e.g. a RAM."""
+        name = sanitize(process.name)
+        custom = getattr(process, "vhdl_architecture", None)
+        lines = [
+            "library ieee;",
+            "use ieee.std_logic_1164.all;",
+            "use ieee.numeric_std.all;",
+            f"use work.{PACKAGE_NAME}.all;",
+            "",
+            f"-- High-level (untimed) component {process.name!r}.",
+            "-- The programming environment simulates this block behaviourally;",
+            "-- supply an implementation before synthesis.",
+            f"entity {name} is",
+            "  port (",
+            "    clk : in std_logic;",
+            "    rst : in std_logic;",
+        ]
+        ports = []
+        for port in process.ports.values():
+            chan = port.channel
+            width = 32
+            if chan is not None:
+                peer = chan.producer if port.direction == "in" else None
+                if peer is not None and peer.sig is not None and peer.sig.fmt:
+                    width = vector_width(peer.sig.fmt)
+                elif port.direction == "out":
+                    for consumer in chan.consumers:
+                        if consumer.sig is not None and consumer.sig.fmt:
+                            width = vector_width(consumer.sig.fmt)
+                            break
+            direction = "in" if port.direction == "in" else "out"
+            ports.append(
+                f"    {sanitize(port.name)} : {direction} "
+                f"signed({width - 1} downto 0);"
+            )
+        if ports:
+            ports[-1] = ports[-1].rstrip(";")
+        lines.extend(ports)
+        lines.append("  );")
+        lines.append(f"end entity {name};")
+        lines.append("")
+        if custom is not None:
+            lines.append(custom() if callable(custom) else str(custom))
+        else:
+            lines.extend([
+                f"architecture behavioural of {name} is",
+                "begin",
+                "  -- behaviour intentionally left to the implementer",
+                f"end architecture behavioural;",
+            ])
+        return "\n".join(lines) + "\n"
+
+    # -- structural top ---------------------------------------------------------------
+
+    def top_level(self) -> str:
+        """The structural system linkage: instances + channel nets."""
+        system = self.system
+        name = f"{sanitize(system.name)}_top"
+        lines: List[str] = [
+            "library ieee;",
+            "use ieee.std_logic_1164.all;",
+            "use ieee.numeric_std.all;",
+            f"use work.{PACKAGE_NAME}.all;",
+            "",
+            f"entity {name} is",
+            "  port (",
+            "    clk : in std_logic;",
+            "    rst : in std_logic;",
+        ]
+        # Primary inputs (producer-less channels) and unread outputs.
+        externals: List[str] = []
+        chan_width: Dict[str, int] = {}
+        for chan in system.channels:
+            width = 32
+            if chan.producer is not None and chan.producer.sig is not None \
+                    and chan.producer.sig.fmt is not None:
+                width = vector_width(chan.producer.sig.fmt)
+            else:
+                for consumer in chan.consumers:
+                    if consumer.sig is not None and consumer.sig.fmt is not None:
+                        width = vector_width(consumer.sig.fmt)
+                        break
+            chan_width[chan.name] = width
+            if chan.producer is None:
+                externals.append(
+                    f"    {sanitize(chan.name)} : in "
+                    f"signed({width - 1} downto 0);"
+                )
+            elif not chan.consumers:
+                externals.append(
+                    f"    {sanitize(chan.name)} : out "
+                    f"signed({width - 1} downto 0);"
+                )
+        if externals:
+            externals[-1] = externals[-1].rstrip(";")
+        else:
+            lines[-1] = lines[-1].rstrip(";")
+        lines.extend(externals)
+        lines.append("  );")
+        lines.append(f"end entity {name};")
+        lines.append("")
+        lines.append(f"architecture structural of {name} is")
+        for chan in system.channels:
+            if chan.producer is not None and chan.consumers:
+                width = chan_width[chan.name]
+                lines.append(
+                    f"  signal net_{sanitize(chan.name)} : "
+                    f"signed({width - 1} downto 0);"
+                )
+        lines.append("begin")
+        for process in system.processes:
+            inst = sanitize(process.name)
+            lines.append(f"  u_{inst} : entity work.{inst}")
+            lines.append("    port map (")
+            maps = ["      clk => clk,", "      rst => rst,"]
+            for port in process.ports.values():
+                chan = port.channel
+                if chan is None:
+                    maps.append(f"      {sanitize(port.name)} => open,")
+                    continue
+                if chan.producer is None:
+                    maps.append(
+                        f"      {sanitize(port.name)} => {sanitize(chan.name)},"
+                    )
+                elif not chan.consumers:
+                    maps.append(
+                        f"      {sanitize(port.name)} => {sanitize(chan.name)},"
+                    )
+                else:
+                    maps.append(
+                        f"      {sanitize(port.name)} => net_{sanitize(chan.name)},"
+                    )
+            maps[-1] = maps[-1].rstrip(",")
+            lines.extend(maps)
+            lines.append("    );")
+        lines.append(f"end architecture structural;")
+        return "\n".join(lines) + "\n"
+
+
+def generate_vhdl(system: System) -> Dict[str, str]:
+    """Convenience wrapper: generate all VHDL files for *system*."""
+    return VhdlGenerator(system).generate()
+
+
+def line_count(files: Dict[str, str]) -> int:
+    """Total non-blank source lines across generated files (Table 1)."""
+    return sum(
+        1
+        for content in files.values()
+        for line in content.splitlines()
+        if line.strip()
+    )

@@ -1,0 +1,772 @@
+"""Compiled-code simulation (paper section 5, Figure 7).
+
+*"A C++ description can be regenerated to yield an application-specific and
+optimized compiled code simulator.  This simulator is used for extensive
+verification of the design because of the efficient simulation runtimes."*
+
+:class:`CompiledSimulator` walks the system's SFG/FSM data structure once
+and emits a specialized Python ``step()`` function:
+
+* fixed-point signals become raw integers; operator alignment, rounding and
+  saturation are inlined as shifts, adds and comparisons;
+* the FSM transition selection of every component is emitted first (the
+  conditions depend only on registers, so this is the scheduler's phase 0);
+* all assignments of all components are emitted in one global topological
+  order, guarded by their component's selected-transition index;
+* register updates commit at the end of the generated function.
+
+The generated source is compiled with :func:`compile` and executed — the
+Python equivalent of regenerating C++ and running it through the compiler.
+
+Semantics note: under the cycle scheduler a channel whose producer is
+inactive carries *no token*; the compiled simulator models the same net as
+a wire that holds its last value (what the synthesized hardware does).
+Designs that never read a stale token behave identically under both.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..fixpt import Fx, FxFormat, Overflow, Rounding, quantize_raw
+from ..core.errors import CodegenError
+from ..core.expr import (
+    BinOp,
+    BitSelect,
+    Cast,
+    Concat,
+    Constant,
+    Expr,
+    Mux,
+    SliceSelect,
+    UnOp,
+)
+from ..core.process import TimedProcess, UntimedProcess
+from ..core.sfg import SFG, Assignment
+from ..core.signal import Register, Sig
+from ..core.system import Channel, System
+
+
+class _Namer:
+    """Allocates stable, unique Python identifiers for model objects."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self._names: Dict[int, str] = {}
+        self._used: Set[str] = set()
+        self._counter = itertools.count()
+
+    def __call__(self, obj, hint: str = "") -> str:
+        name = self._names.get(id(obj))
+        if name is None:
+            base = f"{self.prefix}_{_sanitize(hint)}" if hint else self.prefix
+            name = base
+            while name in self._used:
+                name = f"{base}_{next(self._counter)}"
+            self._used.add(name)
+            self._names[id(obj)] = name
+        return name
+
+
+def _sanitize(text: str) -> str:
+    out = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in text)
+    return out or "x"
+
+
+class _ExprGen:
+    """Generates Python source for one expression tree.
+
+    Formatted (fixed-point) subtrees produce ``(code, frac_bits, fmt)``
+    integer expressions; unformatted subtrees produce float expressions
+    marked by ``frac_bits is None``.
+    """
+
+    def __init__(self, sig_ref: Callable[[Sig], Tuple[str, Optional[FxFormat]]]):
+        self.sig_ref = sig_ref
+
+    def gen(self, expr: Expr) -> Tuple[str, Optional[int], Optional[FxFormat]]:
+        if isinstance(expr, Sig):
+            code, fmt = self.sig_ref(expr)
+            if fmt is None:
+                return code, None, None
+            return code, fmt.frac_bits, fmt
+        if isinstance(expr, Constant):
+            return self._constant(expr)
+        if isinstance(expr, BinOp):
+            return self._binop(expr)
+        if isinstance(expr, UnOp):
+            return self._unop(expr)
+        if isinstance(expr, Mux):
+            return self._mux(expr)
+        if isinstance(expr, Cast):
+            return self._cast(expr)
+        if isinstance(expr, BitSelect):
+            code, frac, _fmt = self.gen(expr.operand)
+            raw = self._as_int(code, frac)
+            return f"((({raw}) >> {expr.index}) & 1)", 0, expr.result_fmt()
+        if isinstance(expr, SliceSelect):
+            code, frac, _fmt = self.gen(expr.operand)
+            raw = self._as_int(code, frac)
+            mask = (1 << expr.width) - 1
+            return f"((({raw}) >> {expr.lo}) & {mask})", 0, expr.result_fmt()
+        if isinstance(expr, Concat):
+            return self._concat(expr)
+        raise CodegenError(f"cannot generate code for {expr!r}")
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _as_int(self, code: str, frac: Optional[int]) -> str:
+        """View *code* as a raw integer (frac 0)."""
+        if frac is None:
+            return f"int({code})"
+        if frac > 0:
+            return f"(({code}) >> {frac})"
+        if frac < 0:
+            return f"(({code}) << {-frac})"
+        return code
+
+    def _align(self, code: str, frac_from: int, frac_to: int) -> str:
+        if frac_to == frac_from:
+            return code
+        if frac_to > frac_from:
+            return f"(({code}) << {frac_to - frac_from})"
+        return f"(({code}) >> {frac_from - frac_to})"
+
+    def _to_float(self, code: str, frac: Optional[int]) -> str:
+        if frac is None:
+            return code
+        if frac == 0:
+            return code
+        return f"(({code}) * {2.0 ** -frac!r})"
+
+    def _constant(self, expr: Constant):
+        value = expr.value
+        fmt = expr.result_fmt()
+        if fmt is None:
+            return repr(float(value)), None, None
+        raw = value.raw if isinstance(value, Fx) else quantize_raw(value, fmt)
+        return repr(raw), fmt.frac_bits, fmt
+
+    def _binop(self, expr: BinOp):
+        op = expr.op
+        lcode, lfrac, lfmt = self.gen(expr.left)
+        if op in ("<<", ">>"):
+            bits = int(expr.right.evaluate())
+            if lfrac is None:
+                factor = 2.0 ** (bits if op == "<<" else -bits)
+                return f"(({lcode}) * {factor!r})", None, None
+            # Fx shifts move the format, not the raw value, except that the
+            # raw is preserved; align to the result format's frac.
+            rfmt = expr.result_fmt()
+            if op == "<<":
+                # result frac == lfrac, value doubled 'bits' times.
+                return f"(({lcode}) << {bits})", lfrac, rfmt
+            # '>>': result frac == lfrac + bits, raw unchanged => value halved.
+            return lcode, lfrac + bits, rfmt
+        rcode, rfrac, rfmt2 = self.gen(expr.right)
+        if lfrac is None or rfrac is None:
+            lf = self._to_float(lcode, lfrac)
+            rf = self._to_float(rcode, rfrac)
+            if op in ("==", "!=", "<", "<=", ">", ">="):
+                return f"(1 if ({lf}) {op} ({rf}) else 0)", 0, expr.result_fmt()
+            if op in ("&", "|", "^"):
+                raise CodegenError("bitwise operators need fixed-point formats")
+            return f"(({lf}) {op} ({rf}))", None, None
+        if op in ("+", "-"):
+            frac = max(lfrac, rfrac)
+            la = self._align(lcode, lfrac, frac)
+            ra = self._align(rcode, rfrac, frac)
+            return f"(({la}) {op} ({ra}))", frac, expr.result_fmt()
+        if op == "*":
+            return f"(({lcode}) * ({rcode}))", lfrac + rfrac, expr.result_fmt()
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            frac = max(lfrac, rfrac)
+            la = self._align(lcode, lfrac, frac)
+            ra = self._align(rcode, rfrac, frac)
+            return f"(1 if ({la}) {op} ({ra}) else 0)", 0, expr.result_fmt()
+        # Bitwise on integer formats, masked to the union width.
+        fmt = expr.require_fmt()
+        mask = (1 << fmt.wl) - 1
+        la = self._align(lcode, lfrac, 0)
+        ra = self._align(rcode, rfrac, 0)
+        body = f"((({la}) & {mask}) {op} (({ra}) & {mask}))"
+        return self._fold_sign(body, fmt), 0, fmt
+
+    def _fold_sign(self, code: str, fmt: FxFormat) -> str:
+        if not fmt.signed:
+            return code
+        half = 1 << (fmt.wl - 1)
+        span = 1 << fmt.wl
+        return f"((({code}) - {span}) if ({code}) >= {half} else ({code}))"
+
+    def _unop(self, expr: UnOp):
+        code, frac, fmt = self.gen(expr.operand)
+        if expr.op == "-":
+            if frac is None:
+                return f"(-({code}))", None, None
+            return f"(-({code}))", frac, expr.result_fmt()
+        if expr.op == "abs":
+            return f"(abs({code}))", frac, expr.result_fmt()
+        # '~' on an integer format.
+        if frac is None or (fmt is not None and not fmt.is_integer()):
+            raise CodegenError("bitwise invert needs an integer fixed-point format")
+        mask = (1 << fmt.wl) - 1
+        body = f"((~({code})) & {mask})"
+        return self._fold_sign(body, fmt), frac, fmt
+
+    def _mux(self, expr: Mux):
+        scode, sfrac, _sfmt = self.gen(expr.sel)
+        sel = f"({scode})" if sfrac is not None else f"(int({scode}))"
+        tcode, tfrac, _tfmt = self.gen(expr.if_true)
+        fcode, ffrac, _ffmt = self.gen(expr.if_false)
+        if tfrac is None or ffrac is None:
+            tf = self._to_float(tcode, tfrac)
+            ff = self._to_float(fcode, ffrac)
+            return f"(({tf}) if {sel} else ({ff}))", None, None
+        frac = max(tfrac, ffrac)
+        ta = self._align(tcode, tfrac, frac)
+        fa = self._align(fcode, ffrac, frac)
+        return f"(({ta}) if {sel} else ({fa}))", frac, expr.result_fmt()
+
+    def _cast(self, expr: Cast):
+        code, frac, _fmt = self.gen(expr.operand)
+        out = gen_quantize(code, frac, expr.fmt)
+        return out, expr.fmt.frac_bits, expr.fmt
+
+    def _concat(self, expr: Concat):
+        parts = []
+        total = 0
+        fmts = [child.require_fmt() for child in expr.children]
+        for child, fmt in zip(expr.children, fmts):
+            code, frac, _f = self.gen(child)
+            raw = self._align(code, frac if frac is not None else 0, 0)
+            parts.append((raw, fmt.wl))
+        shift = 0
+        pieces = []
+        for raw, width in reversed(parts):
+            mask = (1 << width) - 1
+            piece = f"((({raw}) & {mask}) << {shift})" if shift else f"(({raw}) & {mask})"
+            pieces.append(piece)
+            shift += width
+        body = " | ".join(pieces)
+        return f"({body})", 0, expr.result_fmt()
+
+
+def gen_quantize(code: str, frac: Optional[int], fmt: FxFormat) -> str:
+    """Inline quantization of *code* (raw at *frac*, or float) into *fmt*."""
+    if frac is None:
+        # Float source: use the exact library routine (slow path, rare).
+        return f"_quantize_raw({code}, {_fmt_ref(fmt)})"
+    shift = frac - fmt.frac_bits
+    if shift < 0:
+        body = f"(({code}) << {-shift})"
+    elif shift == 0:
+        body = f"({code})"
+    elif fmt.rounding is Rounding.ROUND:
+        body = f"((({code}) + {1 << (shift - 1)}) >> {shift})"
+    else:
+        body = f"(({code}) >> {shift})"
+    lo, hi = fmt.raw_min, fmt.raw_max
+    if fmt.overflow is Overflow.SATURATE:
+        return f"min(max({body}, {lo}), {hi})"
+    if fmt.overflow is Overflow.WRAP:
+        mask = (1 << fmt.wl) - 1
+        masked = f"(({body}) & {mask})"
+        if fmt.signed:
+            half = 1 << (fmt.wl - 1)
+            span = 1 << fmt.wl
+            return f"((({masked}) - {span}) if ({masked}) >= {half} else ({masked}))"
+        return masked
+    return f"_check_overflow({body}, {lo}, {hi})"
+
+
+_FMT_POOL: Dict[str, FxFormat] = {}
+
+
+def _fmt_ref(fmt: FxFormat) -> str:
+    key = f"_FMT_{fmt.wl}_{fmt.iwl}_{int(fmt.signed)}_{fmt.rounding.name}_{fmt.overflow.name}"
+    _FMT_POOL[key] = fmt
+    return key
+
+
+def _check_overflow(value: int, lo: int, hi: int) -> int:
+    if lo <= value <= hi:
+        return value
+    from ..fixpt.fixed import FxOverflowError
+
+    raise FxOverflowError(f"compiled simulation overflow: {value} not in [{lo}, {hi}]")
+
+
+class CompiledSimulator:
+    """Generate, compile and run an application-specific simulator."""
+
+    def __init__(self, system: System, watch: Sequence[Channel] = ()):
+        self.system = system
+        self.watch = list(watch)
+        self.cycle = 0
+        self.outputs: Dict[str, object] = {}
+        self._env: Dict[str, object] = {}
+        self.source = self._generate()
+        code = compile(self.source, f"<compiled:{system.name}>", "exec")
+        exec(code, self._env)
+        self._step, self._dump = self._env["_make_step"]()
+
+    # -- public API ----------------------------------------------------------------
+
+    def step(self, pins: Optional[Dict[str, object]] = None) -> None:
+        """Simulate one clock cycle; *pins* drives primary-input channels."""
+        self._step(self._convert_pins(pins), self.outputs)
+        self.cycle += 1
+
+    def run(self, cycles: int,
+            pins_fn: Optional[Callable[[int], Dict[str, object]]] = None) -> None:
+        """Simulate *cycles* cycles, driving pins from ``pins_fn(cycle)``."""
+        step = self._step
+        outputs = self.outputs
+        if pins_fn is None:
+            empty: Dict[str, object] = {}
+            for _ in range(cycles):
+                step(empty, outputs)
+            self.cycle += cycles
+            return
+        for _ in range(cycles):
+            step(self._convert_pins(pins_fn(self.cycle)), outputs)
+            self.cycle += 1
+
+    def output(self, chan: Channel):
+        """The latest value on a watched channel, in Fx/float domain."""
+        return self.outputs[chan.name]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Current register values (and FSM states) by name, in Fx domain."""
+        return self._dump()
+
+    def _convert_pins(self, pins: Optional[Dict[str, object]]) -> Dict[str, int]:
+        if not pins:
+            return {}
+        converted = {}
+        for name, value in pins.items():
+            fmt = self._pin_fmts.get(name)
+            if fmt is None:
+                converted[name] = value
+            else:
+                converted[name] = quantize_raw(value, fmt)
+        return converted
+
+    # -- code generation -----------------------------------------------------------
+
+    def _generate(self) -> str:
+        system = self.system
+        timed = system.timed_processes()
+        untimed = system.untimed_processes()
+        sig_name = _Namer("s")
+        reg_name = _Namer("r")
+        self._pin_fmts: Dict[str, FxFormat] = {}
+
+        # Map every timed input-port signal to its channel's producing sig.
+        alias: Dict[Sig, Sig] = {}
+        pin_channels: List[Channel] = []
+        untimed_out_var: Dict[Tuple[UntimedProcess, str], str] = {}
+        for chan in system.channels:
+            driver_sig = None
+            if chan.producer is not None and chan.producer.sig is not None:
+                driver_sig = chan.producer.sig
+            for consumer in chan.consumers:
+                if consumer.sig is not None and driver_sig is not None:
+                    alias[consumer.sig] = driver_sig
+            if chan.producer is None:
+                pin_channels.append(chan)
+
+        def resolve(sig: Sig) -> Sig:
+            while sig in alias:
+                sig = alias[sig]
+            return sig
+
+        def sig_ref(sig: Sig) -> Tuple[str, Optional[FxFormat]]:
+            sig = resolve(sig)
+            if isinstance(sig, Register):
+                return reg_name(sig, sig.name), sig.fmt
+            return sig_name(sig, sig.name), sig.fmt
+
+        expr_gen = _ExprGen(sig_ref)
+
+        # Collect all registers and FSMs.
+        registers: List[Register] = []
+        seen_regs: Set[int] = set()
+        for process in timed:
+            for sfg in process.all_sfgs():
+                for reg in sfg.registers():
+                    if id(reg) not in seen_regs:
+                        seen_regs.add(id(reg))
+                        registers.append(reg)
+
+        # Channels driven by untimed outputs feed consumers through a variable;
+        # the untimed behaviour returns interpreter-domain values, so reads of
+        # these variables are float/Fx-typed (fmt None in the override means
+        # "already a Python value", handled by the quantize slow path).
+        for chan in system.channels:
+            producer = chan.producer
+            if producer is not None and isinstance(producer.process, UntimedProcess):
+                var = f"u_{_sanitize(producer.process.name)}_{_sanitize(producer.name)}"
+                untimed_out_var[(producer.process, producer.name)] = var
+
+        overrides: Dict[Sig, Tuple[str, Optional[FxFormat]]] = {}
+        for chan in system.channels:
+            producer = chan.producer
+            if producer is not None and isinstance(producer.process, UntimedProcess):
+                var = untimed_out_var[(producer.process, producer.name)]
+                for consumer in chan.consumers:
+                    if consumer.sig is not None:
+                        # The variable holds an interpreter-domain value
+                        # (whatever the untimed behaviour returned: Fx, int
+                        # or float), so reads go through the exact slow
+                        # quantization path rather than raw-integer codegen.
+                        overrides[consumer.sig] = (var, None)
+            if producer is None:
+                for consumer in chan.consumers:
+                    if consumer.sig is not None:
+                        var = f"pin_{_sanitize(chan.name)}"
+                        overrides[consumer.sig] = (var, consumer.sig.fmt)
+                        if consumer.sig.fmt is not None:
+                            self._pin_fmts[chan.name] = consumer.sig.fmt
+
+        def sig_ref_full(sig: Sig) -> Tuple[str, Optional[FxFormat]]:
+            if sig in overrides:
+                return overrides[sig]
+            return sig_ref(sig)
+
+        expr_gen.sig_ref = sig_ref_full
+
+        # -- global schedule over assignments and untimed processes ------------
+        nodes, edges = self._build_graph(timed, untimed, resolve)
+        order = _toposort(nodes, edges, system.name)
+
+        # -- emit -------------------------------------------------------------------
+        lines: List[str] = []
+        emit = lines.append
+        emit("from repro.fixpt import Fx, quantize_raw as _quantize_raw")
+        emit("from repro.sim.compiled import _check_overflow")
+        emit("")
+        emit("def _make_step():")
+
+        # Closure state: registers, FSM states, untimed behaviors, formats.
+        for reg in registers:
+            init = reg.init.raw if isinstance(reg.init, Fx) else repr(reg.init)
+            emit(f"    {reg_name(reg, reg.name)} = {init}")
+        fsm_index: Dict[int, Dict[str, int]] = {}
+        for process in timed:
+            if process.fsm is not None:
+                states = {s.name: i for i, s in enumerate(process.fsm.states)}
+                fsm_index[id(process)] = states
+                emit(f"    st_{_sanitize(process.name)} = "
+                     f"{states[process.fsm.initial_state.name]}")
+
+        body: List[str] = []
+        b = body.append
+
+        # Phase 0: transition selection for every FSM.
+        tr_var: Dict[int, str] = {}
+        for process in timed:
+            if process.fsm is None:
+                continue
+            pname = _sanitize(process.name)
+            tr_var[id(process)] = f"tr_{pname}"
+            states = fsm_index[id(process)]
+            b(f"        # phase 0: {process.name} transition select")
+            first_state = True
+            for state in process.fsm.states:
+                kw = "if" if first_state else "elif"
+                first_state = False
+                b(f"        {kw} st_{pname} == {states[state.name]}:")
+                first_cond = True
+                closed = False
+                for t_index, transition in enumerate(
+                        _global_transitions(process)):
+                    if transition.source is not state:
+                        continue
+                    cond = transition.condition
+                    if cond.expr is None and cond.negated:
+                        continue  # a 'never' guard can never fire
+                    if cond.is_always():
+                        if first_cond:
+                            b("            if True:")
+                        else:
+                            b("            else:")
+                        closed = True
+                    else:
+                        code, frac, _fmt = expr_gen.gen(cond.expr)
+                        test = f"({code}) != 0" if frac is not None else f"bool({code})"
+                        if cond.negated:
+                            test = f"not ({test})"
+                        kw2 = "if" if first_cond else "elif"
+                        b(f"            {kw2} {test}:")
+                    first_cond = False
+                    b(f"                tr_{pname} = {t_index}")
+                    b(f"                nst_{pname} = "
+                      f"{states[transition.target.name]}")
+                    if closed:
+                        break
+                if first_cond:
+                    b(f"            raise RuntimeError("
+                      f"'FSM {process.name}: state {state.name} is stuck')")
+                elif not closed:
+                    b("            else:")
+                    b(f"                raise RuntimeError("
+                      f"'FSM {process.name}: no transition from {state.name}')")
+
+        # Pin reads.
+        for chan in pin_channels:
+            var = f"pin_{_sanitize(chan.name)}"
+            default = 0
+            b(f"        {var} = pins.get({chan.name!r}, {default})")
+
+        # Main body: assignments and untimed calls in global order.
+        untimed_name = _Namer("beh")
+        self._env_behaviors: Dict[str, Callable] = {}
+        previous_guard = object()
+        for node in order:
+            if isinstance(node, tuple):
+                process, assignment, guard = node
+                indent = "        "
+                if guard is not None:
+                    if guard != previous_guard:
+                        b(f"        if {guard}:")
+                    indent = "            "
+                previous_guard = guard
+                code, frac, _fmt = expr_gen.gen(assignment.expr)
+                target = assignment.target
+                resolved = resolve(target)
+                if isinstance(resolved, Register):
+                    var = f"n_{reg_name(resolved, resolved.name)}"
+                else:
+                    var = sig_name(resolved, resolved.name)
+                if resolved.fmt is not None:
+                    value = gen_quantize(code, frac, resolved.fmt)
+                elif frac is not None:
+                    value = f"(({code}) * {2.0 ** -frac!r})" if frac else code
+                else:
+                    value = code
+                b(f"{indent}{var} = {value}")
+            else:
+                process = node
+                fn = untimed_name(process, process.name)
+                self._env_behaviors[fn] = _wrap_behavior(process)
+                args = []
+                for port in process.in_ports():
+                    chan = port.channel
+                    src = chan.producer if chan is not None else None
+                    if src is None:
+                        expr_code = f"pins.get({chan.name!r}, 0)" if chan else "0"
+                        fmt = None
+                    elif isinstance(src.process, UntimedProcess):
+                        expr_code = untimed_out_var[(src.process, src.name)]
+                        fmt = None
+                    else:
+                        expr_code, fmt = sig_ref_full(src.sig)
+                    if fmt is not None:
+                        args.append(
+                            f"{port.name}=Fx(raw={expr_code}, fmt={_fmt_ref(fmt)})"
+                        )
+                    else:
+                        args.append(f"{port.name}={expr_code}")
+                result_var = f"res_{_sanitize(process.name)}"
+                b(f"        {result_var} = {fn}({', '.join(args)})")
+                for port in process.out_ports():
+                    var = untimed_out_var.get((process, port.name))
+                    if var is not None:
+                        b(f"        {var} = {result_var}[{port.name!r}]")
+                previous_guard = object()
+
+        # Watched outputs.
+        for chan in self.watch:
+            value_code, fmt = self._watch_ref(chan, sig_ref_full, untimed_out_var)
+            if fmt is not None:
+                b(f"        outputs[{chan.name!r}] = "
+                  f"Fx(raw={value_code}, fmt={_fmt_ref(fmt)})")
+            else:
+                b(f"        outputs[{chan.name!r}] = {value_code}")
+
+        # Assemble: next-value pre-initialization + commit.
+        pre: List[str] = []
+        commit: List[str] = []
+        for reg in registers:
+            name = reg_name(reg, reg.name)
+            pre.append(f"        n_{name} = {name}")
+            commit.append(f"        {name} = n_{name}")
+        for process in timed:
+            if process.fsm is not None:
+                pname = _sanitize(process.name)
+                commit.append(f"        st_{pname} = nst_{pname}")
+
+        state_names = [reg_name(reg, reg.name) for reg in registers]
+        state_names += [f"st_{_sanitize(p.name)}" for p in timed if p.fsm is not None]
+        emit("    def step(pins, outputs):")
+        if state_names:
+            emit(f"        nonlocal {', '.join(state_names)}")
+        for line in pre:
+            emit(line)
+        for line in body:
+            emit(line)
+        for line in commit:
+            emit(line)
+        emit("    def dump():")
+        entries = []
+        for reg in registers:
+            name = reg_name(reg, reg.name)
+            if reg.fmt is not None:
+                entries.append(f"{reg.name!r}: Fx(raw={name}, fmt={_fmt_ref(reg.fmt)})")
+            else:
+                entries.append(f"{reg.name!r}: {name}")
+        for process in timed:
+            if process.fsm is not None:
+                pname = _sanitize(process.name)
+                states = fsm_index[id(process)]
+                names = {index: state for state, index in states.items()}
+                emit_map = ", ".join(f"{i}: {n!r}" for i, n in sorted(names.items()))
+                entries.append(f"'{process.name}.state': {{{emit_map}}}[st_{pname}]")
+        emit(f"        return {{{', '.join(entries)}}}")
+        emit("    return step, dump")
+
+        source = "\n".join(lines) + "\n"
+        # Provide formats and behaviors in the module environment.
+        self._env.update(_FMT_POOL)
+        self._env.update(self._env_behaviors)
+        return source
+
+    def _watch_ref(self, chan: Channel, sig_ref_full, untimed_out_var):
+        producer = chan.producer
+        if producer is None:
+            return f"pins.get({chan.name!r}, 0)", None
+        if isinstance(producer.process, UntimedProcess):
+            return untimed_out_var[(producer.process, producer.name)], None
+        code, fmt = sig_ref_full(producer.sig)
+        if isinstance(producer.sig, Register):
+            # Watch sees the pre-edge value, like the cycle scheduler.
+            pass
+        return code, fmt
+
+    def _build_graph(self, timed, untimed, resolve):
+        """Nodes: (process, assignment, guard) triples and untimed processes."""
+        nodes: List = []
+        produces: Dict[Sig, object] = {}
+        guards = {}
+
+        for process in timed:
+            transitions = _global_transitions(process)
+            sfg_guard: Dict[int, Optional[str]] = {}
+            pname = _sanitize(process.name)
+            for sfg in process.static_sfgs:
+                sfg_guard[id(sfg)] = None
+            if process.fsm is not None:
+                sfg_trs: Dict[int, List[int]] = {}
+                for t_index, transition in enumerate(transitions):
+                    for sfg in transition.sfgs:
+                        sfg_trs.setdefault(id(sfg), []).append(t_index)
+                for sfg in process.fsm.sfgs():
+                    if id(sfg) in sfg_guard:
+                        continue
+                    trs = sfg_trs.get(id(sfg), [])
+                    if len(trs) == len(transitions):
+                        sfg_guard[id(sfg)] = None
+                    elif len(trs) == 1:
+                        sfg_guard[id(sfg)] = f"tr_{pname} == {trs[0]}"
+                    else:
+                        options = ", ".join(str(t) for t in sorted(trs))
+                        sfg_guard[id(sfg)] = f"tr_{pname} in ({options})"
+            for sfg in process.all_sfgs():
+                guard = sfg_guard[id(sfg)]
+                for assignment in sfg.ordered_assignments():
+                    node = (process, assignment, guard)
+                    nodes.append(node)
+                    target = resolve(assignment.target)
+                    if not target.is_register():
+                        produces[target] = node
+
+        for process in untimed:
+            nodes.append(process)
+            for port in process.out_ports():
+                chan = port.channel
+                if chan is None:
+                    continue
+                for consumer in chan.consumers:
+                    if consumer.sig is not None:
+                        produces[consumer.sig] = process
+
+        edges: Dict[int, List] = {id(n): [] for n in nodes}
+
+        def add_edge(src_node, dst_node):
+            edges[id(src_node)].append(dst_node)
+
+        for node in nodes:
+            if isinstance(node, tuple):
+                _process, assignment, _guard = node
+                for sig in assignment.reads():
+                    source = produces.get(resolve(sig))
+                    if source is not None and source is not node:
+                        add_edge(source, node)
+            else:
+                process = node
+                for port in process.in_ports():
+                    chan = port.channel
+                    if chan is None or chan.producer is None:
+                        continue
+                    src_port = chan.producer
+                    if isinstance(src_port.process, UntimedProcess):
+                        add_edge(src_port.process, node)
+                    else:
+                        src_sig = resolve(src_port.sig)
+                        if src_sig.is_register():
+                            continue
+                        source = produces.get(src_sig)
+                        if source is not None:
+                            add_edge(source, node)
+        return nodes, edges
+
+
+def _global_transitions(process: TimedProcess):
+    if process.fsm is None:
+        return []
+    return list(process.fsm.transitions)
+
+
+def _wrap_behavior(process: UntimedProcess):
+    def behavior(**kwargs):
+        result = process.behavior(**kwargs) or {}
+        process.firings += 1
+        return result
+
+    return behavior
+
+
+def _toposort(nodes, edges, system_name: str):
+    indegree: Dict[int, int] = {id(n): 0 for n in nodes}
+    by_id = {id(n): n for n in nodes}
+    for src_id, targets in edges.items():
+        for target in targets:
+            indegree[id(target)] += 1
+    from collections import deque
+
+    # Stable order: keep original declaration order among ready nodes.
+    order = []
+    ready = deque(n for n in nodes if indegree[id(n)] == 0)
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for target in edges[id(node)]:
+            indegree[id(target)] -= 1
+            if indegree[id(target)] == 0:
+                ready.append(target)
+    if len(order) != len(nodes):
+        stuck = [by_id[i] for i, d in indegree.items() if d > 0]
+        names = []
+        for node in stuck[:6]:
+            if isinstance(node, tuple):
+                names.append(f"{node[0].name}:{node[1].target.name}")
+            else:
+                names.append(node.name)
+        raise CodegenError(
+            f"system {system_name!r} has a combinational loop; compiled "
+            f"simulation needs an acyclic union graph (stuck: {names})"
+        )
+    return order

@@ -1,0 +1,281 @@
+"""The three-phase cycle scheduler (paper section 4, Figure 6).
+
+When a system contains timed descriptions, the cycle scheduler creates the
+illusion of concurrency between components on a clock-cycle basis.  One
+clock cycle is simulated in three phases:
+
+1. **Token production** — for each marked SFG, outputs that depend solely
+   on registered or constant signals are evaluated and their tokens put
+   onto the system interconnect.  This creates the "initial tokens" that
+   break apparent deadlocks in loops of components, without requiring
+   buffer hardware.
+2. **Evaluation** — marked SFG assignments and untimed blocks are scheduled
+   repeatedly; an assignment executes as soon as the input tokens in its
+   cone are available, an untimed block fires when its firing rule is
+   satisfied.  If an iteration bound passes with unfired timed components,
+   the system is declared deadlocked — this is how combinational loops at
+   the system level are identified.
+3. **Register update** — next-values are copied to current-values and FSM
+   state commits.
+
+Phase 0 (before token production) selects, in each FSM, the transition
+whose condition holds and marks its SFGs for execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import DeadlockError, ModelError, SimulationError
+from ..core.process import Port, TimedProcess, UntimedProcess
+from ..core.sfg import SFG, Assignment
+from ..core.signal import Sig
+from ..core.system import Channel, System
+
+
+class _PlanStep:
+    """One assignment of a marked SFG, with its external-input dependencies."""
+
+    __slots__ = ("assignment", "input_ports", "output_port")
+
+    def __init__(self, assignment: Assignment,
+                 input_ports: Tuple[Port, ...],
+                 output_port: Optional[Port]):
+        self.assignment = assignment
+        self.input_ports = input_ports
+        self.output_port = output_port
+
+
+class _ProcessPlan:
+    """The cached execution plan of one timed process for one SFG marking."""
+
+    __slots__ = ("process", "steps", "register_output_ports")
+
+    def __init__(self, process: TimedProcess, marked: Sequence[SFG]):
+        self.process = process
+        port_of_sig: Dict[Sig, Port] = {}
+        in_port_of_sig: Dict[Sig, Port] = {}
+        for port in process.ports.values():
+            if port.sig is None:
+                raise ModelError(
+                    f"port {process.name}.{port.name} of a timed process must "
+                    "bind an SFG signal"
+                )
+            if port.direction == "out":
+                port_of_sig[port.sig] = port
+            else:
+                in_port_of_sig[port.sig] = port
+
+        self.steps: List[_PlanStep] = []
+        driven: Set[Sig] = set()
+        # Port-bound signals are inputs by construction, whether or not
+        # the SFG declared them with inp().
+        port_bound = set(in_port_of_sig)
+        for sfg in marked:
+            deps = sfg.assignment_input_deps(port_bound)
+            for assignment in sfg.ordered_assignments():
+                input_ports = tuple(
+                    in_port_of_sig[sig]
+                    for sig in sorted(deps[assignment], key=lambda s: s.name)
+                    if sig in in_port_of_sig
+                )
+                output_port = None
+                target = assignment.target
+                if not target.is_register() and target in port_of_sig:
+                    output_port = port_of_sig[target]
+                self.steps.append(_PlanStep(assignment, input_ports, output_port))
+                driven.add(target)
+
+        # Output ports bound to registers always emit the (phase-1) current
+        # value; output ports bound to plain signals not driven this cycle
+        # emit nothing.
+        self.register_output_ports: List[Port] = [
+            port for sig, port in port_of_sig.items() if sig.is_register()
+        ]
+
+
+class CycleScheduler:
+    """Simulates a system of timed (and untimed) processes cycle by cycle."""
+
+    def __init__(self, system: System, max_iterations: int = 1000):
+        self.system = system
+        self.max_iterations = max_iterations
+        self.cycle = 0
+        self.timed = system.timed_processes()
+        self.untimed = system.untimed_processes()
+        if not self.timed:
+            raise ModelError(
+                "the cycle scheduler needs at least one timed description; "
+                "use the data-flow scheduler for untimed systems"
+            )
+        self.clocks = system.clocks()
+        for process in self.untimed:
+            for port in process.ports.values():
+                if port.rate != 1:
+                    raise ModelError(
+                        f"untimed process {process.name!r} has port rate "
+                        f"{port.rate}; under the cycle scheduler untimed "
+                        "blocks are single-rate"
+                    )
+        self._plan_cache: Dict[Tuple[int, Tuple[int, ...]], _ProcessPlan] = {}
+        #: Per-cycle hook list: called as fn(scheduler) after each step.
+        self.monitors: List[Callable[["CycleScheduler"], None]] = []
+        self._stimuli: List[Tuple[Channel, Callable[[int], object]]] = []
+
+    # -- stimuli --------------------------------------------------------------
+
+    def drive(self, chan: Channel, source) -> None:
+        """Drive *chan* each cycle from an iterable or a ``fn(cycle)``."""
+        if callable(source):
+            self._stimuli.append((chan, source))
+        else:
+            iterator = iter(source)
+
+            def from_iter(_cycle: int, _it=iterator):
+                try:
+                    return next(_it)
+                except StopIteration:
+                    return None
+
+            self._stimuli.append((chan, from_iter))
+
+    # -- one clock cycle ----------------------------------------------------------
+
+    def step(self, inputs: Optional[Mapping[Channel, object]] = None) -> None:
+        """Simulate one clock cycle (phases 0–3)."""
+        # New cycle: the interconnect forgets last cycle's tokens.
+        for chan in self.system.channels:
+            chan.clear()
+        if inputs:
+            for chan, value in inputs.items():
+                chan.put(value)
+        for chan, source in self._stimuli:
+            value = source(self.cycle)
+            if value is not None:
+                chan.put(value)
+
+        # Phase 0: transition selection; mark SFGs.
+        plans: List[_ProcessPlan] = []
+        for process in self.timed:
+            marked = process.select_sfgs()
+            key = (id(process), tuple(id(s) for s in marked))
+            plan = self._plan_cache.get(key)
+            if plan is None:
+                plan = _ProcessPlan(process, marked)
+                self._plan_cache[key] = plan
+            plans.append(plan)
+
+        # Phase 1: token production — register-driven output ports emit
+        # immediately, and the relaxation below starts with assignments
+        # whose cones touch no input tokens.
+        for plan in plans:
+            for port in plan.register_output_ports:
+                if port.channel is not None:
+                    port.channel.put(port.sig.current)
+
+        # Phase 2: evaluation — relax until everything fired.
+        pending: List[Tuple[_ProcessPlan, _PlanStep]] = [
+            (plan, step) for plan in plans for step in plan.steps
+        ]
+        fired_untimed: Set[UntimedProcess] = set()
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise DeadlockError(self._deadlock_message(pending))
+            progress = False
+
+            still_pending: List[Tuple[_ProcessPlan, _PlanStep]] = []
+            for plan, step in pending:
+                ready = all(
+                    port.channel is not None and port.channel.valid
+                    for port in step.input_ports
+                )
+                if not ready:
+                    still_pending.append((plan, step))
+                    continue
+                for port in step.input_ports:
+                    port.sig.value = port.channel.value
+                step.assignment.execute()
+                if step.output_port is not None and step.output_port.channel is not None:
+                    step.output_port.channel.put(step.assignment.target.value)
+                progress = True
+            pending = still_pending
+
+            for process in self.untimed:
+                if process in fired_untimed:
+                    continue
+                if self._untimed_ready(process):
+                    self._fire_untimed(process)
+                    fired_untimed.add(process)
+                    progress = True
+
+            if not pending:
+                break
+            if not progress:
+                raise DeadlockError(self._deadlock_message(pending))
+
+        # Phase 3: register update.
+        for clock in self.clocks:
+            clock.tick()
+        for process in self.timed:
+            process.commit()
+        self.cycle += 1
+        for monitor in self.monitors:
+            monitor(self)
+
+    def _untimed_ready(self, process: UntimedProcess) -> bool:
+        for port in process.in_ports():
+            if port.channel is None or not port.channel.valid:
+                return False
+        return process.firing_rule()
+
+    def _fire_untimed(self, process: UntimedProcess) -> None:
+        # Under cycle semantics untimed blocks *read* the interconnect
+        # (wire semantics, fan-out allowed) rather than consuming tokens.
+        kwargs = {port.name: port.channel.value for port in process.in_ports()}
+        results = process.behavior(**kwargs) or {}
+        for port in process.out_ports():
+            if port.name not in results:
+                raise SimulationError(
+                    f"untimed process {process.name!r} produced no token for "
+                    f"output {port.name!r}"
+                )
+            if port.channel is not None:
+                port.channel.put(results[port.name])
+        process.firings += 1
+
+    def _deadlock_message(self, pending) -> str:
+        blocked = {}
+        for plan, step in pending:
+            waits = [
+                port.name for port in step.input_ports
+                if port.channel is None or not port.channel.valid
+            ]
+            blocked.setdefault(plan.process.name, set()).update(waits)
+        detail = "; ".join(
+            f"{name} waits on {sorted(waits)}" for name, waits in blocked.items()
+        )
+        return (
+            f"cycle {self.cycle}: system deadlocked in the evaluation phase "
+            f"(combinational loop or missing token): {detail}"
+        )
+
+    # -- runs ------------------------------------------------------------------------
+
+    def run(self, cycles: int,
+            inputs_fn: Optional[Callable[[int], Mapping[Channel, object]]] = None
+            ) -> None:
+        """Simulate *cycles* clock cycles."""
+        for _ in range(cycles):
+            self.step(inputs_fn(self.cycle) if inputs_fn else None)
+
+    def reset(self) -> None:
+        """Reset clocks, registers, FSM states and the interconnect."""
+        for clock in self.clocks:
+            clock.reset()
+        for process in self.timed:
+            process.reset()
+        for chan in self.system.channels:
+            chan.clear()
+        self.cycle = 0

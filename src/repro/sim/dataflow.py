@@ -1,0 +1,162 @@
+"""The data-flow scheduler (paper sections 2 and 4).
+
+*"A data-flow scheduler is used to simulate a system that contains only
+untimed blocks.  This scheduler repeatedly checks process firing rules,
+selecting processes for execution as their inputs are available."*
+
+Besides the dynamic scheduler, this module implements the classic SDF
+balance-equation analysis of Lee & Messerschmitt (the paper's reference
+[7]): a consistency check and the repetitions vector, used to validate
+multi-rate systems before simulation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from ..core.errors import DeadlockError, ModelError, SimulationError
+from ..core.process import UntimedProcess
+from ..core.system import Channel, System
+
+
+class DataflowScheduler:
+    """Dynamic data-flow simulation of a system of untimed processes."""
+
+    def __init__(self, system: System):
+        for process in system.processes:
+            if process.is_timed():
+                raise ModelError(
+                    "the data-flow scheduler handles untimed systems only; "
+                    f"{process.name!r} is a timed description — use the cycle "
+                    "scheduler instead (paper section 4)"
+                )
+        for chan in system.channels:
+            if len(chan.consumers) > 1:
+                raise ModelError(
+                    f"channel {chan.name!r} has {len(chan.consumers)} consumers; "
+                    "data-flow channels are point-to-point"
+                )
+        self.system = system
+        self.total_firings = 0
+
+    def step(self) -> List[UntimedProcess]:
+        """One scheduler pass: fire every process whose firing rule holds.
+
+        Returns the processes fired this pass (empty when quiescent).
+        """
+        fired: List[UntimedProcess] = []
+        for process in self.system.untimed_processes():
+            if process.firing_rule():
+                process.fire()
+                fired.append(process)
+                self.total_firings += 1
+        return fired
+
+    def run(self, max_firings: int = 100000) -> int:
+        """Fire processes until quiescence; returns the number of firings.
+
+        Raises :class:`DeadlockError` when *max_firings* is exceeded —
+        an unbounded (inconsistent) graph.
+        """
+        start = self.total_firings
+        while self.total_firings - start < max_firings:
+            if not self.step():
+                return self.total_firings - start
+        raise DeadlockError(
+            f"data-flow simulation exceeded {max_firings} firings; "
+            "the graph may be inconsistent (unbounded token growth)"
+        )
+
+    def run_until(self, chan: Channel, tokens: int,
+                  max_firings: int = 100000) -> int:
+        """Fire until *chan* holds at least *tokens* tokens."""
+        start = self.total_firings
+        while chan.tokens() < tokens:
+            if self.total_firings - start >= max_firings:
+                raise DeadlockError(
+                    f"exceeded {max_firings} firings waiting for {tokens} "
+                    f"tokens on {chan.name!r}"
+                )
+            if not self.step():
+                raise DeadlockError(
+                    f"data-flow system quiescent with only {chan.tokens()} of "
+                    f"{tokens} tokens on {chan.name!r}"
+                )
+        return self.total_firings - start
+
+
+def repetitions_vector(system: System) -> Dict[UntimedProcess, int]:
+    """Solve the SDF balance equations; the minimal repetitions vector.
+
+    For every channel with producer rate p and consumer rate c, the
+    repetition counts satisfy ``r[producer] * p == r[consumer] * c``.
+    Raises :class:`ModelError` for inconsistent (rate-unbalanced) graphs.
+    Channels without a producer or consumer (system boundaries) are skipped.
+    """
+    actors = system.untimed_processes()
+    if not actors:
+        return {}
+    ratio: Dict[UntimedProcess, Optional[Fraction]] = {a: None for a in actors}
+
+    def propagate(seed: UntimedProcess) -> None:
+        ratio[seed] = Fraction(1)
+        frontier = [seed]
+        while frontier:
+            actor = frontier.pop()
+            for port in actor.ports.values():
+                chan = port.channel
+                if chan is None or chan.producer is None or not chan.consumers:
+                    continue
+                producer = chan.producer.process
+                consumer = chan.consumers[0].process
+                if not isinstance(producer, UntimedProcess):
+                    continue
+                if not isinstance(consumer, UntimedProcess):
+                    continue
+                required = ratio[producer] is not None and ratio[consumer] is not None
+                p, c = chan.producer.rate, chan.consumers[0].rate
+                if ratio[producer] is not None and ratio[consumer] is None:
+                    ratio[consumer] = ratio[producer] * Fraction(p, c)
+                    frontier.append(consumer)
+                elif ratio[consumer] is not None and ratio[producer] is None:
+                    ratio[producer] = ratio[consumer] * Fraction(c, p)
+                    frontier.append(producer)
+                elif required:
+                    if ratio[producer] * p != ratio[consumer] * c:
+                        raise ModelError(
+                            f"inconsistent SDF rates on channel {chan.name!r}: "
+                            f"{producer.name}*{p} != {consumer.name}*{c}"
+                        )
+
+    for actor in actors:
+        if ratio[actor] is None:
+            propagate(actor)
+
+    # Scale each connected component to the smallest integer vector.
+    denominators = [r.denominator for r in ratio.values()]
+    scale = 1
+    for d in denominators:
+        scale = scale * d // _gcd(scale, d)
+    counts = {a: int(r * scale) for a, r in ratio.items()}
+    component_gcd = 0
+    for count in counts.values():
+        component_gcd = _gcd(component_gcd, count)
+    if component_gcd > 1:
+        counts = {a: c // component_gcd for a, c in counts.items()}
+    return counts
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def is_consistent(system: System) -> bool:
+    """True when the SDF balance equations have a solution."""
+    try:
+        repetitions_vector(system)
+        return True
+    except ModelError:
+        return False

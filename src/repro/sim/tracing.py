@@ -1,0 +1,97 @@
+"""Waveform tracing: record signal values per cycle and dump VCD.
+
+A lightweight value-change-dump writer so simulations can be inspected in
+any waveform viewer — the design-environment equivalent of an HDL
+simulator's trace facility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, TextIO
+
+from ..fixpt import Fx
+from ..core.signal import Sig
+
+_VCD_IDS = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+class Tracer:
+    """Samples signals once per cycle; can be used as a scheduler monitor."""
+
+    def __init__(self, *signals: Sig):
+        self.signals: List[Sig] = list(signals)
+        self.samples: Dict[str, List[object]] = {s.name: [] for s in self.signals}
+        self._cycles = 0
+
+    def watch(self, sig: Sig) -> None:
+        """Add a signal to the trace set (history padded with None)."""
+        self.signals.append(sig)
+        self.samples[sig.name] = [None] * self._cycles
+
+    def sample(self) -> None:
+        """Record the current value of every watched signal."""
+        self._cycles += 1
+        for sig in self.signals:
+            self.samples[sig.name].append(sig.value)
+
+    def __call__(self, scheduler) -> None:
+        self.sample()
+
+    def __getitem__(self, name: str) -> List[object]:
+        return self.samples[name]
+
+    # -- VCD output ---------------------------------------------------------------
+
+    def _vcd_id(self, index: int) -> str:
+        base = len(_VCD_IDS)
+        out = ""
+        index += 1
+        while index:
+            index, digit = divmod(index - 1, base)
+            out = _VCD_IDS[digit] + out
+        return out
+
+    def write_vcd(self, stream: TextIO, timescale: str = "1ns",
+                  clock_period: int = 10) -> None:
+        """Write the trace as a VCD file."""
+        ids = {sig.name: self._vcd_id(i) for i, sig in enumerate(self.signals)}
+        widths = {}
+        for sig in self.signals:
+            widths[sig.name] = sig.fmt.wl if sig.fmt is not None else 64
+        stream.write(f"$timescale {timescale} $end\n")
+        stream.write("$scope module repro $end\n")
+        for sig in self.signals:
+            stream.write(
+                f"$var wire {widths[sig.name]} {ids[sig.name]} {sig.name} $end\n"
+            )
+        stream.write("$upscope $end\n$enddefinitions $end\n")
+        cycles = max((len(v) for v in self.samples.values()), default=0)
+        previous: Dict[str, object] = {}
+        for cycle in range(cycles):
+            header_written = False
+            for sig in self.signals:
+                values = self.samples[sig.name]
+                value = values[cycle] if cycle < len(values) else None
+                if previous.get(sig.name, "\0") == value:
+                    continue
+                if not header_written:
+                    stream.write(f"#{cycle * clock_period}\n")
+                    header_written = True
+                stream.write(
+                    f"b{_to_bits(value, widths[sig.name])} {ids[sig.name]}\n"
+                )
+                previous[sig.name] = value
+
+
+def _to_bits(value, width: int) -> str:
+    """Render a simulated value as a VCD binary literal."""
+    if value is None:
+        return "x" * width
+    if isinstance(value, Fx):
+        raw = value.raw
+    elif isinstance(value, float):
+        raw = int(value)
+    else:
+        raw = int(value)
+    raw &= (1 << width) - 1
+    return format(raw, f"0{width}b")

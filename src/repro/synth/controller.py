@@ -1,0 +1,192 @@
+"""Controller synthesis: FSM to state register + transition-select logic.
+
+The paper's controllers are synthesized by plain logic synthesis
+(Synopsys DC).  This module reproduces that step: the Mealy FSM becomes
+
+* an encoded state register (binary, gray or one-hot),
+* one *select* line per transition, asserted when the FSM is in the
+  transition's source state, the guard holds, and no earlier guard of the
+  same state holds (priority encoding, matching the simulator), and
+* next-state logic, either direct AND-OR from the select lines or
+  re-synthesized as a minimized two-level cover (Quine–McCluskey) over
+  the state and condition bits.
+
+Select lines are the interface to datapath synthesis: they steer operand
+multiplexers and register write-enables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import SynthesisError
+from ..core.fsm import FSM, State, Transition
+from .bitops import or_tree
+from .gates import GateKind
+from .logic import minimize, sop_to_gates
+from .netlist import Net, Netlist
+
+ENCODINGS = ("binary", "gray", "onehot")
+
+
+def encode_states(fsm: FSM, encoding: str = "binary") -> Tuple[Dict[State, int], int]:
+    """Assign each state a code; returns (codes, number of state bits)."""
+    n = len(fsm.states)
+    if n == 0:
+        raise SynthesisError(f"FSM {fsm.name!r} has no states")
+    if encoding == "binary":
+        bits = max(1, (n - 1).bit_length())
+        return {s: i for i, s in enumerate(fsm.states)}, bits
+    if encoding == "gray":
+        bits = max(1, (n - 1).bit_length())
+        return {s: i ^ (i >> 1) for i, s in enumerate(fsm.states)}, bits
+    if encoding == "onehot":
+        return {s: 1 << i for i, s in enumerate(fsm.states)}, n
+    raise SynthesisError(f"unknown state encoding {encoding!r}")
+
+
+@dataclass
+class ControllerResult:
+    """Outcome of controller synthesis."""
+
+    state_q: List[Net]                 # encoded state register outputs
+    codes: Dict[State, int]            # state -> code
+    select: Dict[Transition, Net]      # transition -> select line
+    n_state_bits: int
+    minimized: bool
+
+
+def synthesize_controller(
+    nl: Netlist,
+    fsm: FSM,
+    condition_nets: Dict[Transition, Optional[Net]],
+    encoding: str = "binary",
+    two_level: bool = False,
+    max_minimize_inputs: int = 12,
+) -> ControllerResult:
+    """Build the controller logic onto *nl*.
+
+    ``condition_nets`` maps each transition to the net of its (already
+    synthesized, non-negated) guard expression, or None for ``always``.
+    """
+    codes, n_bits = encode_states(fsm, encoding)
+    state_q = nl.new_bus(n_bits, f"{fsm.name}_state")
+
+    # State decode: match line per state.
+    inverted = [nl.add(GateKind.INV, [q]) for q in state_q]
+
+    def match_code(code: int) -> Net:
+        literals = [
+            state_q[i] if (code >> i) & 1 else inverted[i]
+            for i in range(n_bits)
+        ]
+        node = literals[0]
+        for literal in literals[1:]:
+            node = nl.add(GateKind.AND2, [node, literal])
+        return node
+
+    match = {state: match_code(codes[state]) for state in fsm.states}
+
+    # Guard value per transition (apply negation here).
+    guard: Dict[Transition, Net] = {}
+    for transition in fsm.transitions:
+        net = condition_nets.get(transition)
+        condition = transition.condition
+        if condition.expr is None:
+            value = nl.const(0 if condition.negated else 1)
+        else:
+            if net is None:
+                raise SynthesisError(
+                    f"no condition net supplied for {transition!r}"
+                )
+            value = nl.add(GateKind.INV, [net]) if condition.negated else net
+        guard[transition] = value
+
+    # Priority-encoded select lines.
+    select: Dict[Transition, Net] = {}
+    for state in fsm.states:
+        blocked: Optional[Net] = None  # OR of earlier guards
+        for transition in state.transitions:
+            term = nl.add(GateKind.AND2, [match[state], guard[transition]])
+            if blocked is not None:
+                not_blocked = nl.add(GateKind.INV, [blocked])
+                term = nl.add(GateKind.AND2, [term, not_blocked])
+            select[transition] = term
+            blocked = guard[transition] if blocked is None else nl.add(
+                GateKind.OR2, [blocked, guard[transition]]
+            )
+
+    # Next-state logic.
+    any_select = or_tree(nl, [select[t] for t in fsm.transitions]) \
+        if fsm.transitions else nl.const(0)
+    hold = nl.add(GateKind.INV, [any_select])
+    minimized = False
+    next_bits: List[Net] = []
+
+    if two_level:
+        # Re-synthesize next-state as a minimized two-level function of
+        # (state bits, distinct condition bits).
+        distinct: List[Net] = []
+        cond_index: Dict[Net, int] = {}
+        for transition in fsm.transitions:
+            net = condition_nets.get(transition)
+            if net is not None and net not in cond_index:
+                cond_index[net] = len(distinct)
+                distinct.append(net)
+        n_inputs = n_bits + len(distinct)
+        if n_inputs <= max_minimize_inputs:
+            minimized = True
+            code_of = {codes[s]: s for s in fsm.states}
+
+            def next_code(minterm: int) -> Optional[int]:
+                state_code = minterm & ((1 << n_bits) - 1)
+                state = code_of.get(state_code)
+                if state is None:
+                    return None  # unreachable code: don't care
+                for transition in state.transitions:
+                    condition = transition.condition
+                    if condition.expr is None:
+                        truth = not condition.negated
+                    else:
+                        net = condition_nets[transition]
+                        bit = (minterm >> (n_bits + cond_index[net])) & 1
+                        truth = bool(bit) != condition.negated
+                    if truth:
+                        return codes[transition.target]
+                return state_code  # no guard holds: hold state
+
+            inputs = list(state_q) + distinct
+            for bit in range(n_bits):
+                minterms, dontcares = [], []
+                for minterm in range(1 << n_inputs):
+                    code = next_code(minterm)
+                    if code is None:
+                        dontcares.append(minterm)
+                    elif (code >> bit) & 1:
+                        minterms.append(minterm)
+                cover = minimize(n_inputs, minterms, dontcares)
+                next_bits.append(sop_to_gates(nl, cover, inputs))
+
+    if not next_bits:
+        for bit in range(n_bits):
+            terms = [
+                select[t] for t in fsm.transitions
+                if (codes[t.target] >> bit) & 1
+            ]
+            hold_term = nl.add(GateKind.AND2, [hold, state_q[bit]])
+            next_bits.append(or_tree(nl, terms + [hold_term]))
+
+    # State register.
+    init_code = codes[fsm.initial_state]
+    for bit in range(n_bits):
+        nl.add(GateKind.DFF, [next_bits[bit]], output=state_q[bit],
+               init=(init_code >> bit) & 1)
+
+    return ControllerResult(
+        state_q=state_q,
+        codes=codes,
+        select=select,
+        n_state_bits=n_bits,
+        minimized=minimized,
+    )

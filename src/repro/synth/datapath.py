@@ -1,0 +1,419 @@
+"""Datapath synthesis with word-level operator sharing.
+
+The paper's section 6 relies on the Cathedral-3 back-end: *"bit-parallel
+hardware implementation starting from a set of signal flow graphs ...
+operator sharing at word level"*.  This module reproduces that flow:
+
+* every SFG of a component is an *instruction*; the FSM guarantees that
+  the SFGs of different transitions never execute in the same cycle;
+* word-level operations (add, multiply, compare, ...) of mutually
+  exclusive instructions are bound to shared operator *instances*;
+* the operands of a shared instance are selected by AND-OR multiplexers
+  steered by the controller's transition-select lines;
+* each instance is expanded to gates once (ripple adders, array
+  multipliers, ... from :mod:`repro.synth.bitops`).
+
+With ``share=False`` every operation gets a dedicated operator — the
+direct-mapped baseline used by the sharing ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..fixpt import Fx, FxFormat, quantize_raw
+from ..core.errors import SynthesisError
+from ..core.expr import (
+    BinOp,
+    BitSelect,
+    Cast,
+    Concat,
+    Constant,
+    Expr,
+    Mux,
+    SliceSelect,
+    UnOp,
+)
+from ..core.signal import Register, Sig
+from . import bitops
+from .bitops import Word, or_tree
+from .gates import GateKind
+from .netlist import Net, Netlist
+
+
+@dataclass
+class _Instance:
+    """One allocated word-level operator."""
+
+    key: tuple
+    input_buses: List[List[Net]]  # reserved nets, driven at finalize
+    output: Word
+    #: Per time slot: (select net or None for always, operand words).
+    candidates: List[Tuple[Optional[Net], List[Word]]] = field(
+        default_factory=list)
+
+
+class OperatorAllocator:
+    """Allocates, binds and multiplexes word-level operators.
+
+    Usage: for each mutually exclusive time slot (one FSM transition),
+    call :meth:`begin_slot` with the slot's select net, then build
+    expressions; ops are bound to instances shared across slots.  Call
+    :meth:`finalize` once at the end to wire the operand multiplexers.
+    """
+
+    def __init__(self, nl: Netlist, share: bool = True,
+                 width_bucket: int = 1):
+        self.nl = nl
+        self.share = share
+        #: Optionally round shared-instance operand widths up to a
+        #: multiple of this bucket (ALU-style width classes).  The
+        #: demand pre-scan (:meth:`note_demand`) usually makes this
+        #: unnecessary; the default keeps exact widths.
+        self.width_bucket = max(1, width_bucket)
+        self._pools: Dict[tuple, List[_Instance]] = {}
+        self._slot_sel: Optional[Net] = None
+        self._slot_used: set = set()
+        self._demands: Dict[tuple, List[int]] = {}
+        #: Statistics: operations requested vs instances created.
+        self.operations = 0
+        self.instances = 0
+
+    def begin_slot(self, select: Optional[Net]) -> None:
+        """Start binding for a new time slot (FSM transition)."""
+        self._slot_sel = select
+        self._slot_used: set = set()
+
+    def note_demand(self, kind: str, shapes: Sequence[Tuple[int, int]]) -> None:
+        """Pre-register an operand-shape demand (from the sizing pre-scan).
+
+        Instances created later for this kind/frac key are sized at the
+        element-wise maximum of all noted demands, so the widest
+        instruction can share the same operator as the narrowest.
+        """
+        key = (kind, tuple(frac for _w, frac in shapes))
+        noted = self._demands.get(key)
+        if noted is None:
+            self._demands[key] = [width for width, _f in shapes]
+        else:
+            for i, (width, _f) in enumerate(shapes):
+                noted[i] = max(noted[i], width)
+
+    def operate(self, kind: str, operands: Sequence[Word],
+                build: Callable[[Netlist, List[Word]], Word]) -> Word:
+        """Bind one word-level operation; returns the instance output.
+
+        Operators of the same kind and fraction alignment share an
+        instance across mutually exclusive slots; a narrower operand is
+        sign-extended into a wider instance (word-level sharing).
+        """
+        self.operations += 1
+        shapes = tuple((w.width, w.frac) for w in operands)
+        key = (kind, tuple(frac for _w, frac in shapes))
+        dedicated = not self.share or self._slot_sel is None
+        if dedicated:
+            # Direct mapping: build the operator on the operand nets.
+            self.instances += 1
+            return build(self.nl, list(operands))
+        pool = self._pools.setdefault(key, [])
+        instance = None
+        for candidate in pool:
+            if id(candidate) in self._slot_used:
+                continue
+            fits = all(
+                len(bus) >= width
+                for bus, (width, _frac) in zip(candidate.input_buses, shapes)
+            )
+            if fits:
+                instance = candidate
+                break
+        if instance is None:
+            bucket = self.width_bucket
+            noted = self._demands.get(key, [])
+
+            def sized(index: int, width: int) -> int:
+                if index < len(noted):
+                    width = max(width, noted[index])
+                return ((width + bucket - 1) // bucket) * bucket
+
+            input_buses = [
+                self.nl.new_bus(sized(i, width), f"op{len(pool)}_{kind}_in")
+                for i, (width, _frac) in enumerate(shapes)
+            ]
+            input_words = [
+                Word(list(bus), frac)
+                for bus, (_w, frac) in zip(input_buses, shapes)
+            ]
+            output = build(self.nl, input_words)
+            instance = _Instance(key, input_buses, output)
+            pool.append(instance)
+            self.instances += 1
+        self._slot_used.add(id(instance))
+        instance.candidates.append((self._slot_sel, list(operands)))
+        return instance.output
+
+    def finalize(self) -> None:
+        """Drive every shared instance's operand buses with AND-OR muxes."""
+        nl = self.nl
+        for pool in self._pools.values():
+            for instance in pool:
+                for op_index, bus in enumerate(instance.input_buses):
+                    for bit_index, target_net in enumerate(bus):
+                        terms: List[Net] = []
+                        for select, operands in instance.candidates:
+                            word = operands[op_index]
+                            # Sign-extend narrower operands into the
+                            # (possibly wider) shared instance.
+                            source = word.nets[bit_index] \
+                                if bit_index < word.width else word.msb
+                            terms.append(
+                                nl.add(GateKind.AND2, [select, source])
+                            )
+                        if len(terms) == 1:
+                            nl.add(GateKind.BUF, [terms[0]], output=target_net)
+                        else:
+                            node = terms[0]
+                            for term in terms[1:-1]:
+                                node = nl.add(GateKind.OR2, [node, term])
+                            nl.add(GateKind.OR2, [node, terms[-1]],
+                                   output=target_net)
+
+    def sharing_report(self) -> Dict[str, int]:
+        """Operations bound vs operator instances created."""
+        return {"operations": self.operations, "instances": self.instances}
+
+
+def _bool_net(nl: Netlist, word: Word) -> Net:
+    """Reduce a word to its truth value (any bit set)."""
+    if word.width == 1:
+        return word.nets[0]
+    return or_tree(nl, word.nets)
+
+
+class ExprSynthesizer:
+    """Expands expression DAGs to words through an operator allocator."""
+
+    def __init__(self, nl: Netlist, alloc: OperatorAllocator,
+                 leaf_word: Callable[[Sig], Word]):
+        self.nl = nl
+        self.alloc = alloc
+        self.leaf_word = leaf_word
+
+    # -- sizing pre-scan ---------------------------------------------------------
+
+    def prescan(self, expr: Expr) -> Tuple[int, int]:
+        """Estimate the (width, frac) of *expr* and note operator demands.
+
+        Run over every instruction before synthesis so shared instances
+        are created at the widest demanded operand widths.  The estimate
+        mirrors the word shapes the real pass produces; small mismatches
+        merely cost an extra fallback instance, never correctness.
+        """
+        if isinstance(expr, Sig):
+            fmt = expr.result_fmt()
+            if fmt is None:
+                raise SynthesisError(f"signal {expr.name!r} has no format")
+            from ..hdl.vhdl import vector_width
+
+            return vector_width(fmt), fmt.frac_bits
+        if isinstance(expr, Constant):
+            fmt = expr.result_fmt()
+            if fmt is None:
+                raise SynthesisError(f"constant {expr.value!r} has no format")
+            from ..hdl.vhdl import vector_width
+
+            return vector_width(fmt), fmt.frac_bits
+        if isinstance(expr, BinOp):
+            op = expr.op
+            lshape = self.prescan(expr.left)
+            if op in ("<<", ">>"):
+                bits = int(expr.right.evaluate())
+                if op == "<<":
+                    return lshape[0] + bits, lshape[1]
+                return lshape[0], lshape[1] + bits
+            rshape = self.prescan(expr.right)
+            shapes = [lshape, rshape]
+            if op in ("+", "-"):
+                self.alloc.note_demand("add" if op == "+" else "sub", shapes)
+                frac = max(lshape[1], rshape[1])
+                width = max(lshape[0] + frac - lshape[1],
+                            rshape[0] + frac - rshape[1]) + 1
+                return width, frac
+            if op == "*":
+                self.alloc.note_demand("mul", shapes)
+                return lshape[0] + rshape[0], lshape[1] + rshape[1]
+            if op in ("==", "!=", "<", "<=", ">", ">="):
+                self.alloc.note_demand(f"cmp{op}", shapes)
+                return 2, 0
+            self.alloc.note_demand(f"bit{op}", shapes)
+            return max(lshape[0], rshape[0]), lshape[1]
+        if isinstance(expr, UnOp):
+            shape = self.prescan(expr.operand)
+            if expr.op == "-":
+                self.alloc.note_demand("neg", [shape])
+                return shape[0] + 1, shape[1]
+            if expr.op == "abs":
+                self.alloc.note_demand("abs", [shape])
+                return shape[0] + 1, shape[1]
+            self.alloc.note_demand("not", [shape])
+            return shape
+        if isinstance(expr, Mux):
+            shapes = [self.prescan(expr.sel), self.prescan(expr.if_true),
+                      self.prescan(expr.if_false)]
+            self.alloc.note_demand("mux", shapes)
+            _s, t, f = shapes
+            frac = max(t[1], f[1])
+            return max(t[0] + frac - t[1], f[0] + frac - f[1]), frac
+        if isinstance(expr, Cast):
+            shape = self.prescan(expr.operand)
+            fmt = expr.fmt
+            self.alloc.note_demand(
+                ("cast", fmt.wl, fmt.iwl, fmt.signed, fmt.rounding,
+                 fmt.overflow), [shape])
+            from ..hdl.vhdl import vector_width
+
+            return vector_width(fmt), fmt.frac_bits
+        if isinstance(expr, BitSelect):
+            self.prescan(expr.operand)
+            return 2, 0
+        if isinstance(expr, SliceSelect):
+            self.prescan(expr.operand)
+            return expr.width + 1, 0
+        if isinstance(expr, Concat):
+            total = 0
+            for child in expr.children:
+                self.prescan(child)
+                total += child.require_fmt().wl
+            return total + 1, 0
+        raise SynthesisError(f"cannot pre-scan {expr!r}")
+
+    def synth(self, expr: Expr) -> Word:
+        """Expand *expr* to gates, binding operators via the allocator."""
+        nl = self.nl
+        if isinstance(expr, Sig):
+            return self.leaf_word(expr)
+        if isinstance(expr, Constant):
+            fmt = expr.result_fmt()
+            if fmt is None:
+                raise SynthesisError(
+                    f"constant {expr.value!r} has no fixed-point format"
+                )
+            raw = expr.value.raw if isinstance(expr.value, Fx) \
+                else quantize_raw(expr.value, fmt)
+            from ..hdl.vhdl import vector_width
+
+            return bitops.const_word(
+                nl, raw, vector_width(fmt), fmt.frac_bits
+            )
+        if isinstance(expr, BinOp):
+            return self._binop(expr)
+        if isinstance(expr, UnOp):
+            operand = self.synth(expr.operand)
+            if expr.op == "-":
+                return self.alloc.operate(
+                    "neg", [operand], lambda n, ws: bitops.negate(n, ws[0])
+                )
+            if expr.op == "abs":
+                return self.alloc.operate(
+                    "abs", [operand], lambda n, ws: bitops.absolute(n, ws[0])
+                )
+            return self.alloc.operate(
+                "not", [operand], lambda n, ws: bitops.invert(n, ws[0])
+            )
+        if isinstance(expr, Mux):
+            sel = self.synth(expr.sel)
+            if_true = self.synth(expr.if_true)
+            if_false = self.synth(expr.if_false)
+
+            def build(n, ws):
+                return bitops.mux_word(n, _bool_net(n, ws[0]), ws[1], ws[2])
+
+            return self.alloc.operate("mux", [sel, if_true, if_false], build)
+        if isinstance(expr, Cast):
+            operand = self.synth(expr.operand)
+            fmt = expr.fmt
+            return self.alloc.operate(
+                ("cast", fmt.wl, fmt.iwl, fmt.signed, fmt.rounding,
+                 fmt.overflow),
+                [operand],
+                lambda n, ws: bitops.quantize(n, ws[0], fmt),
+            )
+        if isinstance(expr, BitSelect):
+            operand = self.synth(expr.operand)
+            aligned = bitops.align(nl, operand, 0)
+            if expr.index >= aligned.width:
+                bit = aligned.msb  # sign extension
+            else:
+                bit = aligned.nets[expr.index]
+            return Word([bit, nl.const(0)], 0)
+        if isinstance(expr, SliceSelect):
+            operand = self.synth(expr.operand)
+            aligned = bitops.align(nl, operand, 0)
+            nets = []
+            for i in range(expr.lo, expr.hi + 1):
+                nets.append(
+                    aligned.nets[i] if i < aligned.width else aligned.msb
+                )
+            nets.append(nl.const(0))  # unsigned headroom
+            return Word(nets, 0)
+        if isinstance(expr, Concat):
+            pieces: List[Net] = []
+            for child in reversed(expr.children):
+                fmt = child.require_fmt()
+                word = bitops.align(nl, self.synth(child), 0)
+                for i in range(fmt.wl):
+                    pieces.append(
+                        word.nets[i] if i < word.width else word.msb
+                    )
+            pieces.append(nl.const(0))
+            return Word(pieces, 0)
+        raise SynthesisError(f"cannot synthesize {expr!r}")
+
+    def _binop(self, expr: BinOp) -> Word:
+        nl = self.nl
+        op = expr.op
+        left = self.synth(expr.left)
+        if op in ("<<", ">>"):
+            bits = int(expr.right.evaluate())
+            if op == "<<":
+                return bitops.shift_left(nl, left, bits)
+            return bitops.shift_right(nl, left, bits)
+        right = self.synth(expr.right)
+        if op == "+":
+            return self.alloc.operate(
+                "add", [left, right], lambda n, ws: bitops.add(n, *ws)
+            )
+        if op == "-":
+            return self.alloc.operate(
+                "sub", [left, right], lambda n, ws: bitops.sub(n, *ws)
+            )
+        if op == "*":
+            return self.alloc.operate(
+                "mul", [left, right], lambda n, ws: bitops.multiply(n, *ws)
+            )
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            def build(n, ws, op=op):
+                a, b = ws
+                if op == "==":
+                    bit = bitops.equal(n, a, b)
+                elif op == "!=":
+                    bit = n.add(GateKind.INV, [bitops.equal(n, a, b)])
+                elif op == "<":
+                    bit = bitops.less_than(n, a, b)
+                elif op == ">=":
+                    bit = n.add(GateKind.INV, [bitops.less_than(n, a, b)])
+                elif op == ">":
+                    bit = bitops.less_than(n, b, a)
+                else:  # <=
+                    bit = n.add(GateKind.INV, [bitops.less_than(n, b, a)])
+                return Word([bit, n.const(0)], 0)
+
+            return self.alloc.operate(f"cmp{op}", [left, right], build)
+        # Bitwise.
+        kind = {"&": GateKind.AND2, "|": GateKind.OR2,
+                "^": GateKind.XOR2}[op]
+        return self.alloc.operate(
+            f"bit{op}", [left, right],
+            lambda n, ws: bitops.bitwise(n, kind, *ws),
+        )

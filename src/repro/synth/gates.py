@@ -1,0 +1,88 @@
+"""The gate library: primitive cells and their area cost.
+
+Area is expressed in NAND2-equivalent gates, the unit the paper uses for
+its "75 Kgate" / "6 Kgate" complexity figures.  The numbers follow typical
+standard-cell relative areas for a 0.7 um CMOS library of the era.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class GateKind(enum.Enum):
+    """Primitive cell types available to technology mapping."""
+
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    INV = "inv"
+    AND2 = "and2"
+    OR2 = "or2"
+    NAND2 = "nand2"
+    NOR2 = "nor2"
+    XOR2 = "xor2"
+    XNOR2 = "xnor2"
+    MUX2 = "mux2"  # inputs: (sel, a, b) -> sel ? a : b
+    DFF = "dff"    # input: (d,) -> q, clocked
+
+
+#: Area per cell in NAND2 equivalents.
+AREA: Dict[GateKind, float] = {
+    GateKind.CONST0: 0.0,
+    GateKind.CONST1: 0.0,
+    GateKind.BUF: 0.67,
+    GateKind.INV: 0.67,
+    GateKind.AND2: 1.33,
+    GateKind.OR2: 1.33,
+    GateKind.NAND2: 1.0,
+    GateKind.NOR2: 1.0,
+    GateKind.XOR2: 2.33,
+    GateKind.XNOR2: 2.33,
+    GateKind.MUX2: 2.33,
+    GateKind.DFF: 5.33,
+}
+
+#: Number of data inputs each kind consumes.
+ARITY: Dict[GateKind, int] = {
+    GateKind.CONST0: 0,
+    GateKind.CONST1: 0,
+    GateKind.BUF: 1,
+    GateKind.INV: 1,
+    GateKind.AND2: 2,
+    GateKind.OR2: 2,
+    GateKind.NAND2: 2,
+    GateKind.NOR2: 2,
+    GateKind.XOR2: 2,
+    GateKind.XNOR2: 2,
+    GateKind.MUX2: 3,
+    GateKind.DFF: 1,
+}
+
+
+def evaluate_gate(kind: GateKind, inputs) -> int:
+    """Boolean function of one cell over bit inputs (0/1)."""
+    if kind is GateKind.CONST0:
+        return 0
+    if kind is GateKind.CONST1:
+        return 1
+    if kind is GateKind.BUF:
+        return inputs[0]
+    if kind is GateKind.INV:
+        return 1 - inputs[0]
+    if kind is GateKind.AND2:
+        return inputs[0] & inputs[1]
+    if kind is GateKind.OR2:
+        return inputs[0] | inputs[1]
+    if kind is GateKind.NAND2:
+        return 1 - (inputs[0] & inputs[1])
+    if kind is GateKind.NOR2:
+        return 1 - (inputs[0] | inputs[1])
+    if kind is GateKind.XOR2:
+        return inputs[0] ^ inputs[1]
+    if kind is GateKind.XNOR2:
+        return 1 - (inputs[0] ^ inputs[1])
+    if kind is GateKind.MUX2:
+        return inputs[1] if inputs[0] else inputs[2]
+    raise ValueError(f"cannot evaluate {kind} combinationally")

@@ -1,0 +1,174 @@
+"""Two-level logic minimization and SOP-to-gate synthesis.
+
+The paper relies on Synopsys Design Compiler for controller (pure logic)
+synthesis.  This module substitutes the classic algorithms: a
+Quine–McCluskey prime generation pass with essential-prime extraction and
+a greedy cover (good up to ~14 inputs), and a mapper that turns the
+minimized sum-of-products into AND/OR/INV trees on a netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .gates import GateKind
+from .netlist import Net, Netlist
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term: for each input, care-mask bit + value bit.
+
+    Input *i* appears complemented when ``mask>>i & 1 and not value>>i & 1``,
+    uncomplemented when ``mask>>i & 1 and value>>i & 1``, and is absent
+    (don't care) when the mask bit is 0.
+    """
+
+    mask: int
+    value: int
+
+    def covers(self, minterm: int) -> bool:
+        """True when this cube covers the minterm."""
+        return (minterm & self.mask) == self.value
+
+    def literals(self, n_inputs: int) -> int:
+        """Number of literals in the product term."""
+        return bin(self.mask & ((1 << n_inputs) - 1)).count("1")
+
+    def __str__(self) -> str:
+        return f"Cube(mask={self.mask:b}, value={self.value:b})"
+
+
+def _try_merge(a: Cube, b: Cube) -> Optional[Cube]:
+    """Merge two cubes differing in exactly one cared bit."""
+    if a.mask != b.mask:
+        return None
+    diff = a.value ^ b.value
+    if diff == 0 or (diff & (diff - 1)) != 0:
+        return None
+    new_mask = a.mask & ~diff
+    return Cube(new_mask, a.value & new_mask)
+
+
+def prime_implicants(n_inputs: int, minterms: Iterable[int],
+                     dontcares: Iterable[int] = ()) -> List[Cube]:
+    """All prime implicants of the function (Quine–McCluskey)."""
+    current: Set[Cube] = {
+        Cube((1 << n_inputs) - 1, m) for m in set(minterms) | set(dontcares)
+    }
+    primes: Set[Cube] = set()
+    while current:
+        merged: Set[Cube] = set()
+        used: Set[Cube] = set()
+        grouped: Dict[Tuple[int, int], List[Cube]] = {}
+        for cube in current:
+            key = (cube.mask, bin(cube.value).count("1"))
+            grouped.setdefault(key, []).append(cube)
+        for (mask, ones), cubes in grouped.items():
+            partners = grouped.get((mask, ones + 1), [])
+            for a in cubes:
+                for b in partners:
+                    m = _try_merge(a, b)
+                    if m is not None:
+                        merged.add(m)
+                        used.add(a)
+                        used.add(b)
+        primes |= current - used
+        current = merged
+    return sorted(primes, key=lambda c: (c.mask, c.value))
+
+
+def minimum_cover(n_inputs: int, minterms: Sequence[int],
+                  primes: Sequence[Cube]) -> List[Cube]:
+    """Essential primes plus a greedy cover of the remaining minterms."""
+    remaining: Set[int] = set(minterms)
+    if not remaining:
+        return []
+    coverage: Dict[Cube, Set[int]] = {
+        p: {m for m in remaining if p.covers(m)} for p in primes
+    }
+    chosen: List[Cube] = []
+    # Essential primes: minterms covered by exactly one prime.
+    for minterm in list(remaining):
+        covering = [p for p in primes if p.covers(minterm)]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for cube in chosen:
+        remaining -= coverage[cube]
+    # Greedy: repeatedly take the prime covering the most remaining.
+    while remaining:
+        best = max(
+            primes,
+            key=lambda p: (len(coverage[p] & remaining), -p.literals(n_inputs)),
+        )
+        got = coverage[best] & remaining
+        if not got:
+            raise AssertionError("prime table does not cover the function")
+        chosen.append(best)
+        remaining -= got
+    return chosen
+
+
+def minimize(n_inputs: int, minterms: Sequence[int],
+             dontcares: Sequence[int] = ()) -> List[Cube]:
+    """Minimized SOP cover of the given on-set (with optional DC-set)."""
+    minterms = sorted(set(minterms))
+    if not minterms:
+        return []
+    full = (1 << n_inputs)
+    if len(minterms) + len(set(dontcares)) >= full:
+        if len(set(minterms) | set(dontcares)) == full:
+            return [Cube(0, 0)]  # constant 1
+    primes = prime_implicants(n_inputs, minterms, dontcares)
+    return minimum_cover(n_inputs, minterms, primes)
+
+
+def truth_table_minimize(n_inputs: int, function) -> List[Cube]:
+    """Minimize a Python predicate ``function(minterm) -> bool``."""
+    minterms = [m for m in range(1 << n_inputs) if function(m)]
+    return minimize(n_inputs, minterms)
+
+
+def cover_evaluates(cover: Sequence[Cube], minterm: int) -> bool:
+    """Evaluate a SOP cover on one input combination."""
+    return any(cube.covers(minterm) for cube in cover)
+
+
+def sop_to_gates(nl: Netlist, cover: Sequence[Cube],
+                 inputs: Sequence[Net]) -> Net:
+    """Map a SOP cover onto AND/OR/INV cells; returns the output net."""
+    from .bitops import or_tree
+
+    if not cover:
+        return nl.const(0)
+    inverted: Dict[int, Net] = {}
+
+    def inv(index: int) -> Net:
+        net = inverted.get(index)
+        if net is None:
+            net = nl.add(GateKind.INV, [inputs[index]])
+            inverted[index] = net
+        return net
+
+    products: List[Net] = []
+    for cube in cover:
+        literals: List[Net] = []
+        for i in range(len(inputs)):
+            if (cube.mask >> i) & 1:
+                if (cube.value >> i) & 1:
+                    literals.append(inputs[i])
+                else:
+                    literals.append(inv(i))
+        if not literals:
+            return nl.const(1)  # the constant-1 cube dominates
+        node = literals[0]
+        for literal in literals[1:]:
+            node = nl.add(GateKind.AND2, [node, literal])
+        products.append(node)
+    return or_tree(nl, products)
+
+
+def literal_count(cover: Sequence[Cube], n_inputs: int) -> int:
+    """Total literals in a cover (a classic logic-synthesis cost metric)."""
+    return sum(cube.literals(n_inputs) for cube in cover)

@@ -1,0 +1,201 @@
+"""Gate-level netlist data structure.
+
+Nets are integers; gates connect input nets to one output net.  Registers
+are DFF cells with an initial value.  The structure supports levelization
+(for the gate simulator), per-kind statistics and NAND2-equivalent area
+(for the paper's Kgate complexity figures).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import SynthesisError
+from .gates import AREA, ARITY, GateKind
+
+Net = int
+
+
+class Gate:
+    """One cell instance."""
+
+    __slots__ = ("kind", "inputs", "output", "init")
+
+    def __init__(self, kind: GateKind, inputs: Sequence[Net], output: Net,
+                 init: int = 0):
+        if len(inputs) != ARITY[kind]:
+            raise SynthesisError(
+                f"{kind.value} expects {ARITY[kind]} inputs, got {len(inputs)}"
+            )
+        self.kind = kind
+        self.inputs = tuple(inputs)
+        self.output = output
+        self.init = init  # DFF initial state
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}({', '.join(map(str, self.inputs))}) -> {self.output}"
+
+
+class Netlist:
+    """A flat gate-level netlist."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._net_count = 0
+        self.gates: List[Gate] = []
+        self.net_names: Dict[Net, str] = {}
+        #: Primary inputs: name -> list of nets (LSB first).
+        self.inputs: Dict[str, List[Net]] = {}
+        #: Primary outputs: name -> list of nets (LSB first).
+        self.outputs: Dict[str, List[Net]] = {}
+        self._const0: Optional[Net] = None
+        self._const1: Optional[Net] = None
+        self._driver: Dict[Net, Gate] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    def new_net(self, name: Optional[str] = None) -> Net:
+        """Allocate a fresh net."""
+        net = self._net_count
+        self._net_count += 1
+        if name:
+            self.net_names[net] = name
+        return net
+
+    def new_bus(self, width: int, name: Optional[str] = None) -> List[Net]:
+        """Allocate *width* nets (LSB first)."""
+        return [
+            self.new_net(f"{name}[{i}]" if name else None)
+            for i in range(width)
+        ]
+
+    def add(self, kind: GateKind, inputs: Sequence[Net],
+            output: Optional[Net] = None, init: int = 0) -> Net:
+        """Add a gate; returns its output net."""
+        if output is None:
+            output = self.new_net()
+        if output in self._driver:
+            raise SynthesisError(f"net {output} already driven")
+        gate = Gate(kind, inputs, output, init)
+        self.gates.append(gate)
+        self._driver[output] = gate
+        return output
+
+    def const(self, value: int) -> Net:
+        """The shared constant-0 or constant-1 net."""
+        if value:
+            if self._const1 is None:
+                self._const1 = self.add(GateKind.CONST1, [])
+            return self._const1
+        if self._const0 is None:
+            self._const0 = self.add(GateKind.CONST0, [])
+        return self._const0
+
+    def add_input(self, name: str, width: int) -> List[Net]:
+        """Declare a primary input bus."""
+        if name in self.inputs:
+            raise SynthesisError(f"duplicate input {name!r}")
+        bus = self.new_bus(width, name)
+        self.inputs[name] = bus
+        return bus
+
+    def set_output(self, name: str, nets: Sequence[Net]) -> None:
+        """Declare a primary output bus."""
+        if name in self.outputs:
+            raise SynthesisError(f"duplicate output {name!r}")
+        self.outputs[name] = list(nets)
+
+    def driver(self, net: Net) -> Optional[Gate]:
+        """The gate driving *net* (None for primary inputs)."""
+        return self._driver.get(net)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def dffs(self) -> List[Gate]:
+        """All sequential cells."""
+        return [g for g in self.gates if g.kind is GateKind.DFF]
+
+    def combinational(self) -> List[Gate]:
+        """All combinational cells."""
+        return [g for g in self.gates if g.kind is not GateKind.DFF]
+
+    def counts(self) -> Counter:
+        """Cell count per kind."""
+        return Counter(gate.kind for gate in self.gates)
+
+    def area(self) -> float:
+        """Total area in NAND2 equivalents."""
+        return sum(AREA[gate.kind] for gate in self.gates)
+
+    def gate_count(self) -> int:
+        """Total cell count excluding constants."""
+        return sum(
+            1 for gate in self.gates
+            if gate.kind not in (GateKind.CONST0, GateKind.CONST1)
+        )
+
+    def levelize(self) -> List[Gate]:
+        """Combinational gates in topological order.
+
+        DFF outputs and primary inputs are level-0 sources.  Raises
+        :class:`SynthesisError` on a combinational cycle.
+        """
+        order: List[Gate] = []
+        state: Dict[int, int] = {}
+
+        combinational = self.combinational()
+
+        def visit(gate: Gate, depth_guard: int = 0) -> None:
+            mark = state.get(id(gate))
+            if mark == 2:
+                return
+            if mark == 1:
+                raise SynthesisError(
+                    f"combinational cycle through net {gate.output}"
+                )
+            state[id(gate)] = 1
+            for net in gate.inputs:
+                upstream = self._driver.get(net)
+                if upstream is not None and upstream.kind is not GateKind.DFF:
+                    visit(upstream)
+            state[id(gate)] = 2
+            order.append(gate)
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, len(self.gates) * 2 + 1000))
+        try:
+            for gate in combinational:
+                visit(gate)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return order
+
+    def logic_depth(self) -> int:
+        """Longest combinational path, in gate levels."""
+        depth: Dict[Net, int] = {}
+        for gate in self.levelize():
+            level = 0
+            for net in gate.inputs:
+                level = max(level, depth.get(net, 0))
+            depth[gate.output] = level + 1
+        return max(depth.values(), default=0)
+
+    def stats(self) -> Dict[str, object]:
+        """Summary statistics for reports."""
+        counts = self.counts()
+        return {
+            "name": self.name,
+            "cells": self.gate_count(),
+            "area_nand2": round(self.area(), 1),
+            "dffs": counts.get(GateKind.DFF, 0),
+            "depth": self.logic_depth(),
+            "by_kind": {k.value: v for k, v in sorted(
+                counts.items(), key=lambda kv: kv[0].value)},
+        }
+
+    def __repr__(self) -> str:
+        return (f"Netlist({self.name!r}, {self.gate_count()} cells, "
+                f"{len(self.dffs())} DFFs, area={self.area():.0f})")

@@ -1,0 +1,253 @@
+"""Gate-level netlist post-optimization.
+
+Paper, section 6: *"The combined netlists of datapath and controller are
+also post-optimized ... to perform gate-level netlist optimizations."*
+
+Implemented passes (iterated to a fixed point):
+
+* constant propagation (including sequential: a DFF whose D is constant
+  and equal to its initial value is a constant),
+* local simplification (AND with 0/1, XOR with 0/1, MUX with constant
+  select or equal branches, double inverters, buffers),
+* structural hashing (identical gates merged),
+* dead-gate sweep from the primary outputs and live DFFs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from .gates import GateKind
+from .netlist import Gate, Net, Netlist
+
+#: Resolution of a net: another net it aliases, or a constant 0/1.
+_Const = str  # "0" or "1" markers
+
+
+def _resolve(alias: Dict[Net, Union[Net, str]], net: Net) -> Union[Net, str]:
+    seen = set()
+    current: Union[Net, str] = net
+    while isinstance(current, int) and current in alias:
+        if current in seen:
+            break
+        seen.add(current)
+        current = alias[current]
+    return current
+
+
+def _simplify(kind: GateKind, inputs: List[Union[Net, str]]
+              ) -> Optional[Union[Net, str, Tuple[GateKind, List]]]:
+    """Local rewrite of one gate given resolved inputs.
+
+    Returns a net/const the output aliases to, a replacement (kind,
+    inputs) pair, or None to keep the gate as-is.
+    """
+    if kind is GateKind.BUF:
+        return inputs[0]
+    if kind is GateKind.INV:
+        a = inputs[0]
+        if a == "0":
+            return "1"
+        if a == "1":
+            return "0"
+        return None
+    if kind in (GateKind.AND2, GateKind.NAND2):
+        a, b = inputs
+        inverting = kind is GateKind.NAND2
+        if a == "0" or b == "0":
+            return "1" if inverting else "0"
+        if a == "1" and b == "1":
+            return "0" if inverting else "1"
+        if a == "1":
+            return (GateKind.INV, [b]) if inverting else b
+        if b == "1":
+            return (GateKind.INV, [a]) if inverting else a
+        if a == b:
+            return (GateKind.INV, [a]) if inverting else a
+        return None
+    if kind in (GateKind.OR2, GateKind.NOR2):
+        a, b = inputs
+        inverting = kind is GateKind.NOR2
+        if a == "1" or b == "1":
+            return "0" if inverting else "1"
+        if a == "0" and b == "0":
+            return "1" if inverting else "0"
+        if a == "0":
+            return (GateKind.INV, [b]) if inverting else b
+        if b == "0":
+            return (GateKind.INV, [a]) if inverting else a
+        if a == b:
+            return (GateKind.INV, [a]) if inverting else a
+        return None
+    if kind in (GateKind.XOR2, GateKind.XNOR2):
+        a, b = inputs
+        inverting = kind is GateKind.XNOR2
+        if isinstance(a, str) and isinstance(b, str):
+            bit = (a == "1") ^ (b == "1")
+            bit ^= inverting
+            return "1" if bit else "0"
+        if a == b:
+            return "1" if inverting else "0"
+        for x, y in ((a, b), (b, a)):
+            if x == "0":
+                return (GateKind.INV, [y]) if inverting else y
+            if x == "1":
+                return y if inverting else (GateKind.INV, [y])
+        return None
+    if kind is GateKind.MUX2:
+        sel, t, f = inputs
+        if sel == "1":
+            return t
+        if sel == "0":
+            return f
+        if t == f:
+            return t
+        if t == "1" and f == "0":
+            return sel
+        if t == "0" and f == "1":
+            return (GateKind.INV, [sel])
+        return None
+    return None
+
+
+def optimize_netlist(netlist: Netlist, max_passes: int = 8) -> Netlist:
+    """Return an optimized copy of *netlist* (same PI/PO interface)."""
+    current = netlist
+    for _pass in range(max_passes):
+        optimized, changed = _one_pass(current)
+        current = optimized
+        if not changed:
+            break
+    return current
+
+
+def _one_pass(old: Netlist) -> Tuple[Netlist, bool]:
+    alias: Dict[Net, Union[Net, str]] = {}
+    replacement_kind: Dict[int, Tuple[GateKind, List[Union[Net, str]]]] = {}
+    hash_table: Dict[tuple, Net] = {}
+    changed = False
+
+    # DFF sequential constant propagation: D constant and equal to init.
+    # (Requires the D's constness, discovered below — handled in a second
+    # sweep for simplicity.)
+    order = old.levelize()
+    dffs = old.dffs()
+
+    for gate in order:
+        resolved = [_resolve(alias, n) for n in gate.inputs]
+        if gate.kind is GateKind.CONST0:
+            alias[gate.output] = "0"
+            continue
+        if gate.kind is GateKind.CONST1:
+            alias[gate.output] = "1"
+            continue
+        # Double-inverter collapse.
+        if gate.kind is GateKind.INV and isinstance(resolved[0], int):
+            upstream = old.driver(resolved[0])
+            if upstream is not None and upstream.kind is GateKind.INV:
+                inner = _resolve(alias, upstream.inputs[0])
+                alias[gate.output] = inner
+                changed = True
+                continue
+        result = _simplify(gate.kind, resolved)
+        if result is not None and not isinstance(result, tuple):
+            alias[gate.output] = result
+            changed = True
+            continue
+        if isinstance(result, tuple):
+            replacement_kind[gate.output] = result
+            kind, resolved = result
+            changed = True
+        else:
+            kind = gate.kind
+        key = (kind, tuple(resolved))
+        existing = hash_table.get(key)
+        if existing is not None:
+            alias[gate.output] = existing
+            changed = True
+        else:
+            hash_table[key] = gate.output
+            replacement_kind.setdefault(gate.output, (kind, list(resolved)))
+
+    # Sequential constant propagation.
+    for dff in dffs:
+        d = _resolve(alias, dff.inputs[0])
+        if d == "0" and dff.init == 0:
+            alias[dff.output] = "0"
+            changed = True
+        elif d == "1" and dff.init == 1:
+            alias[dff.output] = "1"
+            changed = True
+
+    # Liveness: walk back from primary outputs and live DFFs.
+    live: Set[Net] = set()
+    frontier: List[Union[Net, str]] = []
+    for bus in old.outputs.values():
+        frontier.extend(bus)
+    while frontier:
+        item = frontier.pop()
+        resolved = _resolve(alias, item) if isinstance(item, int) else item
+        if not isinstance(resolved, int) or resolved in live:
+            continue
+        live.add(resolved)
+        gate = old.driver(resolved)
+        if gate is None:
+            continue
+        if gate.output in replacement_kind and gate.kind is not GateKind.DFF:
+            _kind, inputs = replacement_kind[gate.output]
+            frontier.extend(inputs)
+        else:
+            frontier.extend(gate.inputs)
+
+    # Rebuild.
+    new = Netlist(old.name)
+    net_map: Dict[Net, Net] = {}
+
+    def map_net(item: Union[Net, str]) -> Net:
+        if item == "0":
+            return new.const(0)
+        if item == "1":
+            return new.const(1)
+        resolved = _resolve(alias, item)
+        if not isinstance(resolved, int):
+            return new.const(1 if resolved == "1" else 0)
+        got = net_map.get(resolved)
+        if got is None:
+            got = new.new_net(old.net_names.get(resolved))
+            net_map[resolved] = got
+        return got
+
+    for name, bus in old.inputs.items():
+        new_bus = [map_net(n) for n in bus]
+        new.inputs[name] = new_bus
+
+    for dff in dffs:
+        target = _resolve(alias, dff.output)
+        if not isinstance(target, int) or target != dff.output:
+            continue  # the DFF became a constant
+        if dff.output not in live:
+            continue
+        new.add(GateKind.DFF, [map_net(dff.inputs[0])],
+                output=map_net(dff.output), init=dff.init)
+        # The backward liveness walk above already followed DFF D-cones
+        # (a DFF is traversed like any other gate), so every cell the
+        # surviving DFFs depend on is in `live`.
+
+    for gate in order:
+        resolved_out = _resolve(alias, gate.output)
+        if not isinstance(resolved_out, int) or resolved_out != gate.output:
+            continue  # simplified away or merged
+        if gate.output not in live:
+            changed = True
+            continue
+        kind, inputs = replacement_kind.get(
+            gate.output, (gate.kind, list(gate.inputs))
+        )
+        if kind in (GateKind.CONST0, GateKind.CONST1):
+            continue
+        new.add(kind, [map_net(i) for i in inputs], output=map_net(gate.output))
+
+    for name, bus in old.outputs.items():
+        new.set_output(name, [map_net(n) for n in bus])
+
+    return new, changed

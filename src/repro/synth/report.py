@@ -1,0 +1,66 @@
+"""Area and complexity reporting (the paper's Kgate figures)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .flow import ComponentSynthesis, SystemSynthesis
+
+#: NAND2-equivalent gates charged per RAM macro cell (the paper counts
+#: its 7 on-chip RAM cells inside the 75 Kgate complexity figure).
+RAM_MACRO_GATES = 2000
+
+
+def component_report(synthesis: ComponentSynthesis) -> str:
+    """One-component summary table."""
+    stats = synthesis.netlist.stats()
+    lines = [
+        f"component {synthesis.process.name}",
+        f"  cells      : {stats['cells']}",
+        f"  area       : {stats['area_nand2']} NAND2-eq",
+        f"  registers  : {stats['dffs']} DFF bits",
+        f"  logic depth: {stats['depth']} levels",
+    ]
+    if synthesis.controller is not None:
+        lines.append(
+            f"  controller : {synthesis.controller.n_state_bits} state bits, "
+            f"{len(synthesis.controller.select)} transitions"
+        )
+    sharing = synthesis.sharing
+    if sharing["operations"]:
+        lines.append(
+            f"  datapath   : {sharing['operations']} word ops on "
+            f"{sharing['instances']} operator instances"
+        )
+    return "\n".join(lines)
+
+
+def system_report(synthesis: SystemSynthesis,
+                  ram_macro_gates: int = RAM_MACRO_GATES) -> str:
+    """Whole-system summary, including RAM macros (paper: '7 RAM cells')."""
+    lines = [f"system {synthesis.system.name}"]
+    header = f"  {'component':<24} {'cells':>8} {'area':>10} {'DFFs':>6}"
+    lines.append(header)
+    for component in synthesis.components:
+        stats = component.netlist.stats()
+        lines.append(
+            f"  {component.process.name:<24} {stats['cells']:>8} "
+            f"{stats['area_nand2']:>10} {stats['dffs']:>6}"
+        )
+    ram_area = len(synthesis.ram_macros) * ram_macro_gates
+    lines.append(
+        f"  {'RAM macros (' + str(len(synthesis.ram_macros)) + ')':<24} "
+        f"{'-':>8} {ram_area:>10} {'-':>6}"
+    )
+    total = synthesis.total_area + ram_area
+    lines.append(
+        f"  {'TOTAL':<24} {synthesis.total_gates:>8} {round(total, 1):>10}"
+    )
+    lines.append(f"  complexity: {total / 1000:.1f} Kgate equivalent")
+    return "\n".join(lines)
+
+
+def total_complexity(synthesis: SystemSynthesis,
+                     ram_macro_gates: int = RAM_MACRO_GATES) -> float:
+    """Total NAND2-equivalent complexity including RAM macros."""
+    return synthesis.total_area + len(synthesis.ram_macros) * ram_macro_gates

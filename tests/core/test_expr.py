@@ -1,0 +1,204 @@
+"""Tests for expression-DAG construction and evaluation (paper Fig. 3)."""
+
+import pytest
+
+from repro.core import (
+    BOOL,
+    BinOp,
+    Clock,
+    Constant,
+    ModelError,
+    Mux,
+    Register,
+    Sig,
+    SynthesisError,
+    bit,
+    bits,
+    cast,
+    concat,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    mux,
+    ne,
+)
+from repro.fixpt import Fx, FxFormat
+
+F8 = FxFormat(8, 4)
+I8 = FxFormat(8, 8)
+U8 = FxFormat(8, 8, signed=False)
+
+
+class TestDagConstruction:
+    def test_add_builds_node_not_value(self):
+        a, b = Sig("a", F8), Sig("b", F8)
+        node = a + b
+        assert isinstance(node, BinOp)
+        assert node.op == "+"
+        assert node.left is a
+        assert node.right is b
+
+    def test_python_numbers_become_constants(self):
+        a = Sig("a", F8)
+        node = a + 3
+        assert isinstance(node.right, Constant)
+        assert node.right.value == 3
+
+    def test_reflected_operators(self):
+        a = Sig("a", F8)
+        node = 3 - a
+        assert isinstance(node.left, Constant)
+        assert node.right is a
+
+    def test_nested_expression_structure(self):
+        a, b, c = Sig("a", F8), Sig("b", F8), Sig("c", F8)
+        node = a + b * c
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_leaves_and_signals(self):
+        a, b = Sig("a", F8), Sig("b", F8)
+        node = (a + b) * 2 - a
+        assert node.signals() == {a, b}
+        assert any(isinstance(leaf, Constant) for leaf in node.leaves())
+
+    def test_no_python_truth_value(self):
+        a = Sig("a", F8)
+        with pytest.raises(ModelError):
+            if a + 1:
+                pass
+
+    def test_shift_amount_must_be_constant(self):
+        a, b = Sig("a", F8), Sig("b", F8)
+        with pytest.raises((ModelError, TypeError)):
+            a << b
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        a = Sig("a", F8, init=1.5)
+        b = Sig("b", F8, init=2.25)
+        assert float((a + b).evaluate()) == 3.75
+        assert float((a - b).evaluate()) == -0.75
+        assert float((a * b).evaluate()) == 1.5 * 2.25
+        assert float((-a).evaluate()) == -1.5
+        assert float(abs(-a).evaluate()) == 1.5
+
+    def test_register_reads_current(self):
+        clk = Clock()
+        reg = Register("r", clk, F8, init=1.0)
+        expr = reg + 1
+        reg.set_next(5.0)
+        assert float(expr.evaluate()) == 2.0  # pre-edge value
+        clk.tick()
+        assert float(expr.evaluate()) == 6.0
+
+    def test_comparisons_return_bits(self):
+        a = Sig("a", F8, init=1.0)
+        b = Sig("b", F8, init=2.0)
+        assert eq(a, b).evaluate() == 0
+        assert ne(a, b).evaluate() == 1
+        assert lt(a, b).evaluate() == 1
+        assert le(a, a).evaluate() == 1
+        assert gt(b, a).evaluate() == 1
+        assert ge(a, b).evaluate() == 0
+
+    def test_comparison_result_format_is_bool(self):
+        a = Sig("a", F8)
+        assert eq(a, 1).result_fmt() == BOOL
+
+    def test_mux(self):
+        sel = Sig("sel", BOOL, init=1)
+        a = Sig("a", F8, init=1.0)
+        b = Sig("b", F8, init=2.0)
+        node = mux(sel, a, b)
+        assert float(node.evaluate()) == 1.0
+        sel.value = 0
+        assert float(node.evaluate()) == 2.0
+
+    def test_mux_evaluates_lazily_but_structurally_complete(self):
+        sel = Sig("sel", BOOL, init=0)
+        a, b = Sig("a", F8), Sig("b", F8)
+        node = mux(sel, a, b)
+        assert node.signals() == {sel, a, b}
+
+    def test_cast_quantizes(self):
+        a = Sig("a", FxFormat(16, 4), init=1.53125)
+        node = cast(a, F8)
+        assert float(node.evaluate()) == 1.5
+
+    def test_shifts(self):
+        a = Sig("a", F8, init=1.5)
+        assert float((a << 1).evaluate()) == 3.0
+        assert float((a >> 1).evaluate()) == 0.75
+
+    def test_bit_select(self):
+        a = Sig("a", U8, init=0b1010)
+        assert bit(a, 1).evaluate() == 1
+        assert bit(a, 2).evaluate() == 0
+
+    def test_bit_select_on_negative_two_complement(self):
+        a = Sig("a", I8, init=-1)
+        assert bit(a, 7).evaluate() == 1
+
+    def test_slice_select(self):
+        a = Sig("a", U8, init=0b11011000)
+        assert bits(a, 7, 4).evaluate() == 0b1101
+        assert bits(a, 3, 0).evaluate() == 0b1000
+
+    def test_concat(self):
+        hi = Sig("hi", FxFormat(4, 4, signed=False), init=0b1101)
+        lo = Sig("lo", FxFormat(4, 4, signed=False), init=0b0010)
+        node = concat(hi, lo)
+        assert node.evaluate() == 0b11010010
+        assert node.result_fmt().wl == 8
+
+    def test_bitwise(self):
+        a = Sig("a", U8, init=0b1100)
+        b = Sig("b", U8, init=0b1010)
+        assert int((a & b).evaluate()) == 0b1000
+        assert int((a | b).evaluate()) == 0b1110
+        assert int((a ^ b).evaluate()) == 0b0110
+
+    def test_float_modeling_without_formats(self):
+        a = Sig("a", init=1.5)
+        b = Sig("b", init=2.5)
+        assert (a * b + 1).evaluate() == pytest.approx(4.75)
+
+
+class TestResultFormats:
+    def test_add_grows_one_bit(self):
+        a, b = Sig("a", F8), Sig("b", F8)
+        fmt = (a + b).result_fmt()
+        assert fmt.wl == 9
+        assert fmt.frac_bits == 4
+
+    def test_mul_sums_widths(self):
+        a, b = Sig("a", F8), Sig("b", F8)
+        fmt = (a * b).result_fmt()
+        assert fmt.iwl == 8
+        assert fmt.frac_bits == 8
+
+    def test_unformatted_returns_none(self):
+        a = Sig("a")
+        assert (a + 1).result_fmt() is None
+
+    def test_require_fmt_raises(self):
+        a = Sig("a")
+        with pytest.raises(SynthesisError):
+            (a + 1).require_fmt()
+
+    def test_constant_int_format(self):
+        fmt = Constant(5).result_fmt()
+        assert fmt.is_integer()
+        assert fmt.raw_max >= 5
+
+    def test_mux_unions(self):
+        sel = Sig("s", BOOL)
+        a = Sig("a", FxFormat(8, 4))
+        b = Sig("b", FxFormat(10, 2))
+        fmt = mux(sel, a, b).result_fmt()
+        assert fmt.can_hold(a.fmt)
+        assert fmt.can_hold(b.fmt)

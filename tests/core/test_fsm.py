@@ -1,0 +1,172 @@
+"""Tests for the FSM DSL (paper Fig. 4) and its simulation semantics."""
+
+import pytest
+
+from repro.core import (
+    BOOL,
+    FSM,
+    SFG,
+    Clock,
+    ModelError,
+    Register,
+    SimulationError,
+    always,
+    cnd,
+)
+from repro.fixpt import FxFormat
+
+
+def build_fig4_fsm():
+    """The exact FSM of the paper's Figure 4."""
+    clk = Clock()
+    eof = Register("eof", clk, BOOL)
+    sfg1, sfg2, sfg3 = SFG("sfg1"), SFG("sfg2"), SFG("sfg3")
+    f = FSM("f")
+    s0 = f.initial("s0")
+    s1 = f.state("s1")
+    s0 << always << sfg1 << s1
+    s1 << cnd(eof) << sfg2 << s1
+    s1 << ~cnd(eof) << sfg3 << s0
+    return f, eof, (sfg1, sfg2, sfg3), clk
+
+
+class TestDsl:
+    def test_states_and_initial(self):
+        f, _eof, _sfgs, _clk = build_fig4_fsm()
+        assert [s.name for s in f.states] == ["s0", "s1"]
+        assert f.initial_state.name == "s0"
+        assert f.current.name == "s0"
+
+    def test_transitions_recorded_in_order(self):
+        f, _eof, (sfg1, sfg2, sfg3), _clk = build_fig4_fsm()
+        assert len(f.transitions) == 3
+        assert f.transitions[0].sfgs == (sfg1,)
+        assert f.transitions[1].sfgs == (sfg2,)
+        assert f.transitions[2].sfgs == (sfg3,)
+        assert f.transitions[2].target.name == "s0"
+
+    def test_multiple_sfgs_per_transition(self):
+        f = FSM("f")
+        s0 = f.initial("s0")
+        a, b = SFG("a"), SFG("b")
+        s0 << always << a << b << s0
+        assert f.transitions[0].sfgs == (a, b)
+
+    def test_transition_without_action(self):
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s1 = f.state("s1")
+        s0 << s1
+        assert f.transitions[0].sfgs == ()
+        assert f.transitions[0].condition.is_always()
+
+    def test_duplicate_state_name_rejected(self):
+        f = FSM("f")
+        f.state("s0")
+        with pytest.raises(ModelError):
+            f.state("s0")
+
+    def test_two_initial_states_rejected(self):
+        f = FSM("f")
+        f.initial("s0")
+        with pytest.raises(ModelError):
+            f.initial("s1")
+
+    def test_first_state_defaults_to_initial(self):
+        f = FSM("f")
+        s0 = f.state("s0")
+        assert f.initial_state is s0
+
+    def test_bad_chain_item_rejected(self):
+        f = FSM("f")
+        s0 = f.initial("s0")
+        with pytest.raises(ModelError):
+            s0 << 42
+
+    def test_sfgs_listing_deduplicates(self):
+        f = FSM("f")
+        s0 = f.initial("s0")
+        shared = SFG("shared")
+        s0 << cnd(Register("c", Clock(), BOOL)) << shared << s0
+        s0 << always << shared << s0
+        assert f.sfgs() == [shared]
+
+
+class TestConditions:
+    def test_always(self):
+        assert always.evaluate() is True
+        assert always.is_always()
+
+    def test_negation(self):
+        clk = Clock()
+        flag = Register("flag", clk, BOOL, init=1)
+        condition = cnd(flag)
+        assert condition.evaluate() is True
+        assert (~condition).evaluate() is False
+        assert (~~condition).evaluate() is True
+
+    def test_condition_over_expression(self):
+        clk = Clock()
+        count = Register("count", clk, FxFormat(8, 8), init=5)
+        from repro.core import ge
+
+        condition = cnd(ge(count, 5))
+        assert condition.evaluate() is True
+
+
+class TestSimulation:
+    def test_fig4_walk(self):
+        f, eof, (sfg1, sfg2, sfg3), clk = build_fig4_fsm()
+        # s0 --always/sfg1--> s1
+        t = f.select()
+        assert t.sfgs == (sfg1,)
+        f.commit()
+        assert f.current.name == "s1"
+        # eof=0: s1 --!eof/sfg3--> s0
+        t = f.select()
+        assert t.sfgs == (sfg3,)
+        f.commit()
+        assert f.current.name == "s0"
+        # back to s1, then eof=1: s1 --eof/sfg2--> s1
+        f.select()
+        f.commit()
+        eof.set_next(1)
+        clk.tick()
+        t = f.select()
+        assert t.sfgs == (sfg2,)
+        f.commit()
+        assert f.current.name == "s1"
+
+    def test_priority_encoding_first_true_wins(self):
+        clk = Clock()
+        a = Register("a", clk, BOOL, init=1)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s1 = f.state("s1")
+        s2 = f.state("s2")
+        s0 << cnd(a) << s1
+        s0 << always << s2
+        t = f.select()
+        assert t.target is s1
+
+    def test_no_enabled_transition_raises(self):
+        clk = Clock()
+        a = Register("a", clk, BOOL, init=0)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s0 << cnd(a) << s0
+        with pytest.raises(SimulationError):
+            f.select()
+
+    def test_commit_only_after_select(self):
+        f, _eof, _sfgs, _clk = build_fig4_fsm()
+        f.commit()  # no pending selection: stays put
+        assert f.current.name == "s0"
+
+    def test_reset(self):
+        f, _eof, _sfgs, _clk = build_fig4_fsm()
+        f.select()
+        f.commit()
+        assert f.current.name == "s1"
+        f.reset()
+        assert f.current.name == "s0"

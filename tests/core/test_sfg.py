@@ -1,0 +1,221 @@
+"""Tests for signal flow graphs: construction, ordering, one-cycle semantics."""
+
+import pytest
+
+from repro.core import (
+    SFG,
+    CheckError,
+    Clock,
+    ModelError,
+    Register,
+    Sig,
+    mux,
+)
+from repro.fixpt import FxFormat
+
+F = FxFormat(16, 8)
+
+
+class TestConstruction:
+    def test_ilshift_records_assignment(self):
+        a, y = Sig("a", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= a + 1
+        assert len(sfg.assignments) == 1
+        assert sfg.assignments[0].target is y
+
+    def test_assignment_outside_sfg_raises(self):
+        y = Sig("y", F)
+        with pytest.raises(ModelError):
+            y <<= Sig("a", F) + 1
+
+    def test_explicit_assign(self):
+        a, y = Sig("a", F), Sig("y", F)
+        sfg = SFG("t")
+        sfg.assign(y, a * 2)
+        assert len(sfg.assignments) == 1
+
+    def test_multiple_drivers_rejected(self):
+        a, y = Sig("a", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= a + 1
+        with pytest.raises(CheckError):
+            with sfg:
+                y <<= a + 2
+
+    def test_nested_sfg_contexts(self):
+        outer, inner = SFG("outer"), SFG("inner")
+        a = Sig("a", F)
+        x, y = Sig("x", F), Sig("y", F)
+        with outer:
+            x <<= a + 1
+            with inner:
+                y <<= a + 2
+        assert outer.assignments[0].target is x
+        assert inner.assignments[0].target is y
+
+    def test_io_declaration(self):
+        a, y = Sig("a", F), Sig("y", F)
+        sfg = SFG("t").inp(a).out(y)
+        assert sfg.inputs == (a,)
+        assert sfg.outputs == (y,)
+
+    def test_register_cannot_be_input(self):
+        clk = Clock()
+        r = Register("r", clk, F)
+        with pytest.raises(ModelError):
+            SFG("t").inp(r)
+
+
+class TestOrdering:
+    def test_out_of_order_assignments_reordered(self):
+        a = Sig("a", F, init=1.0)
+        mid, y = Sig("mid", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= mid + 1     # reads mid before it is written below
+            mid <<= a * 2
+        sfg.inp(a).out(y)
+        sfg.run()
+        assert float(y.value) == 3.0
+
+    def test_combinational_loop_detected(self):
+        x, y = Sig("x", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            x <<= y + 1
+            y <<= x + 1
+        with pytest.raises(CheckError, match="combinational loop"):
+            sfg.ordered_assignments()
+
+    def test_register_breaks_loop(self):
+        clk = Clock()
+        r = Register("r", clk, F)
+        x = Sig("x", F)
+        sfg = SFG("t")
+        with sfg:
+            x <<= r + 1
+            r <<= x  # feedback through the register: legal
+        sfg.ordered_assignments()  # must not raise
+
+    def test_diamond_dependency(self):
+        a = Sig("a", F, init=2.0)
+        l, r, y = Sig("l", F), Sig("r", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= l + r
+            l <<= a + 1
+            r <<= a * 3
+        sfg.inp(a).out(y)
+        sfg.run()
+        assert float(y.value) == 9.0
+
+
+class TestOneCycleSemantics:
+    def test_register_read_sees_old_value(self):
+        clk = Clock()
+        acc = Register("acc", clk, F, init=10.0)
+        y = Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            acc <<= acc + 1
+            y <<= acc * 2  # reads the pre-edge value
+        sfg.out(y)
+        sfg.run()
+        assert float(y.value) == 20.0
+        clk.tick()
+        assert float(acc.current) == 11.0
+
+    def test_register_holds_without_assignment(self):
+        clk = Clock()
+        r = Register("r", clk, F, init=5.0)
+        clk.tick()
+        assert float(r.current) == 5.0
+
+    def test_clock_reset(self):
+        clk = Clock()
+        r = Register("r", clk, F, init=3.0)
+        r.set_next(9.0)
+        clk.tick()
+        assert float(r.current) == 9.0
+        clk.reset()
+        assert float(r.current) == 3.0
+        assert clk.cycle == 0
+
+    def test_sfg_represents_exactly_one_cycle(self):
+        clk = Clock()
+        acc = Register("acc", clk, F)
+        sfg = SFG("t")
+        with sfg:
+            acc <<= acc + 1
+        for expected in (1.0, 2.0, 3.0):
+            sfg.run()
+            clk.tick()
+            assert float(acc.current) == expected
+
+    def test_quantization_at_signal_boundary(self):
+        a = Sig("a", FxFormat(16, 8), init=1.1)
+        y = Sig("y", FxFormat(4, 2))  # coarse: step 0.25, max 1.75
+        sfg = SFG("t")
+        with sfg:
+            y <<= a + 1
+        sfg.inp(a).out(y)
+        sfg.run()
+        assert float(y.value) == 1.75  # saturated
+
+
+class TestDependencyAnalysis:
+    def test_input_cone_direct(self):
+        a, b, y = Sig("a", F), Sig("b", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= a + 1
+        sfg.inp(a, b).out(y)
+        assert sfg.input_cone(y) == {a}
+
+    def test_input_cone_transitive(self):
+        a, mid, y = Sig("a", F), Sig("mid", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            mid <<= a * 2
+            y <<= mid + 1
+        sfg.inp(a).out(y)
+        assert sfg.input_cone(y) == {a}
+
+    def test_input_cone_stops_at_registers(self):
+        clk = Clock()
+        r = Register("r", clk, F)
+        a, y = Sig("a", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            r <<= a        # register next depends on the input...
+            y <<= r + 1    # ...but y reads the *current* value
+        sfg.inp(a).out(y)
+        assert sfg.input_cone(y) == set()
+
+    def test_assignment_input_deps(self):
+        clk = Clock()
+        r = Register("r", clk, F)
+        a, y, z = Sig("a", F), Sig("y", F), Sig("z", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= a + 1
+            z <<= r * 2
+        sfg.inp(a).out(y, z)
+        deps = sfg.assignment_input_deps()
+        by_target = {asg.target.name: cone for asg, cone in deps.items()}
+        assert by_target["y"] == {a}
+        assert by_target["z"] == set()
+
+    def test_registers_listing(self):
+        clk = Clock()
+        r1, r2 = Register("r1", clk, F), Register("r2", clk, F)
+        y = Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            r1 <<= r2 + 1
+            y <<= r1
+        names = {r.name for r in sfg.registers()}
+        assert names == {"r1", "r2"}

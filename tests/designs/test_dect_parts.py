@@ -1,0 +1,201 @@
+"""Unit tests for the DECT transceiver's building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core import System
+from repro.designs.dect import (
+    CONDITIONS,
+    DATAPATH_TABLES,
+    InstructionRom,
+    Program,
+    WORD_BITS,
+    build_all,
+    build_rams,
+)
+from repro.designs.dect import formats as F
+from repro.designs.dect.irom import FIELD_LAYOUT, field_slice
+from repro.dsp.dect import rcrc
+
+
+class TestArchitectureInventory:
+    def test_exactly_22_datapaths(self):
+        assert len(DATAPATH_TABLES) == 22
+
+    def test_instruction_counts_between_2_and_57(self):
+        counts = [len(table) for _name, table in DATAPATH_TABLES]
+        assert min(counts) == 2
+        assert max(counts) == 57
+
+    def test_alu_is_the_57_instruction_datapath(self):
+        by_name = dict(DATAPATH_TABLES)
+        assert len(by_name["alu"]) == 57
+
+    def test_seven_rams(self):
+        assert len(build_rams()) == 7
+
+    def test_nop_is_opcode_zero_everywhere(self):
+        for _name, table in DATAPATH_TABLES:
+            assert table[0] == "NOP"
+
+    def test_build_all_covers_every_table(self):
+        from repro.core import Clock
+
+        datapaths = build_all(Clock("t"))
+        assert set(datapaths) == {name for name, _ in DATAPATH_TABLES}
+
+
+class TestInstructionWord:
+    def test_fields_do_not_overlap(self):
+        position = 0
+        for name, lsb, width in FIELD_LAYOUT:
+            assert lsb == position, name
+            position += width
+        assert position == WORD_BITS
+
+    def test_assembler_round_trip(self):
+        program = Program()
+        program.step(io_i="LOAD", alu="ADD2", pc_op="JMP", target=5)
+        word = program.assemble()[0]
+        lsb, width = field_slice("io_i")
+        assert (word >> lsb) & ((1 << width) - 1) == 1
+        lsb, width = field_slice("alu")
+        assert (word >> lsb) & ((1 << width) - 1) == F.ALU_OPS.index("ADD2")
+        lsb, width = field_slice("target")
+        assert (word >> lsb) & ((1 << width) - 1) == 5
+
+    def test_labels(self):
+        program = Program()
+        program.label("start")
+        program.step()
+        program.step(pc_op="JMP", target="start")
+        words = program.assemble()
+        lsb, width = field_slice("target")
+        assert (words[1] >> lsb) & ((1 << width) - 1) == 0
+
+    def test_unknown_mnemonic_rejected(self):
+        program = Program()
+        with pytest.raises(Exception):
+            program.step(io_i="FLY")
+
+    def test_undefined_label_rejected(self):
+        program = Program()
+        program.step(pc_op="JMP", target="nowhere")
+        with pytest.raises(Exception):
+            program.assemble()
+
+    def test_rom_returns_zero_beyond_program(self):
+        rom = InstructionRom([7, 9])
+        assert rom.behavior(pc=0) == {"word": 7}
+        assert rom.behavior(pc=5) == {"word": 0}
+
+
+class TestRam:
+    def test_write_then_read(self):
+        ram = build_rams()["scratch"]
+        result = ram.behavior(addr=3, we=1, waddr=3, wdata=42)
+        assert result["q"] == 0  # read happens before the write commits
+        result = ram.behavior(addr=3, we=0, waddr=0, wdata=0)
+        assert result["q"] == 42
+
+    def test_write_gate(self):
+        ram = build_rams()["out_a"]
+        ram.behavior(addr=0, we=1, wgate=0, waddr=0, wdata=1)
+        assert ram.dump()[0] == 0
+        ram.behavior(addr=0, we=1, wgate=1, waddr=0, wdata=1)
+        assert ram.dump()[0] == 1
+
+    def test_address_wraps(self):
+        ram = build_rams()["coef_re"]
+        ram.behavior(addr=0, we=1, waddr=16, wdata=5)  # depth 16
+        assert ram.dump()[0] == 5
+
+    def test_load_and_dump(self):
+        ram = build_rams()["out_a"]
+        ram.load([1, 0, 1])
+        assert ram.dump()[:3] == [1, 0, 1]
+
+
+class TestCrcDatapath:
+    def _run_crc(self, bits):
+        from repro.core import Clock
+        from repro.designs.dect.datapaths import build_crc
+        from repro.designs.dect.formats import CRC_OPS
+        from repro.sim import CycleScheduler
+
+        clk = Clock("t")
+        crc = build_crc(clk)
+        system = System("crc_sys")
+        system.add(crc)
+        instr = system.connect(None, crc.port("instr"), name="instr")
+        data = system.connect(None, crc.port("bit"), name="bit")
+        lfsr = system.connect(crc.port("lfsr"), name="lfsr")
+        ok = system.connect(crc.port("ok"), name="ok")
+        scheduler = CycleScheduler(system)
+        scheduler.step({instr: CRC_OPS.index("CLR"), data: 0})
+        for b in bits:
+            scheduler.step({instr: CRC_OPS.index("SHIFT"), data: b})
+        for _ in range(16):
+            scheduler.step({instr: CRC_OPS.index("SHIFT0"), data: 0})
+        scheduler.step({instr: CRC_OPS.index("CHECK"), data: 0})
+        scheduler.step({instr: 0, data: 0})
+        process_ok = int(crc.port("ok").sig.current)
+        return process_ok
+
+    def test_valid_codeword_checks(self):
+        rng = np.random.default_rng(5)
+        payload = rng.integers(0, 2, size=48).tolist()
+        crc_value = rcrc(payload)
+        codeword = payload + [(crc_value >> (15 - i)) & 1 for i in range(16)]
+        assert self._run_crc(codeword) == 1
+
+    def test_corrupted_codeword_fails(self):
+        rng = np.random.default_rng(6)
+        payload = rng.integers(0, 2, size=48).tolist()
+        crc_value = rcrc(payload)
+        codeword = payload + [(crc_value >> (15 - i)) & 1 for i in range(16)]
+        codeword[10] ^= 1
+        assert self._run_crc(codeword) == 0
+
+
+class TestAluDatapath:
+    def _alu(self):
+        from repro.core import Clock
+        from repro.designs.dect.datapaths import build_alu
+        from repro.sim import CycleScheduler
+
+        clk = Clock("t")
+        alu = build_alu(clk)
+        system = System("alu_sys")
+        system.add(alu)
+        instr = system.connect(None, alu.port("instr"), name="instr")
+        ext = system.connect(None, alu.port("ext"), name="ext")
+        for k in range(4):
+            system.connect(alu.port(f"r{k}"), name=f"r{k}")
+        system.connect(alu.port("flag"), name="flag")
+        return alu, CycleScheduler(system), instr, ext
+
+    def _op(self, name):
+        return F.ALU_OPS.index(name)
+
+    def test_pass_and_add(self):
+        alu, scheduler, instr, ext = self._alu()
+        scheduler.step({instr: self._op("PASS0"), ext: 5})
+        scheduler.step({instr: self._op("PASS1"), ext: 7})
+        scheduler.step({instr: self._op("ADD0"), ext: 0})  # r0 += r1
+        assert int(alu.port("r0").sig.current) == 12
+
+    def test_all_57_instructions_execute(self):
+        alu, scheduler, instr, ext = self._alu()
+        for code in range(57):
+            scheduler.step({instr: code, ext: 3})
+        # Machine survived every opcode; registers hold finite values.
+        for k in range(4):
+            int(alu.port(f"r{k}").sig.current)
+
+    def test_compare_sets_flag(self):
+        alu, scheduler, instr, ext = self._alu()
+        scheduler.step({instr: self._op("PASS0"), ext: 1})
+        scheduler.step({instr: self._op("PASS1"), ext: 9})
+        scheduler.step({instr: self._op("CMPLT0"), ext: 0})  # r1 > r0 ?
+        assert int(alu.port("flag").sig.current) == 1

@@ -1,0 +1,113 @@
+"""Tests for the HCOR header-correlator processor design."""
+
+import numpy as np
+import pytest
+
+from repro.designs.hcor import DEFAULT_BURST_SYMBOLS, build_hcor, run_hcor
+from repro.dsp import (
+    build_burst,
+    demodulate,
+    detect,
+    modulate,
+    nrz,
+    random_payloads,
+)
+from repro.sim import CycleScheduler, Recorder
+
+
+@pytest.fixture(scope="module")
+def clean_burst():
+    rng = np.random.default_rng(20)
+    a, b = random_payloads(rng)
+    return build_burst(a, b)
+
+
+class TestDetection:
+    def test_matches_reference_on_clean_nrz(self, clean_burst):
+        soft = list(nrz(clean_burst.bits))
+        reference = detect(soft)
+        hits = run_hcor(build_hcor(), soft + [0.0] * 4)
+        assert hits == [reference.position]
+
+    def test_matches_reference_after_modem(self, clean_burst):
+        samples = modulate(clean_burst.bits, 8)
+        soft, _hard = demodulate(samples, len(clean_burst.bits), 8)
+        reference = detect(soft)
+        hits = run_hcor(build_hcor(), list(soft) + [0.0] * 4)
+        assert hits == [reference.position]
+
+    def test_offset_stream(self, clean_burst):
+        soft = [0.0] * 37 + list(nrz(clean_burst.bits)) + [0.0] * 4
+        hits = run_hcor(build_hcor(), soft)
+        assert hits == [37 + 32]
+
+    def test_no_hit_on_noise(self):
+        rng = np.random.default_rng(21)
+        noise = (rng.normal(scale=0.3, size=300)).tolist()
+        assert run_hcor(build_hcor(), noise) == []
+
+    def test_relocks_after_burst(self, clean_burst):
+        # Lock covers the rest of the (truncated) burst exactly, so the
+        # correlator re-arms in the inter-burst silence.
+        design = build_hcor(burst_symbols=68)
+        stream = []
+        expected = []
+        for _ in range(2):
+            stream += [0.0] * 50
+            expected.append(len(stream) + 32)
+            stream += list(nrz(clean_burst.bits[:100]))
+        hits = run_hcor(design, stream)
+        assert hits == expected
+
+
+class TestController:
+    def test_locked_counts_burst_out(self, clean_burst):
+        design = build_hcor(burst_symbols=20)
+        scheduler = CycleScheduler(design.system)
+        recorder = Recorder(design.locked, design.symbol_index)
+        scheduler.monitors.append(recorder)
+        soft = list(nrz(clean_burst.bits[:80]))
+        for value in soft:
+            scheduler.step({design.soft_in: value})
+        locked = [int(v) if v is not None else 0 for v in recorder["locked"]]
+        assert 1 in locked
+        first = locked.index(1)
+        # Locked for exactly burst_symbols cycles, then back to search.
+        assert sum(locked) == 20
+        assert locked[first:first + 20] == [1] * 20
+
+    def test_fsm_states(self, clean_burst):
+        design = build_hcor()
+        scheduler = CycleScheduler(design.system)
+        soft = list(nrz(clean_burst.bits))
+        for value in soft[:20]:
+            scheduler.step({design.soft_in: value})
+        assert design.fsm.current.name == "search"
+        for value in soft[20:40]:
+            scheduler.step({design.soft_in: value})
+        assert design.fsm.current.name == "locked"
+
+
+class TestSynthesis:
+    def test_gate_count_order_of_magnitude(self):
+        """Table 1 reports HCOR at 6 Kgates; ours must be the same order."""
+        from repro.synth import synthesize_process
+
+        design = build_hcor()
+        synthesis = synthesize_process(design.process)
+        assert 1500 <= synthesis.gate_count <= 20000
+        assert 2000 <= synthesis.netlist.area() <= 30000
+
+    def test_netlist_matches_simulation(self, clean_burst):
+        from repro.sim import PortLog
+        from repro.synth import synthesize_process, verify_component
+
+        design = build_hcor()
+        log = PortLog(design.process)
+        scheduler = CycleScheduler(design.system)
+        scheduler.monitors.append(log)
+        soft = list(nrz(clean_burst.bits[:120]))
+        for value in soft:
+            scheduler.step({design.soft_in: value})
+        synthesis = synthesize_process(design.process)
+        assert verify_component(log, synthesis) == []

@@ -1,0 +1,116 @@
+"""Tests for DECT burst structure, CRC, and field framing."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    A_FIELD_BITS,
+    B_FIELD_BITS,
+    LATENCY_BUDGET_SECONDS,
+    SYMBOL_RATE,
+    SYNC_RFP,
+    build_burst,
+    check_a_field,
+    crc_bits,
+    nrz,
+    random_payloads,
+    rcrc,
+    s_field,
+    to_bits,
+)
+
+
+class TestTiming:
+    def test_latency_budget_matches_paper(self):
+        # "a delay of only 29 DECT symbols (25.2 usecs) is allowed"
+        assert LATENCY_BUDGET_SECONDS == pytest.approx(25.2e-6, rel=0.01)
+
+    def test_symbol_rate(self):
+        assert SYMBOL_RATE == 1_152_000
+
+
+class TestSField:
+    def test_length(self):
+        assert len(s_field()) == 32
+        assert len(s_field(base_station=False)) == 32
+
+    def test_sync_word_value(self):
+        word = 0
+        for bit in SYNC_RFP:
+            word = (word << 1) | bit
+        assert word == 0xE98A
+
+    def test_preamble_alternates(self):
+        field = s_field()
+        assert field[:16] == [1, 0] * 8
+
+    def test_pp_and_rfp_differ(self):
+        assert s_field(True) != s_field(False)
+
+
+class TestCrc:
+    def test_deterministic(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0] * 6
+        assert rcrc(bits) == rcrc(bits)
+
+    def test_detects_single_bit_error(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=48).tolist()
+        reference = rcrc(bits)
+        for position in range(len(bits)):
+            corrupted = list(bits)
+            corrupted[position] ^= 1
+            assert rcrc(corrupted) != reference, position
+
+    def test_detects_burst_errors_up_to_16(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=48).tolist()
+        reference = rcrc(bits)
+        for start in range(0, 32, 5):
+            corrupted = list(bits)
+            for offset in range(16):
+                corrupted[start + offset] ^= int(rng.integers(0, 2)) | (offset == 0)
+            assert rcrc(corrupted) != reference
+
+    def test_crc_bits_roundtrip(self):
+        value = 0xBEEF
+        bits = crc_bits(value)
+        assert len(bits) == 16
+        reassembled = 0
+        for bit in bits:
+            reassembled = (reassembled << 1) | bit
+        assert reassembled == value
+
+
+class TestBurst:
+    def test_structure(self):
+        rng = np.random.default_rng(2)
+        a, b = random_payloads(rng)
+        burst = build_burst(a, b)
+        assert len(burst.bits) == 32 + A_FIELD_BITS + B_FIELD_BITS + 4
+        assert burst.bits[:32] == s_field()
+        assert burst.sync_position == 32
+
+    def test_a_field_crc_checks(self):
+        rng = np.random.default_rng(3)
+        a, b = random_payloads(rng)
+        burst = build_burst(a, b)
+        assert check_a_field(burst.a_field)
+        corrupted = list(burst.a_field)
+        corrupted[10] ^= 1
+        assert not check_a_field(corrupted)
+
+    def test_payload_size_validation(self):
+        with pytest.raises(ValueError):
+            build_burst([0] * 10, [0] * B_FIELD_BITS)
+        with pytest.raises(ValueError):
+            build_burst([0] * 48, [0] * 10)
+
+
+class TestNrz:
+    def test_roundtrip(self):
+        bits = [0, 1, 1, 0, 1]
+        assert to_bits(nrz(bits)) == bits
+
+    def test_values(self):
+        assert list(nrz([0, 1])) == [-1.0, 1.0]

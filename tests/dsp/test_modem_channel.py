@@ -1,0 +1,101 @@
+"""Tests for the GFSK modem and multipath channel models."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    MultipathChannel,
+    bit_error_rate,
+    build_burst,
+    demodulate,
+    gaussian_pulse,
+    ideal_channel,
+    indoor_channel,
+    modulate,
+    random_payloads,
+    severe_channel,
+)
+
+
+class TestModem:
+    def test_constant_envelope(self):
+        samples = modulate([1, 0, 1, 1, 0, 0, 1], 8)
+        assert np.allclose(np.abs(samples), 1.0)
+
+    def test_sample_count(self):
+        bits = [1, 0] * 20
+        assert len(modulate(bits, 8)) == len(bits) * 8
+
+    def test_gaussian_pulse_normalized(self):
+        pulse = gaussian_pulse(8)
+        assert pulse.sum() == pytest.approx(1.0)
+        assert np.all(pulse >= 0)
+
+    def test_clean_loopback_is_error_free(self):
+        rng = np.random.default_rng(4)
+        bits = rng.integers(0, 2, size=200).tolist()
+        samples = modulate(bits, 8)
+        _soft, hard = demodulate(samples, len(bits), 8)
+        assert bit_error_rate(bits, hard, skip=2) == 0.0
+
+    def test_soft_symbols_bounded(self):
+        bits = [1, 0, 1, 1, 0, 1, 0, 0] * 10
+        samples = modulate(bits, 8)
+        soft, _hard = demodulate(samples, len(bits), 8)
+        assert np.max(np.abs(soft)) <= 2.0 + 1e-9
+
+    def test_alternating_bits_attenuated_by_gaussian(self):
+        """ISI from the Gaussian pulse: 101010 gives smaller soft values
+        than 111000 runs — the classic partial-response behaviour."""
+        alternating = modulate([1, 0] * 30, 8)
+        runs = modulate([1, 1, 1, 0, 0, 0] * 10, 8)
+        soft_alt, _ = demodulate(alternating, 60, 8)
+        soft_run, _ = demodulate(runs, 60, 8)
+        assert np.mean(np.abs(soft_alt[4:-4])) < np.mean(np.abs(soft_run[4:-4]))
+
+
+class TestChannel:
+    def test_ideal_channel_is_identity(self):
+        samples = modulate([1, 0, 1, 1], 8)
+        out = ideal_channel().apply(samples)
+        assert np.allclose(out, samples)
+
+    def test_impulse_response_combines_taps(self):
+        channel = MultipathChannel(taps=[1.0, 0.5j], delays=[0, 3])
+        h = channel.impulse_response()
+        assert h[0] == 1.0
+        assert h[3] == 0.5j
+        assert len(h) == 4
+
+    def test_mismatched_taps_rejected(self):
+        with pytest.raises(ValueError):
+            MultipathChannel(taps=[1.0], delays=[0, 1])
+
+    def test_noise_power_scales_with_snr(self):
+        rng = np.random.default_rng(5)
+        samples = modulate([1, 0] * 100, 8)
+        channel = ideal_channel()
+        clean = channel.apply(samples)
+        noisy_low = channel.apply(samples, rng, snr_db=5)
+        noisy_high = channel.apply(samples, rng, snr_db=30)
+        err_low = np.mean(np.abs(noisy_low - clean) ** 2)
+        err_high = np.mean(np.abs(noisy_high - clean) ** 2)
+        assert err_low > 10 * err_high
+
+    def test_multipath_degrades_ber(self):
+        rng = np.random.default_rng(6)
+        a, b = random_payloads(rng)
+        burst = build_burst(a, b)
+        samples = modulate(burst.bits, 8)
+        rx = severe_channel(8).apply(samples, rng, snr_db=14)
+        _soft, hard = demodulate(rx, len(burst.bits), 8)
+        degraded = bit_error_rate(burst.bits, hard, skip=8)
+        _soft2, hard2 = demodulate(samples, len(burst.bits), 8)
+        clean = bit_error_rate(burst.bits, hard2, skip=8)
+        assert degraded > clean
+
+    def test_indoor_profile_shape(self):
+        channel = indoor_channel(8)
+        assert len(channel.taps) == 3
+        assert channel.delays[0] == 0
+        assert abs(channel.taps[0]) > abs(channel.taps[1]) > abs(channel.taps[2])

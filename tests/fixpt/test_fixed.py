@@ -1,0 +1,248 @@
+"""Unit tests for the fixed-point value and format types."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.fixpt import Fx, FxFormat, Overflow, Rounding, quantize
+from repro.fixpt.fixed import FxOverflowError
+
+
+class TestFxFormat:
+    def test_basic_properties(self):
+        fmt = FxFormat(wl=8, iwl=4)
+        assert fmt.frac_bits == 4
+        assert fmt.raw_min == -128
+        assert fmt.raw_max == 127
+        assert fmt.lsb == Fraction(1, 16)
+
+    def test_unsigned_range(self):
+        fmt = FxFormat(wl=8, iwl=8, signed=False)
+        assert fmt.raw_min == 0
+        assert fmt.raw_max == 255
+        assert fmt.min_value == 0
+        assert fmt.max_value == 255
+
+    def test_signed_value_range(self):
+        fmt = FxFormat(wl=4, iwl=2)  # s<4,2>: values -2 .. 1.75 step 0.25
+        assert fmt.min_value == -2
+        assert fmt.max_value == Fraction(7, 4)
+
+    def test_negative_iwl(self):
+        # All-fraction format: iwl=0 means max |value| < 1.
+        fmt = FxFormat(wl=8, iwl=0)
+        assert fmt.frac_bits == 8
+        assert fmt.max_value < 1
+
+    def test_bad_wordlength(self):
+        with pytest.raises(ValueError):
+            FxFormat(wl=0, iwl=0)
+
+    def test_is_integer(self):
+        assert FxFormat(8, 8).is_integer()
+        assert not FxFormat(8, 4).is_integer()
+
+    def test_union_same_sign(self):
+        a = FxFormat(8, 4)
+        b = FxFormat(6, 2)
+        u = a.union(b)
+        assert u.can_hold(a)
+        assert u.can_hold(b)
+
+    def test_union_mixed_sign(self):
+        a = FxFormat(8, 8, signed=False)  # u8 integers 0..255
+        b = FxFormat(4, 4, signed=True)   # s4 integers -8..7
+        u = a.union(b)
+        assert u.signed
+        assert u.can_hold(a)
+        assert u.can_hold(b)
+
+    def test_can_hold_requires_frac(self):
+        wide = FxFormat(8, 8)
+        frac = FxFormat(8, 4)
+        assert not wide.can_hold(frac)
+
+    def test_str(self):
+        assert str(FxFormat(8, 4)) == "<s8,4>"
+        assert str(FxFormat(8, 4, signed=False)) == "<u8,4>"
+
+
+class TestFxConstruction:
+    def test_from_int(self):
+        x = Fx(5, FxFormat(8, 8))
+        assert int(x) == 5
+        assert x.raw == 5
+
+    def test_from_float(self):
+        x = Fx(1.5, FxFormat(8, 4))
+        assert float(x) == 1.5
+        assert x.raw == 24
+
+    def test_inferred_format_int(self):
+        x = Fx(100)
+        assert int(x) == 100
+
+    def test_truncation(self):
+        fmt = FxFormat(8, 4, rounding=Rounding.TRUNCATE)
+        assert float(Fx(1.99, fmt)) == pytest.approx(1.9375)
+        # Truncation is toward minus infinity.
+        assert float(Fx(-1.01, fmt)) == pytest.approx(-1.0625)
+
+    def test_rounding(self):
+        fmt = FxFormat(8, 4, rounding=Rounding.ROUND)
+        assert float(Fx(1.04, fmt)) == pytest.approx(1.0625)  # 16.64 -> 17
+        assert float(Fx(1.03, fmt)) == pytest.approx(1.0)     # 16.48 -> 16
+
+    def test_saturation_positive(self):
+        fmt = FxFormat(8, 4)  # max 7.9375
+        assert float(Fx(100.0, fmt)) == pytest.approx(7.9375)
+
+    def test_saturation_negative(self):
+        fmt = FxFormat(8, 4)
+        assert float(Fx(-100.0, fmt)) == -8.0
+
+    def test_wraparound(self):
+        fmt = FxFormat(8, 8, overflow=Overflow.WRAP)
+        assert int(Fx(130, fmt)) == 130 - 256
+        assert int(Fx(-130, fmt)) == 126
+
+    def test_overflow_error(self):
+        fmt = FxFormat(8, 8, overflow=Overflow.ERROR)
+        with pytest.raises(FxOverflowError):
+            Fx(1000, fmt)
+
+    def test_raw_constructor(self):
+        fmt = FxFormat(8, 4)
+        assert float(Fx(raw=16, fmt=fmt)) == 1.0
+
+
+class TestFxArithmetic:
+    def test_add_exact(self):
+        fmt = FxFormat(8, 4)
+        a = Fx(1.5, fmt)
+        b = Fx(2.25, fmt)
+        assert float(a + b) == 3.75
+
+    def test_add_grows_format(self):
+        fmt = FxFormat(8, 4)
+        result = Fx(7.9375, fmt) + Fx(7.9375, fmt)
+        # No saturation: the result format grew.
+        assert float(result) == pytest.approx(15.875)
+
+    def test_sub(self):
+        fmt = FxFormat(8, 4)
+        assert float(Fx(1.0, fmt) - Fx(2.5, fmt)) == -1.5
+
+    def test_sub_unsigned_becomes_signed(self):
+        fmt = FxFormat(8, 8, signed=False)
+        result = Fx(3, fmt) - Fx(5, fmt)
+        assert int(result) == -2
+        assert result.fmt.signed
+
+    def test_mul_exact(self):
+        fmt = FxFormat(8, 4)
+        assert float(Fx(1.5, fmt) * Fx(2.5, fmt)) == 3.75
+
+    def test_mul_precision_growth(self):
+        fmt = FxFormat(8, 4)  # 4 frac bits
+        result = Fx(0.0625, fmt) * Fx(0.0625, fmt)
+        assert float(result) == 0.0625 * 0.0625  # 8 frac bits kept
+
+    def test_mixed_python_numbers(self):
+        fmt = FxFormat(16, 8)
+        assert float(Fx(1.5, fmt) + 1) == 2.5
+        assert float(2 * Fx(1.5, fmt)) == 3.0
+        assert float(1 - Fx(0.5, fmt)) == 0.5
+
+    def test_neg_of_min_value_does_not_wrap(self):
+        fmt = FxFormat(8, 8)
+        assert int(-Fx(-128, fmt)) == 128
+
+    def test_abs(self):
+        fmt = FxFormat(8, 4)
+        assert float(abs(Fx(-1.5, fmt))) == 1.5
+        assert float(abs(Fx(1.5, fmt))) == 1.5
+
+    def test_shifts(self):
+        fmt = FxFormat(8, 4)
+        x = Fx(1.5, fmt)
+        assert float(x << 2) == 6.0
+        assert float(x >> 2) == 0.375  # exact: frac grows
+
+    def test_cast_quantizes(self):
+        wide = Fx(1.53125, FxFormat(16, 4))
+        narrow = wide.cast(FxFormat(8, 4))
+        assert float(narrow) == 1.5
+
+    def test_chain_matches_float(self):
+        fmt = FxFormat(24, 8)
+        a, b, c = Fx(1.25, fmt), Fx(-2.5, fmt), Fx(3.0, fmt)
+        result = (a + b) * c - a
+        assert float(result) == pytest.approx((1.25 - 2.5) * 3.0 - 1.25)
+
+
+class TestFxBitwise:
+    def test_and_or_xor(self):
+        fmt = FxFormat(8, 8, signed=False)
+        a, b = Fx(0b1100, fmt), Fx(0b1010, fmt)
+        assert int(a & b) == 0b1000
+        assert int(a | b) == 0b1110
+        assert int(a ^ b) == 0b0110
+
+    def test_invert(self):
+        fmt = FxFormat(4, 4, signed=False)
+        assert int(~Fx(0b0101, fmt)) == 0b1010
+
+    def test_invert_signed(self):
+        fmt = FxFormat(4, 4)
+        assert int(~Fx(0, fmt)) == -1
+
+    def test_bitwise_requires_integer_format(self):
+        with pytest.raises(TypeError):
+            Fx(1.5, FxFormat(8, 4)) & Fx(1, FxFormat(8, 8))
+
+
+class TestFxComparison:
+    def test_ordering(self):
+        fmt = FxFormat(8, 4)
+        assert Fx(1.0, fmt) < Fx(1.5, fmt)
+        assert Fx(1.5, fmt) <= 1.5
+        assert Fx(2.0, fmt) > 1
+        assert Fx(2.0, fmt) >= Fx(2.0, FxFormat(16, 8))
+
+    def test_equality_across_formats(self):
+        assert Fx(1.5, FxFormat(8, 4)) == Fx(1.5, FxFormat(16, 8))
+        assert Fx(1.5, FxFormat(8, 4)) != Fx(1.25, FxFormat(8, 4))
+
+    def test_hash_consistent_with_eq(self):
+        a = Fx(1.5, FxFormat(8, 4))
+        b = Fx(1.5, FxFormat(16, 8))
+        assert hash(a) == hash(b)
+
+    def test_bool(self):
+        fmt = FxFormat(8, 4)
+        assert Fx(0.5, fmt)
+        assert not Fx(0, fmt)
+
+    def test_index_integer_only(self):
+        assert list(range(3))[Fx(1, FxFormat(4, 4))] == 1
+        with pytest.raises(TypeError):
+            [0, 1][Fx(0.5, FxFormat(8, 4))]
+
+
+class TestQuantizeFunction:
+    def test_quantize_returns_fx(self):
+        fmt = FxFormat(8, 4)
+        q = quantize(1.23, fmt)
+        assert isinstance(q, Fx)
+        assert q.fmt == fmt
+
+    def test_quantize_fraction(self):
+        fmt = FxFormat(8, 4)
+        assert float(quantize(Fraction(3, 8), fmt)) == 0.375
+
+    def test_quantize_fx_input(self):
+        fine = quantize(1.0 / 3.0, FxFormat(24, 4))
+        coarse = quantize(fine, FxFormat(8, 4))
+        assert float(coarse) == pytest.approx(0.3125)

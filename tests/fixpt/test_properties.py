@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for fixed-point arithmetic."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixpt import Fx, FxFormat, Overflow, Rounding, quantize
+
+
+@st.composite
+def formats(draw, max_wl=24):
+    wl = draw(st.integers(min_value=1, max_value=max_wl))
+    iwl = draw(st.integers(min_value=0, max_value=wl))
+    signed = draw(st.booleans())
+    rounding = draw(st.sampled_from(list(Rounding)))
+    overflow = draw(st.sampled_from([Overflow.SATURATE, Overflow.WRAP]))
+    return FxFormat(wl=wl, iwl=iwl, signed=signed,
+                    rounding=rounding, overflow=overflow)
+
+
+@st.composite
+def fx_values(draw):
+    fmt = draw(formats())
+    raw = draw(st.integers(min_value=fmt.raw_min, max_value=fmt.raw_max))
+    return Fx(raw=raw, fmt=fmt)
+
+
+@given(fx_values(), fx_values())
+def test_add_is_exact(a, b):
+    """Addition never loses precision: formats grow instead."""
+    assert (a + b).as_fraction() == a.as_fraction() + b.as_fraction()
+
+
+@given(fx_values(), fx_values())
+def test_sub_is_exact(a, b):
+    assert (a - b).as_fraction() == a.as_fraction() - b.as_fraction()
+
+
+@given(fx_values(), fx_values())
+def test_mul_is_exact(a, b):
+    assert (a * b).as_fraction() == a.as_fraction() * b.as_fraction()
+
+
+@given(fx_values())
+def test_neg_is_exact(a):
+    assert (-a).as_fraction() == -a.as_fraction()
+
+
+@given(fx_values())
+def test_double_negation_is_identity(a):
+    assert (-(-a)).as_fraction() == a.as_fraction()
+
+
+@given(fx_values(), st.integers(min_value=0, max_value=16))
+def test_shift_left_multiplies(a, bits):
+    assert (a << bits).as_fraction() == a.as_fraction() * (2 ** bits)
+
+
+@given(fx_values(), st.integers(min_value=0, max_value=16))
+def test_shift_right_divides_exactly(a, bits):
+    assert (a >> bits).as_fraction() == a.as_fraction() / (2 ** bits)
+
+
+@given(fx_values())
+def test_quantize_idempotent(a):
+    """Quantizing a value already in the format changes nothing."""
+    assert quantize(a, a.fmt).raw == a.raw
+
+
+@given(fx_values(), formats())
+def test_quantize_stays_in_range(a, fmt):
+    q = quantize(a, fmt)
+    assert fmt.raw_min <= q.raw <= fmt.raw_max
+
+
+@given(fx_values(), formats())
+def test_saturation_error_bounded(a, fmt):
+    """With saturation, quantization error <= LSB unless the value clipped."""
+    if fmt.overflow is not Overflow.SATURATE:
+        return
+    q = quantize(a, fmt)
+    exact = a.as_fraction()
+    if fmt.min_value <= exact <= fmt.max_value:
+        assert abs(q.as_fraction() - exact) < fmt.lsb
+
+    else:
+        # Clipped to the nearest boundary.
+        assert q.raw in (fmt.raw_min, fmt.raw_max)
+
+
+@given(fx_values(), fx_values())
+def test_comparisons_match_fractions(a, b):
+    assert (a < b) == (a.as_fraction() < b.as_fraction())
+    assert (a == b) == (a.as_fraction() == b.as_fraction())
+    assert (a >= b) == (a.as_fraction() >= b.as_fraction())
+
+
+@given(fx_values(), fx_values())
+def test_union_holds_both(a, b):
+    u = a.fmt.union(b.fmt)
+    assert u.can_hold(a.fmt)
+    assert u.can_hold(b.fmt)
+    # And quantizing into the union is lossless.
+    assert quantize(a, u).as_fraction() == a.as_fraction()
+    assert quantize(b, u).as_fraction() == b.as_fraction()
+
+
+@st.composite
+def integer_fx(draw, wl=12):
+    signed = draw(st.booleans())
+    fmt = FxFormat(wl, wl, signed=signed)
+    raw = draw(st.integers(min_value=fmt.raw_min, max_value=fmt.raw_max))
+    return Fx(raw=raw, fmt=fmt)
+
+
+@given(integer_fx(), integer_fx())
+def test_bitwise_matches_python_semantics(a, b):
+    """Bitwise results equal Python's, folded into the union width."""
+    u = a.fmt.union(b.fmt)
+    mask = (1 << u.wl) - 1
+
+    def fold(value):
+        value &= mask
+        if u.signed and value >= (1 << (u.wl - 1)):
+            value -= 1 << u.wl
+        return value
+
+    assert int(a & b) == fold(int(a) & int(b))
+    assert int(a | b) == fold(int(a) | int(b))
+    assert int(a ^ b) == fold(int(a) ^ int(b))
+
+
+@given(integer_fx())
+def test_invert_is_involution(a):
+    assert int(~~a) == int(a)

@@ -1,0 +1,100 @@
+"""Additional HDL generation coverage: untimed hooks, top-level wiring,
+and structural properties of the generated DECT RTL."""
+
+import pytest
+
+from repro.core import SFG, Clock, Sig, System, TimedProcess, actor
+from repro.fixpt import FxFormat
+from repro.hdl import generate_vhdl
+
+W = FxFormat(8, 4)
+
+
+def small_system_with_untimed():
+    clk = Clock()
+    a, y = Sig("a", W), Sig("y", W)
+    sfg = SFG("t")
+    with sfg:
+        y <<= a + 1
+    sfg.inp(a).out(y)
+    p = TimedProcess("adder", clk, sfgs=[sfg])
+    p.add_input("a", a)
+    p.add_output("y", y)
+    mem = actor("mem", lambda q_in: {"q": q_in}, inputs={"q_in": 1},
+                outputs={"q": 1})
+    system = System("mixed")
+    system.add(p)
+    system.add(mem)
+    system.connect(None, p.port("a"), name="a")
+    system.connect(p.port("y"), mem.port("q_in"))
+    system.connect(mem.port("q"), name="q")
+    return system, mem
+
+
+class TestUntimedStub:
+    def test_stub_has_ports_with_widths(self):
+        system, _mem = small_system_with_untimed()
+        files = generate_vhdl(system)
+        stub = files["mem.vhd"]
+        assert "entity mem is" in stub
+        assert "q_in : in signed(7 downto 0)" in stub
+
+    def test_custom_architecture_hook(self):
+        system, mem = small_system_with_untimed()
+        mem.vhdl_architecture = (
+            "architecture custom of mem is\nbegin\n  q <= q_in;\n"
+            "end architecture custom;"
+        )
+        files = generate_vhdl(system)
+        assert "architecture custom of mem" in files["mem.vhd"]
+
+    def test_default_stub_is_explicitly_behavioural(self):
+        system, _mem = small_system_with_untimed()
+        files = generate_vhdl(system)
+        assert "behaviour intentionally left to the implementer" \
+            in files["mem.vhd"]
+
+
+class TestTopLevel:
+    def test_primary_input_becomes_top_port(self):
+        system, _mem = small_system_with_untimed()
+        top = generate_vhdl(system)["mixed_top.vhd"]
+        assert "a : in signed(7 downto 0)" in top
+        # Untimed-driven outputs default to a generic 32-bit bus.
+        assert "q : out signed(" in top
+
+    def test_internal_channel_becomes_net_signal(self):
+        system, _mem = small_system_with_untimed()
+        top = generate_vhdl(system)["mixed_top.vhd"]
+        assert "signal net_adder_y" in top
+        assert "u_adder : entity work.adder" in top
+        assert "u_mem : entity work.mem" in top
+
+
+class TestDectRtlStructure:
+    @pytest.fixture(scope="class")
+    def files(self):
+        from repro.designs.dect import build_transceiver
+
+        return generate_vhdl(build_transceiver().system)
+
+    def test_alu_has_57_way_decode(self, files):
+        # 56 operations appear as guarded picks on the instruction field.
+        assert files["alu.vhd"].count("pick(") >= 56
+
+    def test_pcctrl_fsm_states(self, files):
+        source = files["pcctrl.vhd"]
+        assert "type state_t is (st_execute, st_hold)" in source
+
+    def test_every_datapath_entity_present(self, files):
+        from repro.designs.dect import DATAPATH_TABLES
+
+        for name, _table in DATAPATH_TABLES:
+            assert f"{name}.vhd" in files, name
+
+    def test_fir_slice_has_multipliers(self, files):
+        assert files["fir0.vhd"].count(" * ") >= 16  # 4 taps x 4 products
+
+    def test_balanced_parens_everywhere(self, files):
+        for name, source in files.items():
+            assert source.count("(") == source.count(")"), name

@@ -1,0 +1,161 @@
+"""Tests for Verilog generation and testbench generation."""
+
+import pytest
+
+from repro.hdl import generate_verilog, vector_file, vhdl_testbench
+from repro.sim import CycleScheduler, PortLog
+
+from tests.conftest import build_hold_system
+
+
+class TestVerilog:
+    @pytest.fixture
+    def source(self):
+        system, _pin, _out, _count, _fsm = build_hold_system()
+        return generate_verilog(system)["ctl.v"]
+
+    def test_module_structure(self, source):
+        assert source.startswith("module ctl (")
+        assert source.rstrip().endswith("endmodule")
+
+    def test_two_always_blocks(self, source):
+        assert "always @*" in source
+        assert "always @(posedge clk or posedge rst)" in source
+
+    def test_state_localparams(self, source):
+        assert "localparam ST_EXECUTE = 0;" in source
+        assert "localparam ST_HOLD = 1;" in source
+        assert "case (state)" in source
+
+    def test_no_internal_names_leak(self, source):
+        assert "req_pin" not in source
+
+    def test_balanced_blocks(self, source):
+        assert source.count("begin") == source.count("end") - source.count(
+            "endmodule") - source.count("endcase")
+
+    def test_signed_arithmetic(self, source):
+        assert "signed" in source
+        assert "'sd" in source
+
+
+class TestTestbench:
+    @pytest.fixture
+    def log(self):
+        system, pin, _out, _count, _fsm = build_hold_system()
+        log = PortLog(system["ctl"])
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(log)
+        scheduler.drive(pin, [0, 0, 1, 1, 0])
+        scheduler.run(5)
+        return log
+
+    def test_log_captures_all_cycles(self, log):
+        assert log.cycles == 5
+        assert len(log.inputs["req"]) == 5
+        assert len(log.outputs["cnt"]) == 5
+
+    def test_vhdl_testbench_structure(self, log):
+        tb = vhdl_testbench(log)
+        assert "entity tb_ctl is" in tb
+        assert "dut : entity work.ctl" in tb
+        assert "constant N_CYCLES : natural := 5;" in tb
+        assert "assert" in tb
+        assert "severity error" in tb
+
+    def test_testbench_contains_golden_outputs(self, log):
+        tb = vhdl_testbench(log)
+        # The counter trace 0,1,2,3,3 must appear as the golden vector.
+        assert "gold_cnt_val : int_vec := (0, 1, 2, 3, 3);" in tb
+
+    def test_testbench_contains_stimuli(self, log):
+        tb = vhdl_testbench(log)
+        assert "stim_req_val : int_vec := (0, 0, 1, 1, 0);" in tb
+
+    def test_vector_file(self, log):
+        text = vector_file(log)
+        lines = text.strip().splitlines()
+        assert lines[0] == "# cycle req cnt"
+        assert lines[1] == "0 0 0"
+        assert lines[-1] == "4 0 3"
+
+    def test_missing_token_marked_x(self):
+        """Cycles where a port carries no token are marked 'x'."""
+        from repro.core import (
+            BOOL, FSM, SFG, Clock, Register, Sig, System, TimedProcess, cnd,
+        )
+        from repro.fixpt import FxFormat
+
+        W = FxFormat(8, 8)
+        clk = Clock()
+        gate = Register("gate", clk, BOOL)
+        count = Register("count", clk, W)
+        out = Sig("out", W)
+        toggle = SFG("toggle")
+        with toggle:
+            gate <<= gate ^ 1
+            count <<= count + 1
+        drive = SFG("drive")
+        with drive:
+            out <<= count
+        drive.out(out)
+        fsm = FSM("f")
+        s_on = fsm.initial("s_on")
+        s_off = fsm.state("s_off")
+        s_on << cnd(gate) << toggle << s_off          # no 'drive': no token
+        s_on << ~cnd(gate) << toggle << drive << s_on
+        s_off << cnd(gate) << toggle << s_off
+        s_off << ~cnd(gate) << toggle << drive << s_on
+        p = TimedProcess("gated", clk, fsm=fsm)
+        p.add_output("out", out)
+        system = System("s")
+        system.add(p)
+        system.connect(p.port("out"), name="out")
+
+        log = PortLog(p)
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(log)
+        scheduler.run(4)
+        text = vector_file(log)
+        assert " x" in text
+
+
+class TestVerilogTestbench:
+    @pytest.fixture
+    def log(self):
+        from tests.conftest import build_hold_system
+
+        system, pin, _out, _count, _fsm = build_hold_system()
+        from repro.sim import CycleScheduler, PortLog
+
+        log = PortLog(system["ctl"])
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(log)
+        scheduler.drive(pin, [0, 1, 1, 0])
+        scheduler.run(4)
+        return log
+
+    def test_structure(self, log):
+        from repro.hdl import verilog_testbench
+
+        bench = verilog_testbench(log)
+        assert bench.startswith("`timescale")
+        assert "module tb_ctl;" in bench
+        assert "ctl dut (" in bench
+        assert "$finish;" in bench
+        assert bench.rstrip().endswith("endmodule")
+
+    def test_golden_values_embedded(self, log):
+        from repro.hdl import verilog_testbench
+
+        bench = verilog_testbench(log)
+        assert "gold_cnt_val[0] = 0;" in bench
+        assert "gold_cnt_val[2] = 2;" in bench
+        assert "stim_req_val[1] = 1;" in bench
+
+    def test_mismatch_check_present(self, log):
+        from repro.hdl import verilog_testbench
+
+        bench = verilog_testbench(log)
+        assert "!== gold_cnt_val[i]" in bench
+        assert "errors = errors + 1;" in bench

@@ -1,0 +1,152 @@
+"""Tests for the data-flow scheduler and SDF analysis."""
+
+import pytest
+
+from repro.core import DeadlockError, ModelError, System, actor
+from repro.sim import DataflowScheduler, is_consistent, repetitions_vector
+
+
+def build_pipeline():
+    """src -> double -> sink, all rate 1."""
+    values = list(range(10))
+    produced = iter(values)
+
+    def src_behavior():
+        return {"y": next(produced)}
+
+    collected = []
+
+    def sink_behavior(x):
+        collected.append(x)
+        return {}
+
+    src = actor("src", src_behavior, inputs={}, outputs={"y": 1},
+                firing_rule=lambda: len(collected) < 10)
+    double = actor("double", lambda x: {"y": x * 2},
+                   inputs={"x": 1}, outputs={"y": 1})
+    sink = actor("sink", sink_behavior, inputs={"x": 1}, outputs={})
+    system = System("pipe")
+    for p in (src, double, sink):
+        system.add(p)
+    system.connect(src.port("y"), double.port("x"))
+    system.connect(double.port("y"), sink.port("x"))
+    return system, collected
+
+
+class TestScheduler:
+    def test_pipeline_runs_to_quiescence(self):
+        system, collected = build_pipeline()
+        DataflowScheduler(system).run()
+        assert collected == [v * 2 for v in range(10)]
+
+    def test_rejects_timed_processes(self):
+        from repro.core import SFG, Clock, Sig, TimedProcess
+        from repro.fixpt import FxFormat
+
+        clk = Clock()
+        a, y = Sig("a", FxFormat(8, 4)), Sig("y", FxFormat(8, 4))
+        sfg = SFG("t")
+        with sfg:
+            y <<= a + 1
+        sfg.inp(a).out(y)
+        p = TimedProcess("p", clk, sfgs=[sfg])
+        system = System("s")
+        system.add(p)
+        with pytest.raises(ModelError):
+            DataflowScheduler(system)
+
+    def test_rejects_multiconsumer_channels(self):
+        src = actor("src", lambda: {"y": 1}, inputs={}, outputs={"y": 1})
+        d1 = actor("d1", lambda x: {}, inputs={"x": 1}, outputs={})
+        d2 = actor("d2", lambda x: {}, inputs={"x": 1}, outputs={})
+        system = System("s")
+        for p in (src, d1, d2):
+            system.add(p)
+        system.connect(src.port("y"), d1.port("x"), d2.port("x"))
+        with pytest.raises(ModelError):
+            DataflowScheduler(system)
+
+    def test_unbounded_graph_detected(self):
+        src = actor("src", lambda: {"y": 1}, inputs={}, outputs={"y": 1})
+        system = System("s")
+        system.add(src)
+        system.connect(src.port("y"))  # nobody consumes
+        with pytest.raises(DeadlockError):
+            DataflowScheduler(system).run(max_firings=100)
+
+    def test_run_until(self):
+        src = actor("src", lambda: {"y": 7}, inputs={}, outputs={"y": 1})
+        system = System("s")
+        system.add(src)
+        out = system.connect(src.port("y"))
+        DataflowScheduler(system).run_until(out, 5)
+        assert out.tokens() >= 5
+
+    def test_feedback_loop_needs_initial_tokens(self):
+        """A rate-1 feedback loop deadlocks without a preloaded token."""
+        inc = actor("inc", lambda x: {"y": x + 1},
+                    inputs={"x": 1}, outputs={"y": 1})
+        system = System("s")
+        system.add(inc)
+        loop = system.connect(inc.port("y"), inc.port("x"))
+        scheduler = DataflowScheduler(system)
+        assert scheduler.run(max_firings=10) == 0  # quiescent immediately
+        loop.preload([0])
+        with pytest.raises(DeadlockError):
+            scheduler.run(max_firings=10)  # now it spins forever (bounded)
+
+    def test_multirate_downsampler(self):
+        source = iter(range(8))
+        out_tokens = []
+        src = actor("src", lambda: {"y": next(source)},
+                    inputs={}, outputs={"y": 1},
+                    firing_rule=lambda: len(out_tokens) < 4)
+        ds = actor("ds", lambda x: {"y": sum(x)},
+                   inputs={"x": 2}, outputs={"y": 1})
+        sink = actor("sink", lambda x: out_tokens.append(x) or {},
+                     inputs={"x": 1}, outputs={})
+        system = System("s")
+        for p in (src, ds, sink):
+            system.add(p)
+        system.connect(src.port("y"), ds.port("x"))
+        system.connect(ds.port("y"), sink.port("x"))
+        DataflowScheduler(system).run()
+        assert out_tokens == [1, 5, 9, 13]
+
+
+class TestSdfAnalysis:
+    def test_repetitions_rate1(self):
+        system, _ = build_pipeline()
+        reps = repetitions_vector(system)
+        assert set(reps.values()) == {1}
+
+    def test_repetitions_multirate(self):
+        src = actor("src", lambda: {"y": 0}, inputs={}, outputs={"y": 1})
+        ds = actor("ds", lambda x: {"y": 0}, inputs={"x": 3}, outputs={"y": 1})
+        system = System("s")
+        system.add(src)
+        system.add(ds)
+        system.connect(src.port("y"), ds.port("x"))
+        reps = repetitions_vector(system)
+        assert reps[src] == 3
+        assert reps[ds] == 1
+
+    def test_inconsistent_graph(self):
+        a = actor("a", lambda x: {"y": 0}, inputs={"x": 1}, outputs={"y": 2})
+        b = actor("b", lambda x: {"y": 0}, inputs={"x": 1}, outputs={"y": 1})
+        system = System("s")
+        system.add(a)
+        system.add(b)
+        system.connect(a.port("y"), b.port("x"))
+        system.connect(b.port("y"), a.port("x"))
+        assert not is_consistent(system)
+
+    def test_consistent_loop(self):
+        a = actor("a", lambda x: {"y": 0}, inputs={"x": 1}, outputs={"y": 1})
+        b = actor("b", lambda x: {"y": 0}, inputs={"x": 1}, outputs={"y": 1})
+        system = System("s")
+        system.add(a)
+        system.add(b)
+        system.connect(a.port("y"), b.port("x"))
+        system.connect(b.port("y"), a.port("x"))
+        assert is_consistent(system)

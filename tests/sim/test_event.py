@@ -1,0 +1,139 @@
+"""Tests for the event-driven (delta-cycle, HDL-semantics) simulator."""
+
+import pytest
+
+from repro.core import SFG, Clock, Register, Sig, System, TimedProcess
+from repro.fixpt import FxFormat
+from repro.sim import CycleScheduler, EventSimulator, Recorder
+
+from tests.conftest import build_counter_system, build_hold_system, build_loop_system
+
+W = FxFormat(16, 16)
+
+
+class TestBasics:
+    def test_counter(self):
+        system, _out, count = build_counter_system()
+        sim = EventSimulator(system)
+        sim.run(5)
+        assert float(count.current) == 5.0
+
+    def test_statistics_accumulate(self):
+        system, _out, _count = build_counter_system()
+        sim = EventSimulator(system)
+        sim.run(3)
+        assert sim.events > 0
+        assert sim.activations > 0
+
+    def test_event_suppression(self):
+        """A net that does not change must not wake its readers forever."""
+        clk = Clock()
+        stuck = Register("stuck", clk, W, init=7)
+        out = Sig("out", W)
+        sfg = SFG("t")
+        with sfg:
+            stuck <<= stuck      # never changes
+            out <<= stuck + 1
+        sfg.out(out)
+        p = TimedProcess("p", clk, sfgs=[sfg])
+        p.add_output("out", out)
+        system = System("s")
+        system.add(p)
+        system.connect(p.port("out"))
+        sim = EventSimulator(system)
+        sim.run(2)
+        events_after_two = sim.events
+        sim.run(4)
+        # Steady state: only the clock-edge machinery produces events and
+        # suppressed updates do not cascade.
+        assert sim.events - events_after_two <= 2 * (events_after_two)
+
+
+class TestEquivalence:
+    def test_hold_controller(self):
+        requests = [0, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0]
+
+        system_i, pin_i, _o, count_i, _f = build_hold_system()
+        scheduler = CycleScheduler(system_i)
+        interp = []
+        for req in requests:
+            scheduler.step({pin_i: req})
+            interp.append(float(count_i.current))
+
+        system_e, _pin, _o2, count_e, _f2 = build_hold_system()
+        sim = EventSimulator(system_e)
+        event = []
+        for req in requests:
+            sim.step({"req": req})
+            event.append(float(count_e.current))
+
+        assert interp == event
+
+    def test_untimed_loop(self):
+        system_i, _chans, reg_i = build_loop_system()
+        CycleScheduler(system_i).run(8)
+
+        system_e, _chans2, reg_e = build_loop_system()
+        EventSimulator(system_e).run(8)
+        assert float(reg_e.current) == float(reg_i.current)
+
+    def test_monitor_sees_settled_pre_edge_values(self):
+        system, _out, count = build_counter_system()
+        sim = EventSimulator(system)
+        seen = []
+        sim.monitors.append(lambda s: seen.append(float(count.current)))
+        sim.run(4)
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_multiply_driven_register(self):
+        """A register written by different SFGs in different FSM states."""
+        from repro.core import BOOL, FSM, cnd
+
+        def build():
+            clk = Clock()
+            sel_pin = Sig("sel_pin", BOOL)
+            sel = Register("sel", clk, BOOL)
+            value = Register("value", clk, W)
+            sample = SFG("sample")
+            with sample:
+                sel <<= sel_pin
+            sample.inp(sel_pin)
+            up = SFG("up")
+            with up:
+                value <<= value + 1
+            down = SFG("down")
+            with down:
+                value <<= value - 1
+
+            fsm = FSM("f")
+            s_up = fsm.initial("s_up")
+            s_down = fsm.state("s_down")
+            s_up << cnd(sel) << down << s_down
+            s_up << ~cnd(sel) << up << s_up
+            s_down << cnd(sel) << down << s_down
+            s_down << ~cnd(sel) << up << s_up
+
+            p = TimedProcess("p", clk, fsm=fsm, sfgs=[sample])
+            p.add_input("sel", sel_pin)
+            p.add_output("value", value)
+            system = System("s")
+            system.add(p)
+            pin = system.connect(None, p.port("sel"), name="sel")
+            system.connect(p.port("value"))
+            return system, pin, value
+
+        stim = [0, 0, 1, 1, 1, 0, 0]
+        system_i, pin_i, value_i = build()
+        scheduler = CycleScheduler(system_i)
+        interp = []
+        for s in stim:
+            scheduler.step({pin_i: s})
+            interp.append(float(value_i.current))
+
+        system_e, _pin, value_e = build()
+        sim = EventSimulator(system_e)
+        event = []
+        for s in stim:
+            sim.step({"sel": s})
+            event.append(float(value_e.current))
+        assert interp == event

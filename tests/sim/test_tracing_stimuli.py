@@ -1,0 +1,162 @@
+"""Tests for the waveform tracer (VCD) and stimulus helpers."""
+
+import io
+
+import pytest
+
+from repro.core import SFG, Clock, Register, Sig, System, TimedProcess
+from repro.fixpt import FxFormat
+from repro.sim import CycleScheduler, Recorder, Tracer
+
+from tests.conftest import build_counter_system
+
+W = FxFormat(8, 8)
+
+
+class TestTracer:
+    def test_samples_per_cycle(self):
+        system, _out, count = build_counter_system(W)
+        tracer = Tracer(count)
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(tracer)
+        scheduler.run(4)
+        assert [int(v) for v in tracer["count"]] == [1, 2, 3, 4]
+
+    def test_watch_pads_history(self):
+        system, _out, count = build_counter_system(W)
+        tracer = Tracer()
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(tracer)
+        scheduler.run(2)
+        tracer.watch(count)
+        scheduler.run(2)
+        assert tracer["count"][:2] == [None, None]
+        assert len(tracer["count"]) == 4
+
+    def test_vcd_structure(self):
+        system, _out, count = build_counter_system(W)
+        tracer = Tracer(count)
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(tracer)
+        scheduler.run(3)
+        stream = io.StringIO()
+        tracer.write_vcd(stream)
+        text = stream.getvalue()
+        assert "$timescale" in text
+        assert "$var wire 8 ! count $end" in text
+        assert "$enddefinitions" in text
+        assert "#0" in text
+
+    def test_vcd_only_emits_changes(self):
+        clk = Clock()
+        stuck = Register("stuck", clk, W, init=7)
+        sfg = SFG("t")
+        with sfg:
+            stuck <<= stuck
+        p = TimedProcess("p", clk, sfgs=[sfg])
+        p.add_output("q", stuck)
+        system = System("s")
+        system.add(p)
+        system.connect(p.port("q"))
+        tracer = Tracer(stuck)
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(tracer)
+        scheduler.run(5)
+        stream = io.StringIO()
+        tracer.write_vcd(stream)
+        # One value change at time 0 only.
+        assert stream.getvalue().count("b00000111 !") == 1
+
+    def test_negative_values_two_complement(self):
+        from repro.sim.tracing import _to_bits
+
+        assert _to_bits(-1, 4) == "1111"
+        assert _to_bits(None, 4) == "xxxx"
+
+
+class TestRecorder:
+    def test_none_for_missing_tokens(self):
+        system, out, _count = build_counter_system(W)
+        recorder = Recorder(out)
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(recorder)
+        scheduler.run(2)
+        assert all(v is not None for v in recorder["q"])
+
+    def test_last(self):
+        system, out, _count = build_counter_system(W)
+        recorder = Recorder(out)
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(recorder)
+        scheduler.run(3)
+        assert int(recorder.last("q")) == 2
+
+
+class TestRangeTracer:
+    def test_observes_and_recommends(self):
+        from repro.fixpt import RangeTracer
+
+        tracer = RangeTracer()
+        for value in (-3.5, 1.25, 7.9, 0.0):
+            tracer.record("x", value)
+        record = tracer["x"]
+        assert record.count == 4
+        assert record.min_value == -3.5
+        assert record.max_value == 7.9
+        fmt = tracer.recommend_format("x", frac_bits=4)
+        assert fmt.signed
+        assert float(fmt.max_value) >= 7.9
+        assert float(fmt.min_value) <= -3.5
+
+    def test_unsigned_recommendation(self):
+        from repro.fixpt import RangeTracer
+
+        tracer = RangeTracer()
+        for value in (0.0, 1.0, 3.0):
+            tracer.record("u", value)
+        fmt = tracer.recommend_format("u", frac_bits=2)
+        assert not fmt.signed
+
+    def test_quantization_error_stats(self):
+        from repro.fixpt import FxFormat, RangeTracer, quantize
+
+        fmt = FxFormat(6, 3)
+        tracer = RangeTracer()
+        for value in (0.1, 0.33, 2.71):
+            tracer.record_quantization("q", value, quantize(value, fmt))
+        record = tracer["q"]
+        assert record.rms_error > 0
+        assert record.mean_abs_error < float(fmt.lsb)
+
+    def test_overflow_counted(self):
+        from repro.fixpt import FxFormat, RangeTracer, quantize
+
+        fmt = FxFormat(4, 2)  # max 1.75
+        tracer = RangeTracer()
+        tracer.record_quantization("o", 5.0, quantize(5.0, fmt))
+        assert tracer["o"].overflow_count == 1
+
+    def test_report_renders(self):
+        from repro.fixpt import RangeTracer
+
+        tracer = RangeTracer()
+        tracer.record("sig_a", 1.0)
+        text = tracer.report()
+        assert "sig_a" in text
+        assert "count" in text
+
+
+class TestSchedulerDrive:
+    def test_iterable_exhaustion_stops_driving(self):
+        system, pin, out, count, _fsm = __import__(
+            "tests.conftest", fromlist=["build_hold_system"]
+        ).build_hold_system()
+        scheduler = CycleScheduler(system)
+        scheduler.drive(pin, [0, 0])
+        scheduler.run(2)
+        # Third cycle: no token on the pin — the component deadlocks,
+        # which is the correct strict semantics.
+        from repro.core import DeadlockError
+
+        with pytest.raises(DeadlockError):
+            scheduler.step()

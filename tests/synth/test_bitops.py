@@ -1,0 +1,185 @@
+"""Tests for word-level operators expanded to gates.
+
+Each operator is checked against Python integer arithmetic by building a
+tiny netlist, driving primary inputs, and reading the result — and against
+the fixed-point library for quantization.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixpt import Fx, FxFormat, Overflow, Rounding, quantize_raw
+from repro.synth import GateSimulator, Netlist
+from repro.synth import bitops as B
+
+
+def _run_unary(width, build, raw):
+    nl = Netlist("t")
+    a = nl.add_input("a", width)
+    out = build(nl, B.Word(list(a), 0))
+    nl.set_output("y", out.nets)
+    sim = GateSimulator(nl)
+    sim.set_input("a", raw)
+    sim._propagate()
+    return sim.output("y")
+
+
+def _run_binary(width, build, raw_a, raw_b, frac_a=0, frac_b=0):
+    nl = Netlist("t")
+    a = nl.add_input("a", width)
+    b = nl.add_input("b", width)
+    out = build(nl, B.Word(list(a), frac_a), B.Word(list(b), frac_b))
+    nl.set_output("y", out.nets)
+    sim = GateSimulator(nl)
+    sim.set_input("a", raw_a)
+    sim.set_input("b", raw_b)
+    sim._propagate()
+    return sim.output("y"), out
+
+
+signed8 = st.integers(min_value=-128, max_value=127)
+
+
+class TestArithmetic:
+    @given(signed8, signed8)
+    @settings(max_examples=50, deadline=None)
+    def test_add(self, x, y):
+        result, _ = _run_binary(8, B.add, x, y)
+        assert result == x + y
+
+    @given(signed8, signed8)
+    @settings(max_examples=50, deadline=None)
+    def test_sub(self, x, y):
+        result, _ = _run_binary(8, B.sub, x, y)
+        assert result == x - y
+
+    @given(signed8, signed8)
+    @settings(max_examples=30, deadline=None)
+    def test_multiply(self, x, y):
+        result, _ = _run_binary(8, B.multiply, x, y)
+        assert result == x * y
+
+    @given(signed8)
+    @settings(max_examples=30, deadline=None)
+    def test_negate(self, x):
+        assert _run_unary(8, B.negate, x) == -x
+
+    @given(signed8)
+    @settings(max_examples=30, deadline=None)
+    def test_absolute(self, x):
+        assert _run_unary(8, B.absolute, x) == abs(x)
+
+    @given(signed8)
+    @settings(max_examples=20, deadline=None)
+    def test_invert(self, x):
+        assert _run_unary(8, B.invert, x) == ~x
+
+    def test_add_aligns_fractions(self):
+        # a has 2 frac bits, b has 0: 1.25 + 2 = 3.25 -> raw 13 at frac 2.
+        result, word = _run_binary(8, B.add, 5, 2, frac_a=2, frac_b=0)
+        assert word.frac == 2
+        assert result == 13
+
+
+class TestComparisons:
+    @given(signed8, signed8)
+    @settings(max_examples=50, deadline=None)
+    def test_less_than(self, x, y):
+        nl = Netlist("t")
+        a = nl.add_input("a", 8)
+        b = nl.add_input("b", 8)
+        bit = B.less_than(nl, B.Word(list(a), 0), B.Word(list(b), 0))
+        nl.set_output("y", [bit])
+        sim = GateSimulator(nl)
+        sim.set_input("a", x)
+        sim.set_input("b", y)
+        sim._propagate()
+        assert sim.output("y", signed=False) == (1 if x < y else 0)
+
+    @given(signed8, signed8)
+    @settings(max_examples=50, deadline=None)
+    def test_equal(self, x, y):
+        nl = Netlist("t")
+        a = nl.add_input("a", 8)
+        b = nl.add_input("b", 8)
+        bit = B.equal(nl, B.Word(list(a), 0), B.Word(list(b), 0))
+        nl.set_output("y", [bit])
+        sim = GateSimulator(nl)
+        sim.set_input("a", x)
+        sim.set_input("b", y)
+        sim._propagate()
+        assert sim.output("y", signed=False) == (1 if x == y else 0)
+
+
+class TestMuxAndShifts:
+    @given(signed8, signed8, st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_mux_word(self, x, y, which):
+        nl = Netlist("t")
+        a = nl.add_input("a", 8)
+        b = nl.add_input("b", 8)
+        s = nl.add_input("s", 1)
+        out = B.mux_word(nl, s[0], B.Word(list(a), 0), B.Word(list(b), 0))
+        nl.set_output("y", out.nets)
+        sim = GateSimulator(nl)
+        sim.set_input("a", x)
+        sim.set_input("b", y)
+        sim.set_input("s", 1 if which else 0)
+        sim._propagate()
+        assert sim.output("y") == (x if which else y)
+
+    @given(signed8, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_left(self, x, bits):
+        nl = Netlist("t")
+        a = nl.add_input("a", 8)
+        out = B.shift_left(nl, B.Word(list(a), 0), bits)
+        nl.set_output("y", out.nets)
+        sim = GateSimulator(nl)
+        sim.set_input("a", x)
+        sim._propagate()
+        assert sim.output("y") == x << bits
+
+    def test_shift_right_moves_binary_point(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 8)
+        out = B.shift_right(nl, B.Word(list(a), 0), 2)
+        assert out.frac == 2  # raw unchanged, point moved
+
+
+@st.composite
+def quantize_cases(draw):
+    wl = draw(st.integers(min_value=2, max_value=10))
+    iwl = draw(st.integers(min_value=0, max_value=wl))
+    signed = draw(st.booleans())
+    rounding = draw(st.sampled_from(list(Rounding)))
+    overflow = draw(st.sampled_from([Overflow.SATURATE, Overflow.WRAP]))
+    fmt = FxFormat(wl, iwl, signed=signed, rounding=rounding,
+                   overflow=overflow)
+    in_width = draw(st.integers(min_value=2, max_value=12))
+    in_frac = draw(st.integers(min_value=0, max_value=6))
+    lo = -(1 << (in_width - 1))
+    hi = (1 << (in_width - 1)) - 1
+    raw = draw(st.integers(min_value=lo, max_value=hi))
+    return fmt, in_width, in_frac, raw
+
+
+class TestQuantize:
+    @given(quantize_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_fixpt_library(self, case):
+        """Gate-level quantization == the reference fixed-point library."""
+        from fractions import Fraction
+
+        fmt, in_width, in_frac, raw = case
+        nl = Netlist("t")
+        a = nl.add_input("a", in_width)
+        out = B.quantize(nl, B.Word(list(a), in_frac), fmt)
+        nl.set_output("y", out.nets)
+        sim = GateSimulator(nl)
+        sim.set_input("a", raw)
+        sim._propagate()
+        exact = Fraction(raw, 1 << in_frac)
+        expected = quantize_raw(exact, fmt)
+        assert sim.output("y") == expected, (fmt, in_width, in_frac, raw)

@@ -1,0 +1,211 @@
+"""Tests for controller synthesis and the full Fig. 8 flow."""
+
+import random
+
+import pytest
+
+from repro.core import BOOL, FSM, SFG, Clock, Register, Sig, System, TimedProcess, cnd, always
+from repro.fixpt import FxFormat
+from repro.sim import CycleScheduler, PortLog
+from repro.synth import (
+    GateSimulator,
+    component_report,
+    encode_states,
+    synthesize_process,
+    synthesize_system,
+    system_report,
+    total_complexity,
+    verify_component,
+)
+
+from tests.conftest import build_counter_system, build_hold_system
+
+
+class TestStateEncoding:
+    def _fsm(self, n):
+        f = FSM("f")
+        states = [f.state(f"s{i}") for i in range(n)]
+        for i, s in enumerate(states):
+            s << always << states[(i + 1) % n]
+        return f
+
+    def test_binary(self):
+        codes, bits = encode_states(self._fsm(5), "binary")
+        assert bits == 3
+        assert len(set(codes.values())) == 5
+
+    def test_gray_adjacent_codes_differ_one_bit(self):
+        codes, bits = encode_states(self._fsm(4), "gray")
+        values = list(codes.values())
+        for a, b in zip(values, values[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_onehot(self):
+        codes, bits = encode_states(self._fsm(4), "onehot")
+        assert bits == 4
+        assert all(bin(c).count("1") == 1 for c in codes.values())
+
+    def test_unknown_encoding(self):
+        with pytest.raises(Exception):
+            encode_states(self._fsm(2), "johnson")
+
+
+def capture_log(system, pin, stimulus):
+    process = system.timed_processes()[0]
+    log = PortLog(process)
+    scheduler = CycleScheduler(system)
+    scheduler.monitors.append(log)
+    if pin is not None:
+        scheduler.drive(pin, stimulus)
+        scheduler.run(len(stimulus))
+    else:
+        scheduler.run(stimulus)
+    return log
+
+
+class TestComponentSynthesis:
+    def test_counter_netlist_counts(self):
+        system, _out, _count = build_counter_system()
+        log = capture_log(system, None, 12)
+        synthesis = synthesize_process(system["counter"])
+        assert verify_component(log, synthesis) == []
+
+    def test_hold_controller_verifies(self):
+        rng = random.Random(3)
+        stimulus = [rng.randint(0, 1) for _ in range(60)]
+        system, pin, _out, _count, _fsm = build_hold_system()
+        log = capture_log(system, pin, stimulus)
+        synthesis = synthesize_process(system["ctl"])
+        assert verify_component(log, synthesis) == []
+
+    @pytest.mark.parametrize("encoding", ["binary", "gray", "onehot"])
+    def test_encodings_equivalent(self, encoding):
+        rng = random.Random(11)
+        stimulus = [rng.randint(0, 1) for _ in range(30)]
+        system, pin, _out, _count, _fsm = build_hold_system()
+        log = capture_log(system, pin, stimulus)
+        synthesis = synthesize_process(system["ctl"], encoding=encoding)
+        assert verify_component(log, synthesis) == []
+
+    def test_two_level_controller_equivalent(self):
+        rng = random.Random(13)
+        stimulus = [rng.randint(0, 1) for _ in range(30)]
+        system, pin, _out, _count, _fsm = build_hold_system()
+        log = capture_log(system, pin, stimulus)
+        synthesis = synthesize_process(system["ctl"], two_level=True)
+        assert synthesis.controller.minimized
+        assert verify_component(log, synthesis) == []
+
+    def test_no_sharing_equivalent(self):
+        rng = random.Random(17)
+        stimulus = [rng.randint(0, 1) for _ in range(30)]
+        system, pin, _out, _count, _fsm = build_hold_system()
+        log = capture_log(system, pin, stimulus)
+        synthesis = synthesize_process(system["ctl"], share=False)
+        assert verify_component(log, synthesis) == []
+
+    def test_unoptimized_equivalent_but_bigger(self):
+        system, pin, _out, _count, _fsm = build_hold_system()
+        log = capture_log(system, pin, [0, 1, 1, 0])
+        raw = synthesize_process(system["ctl"], optimize=False)
+        opt = synthesize_process(system["ctl"], optimize=True)
+        assert opt.gate_count < raw.gate_count
+        assert verify_component(log, raw) == []
+        assert verify_component(log, opt) == []
+
+    def test_sharing_statistics(self):
+        system, _pin, _out, _count, _fsm = build_hold_system()
+        synthesis = synthesize_process(system["ctl"], share=True)
+        assert synthesis.sharing["operations"] >= synthesis.sharing["instances"]
+
+    def test_report_mentions_controller(self):
+        system, _pin, _out, _count, _fsm = build_hold_system()
+        synthesis = synthesize_process(system["ctl"])
+        text = component_report(synthesis)
+        assert "controller" in text
+        assert "state bits" in text
+
+
+class TestSharingPaysForMultipliers:
+    """Word-level sharing (Cathedral-3's point) wins once operators are
+    expensive: two exclusive instructions each using a multiplier share
+    one multiplier instance."""
+
+    def _build(self):
+        clk = Clock()
+        W = FxFormat(8, 8)
+        mode = Register("mode", clk, FxFormat(2, 2, signed=False))
+        x = Sig("x", W)
+        acc = Register("acc", clk, FxFormat(12, 12))
+        sample = SFG("sample")
+        mode_pin = Sig("mode_pin", FxFormat(2, 2, signed=False))
+        with sample:
+            mode <<= mode_pin
+        sample.inp(mode_pin)
+        # Four mutually exclusive multiply instructions.
+        instructions = []
+        from repro.core import eq
+
+        bodies = [
+            lambda: x * x,
+            lambda: x * acc,
+            lambda: acc * acc,
+            lambda: (x + 1) * acc,
+        ]
+        for index, body in enumerate(bodies):
+            sfg = SFG(f"instr{index}")
+            with sfg:
+                acc <<= body()
+            sfg.inp(x)
+            instructions.append(sfg)
+        fsm = FSM("f")
+        s0 = fsm.initial("s0")
+        for index, sfg in enumerate(instructions[:-1]):
+            s0 << cnd(eq(mode, index)) << sfg << s0
+        s0 << always << instructions[-1] << s0
+        p = TimedProcess("sharer", clk, fsm=fsm, sfgs=[sample])
+        p.add_input("x", x)
+        p.add_input("mode", mode_pin)
+        p.add_output("acc", acc)
+        system = System("s")
+        system.add(p)
+        pin_x = system.connect(None, p.port("x"), name="x")
+        pin_m = system.connect(None, p.port("mode"), name="mode")
+        system.connect(p.port("acc"), name="acc")
+        return system, pin_x, pin_m
+
+    def test_shared_smaller_than_unshared(self):
+        system, _px, _pm = self._build()
+        process = system["sharer"]
+        shared = synthesize_process(process, share=True)
+        unshared = synthesize_process(process, share=False)
+        assert shared.sharing["instances"] < shared.sharing["operations"]
+        assert shared.gate_count < unshared.gate_count
+
+    def test_both_verify(self):
+        rng = random.Random(5)
+        system, pin_x, pin_m = self._build()
+        process = system["sharer"]
+        log = PortLog(process)
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(log)
+        for _ in range(40):
+            scheduler.step({pin_x: rng.randint(-100, 100),
+                            pin_m: rng.randint(0, 3)})
+        for share in (True, False):
+            synthesis = synthesize_process(process, share=share)
+            assert verify_component(log, synthesis) == [], share
+
+
+class TestSystemSynthesis:
+    def test_system_report(self):
+        from tests.conftest import build_loop_system
+
+        system, _chans, _reg = build_loop_system()
+        synthesis = synthesize_system(system)
+        assert len(synthesis.components) == 2
+        assert len(synthesis.ram_macros) == 1
+        text = system_report(synthesis)
+        assert "RAM macros (1)" in text
+        assert "Kgate" in text
+        assert total_complexity(synthesis) > 2000  # includes the RAM macro

@@ -1,0 +1,100 @@
+"""Tests for two-level logic minimization (Quine–McCluskey)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import (
+    Cube,
+    GateSimulator,
+    Netlist,
+    cover_evaluates,
+    literal_count,
+    minimize,
+    sop_to_gates,
+)
+
+
+class TestMinimize:
+    def test_empty_function(self):
+        assert minimize(3, []) == []
+
+    def test_constant_one(self):
+        cover = minimize(2, [0, 1, 2, 3])
+        assert cover == [Cube(0, 0)]
+
+    def test_single_minterm(self):
+        cover = minimize(3, [0b101])
+        assert len(cover) == 1
+        assert cover[0].literals(3) == 3
+
+    def test_classic_example(self):
+        # f(a,b,c,d) = sum m(4,8,10,11,12,15) + d(9,14)  -> 3 cubes
+        cover = minimize(4, [4, 8, 10, 11, 12, 15], [9, 14])
+        for minterm in [4, 8, 10, 11, 12, 15]:
+            assert cover_evaluates(cover, minterm)
+        for minterm in [0, 1, 2, 3, 5, 6, 7, 13]:
+            assert not cover_evaluates(cover, minterm)
+        assert len(cover) <= 4
+
+    def test_xor_is_not_compressible(self):
+        cover = minimize(2, [1, 2])
+        assert len(cover) == 2
+        assert literal_count(cover, 2) == 4
+
+    def test_adjacent_minterms_merge(self):
+        cover = minimize(3, [6, 7])  # ab (c don't matter)
+        assert len(cover) == 1
+        assert cover[0].literals(3) == 2
+
+    def test_dontcares_shrink_cover(self):
+        with_dc = minimize(3, [5, 7], [1, 3])
+        without_dc = minimize(3, [5, 7])
+        assert literal_count(with_dc, 3) <= literal_count(without_dc, 3)
+
+    @given(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.sets(st.integers(min_value=0, max_value=(1 << n) - 1)),
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cover_equals_function(self, n_and_minterms):
+        """The minimized cover computes exactly the original function."""
+        n, minterms = n_and_minterms
+        cover = minimize(n, sorted(minterms))
+        for minterm in range(1 << n):
+            assert cover_evaluates(cover, minterm) == (minterm in minterms)
+
+
+class TestSopToGates:
+    def _check(self, n, minterms):
+        cover = minimize(n, minterms)
+        nl = Netlist("sop")
+        inputs = nl.add_input("x", n)
+        out = sop_to_gates(nl, cover, inputs)
+        nl.set_output("f", [out])
+        sim = GateSimulator(nl)
+        for minterm in range(1 << n):
+            sim.set_input("x", minterm)
+            sim._propagate()
+            assert sim.output("f", signed=False) == (1 if minterm in minterms else 0), minterm
+
+    def test_simple(self):
+        self._check(3, [1, 3, 5, 7])
+
+    def test_xor3(self):
+        self._check(3, [m for m in range(8) if bin(m).count("1") % 2])
+
+    def test_majority(self):
+        self._check(3, [3, 5, 6, 7])
+
+    def test_constant_zero(self):
+        self._check(2, [])
+
+    def test_constant_one(self):
+        self._check(2, [0, 1, 2, 3])

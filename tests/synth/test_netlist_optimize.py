@@ -1,0 +1,188 @@
+"""Tests for the netlist structure, gate simulator, and optimizer."""
+
+import pytest
+
+from repro.core import SynthesisError
+from repro.synth import GateKind, GateSimulator, Netlist, optimize_netlist
+
+
+class TestNetlist:
+    def test_single_driver_enforced(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        out = nl.add(GateKind.INV, a)
+        with pytest.raises(SynthesisError):
+            nl.add(GateKind.BUF, a, output=out)
+
+    def test_arity_checked(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 2)
+        with pytest.raises(SynthesisError):
+            nl.add(GateKind.INV, a)  # two inputs to an inverter
+
+    def test_constants_shared(self):
+        nl = Netlist("t")
+        assert nl.const(0) == nl.const(0)
+        assert nl.const(1) == nl.const(1)
+        assert nl.const(0) != nl.const(1)
+
+    def test_levelize_orders_dependencies(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        x = nl.add(GateKind.INV, [a[0]])
+        y = nl.add(GateKind.INV, [x])
+        order = nl.levelize()
+        position = {id(g): i for i, g in enumerate(order)}
+        assert position[id(nl.driver(x))] < position[id(nl.driver(y))]
+
+    def test_levelize_detects_cycle(self):
+        nl = Netlist("t")
+        n1, n2 = nl.new_net(), nl.new_net()
+        nl.add(GateKind.INV, [n1], output=n2)
+        nl.add(GateKind.INV, [n2], output=n1)
+        with pytest.raises(SynthesisError, match="cycle"):
+            nl.levelize()
+
+    def test_dff_breaks_cycle(self):
+        nl = Netlist("t")
+        q = nl.new_net()
+        d = nl.add(GateKind.INV, [q])
+        nl.add(GateKind.DFF, [d], output=q)
+        nl.levelize()  # must not raise
+
+    def test_area_and_counts(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 2)
+        nl.add(GateKind.AND2, a)
+        nl.add(GateKind.NAND2, a)
+        assert nl.counts()[GateKind.AND2] == 1
+        assert nl.area() == pytest.approx(1.33 + 1.0)
+
+    def test_logic_depth(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        x = nl.add(GateKind.INV, [a[0]])
+        y = nl.add(GateKind.INV, [x])
+        nl.set_output("y", [y])
+        assert nl.logic_depth() == 2
+
+
+class TestGateSimulator:
+    def test_toggle_flop(self):
+        nl = Netlist("t")
+        q = nl.new_net()
+        d = nl.add(GateKind.INV, [q])
+        nl.add(GateKind.DFF, [d], output=q, init=0)
+        nl.set_output("q", [q])
+        sim = GateSimulator(nl)
+        values = []
+        sim.monitors.append(lambda s: values.append(s.output("q", signed=False)))
+        sim.run(4)
+        assert values == [0, 1, 0, 1]
+
+    def test_signed_bus_read(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 4)
+        nl.set_output("y", a)
+        sim = GateSimulator(nl)
+        sim.set_input("a", -3)
+        sim._propagate()
+        assert sim.output("y") == -3
+        assert sim.output("y", signed=False) == 13
+
+    def test_unknown_pin_raises(self):
+        nl = Netlist("t")
+        sim = GateSimulator(nl)
+        with pytest.raises(Exception):
+            sim.set_input("nope", 0)
+
+
+class TestOptimizer:
+    def test_constant_folding(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        zero = nl.const(0)
+        dead = nl.add(GateKind.AND2, [a[0], zero])  # always 0
+        y = nl.add(GateKind.OR2, [dead, a[0]])       # == a
+        nl.set_output("y", [y])
+        optimized = optimize_netlist(nl)
+        # Everything reduces to a wire (possibly a buffer).
+        assert optimized.gate_count() <= 1
+
+    def test_double_inverter_removed(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        x = nl.add(GateKind.INV, [a[0]])
+        y = nl.add(GateKind.INV, [x])
+        nl.set_output("y", [y])
+        optimized = optimize_netlist(nl)
+        assert optimized.counts().get(GateKind.INV, 0) == 0
+
+    def test_structural_hashing(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 2)
+        x = nl.add(GateKind.AND2, a)
+        y = nl.add(GateKind.AND2, a)  # identical gate
+        z = nl.add(GateKind.OR2, [x, y])  # OR(x,x) == x after merge
+        nl.set_output("z", [z])
+        optimized = optimize_netlist(nl)
+        assert optimized.counts().get(GateKind.AND2, 0) == 1
+
+    def test_dead_gates_swept(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 2)
+        nl.add(GateKind.XOR2, a)  # feeds nothing
+        y = nl.add(GateKind.AND2, a)
+        nl.set_output("y", [y])
+        optimized = optimize_netlist(nl)
+        assert optimized.counts().get(GateKind.XOR2, 0) == 0
+
+    def test_dff_kept_through_feedback(self):
+        nl = Netlist("t")
+        q = nl.new_net()
+        d = nl.add(GateKind.INV, [q])
+        nl.add(GateKind.DFF, [d], output=q, init=0)
+        nl.set_output("q", [q])
+        optimized = optimize_netlist(nl)
+        assert len(optimized.dffs()) == 1
+
+    def test_sequential_constant_removed(self):
+        nl = Netlist("t")
+        q = nl.new_net()
+        nl.add(GateKind.DFF, [nl.const(0)], output=q, init=0)  # stuck at 0
+        a = nl.add_input("a", 1)
+        y = nl.add(GateKind.OR2, [q, a[0]])  # == a
+        nl.set_output("y", [y])
+        optimized = optimize_netlist(nl)
+        assert len(optimized.dffs()) == 0
+
+    def test_equivalence_random(self):
+        """Optimized netlist computes the same function."""
+        import itertools
+        import random
+
+        rng = random.Random(7)
+        nl = Netlist("t")
+        a = nl.add_input("a", 4)
+        pool = list(a) + [nl.const(0), nl.const(1)]
+        for _ in range(60):
+            kind = rng.choice([
+                GateKind.AND2, GateKind.OR2, GateKind.XOR2, GateKind.INV,
+                GateKind.NAND2, GateKind.NOR2, GateKind.MUX2,
+            ])
+            from repro.synth.gates import ARITY
+
+            inputs = [rng.choice(pool) for _ in range(ARITY[kind])]
+            pool.append(nl.add(kind, inputs))
+        outputs = [rng.choice(pool) for _ in range(4)]
+        nl.set_output("y", outputs)
+        optimized = optimize_netlist(nl)
+        assert optimized.gate_count() <= nl.gate_count()
+        for value in range(16):
+            sim_a = GateSimulator(nl)
+            sim_b = GateSimulator(optimized)
+            sim_a.set_input("a", value)
+            sim_b.set_input("a", value)
+            sim_a._propagate()
+            sim_b._propagate()
+            assert sim_a.output("y") == sim_b.output("y"), value

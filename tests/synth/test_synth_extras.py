@@ -1,0 +1,162 @@
+"""Additional synthesis coverage: gate simulator details, controller
+priority logic, datapath allocator internals, and reports."""
+
+import pytest
+
+from repro.core import BOOL, FSM, SFG, Clock, Register, Sig, System, TimedProcess, always, cnd
+from repro.fixpt import FxFormat
+from repro.sim import CycleScheduler, PortLog
+from repro.synth import (
+    GateKind,
+    GateSimulator,
+    Netlist,
+    OperatorAllocator,
+    synthesize_process,
+    verify_component,
+)
+from repro.synth.bitops import Word, add, const_word
+
+W = FxFormat(8, 8)
+
+
+class TestAllocator:
+    def test_dedicated_mode_builds_every_operator(self):
+        nl = Netlist("t")
+        alloc = OperatorAllocator(nl, share=False)
+        a = Word(nl.add_input("a", 4), 0)
+        b = Word(nl.add_input("b", 4), 0)
+        alloc.begin_slot(nl.const(1))
+        alloc.operate("add", [a, b], lambda n, ws: add(n, *ws))
+        alloc.operate("add", [a, b], lambda n, ws: add(n, *ws))
+        assert alloc.sharing_report() == {"operations": 2, "instances": 2}
+
+    def test_same_slot_never_shares(self):
+        """Two ops in ONE slot are concurrent: they must not share."""
+        nl = Netlist("t")
+        alloc = OperatorAllocator(nl, share=True)
+        sel = nl.add_input("s", 1)[0]
+        a = Word(nl.add_input("a", 4), 0)
+        b = Word(nl.add_input("b", 4), 0)
+        alloc.begin_slot(sel)
+        alloc.operate("add", [a, b], lambda n, ws: add(n, *ws))
+        alloc.operate("add", [a, b], lambda n, ws: add(n, *ws))
+        assert alloc.sharing_report()["instances"] == 2
+
+    def test_cross_slot_sharing(self):
+        nl = Netlist("t")
+        alloc = OperatorAllocator(nl, share=True)
+        s1 = nl.add_input("s1", 1)[0]
+        s2 = nl.add_input("s2", 1)[0]
+        a = Word(nl.add_input("a", 4), 0)
+        b = Word(nl.add_input("b", 4), 0)
+        alloc.begin_slot(s1)
+        alloc.operate("add", [a, b], lambda n, ws: add(n, *ws))
+        alloc.begin_slot(s2)
+        alloc.operate("add", [a, b], lambda n, ws: add(n, *ws))
+        alloc.finalize()
+        assert alloc.sharing_report() == {"operations": 2, "instances": 1}
+
+    def test_demand_notes_presize_instances(self):
+        nl = Netlist("t")
+        alloc = OperatorAllocator(nl, share=True)
+        alloc.note_demand("add", [(12, 0), (12, 0)])
+        s1 = nl.add_input("s1", 1)[0]
+        narrow = Word(nl.add_input("a", 4), 0)
+        alloc.begin_slot(s1)
+        result = alloc.operate("add", [narrow, narrow],
+                               lambda n, ws: add(n, *ws))
+        # Instance was created at the noted 12-bit demand.
+        assert result.width >= 13
+
+
+class TestGateSimulatorDetails:
+    def test_initial_state_settles_before_first_step(self):
+        nl = Netlist("t")
+        q = nl.new_net()
+        nl.add(GateKind.DFF, [nl.const(1)], output=q, init=1)
+        y = nl.add(GateKind.INV, [q])
+        nl.set_output("y", [y])
+        sim = GateSimulator(nl)
+        assert sim.output("y", signed=False) == 0
+
+    def test_monitor_sees_pre_edge(self):
+        nl = Netlist("t")
+        q = nl.new_net()
+        d = nl.add(GateKind.INV, [q])
+        nl.add(GateKind.DFF, [d], output=q, init=0)
+        nl.set_output("q", [q])
+        sim = GateSimulator(nl)
+        seen = []
+        sim.monitors.append(lambda s: seen.append(s.output("q", signed=False)))
+        sim.run(3)
+        assert seen == [0, 1, 0]
+
+    def test_multibit_io(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 6)
+        b = nl.add_input("b", 6)
+        out = add(nl, Word(list(a), 0), Word(list(b), 0))
+        nl.set_output("y", out.nets)
+        sim = GateSimulator(nl)
+        sim.set_input("a", -20)
+        sim.set_input("b", 13)
+        sim._propagate()
+        assert sim.output("y") == -7
+
+
+class TestMultiStateController:
+    def _design(self, encoding):
+        clk = Clock()
+        go = Register("go", clk, BOOL)
+        go_pin = Sig("go_pin", BOOL)
+        count = Register("count", clk, W)
+        sample = SFG("sample")
+        with sample:
+            go <<= go_pin
+        sample.inp(go_pin)
+        sfgs = []
+        for step in range(5):
+            sfg = SFG(f"add{step}")
+            with sfg:
+                count <<= count + (step + 1)
+            sfgs.append(sfg)
+        fsm = FSM("walker")
+        states = [fsm.state(f"s{i}") for i in range(5)]
+        for i, state in enumerate(states):
+            nxt = states[(i + 1) % 5]
+            state << cnd(go) << sfgs[i] << nxt
+            state << ~cnd(go) << state
+        p = TimedProcess("walker", clk, fsm=fsm, sfgs=[sample])
+        p.add_input("go", go_pin)
+        p.add_output("count", count)
+        system = System("walk_sys")
+        system.add(p)
+        pin = system.connect(None, p.port("go"), name="go")
+        system.connect(p.port("count"), name="count")
+        return system, p, pin
+
+    @pytest.mark.parametrize("encoding", ["binary", "gray", "onehot"])
+    def test_five_state_walker(self, encoding):
+        import random
+
+        rng = random.Random(2)
+        system, process, pin = self._design(encoding)
+        log = PortLog(process)
+        scheduler = CycleScheduler(system)
+        scheduler.monitors.append(log)
+        for _ in range(40):
+            scheduler.step({pin: rng.randint(0, 1)})
+        synthesis = synthesize_process(process, encoding=encoding)
+        assert synthesis.controller.n_state_bits == \
+            {"binary": 3, "gray": 3, "onehot": 5}[encoding]
+        assert verify_component(log, synthesis) == []
+
+
+class TestReports:
+    def test_stats_fields(self):
+        system, process, _pin = TestMultiStateController()._design("binary")
+        synthesis = synthesize_process(process)
+        stats = synthesis.netlist.stats()
+        for key in ("cells", "area_nand2", "dffs", "depth", "by_kind"):
+            assert key in stats
+        assert stats["dffs"] > 0
