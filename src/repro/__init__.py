@@ -23,6 +23,11 @@ Subpackages
 ``repro.designs``
     The driver designs: the HCOR header-correlator processor and the
     75 Kgate-class DECT base-station transceiver ASIC.
+``repro.verify``
+    Robustness tooling: fault-injection campaigns with structural fault
+    collapsing, lockstep divergence localization between engines, and
+    guard rails (watchdog budgets, checkpoint/restore, structured
+    deadlock diagnostics).
 """
 
 __version__ = "1.0.0"

@@ -14,6 +14,7 @@ from .errors import (
     CheckError,
     CodegenError,
     DeadlockError,
+    FxOverflowError,
     ModelError,
     ReproError,
     SimulationError,
@@ -64,6 +65,7 @@ __all__ = [
     "DeadlockError",
     "Expr",
     "FSM",
+    "FxOverflowError",
     "Issue",
     "ModelError",
     "Mux",

@@ -1,5 +1,7 @@
 """Exception hierarchy for the design environment."""
 
+from typing import List, Mapping, Optional, Sequence
+
 
 class ReproError(Exception):
     """Base class for all design-environment errors."""
@@ -18,7 +20,39 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """The scheduler detected a deadlock / combinational loop (paper section 4)."""
+    """The scheduler detected a deadlock / combinational loop (paper section 4).
+
+    Beyond the prose message, the error carries machine-readable
+    diagnostics so that tooling (and tests) can act on the failure:
+
+    ``cycle``
+        The clock cycle being simulated when the deadlock hit (None for
+        the purely-untimed data-flow scheduler).
+    ``pending``
+        Mapping from process name to the sorted port/requirement names it
+        is blocked on.
+    ``channels``
+        Mapping from channel name to its token occupancy at failure time.
+    ``iterations``
+        How many evaluation iterations ran before the scheduler gave up.
+    ``trace``
+        Per-iteration progress counts (assignments + firings executed),
+        useful to see whether the system wedged immediately or starved
+        gradually.
+    """
+
+    def __init__(self, message: str, *,
+                 cycle: Optional[int] = None,
+                 iterations: Optional[int] = None,
+                 pending: Optional[Mapping[str, Sequence[str]]] = None,
+                 channels: Optional[Mapping[str, int]] = None,
+                 trace: Optional[Sequence[int]] = None):
+        super().__init__(message)
+        self.cycle = cycle
+        self.iterations = iterations
+        self.pending = {k: list(v) for k, v in (pending or {}).items()}
+        self.channels = dict(channels or {})
+        self.trace: List[int] = list(trace or [])
 
 
 class SynthesisError(ReproError):
@@ -27,3 +61,12 @@ class SynthesisError(ReproError):
 
 class CodegenError(ReproError):
     """Code generation (HDL or compiled-simulator) failed."""
+
+
+class FxOverflowError(ReproError, ArithmeticError):
+    """Raised when quantization overflows and the format demands an error.
+
+    Lives in the :class:`ReproError` hierarchy so generic environment
+    error handling catches it; ``ArithmeticError`` is kept as a secondary
+    base for compatibility with numeric exception handlers.
+    """

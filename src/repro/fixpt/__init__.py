@@ -14,13 +14,14 @@ their bit-vector representation.  This package is the Python equivalent:
   drive wordlength optimization.
 """
 
-from .fixed import Fx, FxFormat, Overflow, Rounding
+from .fixed import Fx, FxFormat, FxOverflowError, Overflow, Rounding
 from .quantize import quantize, quantize_raw
 from .trace import RangeRecord, RangeTracer
 
 __all__ = [
     "Fx",
     "FxFormat",
+    "FxOverflowError",
     "Overflow",
     "Rounding",
     "quantize",

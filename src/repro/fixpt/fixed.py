@@ -34,8 +34,10 @@ class Overflow(enum.Enum):
     ERROR = "error"        # raise FxOverflowError
 
 
-class FxOverflowError(ArithmeticError):
-    """Raised when quantization overflows and the format demands an error."""
+# Defined in core.errors so it sits in the ReproError hierarchy (with
+# ArithmeticError as a secondary base); re-imported here so existing
+# ``from repro.fixpt.fixed import FxOverflowError`` call sites keep working.
+from ..core.errors import FxOverflowError  # noqa: E402  (re-export)
 
 
 @dataclass(frozen=True)

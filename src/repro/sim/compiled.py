@@ -310,7 +310,8 @@ class CompiledSimulator:
         self.source = self._generate()
         code = compile(self.source, f"<compiled:{system.name}>", "exec")
         exec(code, self._env)
-        self._step, self._dump = self._env["_make_step"]()
+        self._step, self._dump, self._dump_raw, self._load = \
+            self._env["_make_step"]()
 
     # -- public API ----------------------------------------------------------------
 
@@ -341,6 +342,15 @@ class CompiledSimulator:
     def snapshot(self) -> Dict[str, object]:
         """Current register values (and FSM states) by name, in Fx domain."""
         return self._dump()
+
+    def save_state(self) -> Dict[str, object]:
+        """Deterministic checkpoint: raw register values, FSM states, cycle."""
+        return {"cycle": self.cycle, "state": self._dump_raw()}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a checkpoint taken with :meth:`save_state`."""
+        self._load(state["state"])
+        self.cycle = state["cycle"]
 
     def _convert_pins(self, pins: Optional[Dict[str, object]]) -> Dict[str, int]:
         if not pins:
@@ -612,12 +622,14 @@ class CompiledSimulator:
             emit(line)
         emit("    def dump():")
         entries = []
+        raw_entries = []
         for reg in registers:
             name = reg_name(reg, reg.name)
             if reg.fmt is not None:
                 entries.append(f"{reg.name!r}: Fx(raw={name}, fmt={_fmt_ref(reg.fmt)})")
             else:
                 entries.append(f"{reg.name!r}: {name}")
+            raw_entries.append(f"{reg.name!r}: {name}")
         for process in timed:
             if process.fsm is not None:
                 pname = _sanitize(process.name)
@@ -625,8 +637,33 @@ class CompiledSimulator:
                 names = {index: state for state, index in states.items()}
                 emit_map = ", ".join(f"{i}: {n!r}" for i, n in sorted(names.items()))
                 entries.append(f"'{process.name}.state': {{{emit_map}}}[st_{pname}]")
+                raw_entries.append(
+                    f"'{process.name}.state': {{{emit_map}}}[st_{pname}]"
+                )
         emit(f"        return {{{', '.join(entries)}}}")
-        emit("    return step, dump")
+        # Raw-domain dump/load pair: the checkpoint/restore hook used by
+        # repro.verify.guard for long campaigns.
+        emit("    def dump_raw():")
+        emit(f"        return {{{', '.join(raw_entries)}}}")
+        emit("    def load(state):")
+        if state_names:
+            emit(f"        nonlocal {', '.join(state_names)}")
+        for reg in registers:
+            name = reg_name(reg, reg.name)
+            emit(f"        {name} = state[{reg.name!r}]")
+        for process in timed:
+            if process.fsm is not None:
+                pname = _sanitize(process.name)
+                states = fsm_index[id(process)]
+                emit_map = ", ".join(
+                    f"{n!r}: {i}" for n, i in sorted(states.items(),
+                                                     key=lambda kv: kv[1])
+                )
+                emit(f"        st_{pname} = "
+                     f"{{{emit_map}}}[state['{process.name}.state']]")
+        if not state_names:
+            emit("        pass")
+        emit("    return step, dump, dump_raw, load")
 
         source = "\n".join(lines) + "\n"
         # Provide formats and behaviors in the module environment.

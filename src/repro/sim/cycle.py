@@ -179,11 +179,13 @@ class CycleScheduler:
         ]
         fired_untimed: Set[UntimedProcess] = set()
         iterations = 0
+        trace: List[int] = []
         while True:
             iterations += 1
             if iterations > self.max_iterations:
-                raise DeadlockError(self._deadlock_message(pending))
-            progress = False
+                raise self._deadlock_error(pending, fired_untimed,
+                                           iterations - 1, trace)
+            progress = 0
 
             still_pending: List[Tuple[_ProcessPlan, _PlanStep]] = []
             for plan, step in pending:
@@ -199,7 +201,7 @@ class CycleScheduler:
                 step.assignment.execute()
                 if step.output_port is not None and step.output_port.channel is not None:
                     step.output_port.channel.put(step.assignment.target.value)
-                progress = True
+                progress += 1
             pending = still_pending
 
             for process in self.untimed:
@@ -208,12 +210,14 @@ class CycleScheduler:
                 if self._untimed_ready(process):
                     self._fire_untimed(process)
                     fired_untimed.add(process)
-                    progress = True
+                    progress += 1
 
+            trace.append(progress)
             if not pending:
                 break
             if not progress:
-                raise DeadlockError(self._deadlock_message(pending))
+                raise self._deadlock_error(pending, fired_untimed,
+                                           iterations, trace)
 
         # Phase 3: register update.
         for clock in self.clocks:
@@ -245,20 +249,46 @@ class CycleScheduler:
                 port.channel.put(results[port.name])
         process.firings += 1
 
-    def _deadlock_message(self, pending) -> str:
-        blocked = {}
+    def _blocked_map(self, pending, fired_untimed=()) -> Dict[str, List[str]]:
+        """Per-process names of the ports each blocked process waits on."""
+        blocked: Dict[str, Set[str]] = {}
         for plan, step in pending:
             waits = [
                 port.name for port in step.input_ports
                 if port.channel is None or not port.channel.valid
             ]
             blocked.setdefault(plan.process.name, set()).update(waits)
+        for process in self.untimed:
+            if process in fired_untimed:
+                continue
+            waits = {
+                port.name for port in process.in_ports()
+                if port.channel is None or not port.channel.valid
+            }
+            if waits:
+                blocked.setdefault(process.name, set()).update(waits)
+        return {name: sorted(waits) for name, waits in sorted(blocked.items())}
+
+    def _deadlock_message(self, pending) -> str:
+        blocked = self._blocked_map(pending)
         detail = "; ".join(
-            f"{name} waits on {sorted(waits)}" for name, waits in blocked.items()
+            f"{name} waits on {waits}" for name, waits in blocked.items()
         )
         return (
             f"cycle {self.cycle}: system deadlocked in the evaluation phase "
             f"(combinational loop or missing token): {detail}"
+        )
+
+    def _deadlock_error(self, pending, fired_untimed, iterations: int,
+                        trace: List[int]) -> DeadlockError:
+        """A :class:`DeadlockError` with structured diagnostics attached."""
+        return DeadlockError(
+            self._deadlock_message(pending),
+            cycle=self.cycle,
+            iterations=iterations,
+            pending=self._blocked_map(pending, fired_untimed),
+            channels={c.name: c.tokens() for c in self.system.channels},
+            trace=trace,
         )
 
     # -- runs ------------------------------------------------------------------------
@@ -279,3 +309,56 @@ class CycleScheduler:
         for chan in self.system.channels:
             chan.clear()
         self.cycle = 0
+
+    # -- checkpoint / restore ------------------------------------------------------
+
+    def _state_registers(self):
+        registers = []
+        seen: Set[int] = set()
+        for process in self.timed:
+            for sfg in process.all_sfgs():
+                for reg in sfg.registers():
+                    if id(reg) not in seen:
+                        seen.add(id(reg))
+                        registers.append(reg)
+        return registers
+
+    def save_state(self) -> Dict[str, object]:
+        """Deterministic checkpoint of all simulator state.
+
+        Captures register current/next values, FSM states, clock and
+        cycle counters.  The snapshot is an opaque dict for
+        :meth:`restore_state`; values are immutable, so the checkpoint
+        stays valid while simulation continues.
+        """
+        return {
+            "cycle": self.cycle,
+            "clocks": [clock.cycle for clock in self.clocks],
+            "registers": [
+                (reg._value, reg._next, reg._next_set)
+                for reg in self._state_registers()
+            ],
+            "fsms": [
+                process.fsm.current.name if process.fsm is not None else None
+                for process in self.timed
+            ],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a checkpoint taken with :meth:`save_state`."""
+        self.cycle = state["cycle"]
+        for clock, count in zip(self.clocks, state["clocks"]):
+            clock.cycle = count
+        for reg, (value, nxt, next_set) in zip(
+                self._state_registers(), state["registers"]):
+            reg._value = value
+            reg._next = nxt
+            reg._next_set = next_set
+        for process, name in zip(self.timed, state["fsms"]):
+            if process.fsm is not None and name is not None:
+                process.fsm.current = next(
+                    s for s in process.fsm.states if s.name == name
+                )
+                process.fsm._pending = None
+        for chan in self.system.channels:
+            chan.clear()

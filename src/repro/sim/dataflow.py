@@ -63,7 +63,7 @@ class DataflowScheduler:
         while self.total_firings - start < max_firings:
             if not self.step():
                 return self.total_firings - start
-        raise DeadlockError(
+        raise self._deadlock_error(
             f"data-flow simulation exceeded {max_firings} firings; "
             "the graph may be inconsistent (unbounded token growth)"
         )
@@ -74,16 +74,62 @@ class DataflowScheduler:
         start = self.total_firings
         while chan.tokens() < tokens:
             if self.total_firings - start >= max_firings:
-                raise DeadlockError(
+                raise self._deadlock_error(
                     f"exceeded {max_firings} firings waiting for {tokens} "
                     f"tokens on {chan.name!r}"
                 )
             if not self.step():
-                raise DeadlockError(
+                raise self._deadlock_error(
                     f"data-flow system quiescent with only {chan.tokens()} of "
                     f"{tokens} tokens on {chan.name!r}"
                 )
         return self.total_firings - start
+
+    # -- deadlock diagnostics ----------------------------------------------------
+
+    def blocked_rules(self) -> Dict[str, List[str]]:
+        """Which firing rules are blocked, and why, per process.
+
+        For every process that cannot fire right now, lists the input
+        ports with insufficient tokens (``"port needs r, has n"``); a
+        process whose token counts suffice but whose custom firing rule
+        still refuses is reported as such.
+        """
+        blocked: Dict[str, List[str]] = {}
+        for process in self.system.untimed_processes():
+            shortfalls = []
+            for port in process.in_ports():
+                have = port.channel.tokens() if port.channel is not None else 0
+                if port.channel is None or have < port.rate:
+                    shortfalls.append(
+                        f"{port.name} needs {port.rate}, has {have}"
+                    )
+            if shortfalls:
+                blocked[process.name] = shortfalls
+            elif not process.firing_rule():
+                blocked[process.name] = ["custom firing rule not satisfied"]
+        return blocked
+
+    def channel_occupancy(self) -> Dict[str, int]:
+        """Current token count of every channel."""
+        return {chan.name: chan.tokens() for chan in self.system.channels}
+
+    def _deadlock_error(self, message: str) -> DeadlockError:
+        blocked = self.blocked_rules()
+        channels = self.channel_occupancy()
+        detail_blocked = "; ".join(
+            f"{name}: {', '.join(why)}" for name, why in sorted(blocked.items())
+        ) or "none"
+        detail_channels = ", ".join(
+            f"{name}={count}" for name, count in sorted(channels.items())
+        ) or "none"
+        return DeadlockError(
+            f"{message} [blocked firing rules: {detail_blocked}] "
+            f"[channel tokens: {detail_channels}]",
+            pending=blocked,
+            channels=channels,
+            trace=[self.total_firings],
+        )
 
 
 def repetitions_vector(system: System) -> Dict[UntimedProcess, int]:

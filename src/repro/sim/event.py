@@ -304,10 +304,19 @@ class EventSimulator:
                     sig.current if isinstance(sig, Register) else sig.value,
                     value)
             ]
-        raise SimulationError(
+        oscillating = sorted({
+            sig.name for sig, _value in pending if sig.name is not None
+        })
+        error = SimulationError(
             f"event simulation did not settle within {self.max_deltas} delta "
-            "cycles (combinational oscillation)"
+            f"cycles (combinational oscillation); still-changing nets: "
+            f"{oscillating[:8]}"
         )
+        # Structured diagnostics for tooling (mirrors DeadlockError).
+        error.cycle = self.cycle
+        error.deltas = self.max_deltas
+        error.pending = oscillating
+        raise error
 
     #: Hooks called once per cycle after the combinational network settles
     #: and before the clock edge (i.e. when the cycle's values are stable).

@@ -28,6 +28,13 @@ class GateSimulator:
             self.values[dff.output] = dff.init
         self.cycle = 0
         self.monitors = []
+        #: Saboteur hooks: nets forced to a constant value (stuck-at
+        #: faults) and nets whose settled value is inverted during
+        #: propagation (transient bit flips).  Managed with
+        #: :meth:`force`, :meth:`flip` and :meth:`release`.
+        self._forces: Dict[Net, int] = {}
+        self._flips: set = set()
+        self._comb_driven = {gate.output for gate in self._order}
         # Settle the combinational logic against the initial state.
         self._propagate()
 
@@ -63,14 +70,62 @@ class GateSimulator:
             ) from None
         return self.read_bus(bus, signed)
 
+    # -- fault injection ---------------------------------------------------------
+
+    def force(self, net: Net, value: int) -> None:
+        """Stuck-at saboteur: hold *net* at *value* until released.
+
+        The force overrides the driving gate (or pin / DFF output) during
+        every propagation, and propagates through the downstream cone —
+        the standard stuck-at fault model.
+        """
+        self._forces[net] = value & 1
+
+    def flip(self, net: Net) -> None:
+        """Transient saboteur: invert *net*'s settled value while armed.
+
+        Models a single-event upset; arm before a :meth:`step` and
+        :meth:`release` afterwards for a one-cycle bit flip.
+        """
+        self._flips.add(net)
+
+    def release(self, net: Optional[Net] = None) -> None:
+        """Remove one injected fault (or all of them when *net* is None)."""
+        if net is None:
+            self._forces.clear()
+            self._flips.clear()
+        else:
+            self._forces.pop(net, None)
+            self._flips.discard(net)
+
     # -- simulation -------------------------------------------------------------------
 
     def _propagate(self) -> None:
         values = self.values
+        if not self._forces and not self._flips:
+            for gate in self._order:
+                values[gate.output] = evaluate_gate(
+                    gate.kind, [values[n] for n in gate.inputs]
+                )
+            return
+        forces, flips = self._forces, self._flips
+        # Faults on pins and DFF outputs (no combinational driver) apply
+        # before the array evaluation; the rest are applied in place.
+        for net, value in forces.items():
+            if net not in self._comb_driven:
+                values[net] = value
+        for net in flips:
+            if net not in self._comb_driven and net not in forces:
+                values[net] ^= 1
         for gate in self._order:
-            values[gate.output] = evaluate_gate(
-                gate.kind, [values[n] for n in gate.inputs]
-            )
+            out = gate.output
+            if out in forces:
+                values[out] = forces[out]
+                continue
+            value = evaluate_gate(gate.kind, [values[n] for n in gate.inputs])
+            if out in flips:
+                value ^= 1
+            values[out] = value
 
     #: Hooks called after the logic settles, before the clock edge — the
     #: moment when this cycle's output values are valid (matching the
@@ -101,3 +156,19 @@ class GateSimulator:
     def settled_outputs(self) -> Dict[str, int]:
         """All primary outputs after the last settle."""
         return {name: self.output(name) for name in self.netlist.outputs}
+
+    # -- checkpoint / restore ---------------------------------------------------------
+
+    def save_state(self) -> Dict[str, object]:
+        """Deterministic checkpoint: every net value plus the cycle count.
+
+        Injected faults are *not* part of the checkpoint — restoring a
+        golden snapshot into a sabotaged simulator keeps the saboteurs
+        armed, which is exactly what a fault campaign needs.
+        """
+        return {"cycle": self.cycle, "values": list(self.values)}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a checkpoint taken with :meth:`save_state`."""
+        self.cycle = state["cycle"]
+        self.values[:] = state["values"]

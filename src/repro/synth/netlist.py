@@ -135,6 +135,27 @@ class Netlist:
             if gate.kind not in (GateKind.CONST0, GateKind.CONST1)
         )
 
+    def fanout(self) -> Dict[Net, List[Gate]]:
+        """Map every net to the gates reading it (its fanout set)."""
+        table: Dict[Net, List[Gate]] = {}
+        for gate in self.gates:
+            for net in gate.inputs:
+                table.setdefault(net, []).append(gate)
+        return table
+
+    def net_label(self, net: Net) -> str:
+        """A human-readable label for *net* (for fault/divergence reports)."""
+        name = self.net_names.get(net)
+        if name:
+            return name
+        for out_name, nets in self.outputs.items():
+            if net in nets:
+                return f"{out_name}[{nets.index(net)}]"
+        driver = self._driver.get(net)
+        if driver is not None:
+            return f"n{net}:{driver.kind.value}"
+        return f"n{net}"
+
     def levelize(self) -> List[Gate]:
         """Combinational gates in topological order.
 

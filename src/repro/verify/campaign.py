@@ -1,0 +1,231 @@
+"""Fault-injection campaigns against the golden gate-level simulation.
+
+A campaign replays one stimulus program — a list of per-cycle pin
+drives — first on the fault-free netlist (the golden run), then once per
+fault with the saboteur armed, comparing primary outputs cycle by cycle.
+A fault is *detected* when any output differs on any cycle; the result is
+a coverage report in the style of :mod:`repro.synth.report`.
+
+The campaign reuses one :class:`~repro.synth.gatesim.GateSimulator`
+through the checkpoint/restore guard rail instead of re-levelizing the
+netlist per fault, and accepts a :class:`~repro.verify.guard.Watchdog`
+so long campaigns return partial coverage instead of wedging.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from ..synth.gatesim import GateSimulator
+from ..synth.netlist import Netlist
+from .faults import (
+    StuckAtFault,
+    TransientFault,
+    collapse_faults,
+    enumerate_faults,
+)
+from .guard import Watchdog
+
+Fault = Union[StuckAtFault, TransientFault]
+Stimulus = Sequence[Mapping[str, int]]
+
+
+def random_stimulus(netlist: Netlist, cycles: int,
+                    seed: int = 0) -> List[Dict[str, int]]:
+    """A reproducible random stimulus program for *netlist*'s inputs.
+
+    Each cycle drives every primary input with a uniform random raw value
+    of the right width (two's-complement domain, like
+    :meth:`GateSimulator.set_input`).
+    """
+    rng = random.Random(seed)
+    program: List[Dict[str, int]] = []
+    for _ in range(cycles):
+        program.append({
+            name: rng.getrandbits(len(bus))
+            for name, bus in netlist.inputs.items()
+        })
+    return program
+
+
+@dataclass
+class FaultResult:
+    """Outcome of simulating one (representative) fault."""
+
+    fault: Fault
+    detected: bool
+    #: First cycle on which an output differed (None when undetected).
+    detect_cycle: Optional[int] = None
+    #: Name of the first differing primary output.
+    detect_output: Optional[str] = None
+    #: Size of the structural equivalence class this fault represents.
+    class_size: int = 1
+
+
+@dataclass
+class CampaignReport:
+    """Coverage report of a fault campaign (``report()`` renders text)."""
+
+    netlist_name: str
+    cycles: int
+    total_faults: int
+    collapsed_faults: int
+    results: List[FaultResult] = field(default_factory=list)
+    #: False when a watchdog budget expired before every fault ran.
+    complete: bool = True
+    #: Representatives never simulated because the budget expired.
+    skipped: int = 0
+
+    def detected(self) -> List[FaultResult]:
+        return [r for r in self.results if r.detected]
+
+    def undetected(self) -> List[FaultResult]:
+        return [r for r in self.results if not r.detected]
+
+    @property
+    def detected_weight(self) -> int:
+        """Detected faults counting every member of collapsed classes."""
+        return sum(r.class_size for r in self.detected())
+
+    def coverage(self) -> float:
+        """Detected fraction of the full (uncollapsed) fault universe."""
+        if not self.total_faults:
+            return 1.0
+        return self.detected_weight / self.total_faults
+
+    def report(self, netlist: Optional[Netlist] = None,
+               max_undetected: int = 8) -> str:
+        """Text summary in the synthesis-report style."""
+        lines = [
+            f"fault campaign {self.netlist_name}",
+            f"  stimulus   : {self.cycles} cycles",
+            f"  fault list : {self.total_faults} faults, "
+            f"{self.collapsed_faults} after collapsing",
+            f"  simulated  : {len(self.results)} representatives"
+            + ("" if self.complete
+               else f" (partial: {self.skipped} skipped on budget)"),
+            f"  detected   : {len(self.detected())} representatives "
+            f"({self.detected_weight} faults)",
+            f"  coverage   : {100.0 * self.coverage():.1f}%",
+        ]
+        undetected = self.undetected()
+        if undetected:
+            shown = ", ".join(
+                r.fault.describe(netlist) for r in undetected[:max_undetected]
+            )
+            suffix = ", ..." if len(undetected) > max_undetected else ""
+            lines.append(f"  undetected : {shown}{suffix}")
+        return "\n".join(lines)
+
+
+class FaultCampaign:
+    """Run a fault-injection campaign on a netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The gate-level design under test.
+    stimuli:
+        The stimulus program: one ``{input_name: raw}`` mapping per cycle.
+    faults:
+        Faults to inject.  Default: the structurally-collapsed stuck-at
+        universe.  Explicit lists may mix stuck-at and transient faults.
+    collapse:
+        When *faults* is None, whether to collapse the stuck-at universe
+        (True) or simulate it uncollapsed (False).
+    watchdog:
+        Optional wall-clock/cycle budget.  When it expires mid-campaign,
+        the report comes back with ``complete=False`` and the remaining
+        faults counted as ``skipped`` — partial results, no exception.
+    """
+
+    def __init__(self, netlist: Netlist, stimuli: Stimulus,
+                 faults: Optional[Sequence[Fault]] = None,
+                 collapse: bool = True,
+                 watchdog: Optional[Watchdog] = None):
+        self.netlist = netlist
+        self.stimuli = [dict(pins) for pins in stimuli]
+        self.watchdog = watchdog
+        if faults is None:
+            if collapse:
+                result = collapse_faults(netlist)
+                self.total_faults = result.total
+                self._work = [
+                    (rep, len(members))
+                    for rep, members in result.classes.items()
+                ]
+            else:
+                universe = enumerate_faults(netlist)
+                self.total_faults = len(universe)
+                self._work = [(fault, 1) for fault in universe]
+        else:
+            self.total_faults = len(faults)
+            self._work = [(fault, 1) for fault in faults]
+
+    # -- execution ---------------------------------------------------------------
+
+    def _golden_run(self, sim: GateSimulator) -> List[Dict[str, int]]:
+        outputs: List[Dict[str, int]] = []
+        sim.monitors = [lambda s: outputs.append(s.settled_outputs())]
+        for pins in self.stimuli:
+            sim.step(pins)
+        sim.monitors = []
+        return outputs
+
+    def _simulate_fault(self, sim: GateSimulator, fault: Fault,
+                        golden: List[Dict[str, int]], initial) -> FaultResult:
+        sim.release()
+        sim.restore_state(initial)
+        if isinstance(fault, StuckAtFault):
+            sim.force(fault.net, fault.value)
+        captured: Dict[str, int] = {}
+        sim.monitors = [lambda s: captured.update(s.settled_outputs())]
+        try:
+            for cycle, pins in enumerate(self.stimuli):
+                transient_now = (isinstance(fault, TransientFault)
+                                 and cycle == fault.cycle)
+                if transient_now:
+                    sim.flip(fault.net)
+                sim.step(pins)
+                if transient_now:
+                    sim.release(fault.net)
+                expected = golden[cycle]
+                for name, value in expected.items():
+                    if captured[name] != value:
+                        return FaultResult(fault, True, cycle, name)
+            return FaultResult(fault, False)
+        finally:
+            sim.monitors = []
+            sim.release()
+
+    def run(self) -> CampaignReport:
+        """Execute the campaign; always returns a report (never wedges)."""
+        golden_sim = GateSimulator(self.netlist)
+        initial = golden_sim.save_state()
+        golden = self._golden_run(golden_sim)
+
+        report = CampaignReport(
+            netlist_name=self.netlist.name,
+            cycles=len(self.stimuli),
+            total_faults=self.total_faults,
+            collapsed_faults=len(self._work),
+        )
+        # One simulator for every fault: restore beats re-levelizing.
+        fault_sim = GateSimulator(self.netlist)
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.start()
+        for index, (fault, class_size) in enumerate(self._work):
+            if watchdog is not None and watchdog.expired():
+                report.complete = False
+                report.skipped = len(self._work) - index
+                break
+            result = self._simulate_fault(fault_sim, fault, golden, initial)
+            result.class_size = class_size
+            report.results.append(result)
+            if watchdog is not None:
+                # One tick per fault: max_cycles doubles as a fault budget.
+                watchdog.tick()
+        return report

@@ -1,0 +1,141 @@
+"""Simulation guard rails: budgets and deterministic checkpoints.
+
+Long verification runs (fault campaigns, overnight regressions) must not
+wedge: the :class:`Watchdog` enforces cycle and wall-clock budgets and
+*returns* what was computed instead of raising, and
+:func:`checkpoint`/:func:`restore` expose the deterministic state
+snapshot hooks every engine implements (``save_state``/``restore_state``
+on :class:`~repro.synth.gatesim.GateSimulator`,
+:class:`~repro.sim.cycle.CycleScheduler` and
+:class:`~repro.sim.compiled.CompiledSimulator`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.errors import SimulationError
+
+
+@dataclass
+class WatchdogResult:
+    """What a budgeted run actually achieved."""
+
+    cycles: int
+    seconds: float
+    #: None when the run completed; ``"cycles"`` or ``"wall_clock"`` when
+    #: the corresponding budget expired first.
+    exhausted: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.exhausted is None
+
+
+class Watchdog:
+    """Cycle and wall-clock budgets with graceful partial results.
+
+    Two usage styles:
+
+    * :meth:`run` drives a per-cycle callable under budget and returns a
+      :class:`WatchdogResult` — never an exception;
+    * :meth:`start` / :meth:`expired` let a longer-lived loop (e.g. a
+      fault campaign) poll the budget between work items.
+    """
+
+    def __init__(self, max_cycles: Optional[int] = None,
+                 max_seconds: Optional[float] = None,
+                 check_every: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_cycles is not None and max_cycles < 0:
+            raise SimulationError("watchdog max_cycles must be >= 0")
+        if max_seconds is not None and max_seconds < 0:
+            raise SimulationError("watchdog max_seconds must be >= 0")
+        self.max_cycles = max_cycles
+        self.max_seconds = max_seconds
+        self.check_every = max(1, check_every)
+        self._clock = clock
+        self._started: Optional[float] = None
+        self._count = 0
+
+    # -- polling interface --------------------------------------------------------
+
+    def start(self) -> "Watchdog":
+        """(Re)start the budgets; returns self for chaining."""
+        self._started = self._clock()
+        self._count = 0
+        return self
+
+    def elapsed(self) -> float:
+        if self._started is None:
+            return 0.0
+        return self._clock() - self._started
+
+    def tick(self) -> None:
+        """Account one unit of work against the cycle budget."""
+        self._count += 1
+
+    def expired(self) -> Optional[str]:
+        """The budget that ran out (``"cycles"``/``"wall_clock"``) or None."""
+        if self.max_cycles is not None and self._count >= self.max_cycles:
+            return "cycles"
+        if self.max_seconds is not None and self.elapsed() >= self.max_seconds:
+            return "wall_clock"
+        return None
+
+    # -- driving interface --------------------------------------------------------
+
+    def run(self, step: Callable[[int], None], cycles: int) -> WatchdogResult:
+        """Call ``step(cycle)`` up to *cycles* times within budget.
+
+        The wall clock is polled every ``check_every`` cycles.  Whatever
+        the outcome, the partial work stands — the caller inspects
+        :class:`WatchdogResult` to see how far the run got.
+        """
+        self.start()
+        budget = cycles
+        if self.max_cycles is not None:
+            budget = min(budget, self.max_cycles)
+        done = 0
+        exhausted: Optional[str] = "cycles" if budget < cycles else None
+        while done < budget:
+            if (self.max_seconds is not None
+                    and done % self.check_every == 0
+                    and self.elapsed() >= self.max_seconds):
+                exhausted = "wall_clock"
+                break
+            step(done)
+            done += 1
+            self.tick()
+        return WatchdogResult(cycles=done, seconds=self.elapsed(),
+                              exhausted=exhausted)
+
+
+# -- checkpoint / restore -------------------------------------------------------
+
+
+def checkpoint(engine) -> Dict[str, object]:
+    """A deterministic snapshot of *engine*'s simulation state.
+
+    Works with any engine exposing the ``save_state`` guard-rail hook.
+    """
+    save = getattr(engine, "save_state", None)
+    if save is None:
+        raise SimulationError(
+            f"{type(engine).__name__} does not support checkpointing "
+            "(no save_state hook)"
+        )
+    return save()
+
+
+def restore(engine, state: Dict[str, object]) -> None:
+    """Restore *engine* to a snapshot taken with :func:`checkpoint`."""
+    load = getattr(engine, "restore_state", None)
+    if load is None:
+        raise SimulationError(
+            f"{type(engine).__name__} does not support checkpointing "
+            "(no restore_state hook)"
+        )
+    load(state)

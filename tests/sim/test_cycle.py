@@ -228,3 +228,75 @@ class TestPartialEvaluation:
         scheduler.run(2)
         # Cycle 0: out1 = 1, B gives 11, out2 = 22.
         assert [float(v) for v in recorder["A_out2"]] == [22.0, 24.0]
+
+
+class TestDeadlockPaths:
+    """The scheduler's deadlock machinery: iteration budget, message
+    content, and recoverability after a caught DeadlockError."""
+
+    @staticmethod
+    def _passthrough(name, clk, offset):
+        i, o = Sig(f"{name}_i", W), Sig(f"{name}_o", W)
+        sfg = SFG(name)
+        with sfg:
+            o <<= i + offset
+        sfg.inp(i).out(o)
+        p = TimedProcess(name, clk, sfgs=[sfg])
+        p.add_input("i", i)
+        p.add_output("o", o)
+        return p
+
+    def _chain_system(self):
+        """pin -> p2 -> p1 -> out, added in reverse dependency order so
+        the relaxation loop needs a second sweep to feed p1."""
+        clk = Clock()
+        p1 = self._passthrough("p1", clk, 1)
+        p2 = self._passthrough("p2", clk, 2)
+        system = System("chain")
+        system.add(p1)
+        system.add(p2)
+        system.connect(p2.port("o"), p1.port("i"))
+        pin = system.connect(None, p2.port("i"), name="pin")
+        out = system.connect(p1.port("o"), name="out")
+        return system, pin, out
+
+    def test_max_iterations_boundary(self):
+        system, pin, out = self._chain_system()
+        with pytest.raises(DeadlockError):
+            CycleScheduler(system, max_iterations=1).step({pin: 0})
+
+        system, pin, out = self._chain_system()
+        CycleScheduler(system, max_iterations=2).step({pin: 0})
+        assert float(out.value) == 3.0  # 0 + 2 + 1
+
+    def test_deadlock_message_content(self):
+        system, _pin, _out = self._chain_system()
+        with pytest.raises(DeadlockError) as info:
+            CycleScheduler(system).step()  # pin never driven
+        message = str(info.value)
+        assert "deadlocked in the evaluation phase" in message
+        assert "cycle 0" in message
+        assert "p2 waits on ['i']" in message
+        assert "p1 waits on ['i']" in message
+
+    def test_structured_attributes(self):
+        system, _pin, _out = self._chain_system()
+        with pytest.raises(DeadlockError) as info:
+            CycleScheduler(system).step()
+        err = info.value
+        assert err.cycle == 0
+        assert err.pending.get("p2") == ["i"]
+        assert err.channels.get("pin") == 0
+        assert err.iterations >= 1
+        assert err.trace  # per-iteration firing counts
+
+    def test_recovery_after_caught_deadlock(self):
+        system, pin, out = self._chain_system()
+        scheduler = CycleScheduler(system)
+        with pytest.raises(DeadlockError):
+            scheduler.step()  # starve the chain
+        # Same scheduler, now fed: simulation must proceed normally.
+        scheduler.step({pin: 5})
+        assert float(out.value) == 8.0
+        scheduler.step({pin: 7})
+        assert float(out.value) == 10.0

@@ -1,0 +1,34 @@
+"""Shared builders for the verification-subsystem tests."""
+
+import pytest
+
+from repro.synth import GateKind, Netlist
+
+
+def build_and_netlist():
+    """y = a & b — the smallest interesting fault-injection target."""
+    nl = Netlist("and2")
+    a = nl.add_input("a", 1)
+    b = nl.add_input("b", 1)
+    y = nl.add(GateKind.AND2, [a[0], b[0]])
+    nl.set_output("y", [y])
+    return nl
+
+
+def build_inv_chain_netlist():
+    """y = ~~a via two inverters (a fanout-free collapsing chain)."""
+    nl = Netlist("invchain")
+    a = nl.add_input("a", 1)
+    x = nl.add(GateKind.INV, [a[0]])
+    y = nl.add(GateKind.INV, [x])
+    nl.set_output("y", [y])
+    return nl
+
+
+@pytest.fixture(scope="session")
+def hcor_synthesis():
+    """One synthesized HCOR netlist shared by the whole verify suite."""
+    from repro.designs.hcor import build_hcor
+    from repro.synth.flow import synthesize_process
+
+    return synthesize_process(build_hcor().process)

@@ -1,0 +1,173 @@
+"""Guard rails: watchdog budgets, checkpoint/restore, structured errors."""
+
+import pytest
+
+from repro.core import DeadlockError, SimulationError, System, actor
+from repro.sim import CompiledSimulator, CycleScheduler
+from repro.sim.dataflow import DataflowScheduler
+from repro.synth import GateSimulator
+from repro.verify import Watchdog, checkpoint, restore
+
+from tests.conftest import build_counter_system, build_hold_system
+
+
+class TestWatchdog:
+    def test_completes_within_budget(self):
+        ran = []
+        result = Watchdog(max_cycles=100).run(ran.append, 10)
+        assert result.complete
+        assert result.exhausted is None
+        assert result.cycles == 10
+        assert ran == list(range(10))
+
+    def test_cycle_budget_returns_partial(self):
+        ran = []
+        result = Watchdog(max_cycles=4).run(ran.append, 10)
+        assert not result.complete
+        assert result.exhausted == "cycles"
+        assert result.cycles == 4
+        assert ran == list(range(4))  # partial work stands
+
+    def test_wall_clock_budget(self):
+        ticks = iter([0.0, 0.0, 10.0, 10.0, 10.0])
+        watchdog = Watchdog(max_seconds=1.0, clock=lambda: next(ticks))
+        result = watchdog.run(lambda c: None, 100)
+        assert result.exhausted == "wall_clock"
+        assert result.cycles < 100
+
+    def test_no_budget_runs_everything(self):
+        result = Watchdog().run(lambda c: None, 25)
+        assert result.complete
+        assert result.cycles == 25
+
+    def test_polling_interface(self):
+        watchdog = Watchdog(max_cycles=2).start()
+        assert watchdog.expired() is None
+        watchdog.tick()
+        watchdog.tick()
+        assert watchdog.expired() == "cycles"
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(SimulationError):
+            Watchdog(max_cycles=-1)
+
+
+class TestCheckpointRestore:
+    """A restored engine must replay identically — determinism rail."""
+
+    def test_cycle_scheduler_roundtrip(self):
+        system, out, _count = build_counter_system()
+        scheduler = CycleScheduler(system)
+        scheduler.run(5)
+        snap = checkpoint(scheduler)
+
+        def collect(n):
+            values = []
+            for _ in range(n):
+                scheduler.step()
+                values.append(out.value.raw)
+            return values
+
+        first = collect(4)
+        restore(scheduler, snap)
+        assert scheduler.cycle == 5
+        assert collect(4) == first
+
+    def test_cycle_scheduler_fsm_state_restored(self):
+        system, pin, out, _count, fsm = build_hold_system()
+        scheduler = CycleScheduler(system)
+        for _ in range(3):
+            scheduler.step({pin: 0})
+        snap = checkpoint(scheduler)
+        scheduler.step({pin: 1})
+        scheduler.step({pin: 1})
+        assert fsm.current.name == "hold"
+        restore(scheduler, snap)
+        assert fsm.current.name == "execute"
+        scheduler.step({pin: 0})
+        assert fsm.current.name == "execute"
+
+    def test_compiled_simulator_roundtrip(self):
+        system, _out, _count = build_counter_system()
+        sim = CompiledSimulator(system)
+        sim.run(6)
+        snap = checkpoint(sim)
+        sim.run(10)
+        after = sim.snapshot()
+        restore(sim, snap)
+        assert sim.cycle == 6
+        sim.run(10)
+        assert sim.snapshot() == after
+
+    def test_gate_simulator_roundtrip(self, hcor_synthesis):
+        from repro.verify import random_stimulus
+
+        nl = hcor_synthesis.netlist
+        sim = GateSimulator(nl)
+        prog = random_stimulus(nl, 6, seed=11)
+        for pins in prog[:3]:
+            sim.step(pins)
+        snap = checkpoint(sim)
+
+        def tail():
+            outs = []
+            for pins in prog[3:]:
+                sim.step(pins)
+                outs.append(sim.settled_outputs())
+            return outs
+
+        first = tail()
+        restore(sim, snap)
+        assert sim.cycle == 3
+        assert tail() == first
+
+    def test_unsupported_engine_raises(self):
+        with pytest.raises(SimulationError, match="checkpoint"):
+            checkpoint(object())
+        with pytest.raises(SimulationError, match="checkpoint"):
+            restore(object(), {})
+
+
+class TestStructuredDeadlocks:
+    def test_cycle_deadlock_carries_diagnostics(self):
+        from repro.core import SFG, Clock, Sig, TimedProcess
+        from repro.fixpt import FxFormat
+
+        clk = Clock()
+        i, o = Sig("i", FxFormat(8, 4)), Sig("o", FxFormat(8, 4))
+        sfg = SFG("starved")
+        with sfg:
+            o <<= i + 1
+        sfg.inp(i).out(o)
+        p = TimedProcess("starved", clk, sfgs=[sfg])
+        p.add_input("i", i)
+        p.add_output("o", o)
+        system = System("s")
+        system.add(p)
+        system.connect(None, p.port("i"), name="pin")
+        system.connect(p.port("o"), name="out")
+        with pytest.raises(DeadlockError) as info:
+            CycleScheduler(system).step()
+        err = info.value
+        assert err.cycle == 0
+        assert err.iterations >= 1
+        assert "starved" in err.pending
+        assert err.pending["starved"]  # names the starving SFGs
+        assert "pin" in err.channels and err.channels["pin"] == 0
+        assert isinstance(err.trace, list)
+
+    def test_dataflow_deadlock_carries_diagnostics(self):
+        inc = actor("inc", lambda x: {"y": x + 1},
+                    inputs={"x": 1}, outputs={"y": 1})
+        system = System("s")
+        system.add(inc)
+        loop = system.connect(inc.port("y"), inc.port("x"))
+        loop.preload([0])
+        scheduler = DataflowScheduler(system)
+        with pytest.raises(DeadlockError) as info:
+            scheduler.run(max_firings=10)
+        err = info.value
+        assert loop.name in err.channels
+        assert err.channels[loop.name] == 1  # the live looping token
+        assert "blocked firing rules" in str(err)
+        assert "channel tokens" in str(err)

@@ -1,0 +1,146 @@
+"""Lockstep execution and divergence localization."""
+
+import pytest
+
+from repro.core import SimulationError
+from repro.verify import (
+    CompiledAdapter,
+    CycleAdapter,
+    EventAdapter,
+    GateAdapter,
+    Lockstep,
+)
+
+from tests.conftest import build_hold_system
+
+HOLD_STIM = [{"req": (1 if 5 <= c < 9 else 0)} for c in range(20)]
+
+
+def make_cycle():
+    system, _pin, _out, _count, _fsm = build_hold_system()
+    return CycleAdapter(system)
+
+
+def make_compiled():
+    system, _pin, _out, _count, _fsm = build_hold_system()
+    return CompiledAdapter(system)
+
+
+def make_event():
+    system, _pin, _out, _count, _fsm = build_hold_system()
+    return EventAdapter(system)
+
+
+class _SabotagedCompiled(CompiledAdapter):
+    """A compiled engine whose req pin is inverted on one cycle —
+    an intentional, precisely-placed divergence source."""
+
+    def __init__(self, system, bad_cycle):
+        super().__init__(system, name="sabotaged")
+        self._cycle = 0
+        self._bad = bad_cycle
+
+    def step(self, pins):
+        pins = dict(pins)
+        if self._cycle == self._bad:
+            pins["req"] = 1 - int(pins.get("req", 0))
+        self._cycle += 1
+        super().step(pins)
+
+
+def make_sabotaged(bad_cycle):
+    def factory():
+        system, *_ = build_hold_system()
+        return _SabotagedCompiled(system, bad_cycle)
+    return factory
+
+
+class TestAgreement:
+    def test_interpreted_vs_compiled(self):
+        assert Lockstep(make_cycle, make_compiled, HOLD_STIM).run() is None
+
+    def test_interpreted_vs_event(self):
+        assert Lockstep(make_cycle, make_event, HOLD_STIM).run() is None
+
+    def test_interpreted_vs_netlist_hcor(self, hcor_synthesis):
+        import random
+
+        from repro.designs.hcor import SOFT_FMT, build_hcor
+        from repro.fixpt import Fx
+
+        def cycle_side():
+            return CycleAdapter(build_hcor().system)
+
+        def gate_side():
+            return GateAdapter.from_synthesis(hcor_synthesis)
+
+        rng = random.Random(3)
+        stim = [{"soft": Fx(rng.uniform(-1.5, 1.5), SOFT_FMT)}
+                for _ in range(12)]
+        assert Lockstep(cycle_side, gate_side, stim).run() is None
+
+
+class TestDivergence:
+    # req flipped at cycle 12 is registered on that edge, steers the FSM
+    # on cycle 13, and the held counter becomes port-visible on cycle 14.
+    SABOTAGE, FIRST_BAD = 12, 14
+
+    def test_localizes_exact_cycle_and_signal(self):
+        div = Lockstep(make_cycle, make_sabotaged(self.SABOTAGE),
+                       HOLD_STIM).run()
+        assert div is not None
+        assert div.cycle == self.FIRST_BAD
+        assert div.signals == ["cnt"]
+        assert div.values_a["cnt"] != div.values_b["cnt"]
+        assert div.engine_a == "interpreted"
+        assert div.engine_b == "sabotaged"
+
+    def test_strided_comparison_localizes_same_cycle(self):
+        for stride in (2, 5, 7):
+            div = Lockstep(make_cycle, make_sabotaged(self.SABOTAGE),
+                           HOLD_STIM).run(compare_every=stride)
+            assert div is not None
+            assert (div.cycle, div.signals) == (self.FIRST_BAD, ["cnt"])
+
+    def test_divergence_message_is_actionable(self):
+        div = Lockstep(make_cycle, make_sabotaged(self.SABOTAGE),
+                       HOLD_STIM).run()
+        text = str(div)
+        assert "cycle 14" in text
+        assert "cnt" in text
+        assert "interpreted" in text and "sabotaged" in text
+
+    def test_divergence_on_first_cycle(self):
+        div = Lockstep(make_cycle, make_sabotaged(0), HOLD_STIM).run()
+        assert div is not None
+        assert div.cycle == 2  # same two-cycle observability latency
+
+
+class TestGuards:
+    def test_mismatched_observations_raise(self):
+        from repro.core import SFG, Clock, Register, System, TimedProcess
+        from repro.fixpt import FxFormat
+
+        def named_counter(out_name):
+            def factory():
+                clk = Clock()
+                count = Register("count", clk, FxFormat(8, 8))
+                sfg = SFG("count_up")
+                with sfg:
+                    count <<= count + 1
+                process = TimedProcess("counter", clk, sfgs=[sfg])
+                process.add_output("q", count)
+                system = System("s")
+                system.add(process)
+                system.connect(process.port("q"), name=out_name)
+                return CycleAdapter(system)
+            return factory
+
+        with pytest.raises(SimulationError, match="no observation signals"):
+            # One side observes 'q', the other 'q2': nothing comparable.
+            Lockstep(named_counter("q"), named_counter("q2"),
+                     [{}] * 3).run()
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(SimulationError):
+            Lockstep(make_cycle, make_compiled, HOLD_STIM).run(compare_every=0)
