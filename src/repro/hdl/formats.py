@@ -1,0 +1,11 @@
+"""Shared format helpers for the HDL generators.
+
+The canonical definitions live in :mod:`repro.ir.formats` (the IR is
+the layer every back-end consumes); this module re-exports them so HDL
+code imports from its own subpackage instead of reaching into a sibling
+generator.
+"""
+
+from ..ir.formats import sig_fmt, vector_width
+
+__all__ = ["sig_fmt", "vector_width"]

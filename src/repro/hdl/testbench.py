@@ -18,7 +18,8 @@ from ..fixpt import Fx
 from ..core.process import TimedProcess
 from ..sim.stimuli import PortLog
 from .naming import sanitize
-from .vhdl import PACKAGE_NAME, _sig_fmt, vector_width
+from .formats import sig_fmt as _sig_fmt, vector_width
+from .vhdl import PACKAGE_NAME
 
 
 def _raw(value) -> Optional[int]:

@@ -21,39 +21,21 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..fixpt import Fx, FxFormat, Overflow, Rounding, quantize_raw
+from ..fixpt import Fx, FxFormat, Overflow, Rounding
 from ..core.errors import CodegenError
-from ..core.expr import (
-    BinOp,
-    BitSelect,
-    Cast,
-    Concat,
-    Constant,
-    Expr,
-    Mux,
-    SliceSelect,
-    UnOp,
-)
 from ..core.process import TimedProcess, UntimedProcess
 from ..core.signal import Register, Sig
 from ..core.system import System
+from ..ir import IRBlock, lower_expr, lower_sfg, run_passes
+from .formats import sig_fmt, vector_width
 from .naming import NameScope, sanitize
 
 PACKAGE_NAME = "repro_pkg"
 
 
-def vector_width(fmt: FxFormat) -> int:
-    """Bits of the signed internal representation of *fmt*."""
-    return fmt.wl if fmt.signed else fmt.wl + 1
-
-
-def _sig_fmt(sig: Sig) -> FxFormat:
-    if sig.fmt is None:
-        raise CodegenError(
-            f"signal {sig.name!r} has no fixed-point format; HDL generation "
-            "needs bit-true wordlengths on every signal"
-        )
-    return sig.fmt
+# Back-compat aliases: the canonical definitions moved to
+# repro.ir.formats (re-exported by repro.hdl.formats).
+_sig_fmt = sig_fmt
 
 
 def support_package() -> str:
@@ -147,145 +129,116 @@ end package body {PACKAGE_NAME};
 """
 
 
-class _VhdlExpr:
-    """Translates expression DAGs into VHDL ``signed`` expressions."""
+class _BlockRefs:
+    """Memoized rendering of one IR block at one emission site.
+
+    Stores are rendered in block order, so binding a store's value id to
+    the assigned variable makes every later reference read the variable
+    instead of duplicating its expression text.
+    """
+
+    def __init__(self, block: IRBlock, render_op):
+        self.block = block
+        self.render_op = render_op
+        self.memo: Dict[int, str] = {}
+
+    def ref(self, vid: int) -> str:
+        got = self.memo.get(vid)
+        if got is None:
+            got = self.render_op(self.block, self.block.ops[vid], self.ref)
+            self.memo[vid] = got
+        return got
+
+    def bind(self, vid: int, text: str) -> None:
+        self.memo[vid] = text
+
+
+_VHDL_CMP = {"==": "=", "!=": "/=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_VHDL_BIT = {"band": "and", "bor": "or", "bxor": "xor"}
+
+
+class _VhdlEmitter:
+    """Renders lowered IR ops as VHDL ``signed`` expressions.
+
+    The IR widths are safe upper bounds on each value, so resizing a
+    rendered expression to an op's recorded width never loses bits.
+    """
 
     def __init__(self, sig_name):
         self.sig_name = sig_name  # Sig -> VHDL identifier
 
-    def gen(self, expr: Expr) -> Tuple[str, int, int]:
-        """Return ``(code, frac_bits, width)`` for *expr*."""
-        if isinstance(expr, Sig):
-            fmt = _sig_fmt(expr)
-            return self.sig_name(expr), fmt.frac_bits, vector_width(fmt)
-        if isinstance(expr, Constant):
-            fmt = expr.result_fmt()
-            if fmt is None:
-                raise CodegenError(f"constant {expr.value!r} has no format")
-            raw = expr.value.raw if isinstance(expr.value, Fx) \
-                else quantize_raw(expr.value, fmt)
-            width = vector_width(fmt)
-            return f"to_signed({raw}, {width})", fmt.frac_bits, width
-        if isinstance(expr, BinOp):
-            return self._binop(expr)
-        if isinstance(expr, UnOp):
-            return self._unop(expr)
-        if isinstance(expr, Mux):
-            return self._mux(expr)
-        if isinstance(expr, Cast):
-            code, frac, _w = self.gen(expr.operand)
-            return self._quantize(code, frac, expr.fmt)
-        if isinstance(expr, BitSelect):
-            code, _frac, _w = self.gen(expr.operand)
-            return f"bit_at({code}, {expr.index}, 2)", 0, 2
-        if isinstance(expr, SliceSelect):
-            code, _frac, _w = self.gen(expr.operand)
-            width = expr.width + 1
-            return (f"slice_u({code}, {expr.hi}, {expr.lo}, {width})",
-                    0, width)
-        if isinstance(expr, Concat):
-            return self._concat(expr)
-        raise CodegenError(f"cannot translate {expr!r} to VHDL")
+    def refs(self, block: IRBlock) -> _BlockRefs:
+        return _BlockRefs(block, self.render_op)
 
-    def _resize_align(self, code: str, frac: int, width: int,
-                      to_frac: int, to_width: int) -> str:
-        out = code
-        if to_width != width:
-            out = f"resize({out}, {to_width})"
-        if to_frac > frac:
-            out = f"shift_left({out}, {to_frac - frac})"
-        elif to_frac < frac:
-            out = f"shift_right({out}, {frac - to_frac})"
-        return out
-
-    def _binop(self, expr: BinOp):
-        op = expr.op
-        lcode, lfrac, lwidth = self.gen(expr.left)
-        if op in ("<<", ">>"):
-            bits = int(expr.right.evaluate())
-            if op == "<<":
-                width = lwidth + bits
-                code = f"shift_left(resize({lcode}, {width}), {bits})"
-                return code, lfrac, width
-            # '>>' grows the fraction: the raw bits are unchanged.
-            return lcode, lfrac + bits, lwidth
-        rcode, rfrac, rwidth = self.gen(expr.right)
-        if op in ("+", "-"):
-            frac = max(lfrac, rfrac)
-            width = max(lwidth + (frac - lfrac), rwidth + (frac - rfrac)) + 1
-            la = self._resize_align(lcode, lfrac, lwidth, frac, width)
-            ra = self._resize_align(rcode, rfrac, rwidth, frac, width)
-            return f"({la} {'+' if op == '+' else '-'} {ra})", frac, width
-        if op == "*":
-            width = lwidth + rwidth
-            return f"({lcode} * {rcode})", lfrac + rfrac, width
-        if op in ("==", "!=", "<", "<=", ">", ">="):
-            frac = max(lfrac, rfrac)
-            width = max(lwidth + (frac - lfrac), rwidth + (frac - rfrac)) + 1
-            la = self._resize_align(lcode, lfrac, lwidth, frac, width)
-            ra = self._resize_align(rcode, rfrac, rwidth, frac, width)
-            vhdl_op = {"==": "=", "!=": "/=", "<": "<", "<=": "<=",
-                       ">": ">", ">=": ">="}[op]
-            return f"b2s({la} {vhdl_op} {ra})", 0, 2
-        # Bitwise.
-        if lfrac != 0 or rfrac != 0:
-            raise CodegenError("bitwise operators need integer formats")
-        width = max(lwidth, rwidth)
-        la = self._resize_align(lcode, 0, lwidth, 0, width)
-        ra = self._resize_align(rcode, 0, rwidth, 0, width)
-        vhdl_op = {"&": "and", "|": "or", "^": "xor"}[op]
-        return f"({la} {vhdl_op} {ra})", 0, width
-
-    def _unop(self, expr: UnOp):
-        code, frac, width = self.gen(expr.operand)
-        if expr.op == "-":
-            return f"(- resize({code}, {width + 1}))", frac, width + 1
-        if expr.op == "abs":
-            return f"(abs resize({code}, {width + 1}))", frac, width + 1
-        if frac != 0:
-            raise CodegenError("bitwise invert needs an integer format")
-        return f"(not {code})", 0, width
-
-    def _mux(self, expr: Mux):
-        scode, _sfrac, _sw = self.gen(expr.sel)
-        tcode, tfrac, twidth = self.gen(expr.if_true)
-        fcode, ffrac, fwidth = self.gen(expr.if_false)
-        frac = max(tfrac, ffrac)
-        width = max(twidth + (frac - tfrac), fwidth + (frac - ffrac))
-        ta = self._resize_align(tcode, tfrac, twidth, frac, width)
-        fa = self._resize_align(fcode, ffrac, fwidth, frac, width)
-        return f"pick({scode} /= 0, {ta}, {fa})", frac, width
-
-    def _concat(self, expr: Concat):
-        parts = []
-        total = 0
-        for child in expr.children:
-            fmt = child.require_fmt()
-            code, frac, width = self.gen(child)
-            if frac != 0:
-                code = self._resize_align(code, frac, width, 0, width)
-            parts.append(
-                f"std_logic_vector(resize({code}, {fmt.wl}))"
-            )
-            total += fmt.wl
-        joined = " & ".join(parts)
-        width = total + 1
-        return f"resize(signed('0' & ({joined})), {width})", 0, width
-
-    def _quantize(self, code: str, frac: int, fmt: FxFormat):
-        width = vector_width(fmt)
-        shift = frac - fmt.frac_bits
-        rnd = "true" if fmt.rounding is Rounding.ROUND else "false"
-        sat = "true" if fmt.overflow is Overflow.SATURATE else "false"
-        out = f"quantize({code}, {shift}, {width}, {rnd}, {sat})"
-        return out, fmt.frac_bits, width
+    def render_op(self, block: IRBlock, op, ref) -> str:
+        code = op.opcode
+        a = op.args
+        width = op.width
+        if code == "const":
+            return f"to_signed({op.attrs[0]}, {width})"
+        if code == "read":
+            return self.sig_name(op.attrs[0])
+        if code in ("add", "sub"):
+            la = f"resize({ref(a[0])}, {width})"
+            ra = f"resize({ref(a[1])}, {width})"
+            return f"({la} {'+' if code == 'add' else '-'} {ra})"
+        if code == "mul":
+            return f"({ref(a[0])} * {ref(a[1])})"
+        if code == "neg":
+            return f"(- resize({ref(a[0])}, {width}))"
+        if code == "abs":
+            return f"(abs resize({ref(a[0])}, {width}))"
+        if code == "shl":
+            bits = op.attrs[0]
+            return f"shift_left(resize({ref(a[0])}, {width}), {bits})"
+        if code == "ashr":
+            return f"shift_right({ref(a[0])}, {op.attrs[0]})"
+        if code == "retag":
+            return ref(a[0])
+        if code == "cmp":
+            return f"b2s({ref(a[0])} {_VHDL_CMP[op.attrs[0]]} {ref(a[1])})"
+        if code in _VHDL_BIT:
+            la = f"resize({ref(a[0])}, {width})"
+            ra = f"resize({ref(a[1])}, {width})"
+            return f"({la} {_VHDL_BIT[code]} {ra})"
+        if code == "bnot":
+            return f"(not {ref(a[0])})"
+        if code == "mux":
+            ta = f"resize({ref(a[1])}, {width})"
+            fa = f"resize({ref(a[2])}, {width})"
+            return f"pick({ref(a[0])} /= 0, {ta}, {fa})"
+        if code == "bitsel":
+            index = op.attrs[0]
+            need = max(block.ops[a[0]].width, index + 1)
+            return f"bit_at(resize({ref(a[0])}, {need}), {index}, 2)"
+        if code == "slice":
+            hi, lo = op.attrs
+            need = max(block.ops[a[0]].width, hi + 1)
+            return (f"slice_u(resize({ref(a[0])}, {need}), {hi}, {lo}, "
+                    f"{width})")
+        if code == "concat":
+            parts = [
+                f"std_logic_vector(resize({ref(vid)}, {part_width}))"
+                for vid, part_width in zip(a, op.attrs)
+            ]
+            joined = " & ".join(parts)
+            return f"resize(signed('0' & ({joined})), {width})"
+        if code == "quantize":
+            fmt = op.attrs[0]
+            shift = block.ops[a[0]].frac - fmt.frac_bits
+            rnd = "true" if fmt.rounding is Rounding.ROUND else "false"
+            sat = "true" if fmt.overflow is Overflow.SATURATE else "false"
+            return f"quantize({ref(a[0])}, {shift}, {width}, {rnd}, {sat})"
+        raise CodegenError(f"cannot translate IR opcode {code!r} to VHDL")
 
 
 class VhdlGenerator:
     """Generates VHDL for a whole system: package, entities, top level."""
 
-    def __init__(self, system: System):
+    def __init__(self, system: System, optimize: bool = True):
         self.system = system
+        #: Run the IR pass pipeline over every lowered block before emission.
+        self.optimize = optimize
 
     def generate(self) -> Dict[str, str]:
         """Return a mapping of file name to VHDL source."""
@@ -345,7 +298,17 @@ class VhdlGenerator:
                 sig_names[id(sig)] = got
             return got
 
-        translator = _VhdlExpr(sig_name)
+        emitter = _VhdlEmitter(sig_name)
+        block_cache: Dict[int, IRBlock] = {}
+
+        def lowered(sfg) -> IRBlock:
+            block = block_cache.get(id(sfg))
+            if block is None:
+                block = lower_sfg(sfg, require_formats=True)
+                if self.optimize:
+                    block = run_passes(block)
+                block_cache[id(sfg)] = block
+            return block
 
         emit("library ieee;")
         emit("use ieee.std_logic_1164.all;")
@@ -405,15 +368,16 @@ class VhdlGenerator:
         emit("")
 
         def emit_sfg(sfg, indent: str) -> None:
-            for assignment in sfg.ordered_assignments():
-                target = assignment.target
-                code, frac, _width = translator.gen(assignment.expr)
-                fmt = _sig_fmt(target)
-                qcode, _f, _w = translator._quantize(code, frac, fmt)
+            block = lowered(sfg)
+            refs = emitter.refs(block)
+            for store in block.stores:
+                target = store.target
+                qcode = refs.ref(store.value)
                 if target.is_register():
                     emit(f"{indent}{sig_name(target)}_next <= {qcode};")
                 else:
                     emit(f"{indent}{sig_name(target)} := {qcode};")
+                    refs.bind(store.value, sig_name(target))
                     if target in port_sigs:
                         out_port = next(p for p in process.out_ports()
                                         if p.sig is target)
@@ -449,7 +413,11 @@ class VhdlGenerator:
                             emit("        else")
                             emit_body(transition, "          ")
                         break
-                    code, _frac, _w = translator.gen(condition.expr)
+                    cond_block = lower_expr(condition.expr,
+                                            require_formats=True)
+                    if self.optimize:
+                        cond_block = run_passes(cond_block)
+                    code = emitter.refs(cond_block).ref(cond_block.roots[0])
                     test = f"{code} /= 0"
                     if condition.negated:
                         test = f"not ({test})"
@@ -632,9 +600,9 @@ class VhdlGenerator:
         return "\n".join(lines) + "\n"
 
 
-def generate_vhdl(system: System) -> Dict[str, str]:
+def generate_vhdl(system: System, optimize: bool = True) -> Dict[str, str]:
     """Convenience wrapper: generate all VHDL files for *system*."""
-    return VhdlGenerator(system).generate()
+    return VhdlGenerator(system, optimize=optimize).generate()
 
 
 def line_count(files: Dict[str, str]) -> int:

@@ -1,0 +1,49 @@
+"""Typed three-address IR shared by all four back-ends.
+
+``lower`` turns Expr DAGs / SFGs into :class:`IRBlock` values with all
+fixed-point alignment explicit; ``passes`` optimizes blocks (constant
+folding, algebraic simplification, CSE, DCE); the compiled simulator,
+both HDL generators and the datapath synthesizer render the result.
+"""
+
+from .formats import sig_fmt, vector_width
+from .lower import Lowerer, lower_assignments, lower_expr, lower_sfg
+from .ops import (
+    IRBlock,
+    IROp,
+    Store,
+    execute,
+    quantize_raw_at,
+    sign_fold,
+)
+from .passes import (
+    DEFAULT_PASSES,
+    PassManager,
+    algebraic_simplify,
+    cse,
+    constant_fold,
+    dce,
+    run_passes,
+)
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "IRBlock",
+    "IROp",
+    "Lowerer",
+    "PassManager",
+    "Store",
+    "algebraic_simplify",
+    "cse",
+    "constant_fold",
+    "dce",
+    "execute",
+    "lower_assignments",
+    "lower_expr",
+    "lower_sfg",
+    "quantize_raw_at",
+    "run_passes",
+    "sig_fmt",
+    "sign_fold",
+    "vector_width",
+]

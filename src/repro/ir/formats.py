@@ -1,0 +1,30 @@
+"""Shared fixed-point representation helpers.
+
+Every back-end represents fixed-point words as *signed* integers wide
+enough to hold the format exactly; unsigned model formats get one extra
+headroom bit.  These helpers used to live in ``hdl/vhdl.py`` and were
+imported privately by the other back-ends; they are the vocabulary of
+the lowered IR, so they live at the bottom of the layering now.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import CodegenError
+from ..fixpt import FxFormat
+
+
+def vector_width(fmt: FxFormat) -> int:
+    """Bits of the signed internal representation of *fmt*."""
+    return fmt.wl if fmt.signed else fmt.wl + 1
+
+
+def sig_fmt(sig, error=CodegenError) -> FxFormat:
+    """The signal's format, raising *error* when it has none."""
+    if sig.fmt is None:
+        raise error(
+            f"signal {sig.name!r} has no fixed-point format; bit-true "
+            "wordlengths are required for code generation/synthesis"
+        )
+    return sig.fmt

@@ -1,0 +1,329 @@
+"""Lowering: Expr DAGs / SFGs -> three-address IR.
+
+This is the one place that knows fixed-point alignment.  Historically
+the compiled simulator, both HDL generators and the datapath
+synthesizer each tracked ``(code, frac)`` pairs and re-implemented the
+same shift/round/saturate decisions; they now all consume blocks
+produced here, where every alignment is an explicit ``shl``/``ashr``/
+``retag`` op and every wordlength boundary an explicit ``quantize``.
+
+The contract:
+
+* operands of ``add``/``sub``/``cmp``/``mux`` arrive pre-aligned to a
+  common ``frac``;
+* ``mul`` results sit at the sum of the operand fracs;
+* the model's ``x << n`` doubles the value (``shl``, frac unchanged)
+  while ``x >> n`` moves the binary point only (``retag``);
+* bit-level ops (``bitsel``/``slice``/``concat``/bitwise) see their
+  operands aligned to frac 0;
+* every :class:`~repro.ir.ops.Store` value already went through the
+  target's ``quantize`` (or ``tofloat`` for unformatted targets).
+
+Shared sub-DAGs lower to one value id (lowering memoizes on node
+identity), so a back-end that renders each op once gets reference
+sharing for free; the CSE pass additionally merges structurally equal
+ops built as distinct DAG nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import CodegenError
+from ..core.expr import (
+    BinOp,
+    BitSelect,
+    Cast,
+    Concat,
+    Constant,
+    Expr,
+    Mux,
+    SliceSelect,
+    UnOp,
+)
+from ..core.sfg import SFG, Assignment
+from ..core.signal import Register, Sig
+from ..fixpt import Fx, FxFormat, quantize_raw
+from .formats import vector_width
+from .ops import IRBlock, IROp, Store
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_BIT_OPS = {"&": "band", "|": "bor", "^": "bxor"}
+
+
+class Lowerer:
+    """Lower expressions/assignments of one straight-line region.
+
+    Parameters
+    ----------
+    leaf_fmt:
+        Maps a leaf :class:`Sig` to its format (None = float domain).
+        Back-ends that require formats pass a callable that raises.
+    resolve:
+        Canonicalizes a signal before it is read or stored (the
+        compiled simulator resolves channel aliases here); identity by
+        default.
+    require_formats:
+        When True, unformatted leaves and constants raise *error_cls* —
+        the HDL/synthesis contract.
+    """
+
+    def __init__(self,
+                 leaf_fmt: Optional[Callable[[Sig], Optional[FxFormat]]] = None,
+                 resolve: Optional[Callable[[Sig], Sig]] = None,
+                 require_formats: bool = False,
+                 error_cls=CodegenError):
+        self.block = IRBlock()
+        self.leaf_fmt = leaf_fmt or (lambda sig: sig.fmt)
+        self.resolve = resolve or (lambda sig: sig)
+        self.require_formats = require_formats
+        self.error_cls = error_cls
+        #: Wire targets already stored in this region -> their value id.
+        self.env: Dict[Sig, int] = {}
+        self._memo: Dict[int, int] = {}
+
+    # -- small helpers -----------------------------------------------------------
+
+    def _emit(self, opcode: str, args: Tuple[int, ...] = (), attrs: Tuple = (),
+              frac: Optional[int] = 0, width: int = 0) -> int:
+        return self.block.emit(IROp(opcode, args, attrs, frac, width))
+
+    def _frac(self, vid: int) -> Optional[int]:
+        return self.block.ops[vid].frac
+
+    def _width(self, vid: int) -> int:
+        return self.block.ops[vid].width
+
+    def _align(self, vid: int, to_frac: int) -> int:
+        """View a raw value at binary point *to_frac* (value preserved)."""
+        frac = self._frac(vid)
+        if frac == to_frac:
+            return vid
+        if to_frac > frac:
+            bits = to_frac - frac
+            return self._emit("shl", (vid,), (bits,), to_frac,
+                              self._width(vid) + bits)
+        bits = frac - to_frac
+        return self._emit("ashr", (vid,), (bits,), to_frac,
+                          max(self._width(vid) - bits, 1))
+
+    def _as_int(self, vid: int) -> int:
+        """View a value as a raw integer at frac 0."""
+        if self._frac(vid) is None:
+            return self._emit("toint", (vid,), (), 0, self._width(vid))
+        return self._align(vid, 0)
+
+    def _to_float(self, vid: int) -> int:
+        if self._frac(vid) is None:
+            return vid
+        return self._emit("tofloat", (vid,), (), None, 0)
+
+    # -- expression dispatch -----------------------------------------------------
+
+    def value_of(self, expr: Expr) -> int:
+        got = self._memo.get(id(expr))
+        if got is None:
+            got = self._lower(expr)
+            self._memo[id(expr)] = got
+        return got
+
+    def _lower(self, expr: Expr) -> int:
+        if isinstance(expr, Sig):
+            sig = self.resolve(expr)
+            env_id = self.env.get(sig)
+            if env_id is not None:
+                return env_id
+            fmt = self.leaf_fmt(sig)
+            if fmt is None:
+                if self.require_formats:
+                    raise self.error_cls(
+                        f"signal {sig.name!r} has no fixed-point format; "
+                        "bit-true wordlengths are required for code "
+                        "generation/synthesis"
+                    )
+                return self._emit("read", (), (sig,), None, 0)
+            return self._emit("read", (), (sig,), fmt.frac_bits,
+                              vector_width(fmt))
+        if isinstance(expr, Constant):
+            return self._constant(expr)
+        if isinstance(expr, BinOp):
+            return self._binop(expr)
+        if isinstance(expr, UnOp):
+            return self._unop(expr)
+        if isinstance(expr, Mux):
+            return self._mux(expr)
+        if isinstance(expr, Cast):
+            return self.quantize(self.value_of(expr.operand), expr.fmt)
+        if isinstance(expr, BitSelect):
+            raw = self._as_int(self.value_of(expr.operand))
+            return self._emit("bitsel", (raw,), (expr.index,), 0, 2)
+        if isinstance(expr, SliceSelect):
+            raw = self._as_int(self.value_of(expr.operand))
+            return self._emit("slice", (raw,), (expr.hi, expr.lo), 0,
+                              expr.width + 1)
+        if isinstance(expr, Concat):
+            return self._concat(expr)
+        raise self.error_cls(f"cannot lower {expr!r} to IR")
+
+    # -- node kinds --------------------------------------------------------------
+
+    def _constant(self, expr: Constant) -> int:
+        fmt = expr.result_fmt()
+        if fmt is None:
+            if self.require_formats:
+                raise self.error_cls(
+                    f"constant {expr.value!r} has no fixed-point format"
+                )
+            return self._emit("fconst", (), (float(expr.value),), None, 0)
+        raw = expr.value.raw if isinstance(expr.value, Fx) \
+            else quantize_raw(expr.value, fmt)
+        return self._emit("const", (), (raw,), fmt.frac_bits,
+                          vector_width(fmt))
+
+    def _binop(self, expr: BinOp) -> int:
+        op = expr.op
+        left = self.value_of(expr.left)
+        lfrac = self._frac(left)
+        if op in ("<<", ">>"):
+            bits = int(expr.right.evaluate())
+            if lfrac is None:
+                # Float domain: scale by 2**±bits.
+                power = bits if op == "<<" else -bits
+                return self._emit("shl", (left,), (power,), None, 0)
+            if bits == 0:
+                return left
+            if op == "<<":
+                # Value doubled per bit; binary point stays put.
+                return self._emit("shl", (left,), (bits,), lfrac,
+                                  self._width(left) + bits)
+            # '>>' halves the value by moving the binary point; the raw
+            # bits are untouched.
+            return self._emit("retag", (left,), (), lfrac + bits,
+                              self._width(left))
+        right = self.value_of(expr.right)
+        rfrac = self._frac(right)
+        if lfrac is None or rfrac is None:
+            return self._float_binop(op, left, right, expr)
+        if op in ("+", "-"):
+            frac = max(lfrac, rfrac)
+            la, ra = self._align(left, frac), self._align(right, frac)
+            width = max(self._width(la), self._width(ra)) + 1
+            return self._emit("add" if op == "+" else "sub", (la, ra), (),
+                              frac, width)
+        if op == "*":
+            return self._emit("mul", (left, right), (), lfrac + rfrac,
+                              self._width(left) + self._width(right))
+        if op in _CMP_OPS:
+            frac = max(lfrac, rfrac)
+            la, ra = self._align(left, frac), self._align(right, frac)
+            return self._emit("cmp", (la, ra), (op,), 0, 2)
+        # Bitwise on integer formats, masked to the union width.
+        fmt = expr.require_fmt()
+        la, ra = self._align(left, 0), self._align(right, 0)
+        return self._emit(_BIT_OPS[op], (la, ra), (fmt.wl, fmt.signed), 0,
+                          vector_width(fmt))
+
+    def _float_binop(self, op: str, left: int, right: int,
+                     expr: BinOp) -> int:
+        if op in _BIT_OPS:
+            raise self.error_cls(
+                "bitwise operators need fixed-point formats")
+        lf, rf = self._to_float(left), self._to_float(right)
+        if op in _CMP_OPS:
+            return self._emit("cmp", (lf, rf), (op,), 0, 2)
+        opcode = {"+": "add", "-": "sub", "*": "mul"}[op]
+        return self._emit(opcode, (lf, rf), (), None, 0)
+
+    def _unop(self, expr: UnOp) -> int:
+        operand = self.value_of(expr.operand)
+        frac = self._frac(operand)
+        if expr.op == "-":
+            width = 0 if frac is None else self._width(operand) + 1
+            return self._emit("neg", (operand,), (), frac, width)
+        if expr.op == "abs":
+            width = 0 if frac is None else self._width(operand) + 1
+            return self._emit("abs", (operand,), (), frac, width)
+        # '~' needs an integer fixed-point format.
+        fmt = expr.operand.result_fmt()
+        if frac is None or (fmt is not None and not fmt.is_integer()):
+            raise self.error_cls(
+                "bitwise invert needs an integer fixed-point format")
+        return self._emit("bnot", (operand,), (fmt.wl, fmt.signed), frac,
+                          self._width(operand))
+
+    def _mux(self, expr: Mux) -> int:
+        sel = self.value_of(expr.sel)
+        if_true = self.value_of(expr.if_true)
+        if_false = self.value_of(expr.if_false)
+        tfrac, ffrac = self._frac(if_true), self._frac(if_false)
+        if tfrac is None or ffrac is None:
+            tf, ff = self._to_float(if_true), self._to_float(if_false)
+            return self._emit("mux", (sel, tf, ff), (), None, 0)
+        frac = max(tfrac, ffrac)
+        ta, fa = self._align(if_true, frac), self._align(if_false, frac)
+        width = max(self._width(ta), self._width(fa))
+        return self._emit("mux", (sel, ta, fa), (), frac, width)
+
+    def _concat(self, expr: Concat) -> int:
+        fmts = [child.require_fmt() for child in expr.children]
+        args = tuple(self._as_int(self.value_of(child))
+                     for child in expr.children)
+        widths = tuple(fmt.wl for fmt in fmts)
+        return self._emit("concat", args, widths, 0, sum(widths) + 1)
+
+    # -- quantization and stores -------------------------------------------------
+
+    def quantize(self, vid: int, fmt: FxFormat) -> int:
+        return self._emit("quantize", (vid,), (fmt,), fmt.frac_bits,
+                          vector_width(fmt))
+
+    def lower_assignment(self, assignment: Assignment) -> Store:
+        """Lower one assignment, appending the target-format quantize."""
+        value = self.value_of(assignment.expr)
+        target = self.resolve(assignment.target)
+        if target.fmt is not None:
+            value = self.quantize(value, target.fmt)
+        elif self.require_formats:
+            raise self.error_cls(
+                f"signal {target.name!r} has no fixed-point format; bit-true "
+                "wordlengths are required for code generation/synthesis"
+            )
+        elif self._frac(value) is not None:
+            value = self._to_float(value)
+        store = Store(target, value)
+        self.block.stores.append(store)
+        if not isinstance(target, Register):
+            # Later reads in this region see the committed wire value.
+            self.env[target] = value
+        return store
+
+    def lower_sfg(self, sfg: SFG) -> IRBlock:
+        for assignment in sfg.ordered_assignments():
+            self.lower_assignment(assignment)
+        return self.block
+
+    def lower_expr(self, expr: Expr) -> int:
+        """Lower a bare expression (an FSM guard), keeping it live."""
+        vid = self.value_of(expr)
+        self.block.roots.append(vid)
+        return vid
+
+
+def lower_expr(expr: Expr, **kwargs) -> IRBlock:
+    """Lower one expression into a fresh single-root block."""
+    lowerer = Lowerer(**kwargs)
+    lowerer.lower_expr(expr)
+    return lowerer.block
+
+
+def lower_sfg(sfg: SFG, **kwargs) -> IRBlock:
+    """Lower one SFG's assignments (in topological order) to a block."""
+    return Lowerer(**kwargs).lower_sfg(sfg)
+
+
+def lower_assignments(assignments, **kwargs) -> IRBlock:
+    """Lower a straight-line run of assignments into one block."""
+    lowerer = Lowerer(**kwargs)
+    for assignment in assignments:
+        lowerer.lower_assignment(assignment)
+    return lowerer.block

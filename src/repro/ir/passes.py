@@ -1,0 +1,312 @@
+"""Optimization passes over lowered IR blocks.
+
+Classic scalar optimizations, each a pure function
+``block -> (new_block, changed)`` that preserves op order and rewrites
+stores/roots.  All IR ops are pure, so the legality arguments are
+simple: constants fold by the reference semantics of
+:func:`repro.ir.ops.execute`; structurally identical ops compute
+identical values (CSE); ops reachable from no store/root are dead.
+
+:func:`run_passes` iterates the pipeline to a fixpoint, which makes the
+whole pipeline idempotent — a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..fixpt import Overflow
+from ..fixpt.fixed import FxOverflowError
+from .ops import IRBlock, IROp, Store, quantize_raw_at, sign_fold
+
+_CMP = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _rebuild(block: IRBlock, keep: Sequence[bool],
+             replace: Dict[int, int]) -> IRBlock:
+    """Drop un-kept ops and renumber, following replacement chains."""
+
+    def chase(vid: int) -> int:
+        while vid in replace:
+            vid = replace[vid]
+        return vid
+
+    new_ids: Dict[int, int] = {}
+    out = IRBlock()
+    for index, op in enumerate(block.ops):
+        if not keep[index] or index in replace:
+            continue
+        args = tuple(new_ids[chase(arg)] for arg in op.args)
+        new_ids[index] = out.emit(
+            IROp(op.opcode, args, op.attrs, op.frac, op.width))
+    out.stores = [Store(s.target, new_ids[chase(s.value)])
+                  for s in block.stores]
+    out.roots = [new_ids[chase(r)] for r in block.roots]
+    return out
+
+
+def _const_raw(block: IRBlock, vid: int) -> Optional[int]:
+    op = block.ops[vid]
+    if op.opcode == "const":
+        return op.attrs[0]
+    return None
+
+
+def constant_fold(block: IRBlock) -> Tuple[IRBlock, bool]:
+    """Evaluate raw-domain ops whose operands are all constants."""
+    ops: List[IROp] = []
+    out = IRBlock()
+    out.ops = ops
+    remap: Dict[int, int] = {}
+    changed = False
+
+    def const_of(new_id: int) -> Optional[int]:
+        op = ops[new_id]
+        return op.attrs[0] if op.opcode == "const" else None
+
+    for op in block.ops:
+        args = tuple(remap[a] for a in op.args)
+        raws = [const_of(a) for a in args]
+        folded: Optional[int] = None
+        code = op.opcode
+        if all(raw is not None for raw in raws) and op.frac is not None:
+            a = raws
+            if code == "add":
+                folded = a[0] + a[1]
+            elif code == "sub":
+                folded = a[0] - a[1]
+            elif code == "mul":
+                folded = a[0] * a[1]
+            elif code == "neg":
+                folded = -a[0]
+            elif code == "abs":
+                folded = abs(a[0])
+            elif code == "shl":
+                folded = a[0] << op.attrs[0]
+            elif code == "ashr":
+                folded = a[0] >> op.attrs[0]
+            elif code == "retag":
+                folded = a[0]
+            elif code == "cmp":
+                folded = 1 if _CMP[op.attrs[0]](a[0], a[1]) else 0
+            elif code in ("band", "bor", "bxor"):
+                wl, signed = op.attrs
+                mask = (1 << wl) - 1
+                x, y = a[0] & mask, a[1] & mask
+                raw = x & y if code == "band" else (
+                    x | y if code == "bor" else x ^ y)
+                folded = sign_fold(raw, wl, signed)
+            elif code == "bnot":
+                folded = sign_fold(~a[0], *op.attrs)
+            elif code == "bitsel":
+                folded = (a[0] >> op.attrs[0]) & 1
+            elif code == "slice":
+                hi, lo = op.attrs
+                folded = (a[0] >> lo) & ((1 << (hi - lo + 1)) - 1)
+            elif code == "concat":
+                folded = 0
+                for raw, width in zip(a, op.attrs):
+                    folded = (folded << width) | (raw & ((1 << width) - 1))
+            elif code == "quantize":
+                src_frac = ops[args[0]].frac
+                if src_frac is not None:
+                    try:
+                        folded = quantize_raw_at(a[0], src_frac, op.attrs[0])
+                    except FxOverflowError:
+                        # Overflow.ERROR must keep raising at run time.
+                        folded = None
+        if code == "mux" and op.frac is not None:
+            sel = const_of(args[0])
+            if sel is not None:
+                remap[len(remap)] = args[1] if sel else args[2]
+                changed = True
+                continue
+        if folded is None:
+            remap[len(remap)] = out.emit(
+                IROp(code, args, op.attrs, op.frac, op.width))
+        else:
+            remap[len(remap)] = out.emit(
+                IROp("const", (), (folded,), op.frac, op.width))
+            changed = True
+    out.stores = [Store(s.target, remap[s.value]) for s in block.stores]
+    out.roots = [remap[r] for r in block.roots]
+    return out, changed
+
+
+def algebraic_simplify(block: IRBlock) -> Tuple[IRBlock, bool]:
+    """Strength reductions and identities on raw-domain ops.
+
+    ``x+0``/``x-0`` -> x, ``0-x`` -> neg, ``x*1`` -> retag, ``x*0`` -> 0,
+    ``x*2**k`` -> shl, shift-by-0 -> x, ``mux(s,t,t)`` -> t, constant-
+    condition mux -> branch, no-op retag -> x, and dropping quantizes
+    whose operand is already exactly in the target format (a prior
+    quantize into the same format, or a read of a signal committed in
+    it).  A value only substitutes directly when its frac matches the
+    replaced op's; otherwise a ``retag`` keeps downstream alignment
+    metadata honest.  Dead operands left behind are dce's job.
+    """
+    out = IRBlock()
+    remap: Dict[int, int] = {}
+    changed = False
+
+    def op_of(new_id: int) -> IROp:
+        return out.ops[new_id]
+
+    def const_raw(new_id: int) -> Optional[int]:
+        op = op_of(new_id)
+        if op.opcode == "const" and op.frac is not None:
+            return op.attrs[0]
+        return None
+
+    def substitute(new_id: int, frac, width: int) -> int:
+        """Reuse *new_id* for the current op, retagging if fracs differ."""
+        nonlocal changed
+        changed = True
+        if op_of(new_id).frac == frac:
+            return new_id
+        return out.emit(IROp("retag", (new_id,), (), frac, width))
+
+    for op in block.ops:
+        args = tuple(remap[a] for a in op.args)
+        code = op.opcode
+        result: Optional[int] = None
+        if op.frac is not None:
+            if code in ("add", "sub"):
+                la, ra = const_raw(args[0]), const_raw(args[1])
+                if ra == 0:
+                    result = substitute(args[0], op.frac, op.width)
+                elif la == 0 and code == "add":
+                    result = substitute(args[1], op.frac, op.width)
+                elif la == 0 and code == "sub":
+                    changed = True
+                    result = out.emit(
+                        IROp("neg", (args[1],), (), op.frac, op.width))
+            elif code == "mul":
+                for this, other in ((args[0], args[1]), (args[1], args[0])):
+                    raw = const_raw(this)
+                    if raw == 0:
+                        changed = True
+                        result = out.emit(
+                            IROp("const", (), (0,), op.frac, op.width))
+                        break
+                    if raw is not None and raw > 0 and raw & (raw - 1) == 0:
+                        # Multiply by a raw power of two: shift the other
+                        # operand; the product's binary point (sum of the
+                        # operand fracs) is recorded on the new op.
+                        bits = raw.bit_length() - 1
+                        if bits == 0:
+                            result = substitute(other, op.frac, op.width)
+                        else:
+                            changed = True
+                            result = out.emit(IROp(
+                                "shl", (other,), (bits,), op.frac,
+                                op_of(other).width + bits))
+                        break
+            elif code in ("shl", "ashr") and op.attrs[0] == 0:
+                result = substitute(args[0], op.frac, op.width)
+            elif code == "retag" and op_of(args[0]).frac == op.frac:
+                changed = True
+                result = args[0]
+            elif code == "mux":
+                sel = const_raw(args[0])
+                if sel is not None:
+                    result = substitute(args[1] if sel else args[2],
+                                        op.frac, op.width)
+                elif args[1] == args[2]:
+                    result = substitute(args[1], op.frac, op.width)
+            elif code == "quantize":
+                fmt = op.attrs[0]
+                src = op_of(args[0])
+                already_exact = (
+                    (src.opcode == "quantize" and src.attrs[0] == fmt) or
+                    (src.opcode == "read" and src.attrs[0].fmt == fmt)
+                )
+                if already_exact:
+                    # The operand is a committed value of exactly this
+                    # format, hence in range for every overflow mode.
+                    changed = True
+                    result = args[0]
+        if result is None:
+            result = out.emit(IROp(code, args, op.attrs, op.frac, op.width))
+        remap[len(remap)] = result
+    out.stores = [Store(s.target, remap[s.value]) for s in block.stores]
+    out.roots = [remap[r] for r in block.roots]
+    return out, changed
+
+
+def cse(block: IRBlock) -> Tuple[IRBlock, bool]:
+    """Merge structurally identical pure ops (value numbering)."""
+    out = IRBlock()
+    remap: Dict[int, int] = {}
+    seen: Dict[tuple, int] = {}
+    changed = False
+    for index, op in enumerate(block.ops):
+        args = tuple(remap[a] for a in op.args)
+        key = (op.opcode, args, op.attrs, op.frac, op.width)
+        got = seen.get(key)
+        if got is not None:
+            remap[index] = got
+            changed = True
+            continue
+        new_id = out.emit(IROp(op.opcode, args, op.attrs, op.frac, op.width))
+        seen[key] = new_id
+        remap[index] = new_id
+    out.stores = [Store(s.target, remap[s.value]) for s in block.stores]
+    out.roots = [remap[r] for r in block.roots]
+    return out, changed
+
+
+def dce(block: IRBlock) -> Tuple[IRBlock, bool]:
+    """Drop ops not reachable from any store or root."""
+    live = [False] * len(block.ops)
+    work = [s.value for s in block.stores] + list(block.roots)
+    while work:
+        vid = work.pop()
+        if live[vid]:
+            continue
+        live[vid] = True
+        work.extend(block.ops[vid].args)
+    if all(live):
+        return block, False
+    return _rebuild(block, live, {}), True
+
+
+#: The default pipeline, in application order.
+DEFAULT_PASSES: Tuple[Tuple[str, Callable], ...] = (
+    ("constant_fold", constant_fold),
+    ("algebraic_simplify", algebraic_simplify),
+    ("cse", cse),
+    ("dce", dce),
+)
+
+
+class PassManager:
+    """Run a pass sequence to fixpoint (bounded) over IR blocks."""
+
+    def __init__(self, passes: Sequence[Tuple[str, Callable]] = DEFAULT_PASSES,
+                 max_iterations: int = 8):
+        self.passes = list(passes)
+        self.max_iterations = max_iterations
+
+    def run(self, block: IRBlock) -> IRBlock:
+        for _ in range(self.max_iterations):
+            any_change = False
+            for _name, fn in self.passes:
+                block, changed = fn(block)
+                any_change = any_change or changed
+            if not any_change:
+                break
+        return block
+
+
+def run_passes(block: IRBlock,
+               passes: Sequence[Tuple[str, Callable]] = DEFAULT_PASSES) -> IRBlock:
+    """Optimize *block* with the default pipeline (to fixpoint)."""
+    return PassManager(passes).run(block)

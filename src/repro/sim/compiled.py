@@ -4,15 +4,19 @@
 optimized compiled code simulator.  This simulator is used for extensive
 verification of the design because of the efficient simulation runtimes."*
 
-:class:`CompiledSimulator` walks the system's SFG/FSM data structure once
-and emits a specialized Python ``step()`` function:
+:class:`CompiledSimulator` lowers the system's SFG/FSM data structure to
+the shared three-address IR (:mod:`repro.ir`), optionally optimizes it
+(constant folding, CSE, DCE, algebraic simplification) and renders a
+specialized Python ``step()`` function:
 
 * fixed-point signals become raw integers; operator alignment, rounding and
-  saturation are inlined as shifts, adds and comparisons;
+  saturation arrive pre-lowered as explicit shift/quantize IR ops;
 * the FSM transition selection of every component is emitted first (the
   conditions depend only on registers, so this is the scheduler's phase 0);
 * all assignments of all components are emitted in one global topological
   order, guarded by their component's selected-transition index;
+  consecutive same-guard assignments are lowered as one straight-line IR
+  block, so common subexpressions are computed once per cycle;
 * register updates commit at the end of the generated function.
 
 The generated source is compiled with :func:`compile` and executed — the
@@ -27,25 +31,16 @@ Designs that never read a stale token behave identically under both.
 from __future__ import annotations
 
 import itertools
+from collections import Counter
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..fixpt import Fx, FxFormat, Overflow, Rounding, quantize_raw
 from ..core.errors import CodegenError
-from ..core.expr import (
-    BinOp,
-    BitSelect,
-    Cast,
-    Concat,
-    Constant,
-    Expr,
-    Mux,
-    SliceSelect,
-    UnOp,
-)
 from ..core.process import TimedProcess, UntimedProcess
-from ..core.sfg import SFG, Assignment
 from ..core.signal import Register, Sig
 from ..core.system import Channel, System
+from ..ir import IRBlock, Lowerer, run_passes
+from ..ir.ops import LEAF_OPS
 
 
 class _Namer:
@@ -72,185 +67,6 @@ class _Namer:
 def _sanitize(text: str) -> str:
     out = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in text)
     return out or "x"
-
-
-class _ExprGen:
-    """Generates Python source for one expression tree.
-
-    Formatted (fixed-point) subtrees produce ``(code, frac_bits, fmt)``
-    integer expressions; unformatted subtrees produce float expressions
-    marked by ``frac_bits is None``.
-    """
-
-    def __init__(self, sig_ref: Callable[[Sig], Tuple[str, Optional[FxFormat]]]):
-        self.sig_ref = sig_ref
-
-    def gen(self, expr: Expr) -> Tuple[str, Optional[int], Optional[FxFormat]]:
-        if isinstance(expr, Sig):
-            code, fmt = self.sig_ref(expr)
-            if fmt is None:
-                return code, None, None
-            return code, fmt.frac_bits, fmt
-        if isinstance(expr, Constant):
-            return self._constant(expr)
-        if isinstance(expr, BinOp):
-            return self._binop(expr)
-        if isinstance(expr, UnOp):
-            return self._unop(expr)
-        if isinstance(expr, Mux):
-            return self._mux(expr)
-        if isinstance(expr, Cast):
-            return self._cast(expr)
-        if isinstance(expr, BitSelect):
-            code, frac, _fmt = self.gen(expr.operand)
-            raw = self._as_int(code, frac)
-            return f"((({raw}) >> {expr.index}) & 1)", 0, expr.result_fmt()
-        if isinstance(expr, SliceSelect):
-            code, frac, _fmt = self.gen(expr.operand)
-            raw = self._as_int(code, frac)
-            mask = (1 << expr.width) - 1
-            return f"((({raw}) >> {expr.lo}) & {mask})", 0, expr.result_fmt()
-        if isinstance(expr, Concat):
-            return self._concat(expr)
-        raise CodegenError(f"cannot generate code for {expr!r}")
-
-    # -- helpers -----------------------------------------------------------------
-
-    def _as_int(self, code: str, frac: Optional[int]) -> str:
-        """View *code* as a raw integer (frac 0)."""
-        if frac is None:
-            return f"int({code})"
-        if frac > 0:
-            return f"(({code}) >> {frac})"
-        if frac < 0:
-            return f"(({code}) << {-frac})"
-        return code
-
-    def _align(self, code: str, frac_from: int, frac_to: int) -> str:
-        if frac_to == frac_from:
-            return code
-        if frac_to > frac_from:
-            return f"(({code}) << {frac_to - frac_from})"
-        return f"(({code}) >> {frac_from - frac_to})"
-
-    def _to_float(self, code: str, frac: Optional[int]) -> str:
-        if frac is None:
-            return code
-        if frac == 0:
-            return code
-        return f"(({code}) * {2.0 ** -frac!r})"
-
-    def _constant(self, expr: Constant):
-        value = expr.value
-        fmt = expr.result_fmt()
-        if fmt is None:
-            return repr(float(value)), None, None
-        raw = value.raw if isinstance(value, Fx) else quantize_raw(value, fmt)
-        return repr(raw), fmt.frac_bits, fmt
-
-    def _binop(self, expr: BinOp):
-        op = expr.op
-        lcode, lfrac, lfmt = self.gen(expr.left)
-        if op in ("<<", ">>"):
-            bits = int(expr.right.evaluate())
-            if lfrac is None:
-                factor = 2.0 ** (bits if op == "<<" else -bits)
-                return f"(({lcode}) * {factor!r})", None, None
-            # Fx shifts move the format, not the raw value, except that the
-            # raw is preserved; align to the result format's frac.
-            rfmt = expr.result_fmt()
-            if op == "<<":
-                # result frac == lfrac, value doubled 'bits' times.
-                return f"(({lcode}) << {bits})", lfrac, rfmt
-            # '>>': result frac == lfrac + bits, raw unchanged => value halved.
-            return lcode, lfrac + bits, rfmt
-        rcode, rfrac, rfmt2 = self.gen(expr.right)
-        if lfrac is None or rfrac is None:
-            lf = self._to_float(lcode, lfrac)
-            rf = self._to_float(rcode, rfrac)
-            if op in ("==", "!=", "<", "<=", ">", ">="):
-                return f"(1 if ({lf}) {op} ({rf}) else 0)", 0, expr.result_fmt()
-            if op in ("&", "|", "^"):
-                raise CodegenError("bitwise operators need fixed-point formats")
-            return f"(({lf}) {op} ({rf}))", None, None
-        if op in ("+", "-"):
-            frac = max(lfrac, rfrac)
-            la = self._align(lcode, lfrac, frac)
-            ra = self._align(rcode, rfrac, frac)
-            return f"(({la}) {op} ({ra}))", frac, expr.result_fmt()
-        if op == "*":
-            return f"(({lcode}) * ({rcode}))", lfrac + rfrac, expr.result_fmt()
-        if op in ("==", "!=", "<", "<=", ">", ">="):
-            frac = max(lfrac, rfrac)
-            la = self._align(lcode, lfrac, frac)
-            ra = self._align(rcode, rfrac, frac)
-            return f"(1 if ({la}) {op} ({ra}) else 0)", 0, expr.result_fmt()
-        # Bitwise on integer formats, masked to the union width.
-        fmt = expr.require_fmt()
-        mask = (1 << fmt.wl) - 1
-        la = self._align(lcode, lfrac, 0)
-        ra = self._align(rcode, rfrac, 0)
-        body = f"((({la}) & {mask}) {op} (({ra}) & {mask}))"
-        return self._fold_sign(body, fmt), 0, fmt
-
-    def _fold_sign(self, code: str, fmt: FxFormat) -> str:
-        if not fmt.signed:
-            return code
-        half = 1 << (fmt.wl - 1)
-        span = 1 << fmt.wl
-        return f"((({code}) - {span}) if ({code}) >= {half} else ({code}))"
-
-    def _unop(self, expr: UnOp):
-        code, frac, fmt = self.gen(expr.operand)
-        if expr.op == "-":
-            if frac is None:
-                return f"(-({code}))", None, None
-            return f"(-({code}))", frac, expr.result_fmt()
-        if expr.op == "abs":
-            return f"(abs({code}))", frac, expr.result_fmt()
-        # '~' on an integer format.
-        if frac is None or (fmt is not None and not fmt.is_integer()):
-            raise CodegenError("bitwise invert needs an integer fixed-point format")
-        mask = (1 << fmt.wl) - 1
-        body = f"((~({code})) & {mask})"
-        return self._fold_sign(body, fmt), frac, fmt
-
-    def _mux(self, expr: Mux):
-        scode, sfrac, _sfmt = self.gen(expr.sel)
-        sel = f"({scode})" if sfrac is not None else f"(int({scode}))"
-        tcode, tfrac, _tfmt = self.gen(expr.if_true)
-        fcode, ffrac, _ffmt = self.gen(expr.if_false)
-        if tfrac is None or ffrac is None:
-            tf = self._to_float(tcode, tfrac)
-            ff = self._to_float(fcode, ffrac)
-            return f"(({tf}) if {sel} else ({ff}))", None, None
-        frac = max(tfrac, ffrac)
-        ta = self._align(tcode, tfrac, frac)
-        fa = self._align(fcode, ffrac, frac)
-        return f"(({ta}) if {sel} else ({fa}))", frac, expr.result_fmt()
-
-    def _cast(self, expr: Cast):
-        code, frac, _fmt = self.gen(expr.operand)
-        out = gen_quantize(code, frac, expr.fmt)
-        return out, expr.fmt.frac_bits, expr.fmt
-
-    def _concat(self, expr: Concat):
-        parts = []
-        total = 0
-        fmts = [child.require_fmt() for child in expr.children]
-        for child, fmt in zip(expr.children, fmts):
-            code, frac, _f = self.gen(child)
-            raw = self._align(code, frac if frac is not None else 0, 0)
-            parts.append((raw, fmt.wl))
-        shift = 0
-        pieces = []
-        for raw, width in reversed(parts):
-            mask = (1 << width) - 1
-            piece = f"((({raw}) & {mask}) << {shift})" if shift else f"(({raw}) & {mask})"
-            pieces.append(piece)
-            shift += width
-        body = " | ".join(pieces)
-        return f"({body})", 0, expr.result_fmt()
 
 
 def gen_quantize(code: str, frac: Optional[int], fmt: FxFormat) -> str:
@@ -298,15 +114,169 @@ def _check_overflow(value: int, lo: int, hi: int) -> int:
     raise FxOverflowError(f"compiled simulation overflow: {value} not in [{lo}, {hi}]")
 
 
-class CompiledSimulator:
-    """Generate, compile and run an application-specific simulator."""
+_PYOP = {"band": "&", "bor": "|", "bxor": "^"}
 
-    def __init__(self, system: System, watch: Sequence[Channel] = ()):
+
+class _PyEmitter:
+    """Renders lowered IR blocks as Python source.
+
+    Ops used more than once become ``_tN = ...`` temporaries; single-use
+    ops inline into their consumer.  Ops whose subtree can raise (an
+    ``Overflow.ERROR`` quantize) always inline, preserving the lazy
+    evaluation of untaken mux branches.
+    """
+
+    def __init__(self, sig_ref: Callable[[Sig], Tuple[str, Optional[FxFormat]]]):
+        self.sig_ref = sig_ref
+        self._temps = itertools.count()
+
+    def render(self, block: IRBlock, lines: Optional[List[str]] = None,
+               indent: str = "", allow_temps: bool = True) -> Dict[int, str]:
+        """Return id -> Python expression, appending temp lines to *lines*."""
+        ops = block.ops
+        uses: Counter = Counter()
+        for op in ops:
+            uses.update(op.args)
+        for store in block.stores:
+            uses[store.value] += 1
+        for root in block.roots:
+            uses[root] += 1
+        raising = [False] * len(ops)
+        for index, op in enumerate(ops):
+            hot = (op.opcode == "quantize"
+                   and op.attrs[0].overflow is Overflow.ERROR)
+            raising[index] = hot or any(raising[a] for a in op.args)
+        memo: Dict[int, str] = {}
+
+        def ref(vid: int) -> str:
+            got = memo.get(vid)
+            if got is not None:
+                return got
+            op = ops[vid]
+            code = self._render_op(block, op, ref)
+            if (allow_temps and lines is not None and uses[vid] > 1
+                    and op.opcode not in LEAF_OPS and op.opcode != "retag"
+                    and not raising[vid]):
+                name = f"_t{next(self._temps)}"
+                lines.append(f"{indent}{name} = {code}")
+                code = name
+            memo[vid] = code
+            return code
+
+        self._memo = memo
+        self._ref = ref
+        return memo
+
+    def ref(self, vid: int) -> str:
+        return self._ref(vid)
+
+    def bind(self, vid: int, name: str) -> None:
+        """Future references to *vid* read the just-assigned variable."""
+        self._memo[vid] = name
+
+    def _render_op(self, block: IRBlock, op, ref) -> str:
+        code = op.opcode
+        a = op.args
+        if code == "const":
+            return repr(op.attrs[0])
+        if code == "fconst":
+            return repr(op.attrs[0])
+        if code == "read":
+            return self.sig_ref(op.attrs[0])[0]
+        if code in ("add", "sub"):
+            return f"(({ref(a[0])}) {'+' if code == 'add' else '-'} ({ref(a[1])}))"
+        if code == "mul":
+            return f"(({ref(a[0])}) * ({ref(a[1])}))"
+        if code == "neg":
+            return f"(-({ref(a[0])}))"
+        if code == "abs":
+            return f"(abs({ref(a[0])}))"
+        if code == "shl":
+            bits = op.attrs[0]
+            if op.frac is None:
+                return f"(({ref(a[0])}) * {2.0 ** bits!r})"
+            return f"(({ref(a[0])}) << {bits})"
+        if code == "ashr":
+            return f"(({ref(a[0])}) >> {op.attrs[0]})"
+        if code == "retag":
+            return ref(a[0])
+        if code == "cmp":
+            return f"(1 if ({ref(a[0])}) {op.attrs[0]} ({ref(a[1])}) else 0)"
+        if code in _PYOP:
+            wl, signed = op.attrs
+            mask = (1 << wl) - 1
+            body = (f"((({ref(a[0])}) & {mask}) {_PYOP[code]} "
+                    f"(({ref(a[1])}) & {mask}))")
+            return self._fold_sign(body, wl, signed)
+        if code == "bnot":
+            wl, signed = op.attrs
+            mask = (1 << wl) - 1
+            return self._fold_sign(f"((~({ref(a[0])})) & {mask})", wl, signed)
+        if code == "mux":
+            sel_frac = block.ops[a[0]].frac
+            sel = f"({ref(a[0])})" if sel_frac is not None \
+                else f"(int({ref(a[0])}))"
+            return f"(({ref(a[1])}) if {sel} else ({ref(a[2])}))"
+        if code == "bitsel":
+            return f"((({ref(a[0])}) >> {op.attrs[0]}) & 1)"
+        if code == "slice":
+            hi, lo = op.attrs
+            mask = (1 << (hi - lo + 1)) - 1
+            return f"((({ref(a[0])}) >> {lo}) & {mask})"
+        if code == "concat":
+            shift = 0
+            pieces = []
+            for vid, width in zip(reversed(a), reversed(op.attrs)):
+                mask = (1 << width) - 1
+                raw = ref(vid)
+                piece = f"((({raw}) & {mask}) << {shift})" if shift \
+                    else f"(({raw}) & {mask})"
+                pieces.append(piece)
+                shift += width
+            return f"({' | '.join(pieces)})"
+        if code == "quantize":
+            src_frac = block.ops[a[0]].frac
+            return gen_quantize(ref(a[0]), src_frac, op.attrs[0])
+        if code == "tofloat":
+            src_frac = block.ops[a[0]].frac
+            if not src_frac:
+                return ref(a[0])
+            return f"(({ref(a[0])}) * {2.0 ** -src_frac!r})"
+        if code == "toint":
+            return f"int({ref(a[0])})"
+        raise CodegenError(f"cannot render IR opcode {code!r}")
+
+    @staticmethod
+    def _fold_sign(code: str, wl: int, signed: bool) -> str:
+        if not signed:
+            return code
+        half = 1 << (wl - 1)
+        span = 1 << wl
+        return f"((({code}) - {span}) if ({code}) >= {half} else ({code}))"
+
+
+class CompiledSimulator:
+    """Generate, compile and run an application-specific simulator.
+
+    ``optimize=True`` (the default) runs the IR pass pipeline
+    (:func:`repro.ir.run_passes`) over every lowered block before
+    emission; ``optimize=False`` renders the naive lowering, the
+    ablation baseline.  :attr:`ir_op_count` /
+    :attr:`ir_op_count_raw` report the step function's IR op totals
+    after / before optimization.
+    """
+
+    def __init__(self, system: System, watch: Sequence[Channel] = (),
+                 optimize: bool = True):
         self.system = system
         self.watch = list(watch)
+        self.optimize = optimize
         self.cycle = 0
         self.outputs: Dict[str, object] = {}
         self._env: Dict[str, object] = {}
+        #: IR ops across all blocks, before and after the pass pipeline.
+        self.ir_op_count_raw = 0
+        self.ir_op_count = 0
         self.source = self._generate()
         code = compile(self.source, f"<compiled:{system.name}>", "exec")
         exec(code, self._env)
@@ -366,6 +336,13 @@ class CompiledSimulator:
 
     # -- code generation -----------------------------------------------------------
 
+    def _optimized(self, block: IRBlock) -> IRBlock:
+        self.ir_op_count_raw += block.op_count()
+        if self.optimize:
+            block = run_passes(block)
+        self.ir_op_count += block.op_count()
+        return block
+
     def _generate(self) -> str:
         system = self.system
         timed = system.timed_processes()
@@ -398,8 +375,6 @@ class CompiledSimulator:
             if isinstance(sig, Register):
                 return reg_name(sig, sig.name), sig.fmt
             return sig_name(sig, sig.name), sig.fmt
-
-        expr_gen = _ExprGen(sig_ref)
 
         # Collect all registers and FSMs.
         registers: List[Register] = []
@@ -446,7 +421,21 @@ class CompiledSimulator:
                 return overrides[sig]
             return sig_ref(sig)
 
-        expr_gen.sig_ref = sig_ref_full
+        # The lowering resolves aliases up front so one producing signal is
+        # one IR read; override signals keep their identity (their variable
+        # is the canonical reference).
+        def ir_resolve(sig: Sig) -> Sig:
+            if sig in overrides:
+                return sig
+            return resolve(sig)
+
+        def ir_leaf_fmt(sig: Sig) -> Optional[FxFormat]:
+            return sig_ref_full(sig)[1]
+
+        emitter = _PyEmitter(sig_ref_full)
+
+        def new_lowerer() -> Lowerer:
+            return Lowerer(leaf_fmt=ir_leaf_fmt, resolve=ir_resolve)
 
         # -- global schedule over assignments and untimed processes ------------
         nodes, edges = self._build_graph(timed, untimed, resolve)
@@ -474,6 +463,16 @@ class CompiledSimulator:
 
         body: List[str] = []
         b = body.append
+
+        def condition_code(expr) -> Tuple[str, Optional[int]]:
+            """Lower, optimize and inline-render one FSM guard."""
+            lowerer = new_lowerer()
+            lowerer.lower_expr(expr)
+            block = self._optimized(lowerer.block)
+            refs = emitter.render(block, lines=None, allow_temps=False)
+            root = block.roots[0]
+            emitter.ref(root)
+            return refs[root], block.ops[root].frac
 
         # Phase 0: transition selection for every FSM.
         tr_var: Dict[int, str] = {}
@@ -505,7 +504,7 @@ class CompiledSimulator:
                             b("            else:")
                         closed = True
                     else:
-                        code, frac, _fmt = expr_gen.gen(cond.expr)
+                        code, frac = condition_code(cond.expr)
                         test = f"({code}) != 0" if frac is not None else f"bool({code})"
                         if cond.negated:
                             test = f"not ({test})"
@@ -531,34 +530,44 @@ class CompiledSimulator:
             default = 0
             b(f"        {var} = pins.get({chan.name!r}, {default})")
 
+        def flush_group(group: List[tuple]) -> None:
+            """Lower one same-guard run of assignments as a single block."""
+            if not group:
+                return
+            guard = group[0][2]
+            indent = "        "
+            if guard is not None:
+                b(f"        if {guard}:")
+                indent = "            "
+            lowerer = new_lowerer()
+            for _process, assignment, _guard in group:
+                lowerer.lower_assignment(assignment)
+            block = self._optimized(lowerer.block)
+            emitter.render(block, lines=body, indent=indent)
+            for store in block.stores:
+                target = store.target
+                code = emitter.ref(store.value)
+                if isinstance(target, Register):
+                    var = f"n_{reg_name(target, target.name)}"
+                else:
+                    var = sig_name(target, target.name)
+                b(f"{indent}{var} = {code}")
+                if not isinstance(target, Register):
+                    emitter.bind(store.value, var)
+
         # Main body: assignments and untimed calls in global order.
         untimed_name = _Namer("beh")
         self._env_behaviors: Dict[str, Callable] = {}
-        previous_guard = object()
+        group: List[tuple] = []
         for node in order:
             if isinstance(node, tuple):
-                process, assignment, guard = node
-                indent = "        "
-                if guard is not None:
-                    if guard != previous_guard:
-                        b(f"        if {guard}:")
-                    indent = "            "
-                previous_guard = guard
-                code, frac, _fmt = expr_gen.gen(assignment.expr)
-                target = assignment.target
-                resolved = resolve(target)
-                if isinstance(resolved, Register):
-                    var = f"n_{reg_name(resolved, resolved.name)}"
-                else:
-                    var = sig_name(resolved, resolved.name)
-                if resolved.fmt is not None:
-                    value = gen_quantize(code, frac, resolved.fmt)
-                elif frac is not None:
-                    value = f"(({code}) * {2.0 ** -frac!r})" if frac else code
-                else:
-                    value = code
-                b(f"{indent}{var} = {value}")
+                if group and group[0][2] != node[2]:
+                    flush_group(group)
+                    group = []
+                group.append(node)
             else:
+                flush_group(group)
+                group = []
                 process = node
                 fn = untimed_name(process, process.name)
                 self._env_behaviors[fn] = _wrap_behavior(process)
@@ -586,7 +595,7 @@ class CompiledSimulator:
                     var = untimed_out_var.get((process, port.name))
                     if var is not None:
                         b(f"        {var} = {result_var}[{port.name!r}]")
-                previous_guard = object()
+        flush_group(group)
 
         # Watched outputs.
         for chan in self.watch:
@@ -687,7 +696,6 @@ class CompiledSimulator:
         """Nodes: (process, assignment, guard) triples and untimed processes."""
         nodes: List = []
         produces: Dict[Sig, object] = {}
-        guards = {}
 
         for process in timed:
             transitions = _global_transitions(process)

@@ -245,7 +245,7 @@ def quantize(nl: Netlist, a: Word, fmt: FxFormat) -> Word:
     The result has ``vector_width(fmt)`` bits (one headroom bit for
     unsigned formats, matching the HDL generators).
     """
-    from ..hdl.vhdl import vector_width
+    from ..ir.formats import vector_width
 
     out_width = vector_width(fmt)
     shift = a.frac - fmt.frac_bits

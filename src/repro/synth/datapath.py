@@ -22,20 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..fixpt import Fx, FxFormat, quantize_raw
 from ..core.errors import SynthesisError
-from ..core.expr import (
-    BinOp,
-    BitSelect,
-    Cast,
-    Concat,
-    Constant,
-    Expr,
-    Mux,
-    SliceSelect,
-    UnOp,
-)
-from ..core.signal import Register, Sig
+from ..core.expr import Expr
+from ..core.sfg import SFG
+from ..core.signal import Sig
+from ..ir import IRBlock, lower_expr, lower_sfg, run_passes
 from . import bitops
 from .bitops import Word, or_tree
 from .gates import GateKind
@@ -191,229 +182,191 @@ def _bool_net(nl: Netlist, word: Word) -> Net:
     return or_tree(nl, word.nets)
 
 
+_BIT_CHAR = {"band": "&", "bor": "|", "bxor": "^"}
+_BIT_GATE = {"band": GateKind.AND2, "bor": GateKind.OR2, "bxor": GateKind.XOR2}
+
+
 class ExprSynthesizer:
-    """Expands expression DAGs to words through an operator allocator."""
+    """Expands lowered IR blocks to words through an operator allocator.
+
+    The instruction set arrives as :class:`~repro.ir.ops.IRBlock` values
+    (one per SFG or FSM guard); every word-level IR op becomes one
+    ``operate`` call, so the demand pre-scan and the synthesis pass are
+    guaranteed to agree — both read the same ops, widths and fracs.
+    """
 
     def __init__(self, nl: Netlist, alloc: OperatorAllocator,
-                 leaf_word: Callable[[Sig], Word]):
+                 leaf_word: Callable[[Sig], Word], optimize: bool = True):
         self.nl = nl
         self.alloc = alloc
         self.leaf_word = leaf_word
+        #: Run the IR pass pipeline over every lowered block.
+        self.optimize = optimize
+        self._sfg_blocks: Dict[int, IRBlock] = {}
+        self._expr_blocks: Dict[int, IRBlock] = {}
+
+    # -- lowering (cached per SFG / guard expression) ----------------------------
+
+    def _lowered(self, cache: Dict[int, IRBlock], key: int, build) -> IRBlock:
+        block = cache.get(key)
+        if block is None:
+            block = build()
+            if self.optimize:
+                block = run_passes(block)
+            cache[key] = block
+        return block
+
+    def sfg_block(self, sfg: SFG) -> IRBlock:
+        return self._lowered(
+            self._sfg_blocks, id(sfg),
+            lambda: lower_sfg(sfg, require_formats=True,
+                              error_cls=SynthesisError))
+
+    def guard_block(self, expr: Expr) -> IRBlock:
+        return self._lowered(
+            self._expr_blocks, id(expr),
+            lambda: lower_expr(expr, require_formats=True,
+                               error_cls=SynthesisError))
 
     # -- sizing pre-scan ---------------------------------------------------------
 
-    def prescan(self, expr: Expr) -> Tuple[int, int]:
-        """Estimate the (width, frac) of *expr* and note operator demands.
+    def prescan_block(self, block: IRBlock) -> None:
+        """Note every operator demand of *block* with the allocator.
 
-        Run over every instruction before synthesis so shared instances
-        are created at the widest demanded operand widths.  The estimate
-        mirrors the word shapes the real pass produces; small mismatches
-        merely cost an extra fallback instance, never correctness.
+        Run over every instruction block before synthesis so shared
+        instances are created at the widest demanded operand widths.
+        The shapes come straight from the IR op widths, which are
+        exactly the word shapes :meth:`synth_block` produces.
         """
-        if isinstance(expr, Sig):
-            fmt = expr.result_fmt()
-            if fmt is None:
-                raise SynthesisError(f"signal {expr.name!r} has no format")
-            from ..hdl.vhdl import vector_width
+        for op in block.ops:
+            kind = self._alloc_kind(op)
+            if kind is None:
+                continue
+            shapes = [(block.ops[arg].width, block.ops[arg].frac)
+                      for arg in op.args]
+            self.alloc.note_demand(kind, shapes)
 
-            return vector_width(fmt), fmt.frac_bits
-        if isinstance(expr, Constant):
-            fmt = expr.result_fmt()
-            if fmt is None:
-                raise SynthesisError(f"constant {expr.value!r} has no format")
-            from ..hdl.vhdl import vector_width
+    @staticmethod
+    def _alloc_kind(op) -> Optional[tuple]:
+        code = op.opcode
+        if code in ("add", "sub", "mul", "neg", "abs", "mux"):
+            return code
+        if code == "bnot":
+            return "not"
+        if code == "cmp":
+            return f"cmp{op.attrs[0]}"
+        if code in _BIT_CHAR:
+            return f"bit{_BIT_CHAR[code]}"
+        if code == "quantize":
+            fmt = op.attrs[0]
+            return ("cast", fmt.wl, fmt.iwl, fmt.signed, fmt.rounding,
+                    fmt.overflow)
+        return None  # wiring-only ops never allocate an operator
 
-            return vector_width(fmt), fmt.frac_bits
-        if isinstance(expr, BinOp):
-            op = expr.op
-            lshape = self.prescan(expr.left)
-            if op in ("<<", ">>"):
-                bits = int(expr.right.evaluate())
-                if op == "<<":
-                    return lshape[0] + bits, lshape[1]
-                return lshape[0], lshape[1] + bits
-            rshape = self.prescan(expr.right)
-            shapes = [lshape, rshape]
-            if op in ("+", "-"):
-                self.alloc.note_demand("add" if op == "+" else "sub", shapes)
-                frac = max(lshape[1], rshape[1])
-                width = max(lshape[0] + frac - lshape[1],
-                            rshape[0] + frac - rshape[1]) + 1
-                return width, frac
-            if op == "*":
-                self.alloc.note_demand("mul", shapes)
-                return lshape[0] + rshape[0], lshape[1] + rshape[1]
-            if op in ("==", "!=", "<", "<=", ">", ">="):
-                self.alloc.note_demand(f"cmp{op}", shapes)
-                return 2, 0
-            self.alloc.note_demand(f"bit{op}", shapes)
-            return max(lshape[0], rshape[0]), lshape[1]
-        if isinstance(expr, UnOp):
-            shape = self.prescan(expr.operand)
-            if expr.op == "-":
-                self.alloc.note_demand("neg", [shape])
-                return shape[0] + 1, shape[1]
-            if expr.op == "abs":
-                self.alloc.note_demand("abs", [shape])
-                return shape[0] + 1, shape[1]
-            self.alloc.note_demand("not", [shape])
-            return shape
-        if isinstance(expr, Mux):
-            shapes = [self.prescan(expr.sel), self.prescan(expr.if_true),
-                      self.prescan(expr.if_false)]
-            self.alloc.note_demand("mux", shapes)
-            _s, t, f = shapes
-            frac = max(t[1], f[1])
-            return max(t[0] + frac - t[1], f[0] + frac - f[1]), frac
-        if isinstance(expr, Cast):
-            shape = self.prescan(expr.operand)
-            fmt = expr.fmt
-            self.alloc.note_demand(
-                ("cast", fmt.wl, fmt.iwl, fmt.signed, fmt.rounding,
-                 fmt.overflow), [shape])
-            from ..hdl.vhdl import vector_width
+    # -- synthesis ---------------------------------------------------------------
 
-            return vector_width(fmt), fmt.frac_bits
-        if isinstance(expr, BitSelect):
-            self.prescan(expr.operand)
-            return 2, 0
-        if isinstance(expr, SliceSelect):
-            self.prescan(expr.operand)
-            return expr.width + 1, 0
-        if isinstance(expr, Concat):
-            total = 0
-            for child in expr.children:
-                self.prescan(child)
-                total += child.require_fmt().wl
-            return total + 1, 0
-        raise SynthesisError(f"cannot pre-scan {expr!r}")
+    def synth_block(self, block: IRBlock) -> Dict[int, Word]:
+        """Expand every op of *block* to gates; returns id -> Word.
 
-    def synth(self, expr: Expr) -> Word:
-        """Expand *expr* to gates, binding operators via the allocator."""
+        Callers pick results through ``block.stores`` (assignment
+        targets) and ``block.roots`` (guard conditions).
+        """
+        words: Dict[int, Word] = {}
+        for vid, op in enumerate(block.ops):
+            args = [words[arg] for arg in op.args]
+            words[vid] = self._synth_op(op, args)
+        return words
+
+    def _synth_op(self, op, args: List[Word]) -> Word:
         nl = self.nl
-        if isinstance(expr, Sig):
-            return self.leaf_word(expr)
-        if isinstance(expr, Constant):
-            fmt = expr.result_fmt()
-            if fmt is None:
-                raise SynthesisError(
-                    f"constant {expr.value!r} has no fixed-point format"
-                )
-            raw = expr.value.raw if isinstance(expr.value, Fx) \
-                else quantize_raw(expr.value, fmt)
-            from ..hdl.vhdl import vector_width
+        code = op.opcode
+        if code == "read":
+            return self.leaf_word(op.attrs[0])
+        if code == "const":
+            return bitops.const_word(nl, op.attrs[0], op.width, op.frac)
+        if code == "add":
+            return self.alloc.operate(
+                "add", args, lambda n, ws: bitops.add(n, *ws))
+        if code == "sub":
+            return self.alloc.operate(
+                "sub", args, lambda n, ws: bitops.sub(n, *ws))
+        if code == "mul":
+            return self.alloc.operate(
+                "mul", args, lambda n, ws: bitops.multiply(n, *ws))
+        if code == "neg":
+            return self.alloc.operate(
+                "neg", args, lambda n, ws: bitops.negate(n, ws[0]))
+        if code == "abs":
+            return self.alloc.operate(
+                "abs", args, lambda n, ws: bitops.absolute(n, ws[0]))
+        if code == "shl":
+            shifted = bitops.shift_left(nl, args[0], op.attrs[0])
+            return Word(list(shifted.nets), op.frac)
+        if code == "ashr":
+            bits = op.attrs[0]
+            nets = list(args[0].nets[bits:]) or [args[0].msb]
+            return Word(nets, op.frac)
+        if code == "retag":
+            return Word(list(args[0].nets), op.frac)
+        if code == "cmp":
+            pyop = op.attrs[0]
 
-            return bitops.const_word(
-                nl, raw, vector_width(fmt), fmt.frac_bits
-            )
-        if isinstance(expr, BinOp):
-            return self._binop(expr)
-        if isinstance(expr, UnOp):
-            operand = self.synth(expr.operand)
-            if expr.op == "-":
-                return self.alloc.operate(
-                    "neg", [operand], lambda n, ws: bitops.negate(n, ws[0])
-                )
-            if expr.op == "abs":
-                return self.alloc.operate(
-                    "abs", [operand], lambda n, ws: bitops.absolute(n, ws[0])
-                )
-            return self.alloc.operate(
-                "not", [operand], lambda n, ws: bitops.invert(n, ws[0])
-            )
-        if isinstance(expr, Mux):
-            sel = self.synth(expr.sel)
-            if_true = self.synth(expr.if_true)
-            if_false = self.synth(expr.if_false)
-
-            def build(n, ws):
-                return bitops.mux_word(n, _bool_net(n, ws[0]), ws[1], ws[2])
-
-            return self.alloc.operate("mux", [sel, if_true, if_false], build)
-        if isinstance(expr, Cast):
-            operand = self.synth(expr.operand)
-            fmt = expr.fmt
-            return self.alloc.operate(
-                ("cast", fmt.wl, fmt.iwl, fmt.signed, fmt.rounding,
-                 fmt.overflow),
-                [operand],
-                lambda n, ws: bitops.quantize(n, ws[0], fmt),
-            )
-        if isinstance(expr, BitSelect):
-            operand = self.synth(expr.operand)
-            aligned = bitops.align(nl, operand, 0)
-            if expr.index >= aligned.width:
-                bit = aligned.msb  # sign extension
-            else:
-                bit = aligned.nets[expr.index]
-            return Word([bit, nl.const(0)], 0)
-        if isinstance(expr, SliceSelect):
-            operand = self.synth(expr.operand)
-            aligned = bitops.align(nl, operand, 0)
-            nets = []
-            for i in range(expr.lo, expr.hi + 1):
-                nets.append(
-                    aligned.nets[i] if i < aligned.width else aligned.msb
-                )
-            nets.append(nl.const(0))  # unsigned headroom
-            return Word(nets, 0)
-        if isinstance(expr, Concat):
-            pieces: List[Net] = []
-            for child in reversed(expr.children):
-                fmt = child.require_fmt()
-                word = bitops.align(nl, self.synth(child), 0)
-                for i in range(fmt.wl):
-                    pieces.append(
-                        word.nets[i] if i < word.width else word.msb
-                    )
-            pieces.append(nl.const(0))
-            return Word(pieces, 0)
-        raise SynthesisError(f"cannot synthesize {expr!r}")
-
-    def _binop(self, expr: BinOp) -> Word:
-        nl = self.nl
-        op = expr.op
-        left = self.synth(expr.left)
-        if op in ("<<", ">>"):
-            bits = int(expr.right.evaluate())
-            if op == "<<":
-                return bitops.shift_left(nl, left, bits)
-            return bitops.shift_right(nl, left, bits)
-        right = self.synth(expr.right)
-        if op == "+":
-            return self.alloc.operate(
-                "add", [left, right], lambda n, ws: bitops.add(n, *ws)
-            )
-        if op == "-":
-            return self.alloc.operate(
-                "sub", [left, right], lambda n, ws: bitops.sub(n, *ws)
-            )
-        if op == "*":
-            return self.alloc.operate(
-                "mul", [left, right], lambda n, ws: bitops.multiply(n, *ws)
-            )
-        if op in ("==", "!=", "<", "<=", ">", ">="):
-            def build(n, ws, op=op):
+            def build(n, ws, pyop=pyop):
                 a, b = ws
-                if op == "==":
+                if pyop == "==":
                     bit = bitops.equal(n, a, b)
-                elif op == "!=":
+                elif pyop == "!=":
                     bit = n.add(GateKind.INV, [bitops.equal(n, a, b)])
-                elif op == "<":
+                elif pyop == "<":
                     bit = bitops.less_than(n, a, b)
-                elif op == ">=":
+                elif pyop == ">=":
                     bit = n.add(GateKind.INV, [bitops.less_than(n, a, b)])
-                elif op == ">":
+                elif pyop == ">":
                     bit = bitops.less_than(n, b, a)
                 else:  # <=
                     bit = n.add(GateKind.INV, [bitops.less_than(n, b, a)])
                 return Word([bit, n.const(0)], 0)
 
-            return self.alloc.operate(f"cmp{op}", [left, right], build)
-        # Bitwise.
-        kind = {"&": GateKind.AND2, "|": GateKind.OR2,
-                "^": GateKind.XOR2}[op]
-        return self.alloc.operate(
-            f"bit{op}", [left, right],
-            lambda n, ws: bitops.bitwise(n, kind, *ws),
-        )
+            return self.alloc.operate(f"cmp{pyop}", args, build)
+        if code in _BIT_GATE:
+            kind = _BIT_GATE[code]
+            return self.alloc.operate(
+                f"bit{_BIT_CHAR[code]}", args,
+                lambda n, ws, kind=kind: bitops.bitwise(n, kind, *ws))
+        if code == "bnot":
+            return self.alloc.operate(
+                "not", args, lambda n, ws: bitops.invert(n, ws[0]))
+        if code == "mux":
+            def build_mux(n, ws):
+                return bitops.mux_word(n, _bool_net(n, ws[0]), ws[1], ws[2])
+
+            return self.alloc.operate("mux", args, build_mux)
+        if code == "bitsel":
+            word = args[0]
+            index = op.attrs[0]
+            bit = word.nets[index] if index < word.width else word.msb
+            return Word([bit, nl.const(0)], 0)
+        if code == "slice":
+            hi, lo = op.attrs
+            word = args[0]
+            nets = [word.nets[i] if i < word.width else word.msb
+                    for i in range(lo, hi + 1)]
+            nets.append(nl.const(0))  # unsigned headroom
+            return Word(nets, 0)
+        if code == "concat":
+            pieces: List[Net] = []
+            for word, width in zip(reversed(args), reversed(op.attrs)):
+                for i in range(width):
+                    pieces.append(
+                        word.nets[i] if i < word.width else word.msb)
+            pieces.append(nl.const(0))
+            return Word(pieces, 0)
+        if code == "quantize":
+            fmt = op.attrs[0]
+            return self.alloc.operate(
+                ("cast", fmt.wl, fmt.iwl, fmt.signed, fmt.rounding,
+                 fmt.overflow),
+                args,
+                lambda n, ws, fmt=fmt: bitops.quantize(n, ws[0], fmt),
+            )
+        raise SynthesisError(f"cannot synthesize IR opcode {code!r}")

@@ -30,7 +30,7 @@ from ..core.process import TimedProcess, UntimedProcess
 from ..core.sfg import SFG
 from ..core.signal import Register, Sig
 from ..core.system import System
-from ..hdl.vhdl import vector_width
+from ..ir.formats import vector_width
 from ..sim.stimuli import PortLog
 from . import bitops
 from .bitops import Word
@@ -63,8 +63,14 @@ class ComponentSynthesis:
 def synthesize_process(process: TimedProcess, share: bool = True,
                        encoding: str = "binary", two_level: bool = False,
                        optimize: bool = True,
-                       expose_registers: bool = False) -> ComponentSynthesis:
-    """Synthesize one timed component to a gate-level netlist."""
+                       expose_registers: bool = False,
+                       ir_passes: bool = True) -> ComponentSynthesis:
+    """Synthesize one timed component to a gate-level netlist.
+
+    ``ir_passes`` runs the IR optimization pipeline (constant folding,
+    CSE, DCE, algebraic simplification) over every lowered instruction
+    before expansion to gates; disable it for the ablation baseline.
+    """
     nl = Netlist(process.name)
     all_sfgs = process.all_sfgs()
 
@@ -112,7 +118,7 @@ def synthesize_process(process: TimedProcess, share: bool = True,
             "an intermediate, a register, nor an input port"
         )
 
-    synthesizer = ExprSynthesizer(nl, alloc, leaf_word)
+    synthesizer = ExprSynthesizer(nl, alloc, leaf_word, optimize=ir_passes)
 
     # Guard conditions (always active: dedicated operators).
     controller = None
@@ -128,7 +134,9 @@ def synthesize_process(process: TimedProcess, share: bool = True,
                 continue
             net = cache.get(id(expr))
             if net is None:
-                word = synthesizer.synth(expr)
+                block = synthesizer.guard_block(expr)
+                words = synthesizer.synth_block(block)
+                word = words[block.roots[0]]
                 net = bitops.or_tree(nl, word.nets) if word.width > 1 \
                     else word.nets[0]
                 cache[id(expr)] = net
@@ -147,16 +155,13 @@ def synthesize_process(process: TimedProcess, share: bool = True,
 
     def run_sfg(sfg: SFG, select: Net) -> None:
         nonlocal ordinal
-        for assignment in sfg.ordered_assignments():
-            target = assignment.target
-            word = synthesizer.synth(assignment.expr)
-            fmt = _fmt_of(target)
-            quantized = alloc.operate(
-                ("cast", fmt.wl, fmt.iwl, fmt.signed, fmt.rounding,
-                 fmt.overflow),
-                [word],
-                lambda n, ws, fmt=fmt: bitops.quantize(n, ws[0], fmt),
-            )
+        block = synthesizer.sfg_block(sfg)
+        words = synthesizer.synth_block(block)
+        for store in block.stores:
+            target = store.target
+            # The lowered store value already went through the target-
+            # format quantize, so it is the committed word.
+            quantized = words[store.value]
             ordinal += 1
             if isinstance(target, Register):
                 reg_candidates.setdefault(id(target), []).append(
@@ -172,14 +177,11 @@ def synthesize_process(process: TimedProcess, share: bool = True,
     if process.fsm is not None:
         # Sizing pre-scan: register every instruction's operator demands
         # so shared instances are created wide enough for all of them.
+        # Demands come from the same lowered blocks synthesis will
+        # expand, so the noted shapes are exact.
         for transition in process.fsm.transitions:
             for sfg in transition.sfgs:
-                for assignment in sfg.ordered_assignments():
-                    shape = synthesizer.prescan(assignment.expr)
-                    fmt = _fmt_of(assignment.target)
-                    alloc.note_demand(
-                        ("cast", fmt.wl, fmt.iwl, fmt.signed, fmt.rounding,
-                         fmt.overflow), [shape])
+                synthesizer.prescan_block(synthesizer.sfg_block(sfg))
         for transition in process.fsm.transitions:
             select = controller.select[transition]
             alloc.begin_slot(select)
@@ -267,11 +269,12 @@ class SystemSynthesis:
 
 def synthesize_system(system: System, share: bool = True,
                       encoding: str = "binary",
-                      optimize: bool = True) -> SystemSynthesis:
+                      optimize: bool = True,
+                      ir_passes: bool = True) -> SystemSynthesis:
     """Synthesize every timed component of *system* (Fig. 8 flow)."""
     components = [
         synthesize_process(p, share=share, encoding=encoding,
-                           optimize=optimize)
+                           optimize=optimize, ir_passes=ir_passes)
         for p in system.timed_processes()
     ]
     return SystemSynthesis(

@@ -86,11 +86,13 @@ class CycleAdapter(EngineAdapter):
 class CompiledAdapter(EngineAdapter):
     """The generated compiled-code simulator."""
 
-    def __init__(self, system, name: str = "compiled"):
+    def __init__(self, system, name: str = "compiled",
+                 optimize: bool = True):
         self._outs = [
             chan for chan in system.channels if chan.producer is not None
         ]
-        self.sim = CompiledSimulator(system, watch=self._outs)
+        self.sim = CompiledSimulator(system, watch=self._outs,
+                                     optimize=optimize)
         self.name = name
 
     def step(self, pins: Mapping[str, object]) -> None:

@@ -1,0 +1,41 @@
+"""The back-end layering contract, enforced as a test and in CI."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_layering", REPO / "tools" / "check_layering.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_layering"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_private_cross_layer_imports():
+    checker = _load_checker()
+    violations = checker.check_tree(REPO / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def test_checker_catches_a_violation(tmp_path):
+    """The tool itself must flag a private cross-layer import."""
+    checker = _load_checker()
+    pkg = tmp_path / "repro"
+    for layer in ("hdl", "sim", "synth"):
+        (pkg / layer).mkdir(parents=True)
+        (pkg / layer / "__init__.py").write_text("")
+    (pkg / "hdl" / "gen.py").write_text(
+        "from ..sim.compiled import _PyEmitter\n")
+    violations = checker.check_tree(tmp_path)
+    assert len(violations) == 1
+    assert "_PyEmitter" in violations[0]
+
+    # A public cross-layer import stays allowed.
+    (pkg / "hdl" / "gen.py").write_text(
+        "from ..sim.compiled import CompiledSimulator\n")
+    assert checker.check_tree(tmp_path) == []

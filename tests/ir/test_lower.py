@@ -1,0 +1,144 @@
+"""Lowering: the IR interpreter must agree with ``Expr.evaluate()``.
+
+The lowered block carries every alignment shift explicitly, so running
+the reference interpreter over raw integers and rescaling by the root's
+``frac`` must land on exactly the value the Expr DSL computes on
+:class:`~repro.fixpt.Fx` objects.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Register, Sig, cast, concat, eq, ge, gt, lt, mux, ne
+from repro.core.errors import CodegenError
+from repro.fixpt import Fx, FxFormat, Overflow, Rounding
+from repro.ir import IRBlock, execute, lower_expr
+
+F84 = FxFormat(8, 4)
+F126 = FxFormat(12, 6)
+F163 = FxFormat(16, 13)
+U6 = FxFormat(6, 6, signed=False)
+
+
+def _raw_read(sig):
+    return sig.value.raw
+
+
+def _check(expr, sigs):
+    """Lower *expr*, execute the block, compare against the DSL."""
+    block = lower_expr(expr, require_formats=True)
+    values = execute(block, _raw_read)
+    root = block.roots[0]
+    op = block.ops[root]
+    got = values[root] * (2.0 ** -op.frac)
+    expected = expr.evaluate()
+    expected = float(expected) if isinstance(expected, Fx) else float(expected)
+    assert got == pytest.approx(expected, abs=2.0 ** -(op.frac + 1)), (
+        f"{expr!r}: IR gives {got}, Expr gives {expected}"
+    )
+
+
+@pytest.fixture
+def sigs():
+    a = Sig("a", F84)
+    b = Sig("b", F126)
+    c = Sig("c", F163)
+    u = Sig("u", U6)
+    a.value = Fx(1.375, F84)
+    b.value = Fx(-2.109375, F126)
+    c.value = Fx(0.17236328125, F163)
+    u.value = Fx(37, U6)
+    return a, b, c, u
+
+
+SHAPES = [
+    lambda a, b, c, u: a + b,
+    lambda a, b, c, u: a - c,
+    lambda a, b, c, u: b * c,
+    lambda a, b, c, u: -a,
+    lambda a, b, c, u: abs(b),
+    lambda a, b, c, u: a << 2,
+    lambda a, b, c, u: b >> 3,
+    lambda a, b, c, u: (a + b) * (a - b),
+    lambda a, b, c, u: mux(gt(a, b), a + c, b - c),
+    lambda a, b, c, u: u & 0x15,
+    lambda a, b, c, u: u | 0x22,
+    lambda a, b, c, u: u ^ 0x3F,
+    lambda a, b, c, u: ~u,
+    lambda a, b, c, u: cast(a + b, F84),
+    lambda a, b, c, u: cast(b * c, F126),
+    lambda a, b, c, u: mux(eq(u, 37), a, b),
+    lambda a, b, c, u: mux(ne(u, 0), a * c, c),
+    lambda a, b, c, u: mux(ge(b, a), b, a) + c,
+    lambda a, b, c, u: mux(lt(a, 0), -a, a),
+]
+
+
+@pytest.mark.parametrize("shape", range(len(SHAPES)))
+def test_shapes_match_expr(shape, sigs):
+    _check(SHAPES[shape](*sigs), sigs)
+
+
+def test_randomized_values_match_expr():
+    rng = random.Random(1998)
+    a, b, c, u = (Sig("a", F84), Sig("b", F126),
+                  Sig("c", F163), Sig("u", U6))
+    for _ in range(200):
+        a.value = Fx(rng.uniform(-7, 7), F84)
+        b.value = Fx(rng.uniform(-30, 30), F126)
+        c.value = Fx(rng.uniform(-0.2, 0.2), F163)
+        u.value = Fx(rng.randrange(64), U6)
+        shape = rng.choice(SHAPES)
+        _check(shape(a, b, c, u), (a, b, c, u))
+
+
+def test_alignment_is_explicit():
+    """add operands must be pre-aligned: equal frac on both arg ops."""
+    a, b = Sig("a", F84), Sig("b", F126)
+    block = lower_expr(a + b, require_formats=True)
+    for op in block.ops:
+        if op.opcode in ("add", "sub", "cmp"):
+            fracs = {block.ops[arg].frac for arg in op.args}
+            assert len(fracs) == 1, f"{op.opcode} operands not aligned"
+
+
+def test_mul_frac_is_sum():
+    a, b = Sig("a", F84), Sig("b", F126)
+    block = lower_expr(a * b, require_formats=True)
+    mul = next(op for op in block.ops if op.opcode == "mul")
+    assert mul.frac == F84.frac_bits + F126.frac_bits
+
+
+def test_require_formats_rejects_untyped_leaf():
+    x = Sig("x")  # no format
+    with pytest.raises(CodegenError):
+        lower_expr(x + 1, require_formats=True)
+
+
+def test_quantize_matches_rounding_and_saturation():
+    wide = FxFormat(16, 10)
+    narrow = FxFormat(6, 2, rounding=Rounding.ROUND,
+                      overflow=Overflow.SATURATE)
+    x = Sig("x", wide)
+    for value in (-12.0, -7.99, -0.26, 0.24, 3.11, 9.5):
+        x.value = Fx(value, wide)
+        _check(cast(x, narrow), (x,))
+
+
+def test_store_value_is_quantized(sigs):
+    """lower_assignment must leave the store pointing at a quantize op."""
+    from repro.core import SFG
+    from repro.ir import lower_sfg
+
+    a, b, _c, _u = sigs
+    y = Sig("y", F84)
+    sfg = SFG("one")
+    with sfg:
+        y <<= a + b
+    sfg.inp(a).inp(b).out(y)
+    block = lower_sfg(sfg, require_formats=True)
+    assert len(block.stores) == 1
+    store = block.stores[0]
+    assert block.ops[store.value].opcode == "quantize"
+    assert block.ops[store.value].attrs[0] == F84

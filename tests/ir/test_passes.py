@@ -1,0 +1,240 @@
+"""Per-pass golden tests on hand-built DAGs, plus pipeline idempotence.
+
+Each test constructs a small :class:`IRBlock` by hand, runs exactly one
+pass, and checks the op histogram before and after — so a regression in
+any single pass is pinned to that pass, not to the whole pipeline.
+"""
+
+import random
+
+from repro.core import Sig
+from repro.fixpt import Fx, FxFormat, Overflow, Rounding
+from repro.ir import (
+    IRBlock,
+    IROp,
+    Store,
+    algebraic_simplify,
+    constant_fold,
+    cse,
+    dce,
+    execute,
+    run_passes,
+)
+
+F84 = FxFormat(8, 4)
+
+
+def _leaf(block, sig):
+    return block.emit(IROp("read", (), (sig,), sig.fmt.frac_bits, sig.fmt.wl))
+
+
+def _store_root(block, vid):
+    sig = Sig("y", F84)
+    q = block.emit(IROp("quantize", (vid,), (F84,), F84.frac_bits, F84.wl))
+    block.stores.append(Store(sig, q))
+    return sig
+
+
+def _equivalent(before, after, sigs, trials=25, seed=7):
+    """Both blocks must compute identical store values for random leaves."""
+    rng = random.Random(seed)
+    for _ in range(trials):
+        raws = {id(s): rng.randrange(-2 ** 6, 2 ** 6) for s in sigs}
+
+        def read(sig):
+            return raws[id(sig)]
+
+        va = execute(before, read)
+        vb = execute(after, read)
+        for sa, sb in zip(before.stores, after.stores):
+            assert va[sa.value] == vb[sb.value]
+
+
+class TestConstantFold:
+    def test_folds_const_add(self):
+        block = IRBlock()
+        c1 = block.emit(IROp("const", (), (12,), 4, 8))
+        c2 = block.emit(IROp("const", (), (5,), 4, 8))
+        s = block.emit(IROp("add", (c1, c2), (), 4, 9))
+        _store_root(block, s)
+        assert block.counts().get("add") == 1
+
+        folded, changed = constant_fold(block)
+        assert changed
+        assert "add" not in cse(dce(folded)[0])[0].counts()
+        values = execute(folded, lambda sig: 0)
+        assert values[folded.stores[0].value] == 17
+
+    def test_error_overflow_not_folded(self):
+        """Overflow.ERROR quantizes must stay runtime ops (they raise)."""
+        err_fmt = FxFormat(4, 4, overflow=Overflow.ERROR)
+        block = IRBlock()
+        big = block.emit(IROp("const", (), (500,), 0, 12))
+        q = block.emit(IROp("quantize", (big,), (err_fmt,), 0, 4))
+        block.roots.append(q)
+        folded, _ = constant_fold(block)
+        assert folded.counts().get("quantize") == 1
+
+    def test_saturating_quantize_is_folded(self):
+        sat = FxFormat(4, 4, overflow=Overflow.SATURATE)
+        block = IRBlock()
+        big = block.emit(IROp("const", (), (500,), 0, 12))
+        q = block.emit(IROp("quantize", (big,), (sat,), 0, 4))
+        block.roots.append(q)
+        folded, changed = constant_fold(block)
+        assert changed
+        root_op = folded.ops[folded.roots[0]]
+        assert root_op.opcode == "const"
+        assert root_op.attrs[0] == 7  # raw_max of a signed 4-bit word
+
+
+class TestAlgebraicSimplify:
+    def test_add_zero(self):
+        a = Sig("a", F84)
+        block = IRBlock()
+        ra = _leaf(block, a)
+        z = block.emit(IROp("const", (), (0,), 4, 8))
+        s = block.emit(IROp("add", (ra, z), (), 4, 9))
+        _store_root(block, s)
+        out, changed = algebraic_simplify(block)
+        out = dce(out)[0]
+        assert changed
+        assert "add" not in out.counts()
+        _equivalent(block, out, [a])
+
+    def test_mul_by_power_of_two_becomes_shift(self):
+        a = Sig("a", F84)
+        block = IRBlock()
+        ra = _leaf(block, a)
+        c = block.emit(IROp("const", (), (8,), 0, 5))
+        m = block.emit(IROp("mul", (ra, c), (), 4, 13))
+        _store_root(block, m)
+        out, changed = algebraic_simplify(block)
+        out = dce(out)[0]
+        assert changed
+        assert "mul" not in out.counts()
+        assert out.counts().get("shl", 0) >= 1
+        _equivalent(block, out, [a])
+
+    def test_mux_same_branches(self):
+        a, s = Sig("a", F84), Sig("s", FxFormat(1, 1, signed=False))
+        block = IRBlock()
+        ra = _leaf(block, a)
+        rs = _leaf(block, s)
+        m = block.emit(IROp("mux", (rs, ra, ra), (), 4, 8))
+        _store_root(block, m)
+        out, changed = algebraic_simplify(block)
+        out = dce(out)[0]
+        assert changed
+        assert "mux" not in out.counts()
+        _equivalent(block, out, [a, s])
+
+    def test_redundant_quantize_dropped(self):
+        """quantize(quantize(x, fmt), fmt) -> single quantize."""
+        a, b = Sig("a", F84), Sig("b", F84)
+        block = IRBlock()
+        ra = _leaf(block, a)
+        rb = _leaf(block, b)
+        s = block.emit(IROp("add", (ra, rb), (), 4, 9))
+        q1 = block.emit(IROp("quantize", (s,), (F84,), 4, 8))
+        q2 = block.emit(IROp("quantize", (q1,), (F84,), 4, 8))
+        block.stores.append(Store(Sig("y", F84), q2))
+        out, changed = algebraic_simplify(block)
+        out = dce(out)[0]
+        assert changed
+        assert out.counts().get("quantize") == 1
+        _equivalent(block, out, [a, b])
+
+
+class TestCse:
+    def test_duplicate_subtree_merged(self):
+        a, b = Sig("a", F84), Sig("b", F84)
+        block = IRBlock()
+        ra = _leaf(block, a)
+        rb = _leaf(block, b)
+        s1 = block.emit(IROp("add", (ra, rb), (), 4, 9))
+        s2 = block.emit(IROp("add", (ra, rb), (), 4, 9))
+        m = block.emit(IROp("mul", (s1, s2), (), 8, 18))
+        _store_root(block, m)
+        assert block.counts()["add"] == 2
+        out, changed = cse(block)
+        out = dce(out)[0]
+        assert changed
+        assert out.counts()["add"] == 1
+        _equivalent(block, out, [a, b])
+
+    def test_different_attrs_not_merged(self):
+        a = Sig("a", F84)
+        block = IRBlock()
+        ra = _leaf(block, a)
+        s1 = block.emit(IROp("shl", (ra,), (1,), 5, 9))
+        s2 = block.emit(IROp("shl", (ra,), (2,), 6, 10))
+        block.roots.extend([s1, s2])
+        out, changed = cse(block)
+        assert not changed
+        assert out.counts()["shl"] == 2
+
+
+class TestDce:
+    def test_unused_ops_removed(self):
+        a, b = Sig("a", F84), Sig("b", F84)
+        block = IRBlock()
+        ra = _leaf(block, a)
+        rb = _leaf(block, b)
+        block.emit(IROp("mul", (ra, rb), (), 8, 16))  # dead
+        s = block.emit(IROp("add", (ra, rb), (), 4, 9))
+        _store_root(block, s)
+        assert block.counts()["mul"] == 1
+        out, changed = dce(block)
+        assert changed
+        assert "mul" not in out.counts()
+        assert out.counts()["add"] == 1
+        _equivalent(block, out, [a, b])
+
+    def test_roots_kept_alive(self):
+        a = Sig("a", F84)
+        block = IRBlock()
+        ra = _leaf(block, a)
+        n = block.emit(IROp("neg", (ra,), (), 4, 9))
+        block.roots.append(n)
+        out, changed = dce(block)
+        assert not changed
+        assert out.counts()["neg"] == 1
+
+
+class TestPipeline:
+    def _build(self):
+        """(a+b)*(a+b) + 0*c — CSE, strength and dead-code bait at once."""
+        a, b, c = Sig("a", F84), Sig("b", F84), Sig("c", F84)
+        block = IRBlock()
+        ra = _leaf(block, a)
+        rb = _leaf(block, b)
+        rc = _leaf(block, c)
+        s1 = block.emit(IROp("add", (ra, rb), (), 4, 9))
+        s2 = block.emit(IROp("add", (ra, rb), (), 4, 9))
+        m = block.emit(IROp("mul", (s1, s2), (), 8, 18))
+        z = block.emit(IROp("const", (), (0,), 4, 8))
+        zc = block.emit(IROp("mul", (rc, z), (), 8, 16))
+        al = block.emit(IROp("shl", (m,), (0,), 8, 18))
+        total = block.emit(IROp("add", (al, zc), (), 8, 19))
+        _store_root(block, total)
+        return block, (a, b, c)
+
+    def test_pipeline_shrinks_and_preserves(self):
+        block, sigs = self._build()
+        out = run_passes(block)
+        counts = out.counts()
+        assert counts.get("add", 0) == 1      # the duplicate add merged
+        assert counts.get("mul", 0) == 1      # 0*c eliminated
+        assert "shl" not in counts            # shift-by-0 dropped
+        assert out.op_count() < block.op_count()
+        _equivalent(block, out, sigs)
+
+    def test_pipeline_idempotent(self):
+        block, _sigs = self._build()
+        once = run_passes(block)
+        twice = run_passes(once)
+        assert once.ops == twice.ops
+        assert [(id(s.target), s.value) for s in once.stores] == \
+            [(id(s.target), s.value) for s in twice.stores]
+        assert once.roots == twice.roots

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Import-layering check for the back-end subpackages.
+
+The lowered IR (:mod:`repro.ir`) is the one shared layer between the
+back-ends; ``repro.hdl``, ``repro.sim`` and ``repro.synth`` must not
+reach into each other's private names.  This script walks every module
+in those subpackages with :mod:`ast` and fails (exit 1) when a module
+imports an underscore-prefixed name — or star-imports — from a
+*different* back-end subpackage.  Public cross-imports (a documented
+API) are allowed; private ones are the layering violations that used to
+couple the Verilog generator to VHDL internals.
+
+Run from the repository root::
+
+    python tools/check_layering.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+#: Back-end subpackages that must stay privately independent.
+LAYERS = ("hdl", "sim", "synth")
+PACKAGE = "repro"
+
+
+def _resolve(module_pkg: str, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute dotted module a ``from ... import`` statement targets."""
+    if node.level == 0:
+        return node.module
+    parts = module_pkg.split(".")
+    if node.level > len(parts):
+        return None
+    base = parts[: len(parts) - (node.level - 1)]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base)
+
+
+def _layer_of(dotted: str) -> Optional[str]:
+    parts = dotted.split(".")
+    if len(parts) >= 2 and parts[0] == PACKAGE and parts[1] in LAYERS:
+        return parts[1]
+    return None
+
+
+def check_tree(src_root: Path) -> List[str]:
+    """All private cross-layer imports under *src_root*, as messages."""
+    violations: List[str] = []
+    for layer in LAYERS:
+        for path in sorted((src_root / PACKAGE / layer).rglob("*.py")):
+            rel = path.relative_to(src_root)
+            module_pkg = ".".join(rel.with_suffix("").parts[:-1])
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.ImportFrom):
+                    continue
+                target = _resolve(module_pkg, node)
+                if target is None:
+                    continue
+                target_layer = _layer_of(target)
+                if target_layer is None or target_layer == layer:
+                    continue
+                private = [
+                    alias.name for alias in node.names
+                    if alias.name.startswith("_") or alias.name == "*"
+                ]
+                for name in private:
+                    violations.append(
+                        f"{rel}:{node.lineno}: imports private name "
+                        f"{name!r} from {target} (layer {target_layer!r} "
+                        f"!= {layer!r})"
+                    )
+    return violations
+
+
+def main(argv: Tuple[str, ...] = ()) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    src_root = root / "src"
+    violations = check_tree(src_root)
+    if violations:
+        print("layering violations:")
+        for message in violations:
+            print(f"  {message}")
+        return 1
+    print(f"layering clean: {', '.join(LAYERS)} share no private names")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(tuple(sys.argv[1:])))
