@@ -120,6 +120,33 @@ def central_control_architecture(samples, weights):
     return outputs[1:]
 
 
+def lint_targets():
+    """Design objects for ``tools/lint.py``: the central-control system."""
+    clk = Clock("local")
+    slices = [build_fir_slice(i, n, clk)
+              for i, n in enumerate(F.TAPS_PER_SLICE)]
+    summed = build_sum(clk)
+    system = System("central")
+    for process in slices + [summed]:
+        system.add(process)
+    for p in slices:
+        system.connect(None, p.port("instr"), name=f"i_{p.name}")
+    system.connect(None, summed.port("instr"), name="i_sum")
+    system.connect(None, slices[0].port("in_re"), name="in_re")
+    system.connect(None, slices[0].port("in_im"), name="in_im")
+    system.connect(None, *(s.port("coef_re") for s in slices), name="cre")
+    system.connect(None, *(s.port("coef_im") for s in slices), name="cim")
+    for i in range(3):
+        system.connect(slices[i].port("cas_re"), slices[i + 1].port("in_re"))
+        system.connect(slices[i].port("cas_im"), slices[i + 1].port("in_im"))
+    for i in range(4):
+        system.connect(slices[i].port("p_re"), summed.port(f"p_re{i}"))
+        system.connect(slices[i].port("p_im"), summed.port(f"p_im{i}"))
+    system.connect(summed.port("y_re"), name="y_re")
+    system.connect(summed.port("y_im"), name="y_im")
+    return [system]
+
+
 def main():
     weights = taps()
     rng = np.random.default_rng(8)

@@ -50,6 +50,11 @@ def build():
     return system, i_pin, q_pin
 
 
+def lint_targets():
+    """Design objects for ``tools/lint.py``."""
+    return [build()[0]]
+
+
 def show(title, text, lines=14):
     print(f"\n== {title} ==")
     for line in text.splitlines()[:lines]:

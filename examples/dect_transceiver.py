@@ -27,6 +27,13 @@ from repro.dsp import (
 )
 
 
+def lint_targets():
+    """Design objects for ``tools/lint.py``: the full transceiver system."""
+    from repro.designs.dect.transceiver import build_transceiver
+
+    return [build_transceiver().system]
+
+
 def main():
     rng = np.random.default_rng(2026)
 

@@ -32,6 +32,11 @@ from repro.verify import (
 )
 
 
+def lint_targets():
+    """Design objects for ``tools/lint.py``."""
+    return [build_hcor().system]
+
+
 def main():
     print("== synthesizing HCOR ==")
     synthesis = synthesize_process(build_hcor().process)

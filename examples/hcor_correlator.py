@@ -17,6 +17,11 @@ from repro.sim import CycleScheduler, PortLog
 from repro.synth import component_report, synthesize_process, verify_component
 
 
+def lint_targets():
+    """Design objects for ``tools/lint.py``."""
+    return [build_hcor().system]
+
+
 def main():
     rng = np.random.default_rng(7)
 

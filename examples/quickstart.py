@@ -80,6 +80,11 @@ def build_design():
     return system, x_pin, h_pin, acc
 
 
+def lint_targets():
+    """Design objects for ``tools/lint.py`` (see README: lint your design)."""
+    return [build_design()[0]]
+
+
 def main():
     system, x_pin, h_pin, acc = build_design()
 

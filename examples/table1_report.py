@@ -10,11 +10,20 @@ Run:  python examples/table1_report.py           (full, ~1 minute)
       python examples/table1_report.py --quick   (HCOR only)
 """
 
+import os
 import sys
 
-sys.path.insert(0, "benchmarks")
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks"))
 
 from common import format_table1, table1_rows  # noqa: E402
+
+
+def lint_targets():
+    """Design objects for ``tools/lint.py``: the benchmarked HCOR system."""
+    from repro.designs.hcor import build_hcor
+
+    return [build_hcor().system]
 
 
 def main():

@@ -1,20 +1,30 @@
-"""Semantic checks on SFGs, FSMs and systems.
+"""Semantic checks on SFGs, FSMs and systems (compatibility shim).
 
 The paper (section 3.1): declaring SFG inputs and outputs *"allows to do
 semantical checks such as dangling input and dead code detection, which
-warn the user of code inconsistency."*  Each check returns a list of
-:class:`Issue` records; :func:`assert_clean` raises on errors.
+warn the user of code inconsistency."*
+
+The analyses themselves now live in :mod:`repro.lint` — a pluggable rule
+framework with stable diagnostic codes, severities, and source
+locations.  This module keeps the historical functional API:
+``check_sfg``/``check_fsm``/``check_system`` run the corresponding lint
+rules and translate each :class:`repro.lint.Diagnostic` back into a flat
+:class:`Issue`, whose ``code`` is the diagnostic's symbolic name (the
+strings existing callers match on).  Info-severity diagnostics are
+dropped — the legacy API only ever knew errors and warnings.  New code
+should use :class:`repro.lint.Linter` directly, which adds per-rule
+configuration, suppression, ``file:line`` locations, and the interval
+analysis rules.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set
+from typing import List
 
 from .errors import CheckError
 from .fsm import FSM
 from .sfg import SFG
-from .signal import Register, Sig
 from .system import System
 
 ERROR = "error"
@@ -33,155 +43,41 @@ class Issue:
         return f"[{self.severity}] {self.code}: {self.message}"
 
 
+def _issues(diagnostics) -> List[Issue]:
+    """Flatten lint diagnostics into the legacy Issue records."""
+    return [Issue(d.severity, d.name, d.message) for d in diagnostics
+            if d.severity in (ERROR, WARNING)]
+
+
 def check_sfg(sfg: SFG) -> List[Issue]:
     """Check one SFG for dangling inputs, undriven reads, and dead code."""
-    issues: List[Issue] = []
-    targets = sfg.targets()
-    reads: Set[Sig] = set()
-    for assignment in sfg.assignments:
-        reads |= assignment.reads()
+    from ..lint import Linter
 
-    # Dangling input: declared but never read.
-    for inp in sfg.inputs:
-        if inp not in reads:
-            issues.append(Issue(
-                WARNING, "dangling-input",
-                f"SFG {sfg.name!r}: input {inp.name!r} is never read",
-            ))
-
-    # Inputs must not be driven inside the SFG.
-    for inp in sfg.inputs:
-        if inp in targets:
-            issues.append(Issue(
-                ERROR, "driven-input",
-                f"SFG {sfg.name!r}: input {inp.name!r} is also assigned",
-            ))
-
-    # Undriven: a plain signal read but neither assigned nor declared input.
-    for sig in reads:
-        if sig.is_register():
-            continue
-        if sig not in targets and sig not in sfg.inputs:
-            issues.append(Issue(
-                ERROR, "undriven-signal",
-                f"SFG {sfg.name!r}: signal {sig.name!r} is read but is neither "
-                "driven, an input, nor a register",
-            ))
-
-    # Outputs must be driven or be registers (whose current value is emitted).
-    for out in sfg.outputs:
-        if out not in targets and not out.is_register():
-            issues.append(Issue(
-                ERROR, "undriven-output",
-                f"SFG {sfg.name!r}: output {out.name!r} is never driven",
-            ))
-
-    # Dead code: an assigned plain signal that feeds neither an output,
-    # a register, nor any other assignment.
-    useful = set(sfg.outputs)
-    for assignment in sfg.assignments:
-        if assignment.target.is_register():
-            useful |= assignment.reads()
-    changed = True
-    while changed:
-        changed = False
-        for assignment in sfg.assignments:
-            if assignment.target in useful:
-                new = assignment.reads() - useful
-                if new:
-                    useful |= new
-                    changed = True
-    for assignment in sfg.assignments:
-        target = assignment.target
-        if not target.is_register() and target not in useful:
-            issues.append(Issue(
-                WARNING, "dead-code",
-                f"SFG {sfg.name!r}: assignment to {target.name!r} is dead "
-                "(reaches no output or register)",
-            ))
-
-    # Combinational loops are detected by ordering; surface them as issues.
-    try:
-        sfg.ordered_assignments()
-    except CheckError as exc:
-        issues.append(Issue(ERROR, "combinational-loop", str(exc)))
-
-    return issues
+    return _issues(Linter().lint_sfg(sfg))
 
 
 def check_fsm(fsm: FSM) -> List[Issue]:
-    """Check an FSM for reachability, determinism, and condition legality."""
-    issues: List[Issue] = []
+    """Check an FSM for reachability, determinism, and condition legality.
 
-    if fsm.initial_state is None:
-        issues.append(Issue(ERROR, "no-initial-state",
-                            f"FSM {fsm.name!r} has no states"))
-        return issues
+    Determinism is analyzed exactly: guard conditions read registered
+    signals of known format, so satisfiability of guard combinations is
+    decided by enumeration (``overlapping-guards``,
+    ``incomplete-transitions``) when the state space is small enough.
+    """
+    from ..lint import Linter
 
-    # Reachability from the initial state.
-    reachable = {fsm.initial_state}
-    frontier = [fsm.initial_state]
-    while frontier:
-        state = frontier.pop()
-        for transition in state.transitions:
-            if transition.target not in reachable:
-                reachable.add(transition.target)
-                frontier.append(transition.target)
-    for state in fsm.states:
-        if state not in reachable:
-            issues.append(Issue(
-                WARNING, "unreachable-state",
-                f"FSM {fsm.name!r}: state {state.name!r} is unreachable",
-            ))
-
-    for state in fsm.states:
-        if state in reachable and not state.transitions:
-            issues.append(Issue(
-                ERROR, "stuck-state",
-                f"FSM {fsm.name!r}: state {state.name!r} has no outgoing "
-                "transitions",
-            ))
-        # An 'always' guard before other transitions makes them dead.
-        for index, transition in enumerate(state.transitions):
-            if transition.condition.is_always() and index < len(state.transitions) - 1:
-                issues.append(Issue(
-                    WARNING, "shadowed-transition",
-                    f"FSM {fsm.name!r}: transitions after the unconditional one "
-                    f"from state {state.name!r} can never fire",
-                ))
-                break
-
-    # Conditions must depend only on registered or constant signals
-    # (paper: "the conditions are stored in registers inside the SFGs").
-    for transition in fsm.transitions:
-        expr = transition.condition.expr
-        if expr is None:
-            continue
-        for sig in expr.signals():
-            if not sig.is_register():
-                issues.append(Issue(
-                    ERROR, "unregistered-condition",
-                    f"FSM {fsm.name!r}: condition of {transition!r} reads "
-                    f"non-registered signal {sig.name!r}; conditions must be "
-                    "stored in registers",
-                ))
-    return issues
+    return _issues(Linter().lint_fsm(fsm))
 
 
 def check_system(system: System) -> List[Issue]:
-    """Check the whole system: wiring plus every SFG and FSM."""
-    issues: List[Issue] = []
-    for port in system.unconnected_ports():
-        issues.append(Issue(
-            WARNING, "unconnected-port",
-            f"port {port.process.name}.{port.name} is not connected",
-        ))
-    for process in system.timed_processes():
-        if process.fsm is not None:
-            issues.extend(check_fsm(process.fsm))
-        for sfg in process.all_sfgs():
-            issues.extend(check_sfg(sfg))
-    return issues
+    """Check the whole system: wiring plus every process's SFGs and FSM.
+
+    Unlike the historical version, this covers *untimed* processes too
+    (their SFGs, if any, and their firing rules).
+    """
+    from ..lint import Linter
+
+    return _issues(Linter().lint_system(system))
 
 
 def assert_clean(issues: List[Issue]) -> None:

@@ -25,6 +25,7 @@ from typing import Iterator, Optional, Sequence, Set, Tuple, Union
 
 from ..fixpt import Fx, FxFormat, quantize
 from .errors import ModelError, SynthesisError
+from .srcloc import here
 
 Value = Union[int, float, Fx]
 
@@ -52,7 +53,8 @@ def _as_expr(value) -> "Expr":
 class Expr:
     """Base class for all signal-flow-graph expression nodes."""
 
-    __slots__ = ()
+    #: Construction site in user code (None when capture is disabled).
+    __slots__ = ("loc",)
 
     #: Overridden by subclasses: child expressions, left to right.
     children: Tuple["Expr", ...] = ()
@@ -170,6 +172,7 @@ class Constant(Expr):
             value = quantize(value, fmt)
         self.value = value
         self._fmt = fmt
+        self.loc = here()
 
     def evaluate(self) -> Value:
         return self.value
@@ -199,6 +202,7 @@ class BinOp(Expr):
         self.left = left
         self.right = right
         self.children = (left, right)
+        self.loc = here()
 
     def evaluate(self) -> Value:
         a = self.left.evaluate()
@@ -296,6 +300,7 @@ class UnOp(Expr):
         self.op = op
         self.operand = operand
         self.children = (operand,)
+        self.loc = here()
 
     def evaluate(self) -> Value:
         a = self.operand.evaluate()
@@ -333,6 +338,7 @@ class Mux(Expr):
         self.if_true = if_true
         self.if_false = if_false
         self.children = (sel, if_true, if_false)
+        self.loc = here()
 
     def evaluate(self) -> Value:
         sel = self.sel.evaluate()
@@ -359,6 +365,7 @@ class Cast(Expr):
         self.operand = operand
         self.fmt = fmt
         self.children = (operand,)
+        self.loc = here()
 
     def evaluate(self) -> Value:
         return quantize(self.operand.evaluate(), self.fmt)
@@ -381,6 +388,7 @@ class BitSelect(Expr):
         self.operand = operand
         self.index = index
         self.children = (operand,)
+        self.loc = here()
 
     def evaluate(self) -> Value:
         value = self.operand.evaluate()
@@ -406,6 +414,7 @@ class SliceSelect(Expr):
         self.hi = hi
         self.lo = lo
         self.children = (operand,)
+        self.loc = here()
 
     @property
     def width(self) -> int:
@@ -432,6 +441,7 @@ class Concat(Expr):
         if len(operands) < 2:
             raise ModelError("concat needs at least two operands")
         self.children = tuple(_as_expr(op) for op in operands)
+        self.loc = here()
 
     def evaluate(self) -> Value:
         result = 0

@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence
 from .errors import ModelError, SimulationError
 from .expr import Expr, _as_expr
 from .sfg import SFG
+from .srcloc import here
 
 
 class Condition:
@@ -74,7 +75,7 @@ def cnd(expr) -> Condition:
 class Transition:
     """One FSM transition: guard, Mealy-action SFGs, and next state."""
 
-    __slots__ = ("source", "condition", "sfgs", "target")
+    __slots__ = ("source", "condition", "sfgs", "target", "loc")
 
     def __init__(self, source: "State", condition: Condition,
                  sfgs: Sequence[SFG], target: "State"):
@@ -82,6 +83,7 @@ class Transition:
         self.condition = condition
         self.sfgs = tuple(sfgs)
         self.target = target
+        self.loc = here()
 
     def __repr__(self) -> str:
         names = "+".join(s.name for s in self.sfgs) or "(no action)"
@@ -115,12 +117,13 @@ class _TransitionBuilder:
 class State:
     """One FSM state; ``state << condition`` starts a transition."""
 
-    __slots__ = ("fsm", "name", "transitions")
+    __slots__ = ("fsm", "name", "transitions", "loc")
 
     def __init__(self, fsm: "FSM", name: str):
         self.fsm = fsm
         self.name = name
         self.transitions: List[Transition] = []
+        self.loc = here()
 
     def __lshift__(self, item):
         if isinstance(item, Condition):
@@ -158,6 +161,7 @@ class FSM:
         self._initial_explicit = False
         self.current: Optional[State] = None
         self._pending: Optional[State] = None
+        self.loc = here()
 
     # -- construction --------------------------------------------------------
 

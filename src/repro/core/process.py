@@ -23,6 +23,7 @@ from .errors import ModelError, SimulationError
 from .fsm import FSM
 from .sfg import SFG
 from .signal import Register, Sig
+from .srcloc import here
 
 
 class Port:
@@ -33,7 +34,7 @@ class Port:
     firing, the SDF rate).
     """
 
-    __slots__ = ("process", "name", "direction", "sig", "rate", "channel")
+    __slots__ = ("process", "name", "direction", "sig", "rate", "channel", "loc")
 
     def __init__(self, process: "Process", name: str, direction: str,
                  sig: Optional[Sig] = None, rate: int = 1):
@@ -45,6 +46,7 @@ class Port:
         self.sig = sig
         self.rate = rate
         self.channel = None  # bound by System.connect
+        self.loc = here()
 
     def __repr__(self) -> str:
         return f"Port({self.process.name}.{self.name}, {self.direction})"
@@ -56,6 +58,7 @@ class Process:
     def __init__(self, name: str):
         self.name = name
         self.ports: Dict[str, Port] = {}
+        self.loc = here()
 
     def _add_port(self, port: Port) -> Port:
         if port.name in self.ports:

@@ -14,13 +14,25 @@ computes, once per clock cycle, all assignments in dependency order.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .errors import CheckError, ModelError
 from .expr import Expr
 from .signal import Register, Sig
+from .srcloc import here
 
 _SFG_STACK: List["SFG"] = []
+
+#: Every SFG ever constructed (weakly held).  The lint framework uses it
+#: to find SFGs that share signals with a system but are referenced by no
+#: FSM transition or process — the "forgot to wire it" mistake.
+_ALL_SFGS: "weakref.WeakSet[SFG]" = weakref.WeakSet()
+
+
+def constructed_sfgs() -> List["SFG"]:
+    """All live SFG objects, in name order (for deterministic linting)."""
+    return sorted(_ALL_SFGS, key=lambda s: s.name)
 
 
 def _active_sfg() -> Optional["SFG"]:
@@ -31,13 +43,14 @@ def _active_sfg() -> Optional["SFG"]:
 class Assignment:
     """One ``target <- expr`` arc of a signal flow graph."""
 
-    __slots__ = ("target", "expr")
+    __slots__ = ("target", "expr", "loc")
 
     def __init__(self, target: Sig, expr: Expr):
         if not isinstance(target, Sig):
             raise ModelError(f"assignment target must be a signal, got {target!r}")
         self.target = target
         self.expr = expr
+        self.loc = here()
 
     def execute(self) -> None:
         """Evaluate the expression and drive the target."""
@@ -64,6 +77,8 @@ class SFG:
         self._inputs: List[Sig] = []
         self._outputs: List[Sig] = []
         self._ordered: Optional[List[Assignment]] = None
+        self.loc = here()
+        _ALL_SFGS.add(self)
 
     # -- construction -----------------------------------------------------------
 

@@ -24,6 +24,7 @@ from ..fixpt import Fx, FxFormat, quantize
 from .clock import Clock
 from .errors import ModelError
 from .expr import Expr, Value, _as_expr
+from .srcloc import here
 
 _GENSYM = itertools.count()
 
@@ -55,6 +56,7 @@ class Sig(Expr):
         self.name = name if name is not None else f"sig{next(_GENSYM)}"
         self.fmt = fmt
         self._value = _coerce_value(init, fmt)
+        self.loc = here()
 
     @property
     def value(self) -> Value:

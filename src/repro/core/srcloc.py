@@ -1,0 +1,95 @@
+"""Source-location capture for design objects.
+
+Hardware eDSLs earn "robust design" diagnostics by remembering *where in
+the user's modeling code* each object was constructed (Hardcaml carries a
+``caller_id`` on every node for exactly this reason).  This module is the
+one cheap, toggleable primitive behind that: :func:`here` walks up the
+Python stack past the framework's own frames and returns the first user
+frame as a :class:`SrcLoc`.
+
+Capture is on by default and costs a handful of frame hops per DSL
+construction; set the environment variable ``REPRO_SRCLOC=0`` or call
+:func:`enable` / use :func:`capturing` to switch it off for bulk
+construction (e.g. randomized differential tests).
+
+"User frame" means the first frame outside :mod:`repro.core` and
+:mod:`repro.lint` — frames in :mod:`repro.designs` count as user code, so
+linting the DECT transceiver points at the datapath modeling lines, not
+at the framework.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+from typing import Iterator, NamedTuple, Optional
+
+
+class SrcLoc(NamedTuple):
+    """One construction site in user modeling code."""
+
+    file: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+#: Directories whose frames are skipped when looking for the user frame.
+_FRAMEWORK_DIRS = (
+    os.path.dirname(os.path.abspath(__file__)),                      # repro/core
+    os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "lint"),                        # repro/lint
+)
+
+_enabled = os.environ.get("REPRO_SRCLOC", "1").lower() not in ("0", "false", "off")
+
+
+def enabled() -> bool:
+    """True when construction sites are being captured."""
+    return _enabled
+
+
+def enable(on: bool = True) -> None:
+    """Globally switch capture on or off."""
+    global _enabled
+    _enabled = on
+
+
+@contextmanager
+def capturing(on: bool) -> Iterator[None]:
+    """Temporarily force capture on or off (e.g. around bulk construction)."""
+    global _enabled
+    previous = _enabled
+    _enabled = on
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def _is_framework(filename: str) -> bool:
+    return any(filename.startswith(d) for d in _FRAMEWORK_DIRS)
+
+
+def here(depth: int = 1) -> Optional[SrcLoc]:
+    """The closest non-framework frame, or None when capture is off.
+
+    *depth* skips the caller's own frames (1 = the function calling
+    ``here``); the walk then continues past any :mod:`repro.core` /
+    :mod:`repro.lint` frames so ``y <<= a + b`` in user code is reported
+    at the user's line, not inside ``Sig.__ilshift__``.
+    """
+    if not _enabled:
+        return None
+    try:
+        frame = sys._getframe(depth + 1)
+    except ValueError:  # pragma: no cover - shallow stacks
+        return None
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not _is_framework(filename):
+            return SrcLoc(filename, frame.f_lineno)
+        frame = frame.f_back
+    return None

@@ -334,3 +334,8 @@ class DectTransceiver:
             "b_bits": [int(b) for b in chip.rams["out_b"].dump()],
             "simulator": simulator,
         }
+
+
+def lint_targets():
+    """Design objects for ``tools/lint.py``."""
+    return [build_transceiver().system]

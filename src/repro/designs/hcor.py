@@ -187,3 +187,8 @@ def run_hcor(design: HcorDesign, soft_symbols: Sequence[float]):
             # (delay line + hit register), i.e. at stream index p + 1.
             hits.append(cycle)
     return hits
+
+
+def lint_targets():
+    """Design objects for ``tools/lint.py``."""
+    return [build_hcor().system]

@@ -125,6 +125,9 @@ class Lowerer:
         if got is None:
             got = self._lower(expr)
             self._memo[id(expr)] = got
+            loc = getattr(expr, "loc", None)
+            if loc is not None and got not in self.block.locs:
+                self.block.locs[got] = loc
         return got
 
     def _lower(self, expr: Expr) -> int:
@@ -283,6 +286,9 @@ class Lowerer:
         target = self.resolve(assignment.target)
         if target.fmt is not None:
             value = self.quantize(value, target.fmt)
+            loc = getattr(assignment, "loc", None)
+            if loc is not None:
+                self.block.locs[value] = loc
         elif self.require_formats:
             raise self.error_cls(
                 f"signal {target.name!r} has no fixed-point format; bit-true "

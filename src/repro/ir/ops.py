@@ -104,6 +104,11 @@ class IRBlock:
     stores: List[Store] = field(default_factory=list)
     #: Extra live value ids (FSM guard conditions, watched expressions).
     roots: List[int] = field(default_factory=list)
+    #: Source locations (value id -> SrcLoc) of the model expressions each
+    #: op was lowered from.  A side-table so op identity/CSE keys are
+    #: unaffected; populated by the lowerer, dropped by the optimization
+    #: passes (lint analyses run on freshly lowered, unoptimized blocks).
+    locs: Dict[int, object] = field(default_factory=dict)
 
     def emit(self, op: IROp) -> int:
         self.ops.append(op)

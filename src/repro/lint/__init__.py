@@ -1,0 +1,56 @@
+"""Pluggable static analysis for repro designs.
+
+The lint framework subsumes the historical ``repro.core.checks`` module:
+rules are classes registered with :func:`repro.lint.rule.register`, the
+:class:`Linter` drives them over SFGs, FSMs, processes, and whole
+systems, and every :class:`Diagnostic` carries a stable code, a
+severity, the offending design object, and the exact ``file:line`` where
+the user's DSL code constructed it (captured by
+:mod:`repro.core.srcloc`).
+
+Rule families:
+
+* ``L1xx`` (:mod:`.rules_sfg`) — structural SFG checks.
+* ``L2xx`` (:mod:`.rules_fsm`) — FSM reachability and determinism.
+* ``L3xx`` (:mod:`.rules_system`) — system wiring, clocking, firing rules.
+* ``L4xx`` (:mod:`.rules_interval`) — IR interval analysis overflow proofs.
+
+Run from the command line with ``python -m repro.lint <paths>`` or
+``tools/lint.py``.
+"""
+
+from .diagnostics import Diagnostic, ERROR, INFO, SEVERITIES, WARNING, \
+    severity_rank
+from .interval import Analysis, Finding, Interval, TOP, analyze, fmt_interval
+from .linter import Linter, lint
+from .rule import LintConfig, LintContext, Rule, all_rules, register
+
+# Importing the rule modules populates the registry.
+from . import rules_sfg      # noqa: F401  (L1xx)
+from . import rules_fsm      # noqa: F401  (L2xx)
+from . import rules_system   # noqa: F401  (L3xx)
+from . import rules_interval  # noqa: F401  (L4xx)
+from .rules_interval import analyze_sfg
+
+__all__ = [
+    "Analysis",
+    "Diagnostic",
+    "ERROR",
+    "Finding",
+    "INFO",
+    "Interval",
+    "LintConfig",
+    "LintContext",
+    "Linter",
+    "Rule",
+    "SEVERITIES",
+    "TOP",
+    "WARNING",
+    "all_rules",
+    "analyze",
+    "analyze_sfg",
+    "fmt_interval",
+    "lint",
+    "register",
+    "severity_rank",
+]

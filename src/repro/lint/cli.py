@@ -1,0 +1,219 @@
+"""Command-line lint driver.
+
+``python -m repro.lint <paths>`` imports each Python file (directories
+are walked recursively), collects its lintable design objects, and runs
+every registered rule over them.  A module chooses what gets linted by
+exposing a ``lint_targets()`` function returning design objects
+(systems, processes, FSMs or SFGs); without the hook, any module-level
+instances of those types are linted.  Modules with nothing to lint are
+skipped.
+
+Output is human-readable text (``file:line: severity [code/name]
+message``) or, with ``--json``, a machine-readable report for CI.  The
+exit status is 1 when any diagnostic at or above ``--fail-on`` severity
+remains, 2 when a module could not be imported or its hook raised.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import json
+import os
+import sys
+import traceback
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.fsm import FSM
+from ..core.process import Process
+from ..core.sfg import SFG
+from ..core.system import System
+from .diagnostics import Diagnostic, SEVERITIES, severity_rank
+from .linter import Linter
+from .rule import LintConfig, all_rules
+
+LINTABLE = (System, Process, FSM, SFG)
+
+
+def find_modules(paths: Iterable[str]) -> List[str]:
+    """Expand files and directories into a sorted list of .py files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = [d for d in dirs if d != "__pycache__"]
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return sorted(dict.fromkeys(out))
+
+
+def _package_name(path: str) -> Optional[str]:
+    """Dotted module name when *path* sits inside a package tree."""
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    directory = os.path.dirname(path)
+    while os.path.exists(os.path.join(directory, "__init__.py")):
+        parts.insert(0, os.path.basename(directory))
+        directory = os.path.dirname(directory)
+    if len(parts) == 1:
+        return None
+    if directory not in sys.path:
+        sys.path.insert(0, directory)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def load_module(path: str):
+    """Import *path* — package-aware so relative imports keep working."""
+    dotted = _package_name(path)
+    if dotted is not None:
+        return importlib.import_module(dotted)
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory not in sys.path:
+        sys.path.insert(0, directory)
+    name = "_lint_" + os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(name, None)
+        raise
+    return module
+
+
+def collect_targets(module) -> List[object]:
+    """The design objects a module wants linted."""
+    hook = getattr(module, "lint_targets", None)
+    if callable(hook):
+        return list(hook())
+    systems = [obj for obj in vars(module).values()
+               if isinstance(obj, System)]
+    if systems:
+        return systems
+    return [obj for obj in vars(module).values() if isinstance(obj, LINTABLE)]
+
+
+def _target_name(target) -> str:
+    return f"{type(target).__name__}:{getattr(target, 'name', '?')}"
+
+
+def lint_paths(paths: Iterable[str],
+               config: Optional[LintConfig] = None) -> Tuple[List[dict], int]:
+    """Lint every module under *paths*.
+
+    Returns ``(reports, broken)`` where each report is ``{"path", "targets",
+    "diagnostics"}`` (diagnostics as :class:`Diagnostic` objects) and
+    *broken* counts modules that failed to import or collect.
+    """
+    linter = Linter(config=config)
+    reports: List[dict] = []
+    broken = 0
+    for path in find_modules(paths):
+        report = {"path": path, "targets": [], "diagnostics": [], "error": None}
+        try:
+            module = load_module(path)
+            targets = collect_targets(module)
+        except BaseException:
+            report["error"] = traceback.format_exc(limit=4)
+            broken += 1
+            reports.append(report)
+            continue
+        if not targets:
+            continue
+        for target in targets:
+            report["targets"].append(_target_name(target))
+            report["diagnostics"].extend(linter.lint(target))
+        reports.append(report)
+    return reports, broken
+
+
+def _summary(diagnostics: List[Diagnostic]) -> dict:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity] += 1
+    return counts
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static analysis for repro designs.")
+    parser.add_argument("paths", nargs="*",
+                        help="Python files or directories to lint")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    parser.add_argument("--fail-on", choices=("error", "warning", "never"),
+                        default="error",
+                        help="lowest severity that fails the run "
+                             "(default: error)")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="CODE",
+                        help="disable rules by code or name "
+                             "(comma-separated, repeatable)")
+    parser.add_argument("--no-interval", action="store_true",
+                        help="skip the IR interval-analysis rules")
+    parser.add_argument("--max-enum-states", type=int, default=4096,
+                        metavar="N",
+                        help="FSM guard enumeration budget (default 4096)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in all_rules():
+            print(f"{cls.code}  {cls.name:24s} {cls.scope:8s} "
+                  f"{cls.severity:8s} {cls.description}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (or use --list-rules)")
+
+    disabled = [code
+                for chunk in args.disable for code in chunk.split(",") if code]
+    config = LintConfig(disabled=disabled,
+                        max_enum_states=args.max_enum_states,
+                        interval_analysis=not args.no_interval)
+    reports, broken = lint_paths(args.paths, config)
+    diagnostics = [d for report in reports for d in report["diagnostics"]]
+
+    if args.json:
+        payload = {
+            "reports": [
+                {"path": report["path"],
+                 "targets": report["targets"],
+                 "error": report["error"],
+                 "diagnostics": [d.to_dict() for d in report["diagnostics"]]}
+                for report in reports],
+            "summary": _summary(diagnostics),
+            "broken_modules": broken,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            if report["error"] is not None:
+                print(f"BROKEN {report['path']}:", file=sys.stderr)
+                print(report["error"], file=sys.stderr)
+                continue
+            for diagnostic in report["diagnostics"]:
+                print(diagnostic.format())
+        counts = _summary(diagnostics)
+        print(f"{len(diagnostics)} diagnostics "
+              f"({counts['error']} errors, {counts['warning']} warnings, "
+              f"{counts['info']} info) in {len(reports)} modules")
+
+    if broken:
+        return 2
+    if args.fail_on == "never":
+        return 0
+    threshold = severity_rank(args.fail_on)
+    if any(severity_rank(d.severity) <= threshold for d in diagnostics):
+        return 1
+    return 0

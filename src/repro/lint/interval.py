@@ -1,0 +1,230 @@
+"""Interval (value-range) analysis over lowered IR blocks.
+
+The dataflow analysis behind the overflow-proof rules: every IR value id
+is mapped to a conservative ``[lo, hi]`` interval of its *raw* integer
+value (at the op's binary point ``frac``).  Leaf reads start from the
+signal's :class:`~repro.fixpt.FxFormat` range — the strongest invariant
+that holds on every cycle — and ranges propagate forward through
+``add``/``sub``/``mul``/shift/``mux``/bit ops exactly as
+:func:`repro.ir.ops.execute` computes them, so the reference interpreter
+is the soundness oracle (the test suite brute-forces small wordlengths
+against it, and cross-checks every constant the IR const-folding pass
+proves).
+
+``quantize`` ops are where wordlength effects happen, so that is where
+the analysis *judges*: it computes the rounded value interval at the
+target binary point and compares it against the format's representable
+raw range, classifying each step as safe, possibly overflowing, or
+**certainly** overflowing (the entire reachable range falls outside the
+format — the paper's §3.3 fixed-point refinement gone wrong, proven
+without simulation).  Float-domain ops (``frac is None``) map to the
+unknown interval; formats recover the range at the next boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..fixpt import FxFormat, Overflow, Rounding
+from ..ir.ops import IRBlock, IROp
+
+#: The unknown interval (float domain / unbounded).
+TOP = None
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An inclusive raw-integer range ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def is_constant(self) -> bool:
+        return self.lo == self.hi
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def clamp(self, lo: int, hi: int) -> "Interval":
+        return Interval(min(max(self.lo, lo), hi), min(max(self.hi, lo), hi))
+
+    def __contains__(self, raw: int) -> bool:
+        return self.lo <= raw <= self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+def fmt_interval(fmt: FxFormat) -> Interval:
+    """The raw range representable by *fmt*."""
+    return Interval(fmt.raw_min, fmt.raw_max)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One judgement made while propagating ranges."""
+
+    kind: str          # "overflow" | "collapse"
+    vid: int           # the quantize op's value id
+    fmt: FxFormat
+    #: Rounded value interval at the target binary point, before the
+    #: overflow policy is applied.
+    value: Interval
+    #: True when the entire interval falls outside the format.
+    certain: bool = False
+
+    def describe(self) -> str:
+        scale = 2.0 ** -self.fmt.frac_bits
+        lo, hi = self.value.lo * scale, self.value.hi * scale
+        if self.kind == "collapse":
+            return (f"quantize into {self.fmt} collapses the whole value "
+                    f"range [{lo:g}, {hi:g}] to one constant")
+        word = "always" if self.certain else "can"
+        return (f"quantize into {self.fmt} {word} overflow{'s' if self.certain else ''}: "
+                f"value range [{lo:g}, {hi:g}] vs representable "
+                f"[{float(self.fmt.min_value):g}, {float(self.fmt.max_value):g}] "
+                f"({self.fmt.overflow.value} on overflow)")
+
+
+@dataclass
+class Analysis:
+    """The result of :func:`analyze` on one block."""
+
+    block: IRBlock
+    intervals: List[Optional[Interval]] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+
+    def of(self, vid: int) -> Optional[Interval]:
+        """The interval of value id *vid* (None = unknown)."""
+        return self.intervals[vid]
+
+    def store_interval(self, index: int) -> Optional[Interval]:
+        """The interval committed by store *index*."""
+        return self.intervals[self.block.stores[index].value]
+
+
+def _shift_value(raw: int, shift: int, rounding: Rounding) -> int:
+    """The rounding-aware shift :func:`quantize_raw_at` performs (monotonic)."""
+    if shift < 0:
+        return raw << -shift
+    if shift == 0:
+        return raw
+    if rounding is Rounding.ROUND:
+        return (raw + (1 << (shift - 1))) >> shift
+    return raw >> shift
+
+
+def _mul(a: Interval, b: Interval) -> Interval:
+    products = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+    return Interval(min(products), max(products))
+
+
+def analyze(block: IRBlock,
+            leaf_interval=None) -> Analysis:
+    """Propagate raw-value intervals through every op of *block*.
+
+    *leaf_interval* optionally maps a leaf signal to a tighter
+    :class:`Interval` than its format range (e.g. a primary input with a
+    known stimulus range); return None from it to fall back to the
+    format.
+    """
+    result = Analysis(block)
+    iv: List[Optional[Interval]] = result.intervals
+    for vid, op in enumerate(block.ops):
+        iv.append(_transfer(block, op, iv, result.findings, vid,
+                            leaf_interval))
+    return result
+
+
+def _transfer(block: IRBlock, op: IROp, iv: List[Optional[Interval]],
+              findings: List[Finding], vid: int, leaf_interval):
+    code = op.opcode
+    args = [iv[a] for a in op.args]
+
+    if code == "const":
+        return Interval(op.attrs[0], op.attrs[0])
+    if code == "fconst":
+        return TOP
+    if code == "read":
+        sig = op.attrs[0]
+        if leaf_interval is not None:
+            got = leaf_interval(sig)
+            if got is not None:
+                return got
+        fmt = getattr(sig, "fmt", None)
+        if op.frac is None or fmt is None:
+            return TOP
+        return fmt_interval(fmt)
+
+    # Fixed-output-range ops recover from unknown operands.
+    if code == "cmp" or code == "bitsel":
+        return Interval(0, 1)
+    if code == "slice":
+        hi, lo = op.attrs
+        return Interval(0, (1 << (hi - lo + 1)) - 1)
+    if code == "concat":
+        total = sum(op.attrs)
+        return Interval(0, (1 << total) - 1)
+    if code in ("band", "bor", "bxor", "bnot"):
+        wl, signed = op.attrs
+        if signed:
+            return Interval(-(1 << (wl - 1)), (1 << (wl - 1)) - 1)
+        return Interval(0, (1 << wl) - 1)
+    if code == "quantize":
+        fmt: FxFormat = op.attrs[0]
+        bound = fmt_interval(fmt)
+        src_op = block.ops[op.args[0]]
+        source = args[0]
+        if src_op.frac is None or source is TOP:
+            return bound  # float-domain source: only the format bounds it
+        shift = src_op.frac - fmt.frac_bits
+        value = Interval(_shift_value(source.lo, shift, fmt.rounding),
+                         _shift_value(source.hi, shift, fmt.rounding))
+        certain = value.hi < bound.lo or value.lo > bound.hi
+        overflows = certain or value.lo < bound.lo or value.hi > bound.hi
+        if overflows:
+            findings.append(Finding("overflow", vid, fmt, value, certain))
+            if fmt.overflow is Overflow.WRAP:
+                return bound  # wrapping is not monotonic: give up precision
+            result = value.clamp(bound.lo, bound.hi)
+        else:
+            result = value
+        if result.is_constant and not source.is_constant and not overflows:
+            findings.append(Finding("collapse", vid, fmt, value))
+        return result
+
+    # Everything below propagates unknowns.
+    if any(a is TOP for a in args) or op.frac is None:
+        return TOP
+
+    if code == "add":
+        return Interval(args[0].lo + args[1].lo, args[0].hi + args[1].hi)
+    if code == "sub":
+        return Interval(args[0].lo - args[1].hi, args[0].hi - args[1].lo)
+    if code == "mul":
+        return _mul(args[0], args[1])
+    if code == "neg":
+        return Interval(-args[0].hi, -args[0].lo)
+    if code == "abs":
+        lo = 0 if args[0].lo <= 0 <= args[0].hi else min(abs(args[0].lo),
+                                                         abs(args[0].hi))
+        return Interval(lo, max(abs(args[0].lo), abs(args[0].hi)))
+    if code == "shl":
+        bits = op.attrs[0]
+        return Interval(args[0].lo << bits, args[0].hi << bits)
+    if code == "ashr":
+        bits = op.attrs[0]
+        return Interval(args[0].lo >> bits, args[0].hi >> bits)
+    if code == "retag":
+        return args[0]
+    if code == "mux":
+        return args[1].hull(args[2])
+    if code == "toint":
+        return TOP if args[0] is TOP else args[0]
+    return TOP  # tofloat and anything unrecognized

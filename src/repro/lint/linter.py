@@ -1,0 +1,117 @@
+"""The lint driver: walks design objects, runs rules, applies policy.
+
+:class:`Linter` instantiates every registered rule (or an explicit
+subset) and offers one entry point per design-object kind plus a
+type-dispatching :meth:`Linter.lint`.  ``lint_system`` is the
+workhorse: it visits every process of the system — timed *and* untimed
+(hybrid actors are duck-typed through ``fsm``/``all_sfgs`` attributes)
+— linting each FSM and SFG exactly once before running the
+system-scope rules, then deduplicates, applies suppressions and
+severity overrides, and returns diagnostics sorted by severity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Type
+
+from ..core.fsm import FSM
+from ..core.process import Process
+from ..core.sfg import SFG
+from ..core.system import System
+from .diagnostics import Diagnostic, severity_rank
+from .rule import LintConfig, LintContext, Rule, all_rules
+
+
+class Linter:
+    """Runs lint rules over design objects."""
+
+    def __init__(self, rules: Optional[Iterable[Type[Rule]]] = None,
+                 config: Optional[LintConfig] = None):
+        self.rules: List[Rule] = [cls() for cls in (rules if rules is not None
+                                                    else all_rules())]
+        self.config = config or LintConfig()
+
+    def _rules_for(self, scope: str) -> List[Rule]:
+        return [rule for rule in self.rules
+                if rule.scope == scope
+                and not self.config.disabled & {rule.code, rule.name}]
+
+    def _run(self, scope: str, obj, ctx: LintContext) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for rule in self._rules_for(scope):
+            out.extend(rule.check(obj, ctx))
+        return out
+
+    def _finish(self, diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+        """Dedup, drop suppressed, apply severity overrides, sort."""
+        seen = set()
+        out: List[Diagnostic] = []
+        for diagnostic in diagnostics:
+            key = (diagnostic.code, diagnostic.message, diagnostic.loc)
+            if key in seen or self.config.is_suppressed(diagnostic):
+                continue
+            seen.add(key)
+            severity = self.config.effective_severity(diagnostic)
+            if severity != diagnostic.severity:
+                diagnostic = dataclasses.replace(diagnostic, severity=severity)
+            out.append(diagnostic)
+        out.sort(key=lambda d: (severity_rank(d.severity), d.code,
+                                d.loc or ("", 0), d.message))
+        return out
+
+    # -- per-kind entry points --------------------------------------------
+
+    def lint_sfg(self, sfg: SFG,
+                 ctx: Optional[LintContext] = None) -> List[Diagnostic]:
+        owned = ctx is None
+        ctx = ctx or LintContext(self.config)
+        found = self._run("sfg", sfg, ctx)
+        return self._finish(found) if owned else found
+
+    def lint_fsm(self, fsm: FSM,
+                 ctx: Optional[LintContext] = None) -> List[Diagnostic]:
+        owned = ctx is None
+        ctx = ctx or LintContext(self.config)
+        found = self._run("fsm", fsm, ctx)
+        for sfg in fsm.sfgs():
+            found.extend(self._run("sfg", sfg, ctx))
+        return self._finish(found) if owned else found
+
+    def lint_process(self, process: Process,
+                     ctx: Optional[LintContext] = None) -> List[Diagnostic]:
+        owned = ctx is None
+        ctx = ctx or LintContext(self.config)
+        found = self._run("process", process, ctx)
+        fsm = getattr(process, "fsm", None)
+        if fsm is not None:
+            found.extend(self._run("fsm", fsm, ctx))
+        all_sfgs = getattr(process, "all_sfgs", None)
+        if callable(all_sfgs):
+            for sfg in all_sfgs():
+                found.extend(self._run("sfg", sfg, ctx))
+        return self._finish(found) if owned else found
+
+    def lint_system(self, system: System) -> List[Diagnostic]:
+        ctx = LintContext(self.config, system=system)
+        found = self._run("system", system, ctx)
+        for process in system.processes:
+            found.extend(self.lint_process(process, ctx))
+        return self._finish(found)
+
+    def lint(self, obj) -> List[Diagnostic]:
+        """Type-dispatching convenience entry point."""
+        if isinstance(obj, System):
+            return self.lint_system(obj)
+        if isinstance(obj, Process):
+            return self.lint_process(obj)
+        if isinstance(obj, FSM):
+            return self.lint_fsm(obj)
+        if isinstance(obj, SFG):
+            return self.lint_sfg(obj)
+        raise TypeError(f"cannot lint object of type {type(obj).__name__}")
+
+
+def lint(obj, config: Optional[LintConfig] = None) -> List[Diagnostic]:
+    """One-shot convenience: lint *obj* with all registered rules."""
+    return Linter(config=config).lint(obj)

@@ -1,0 +1,145 @@
+"""The pluggable rule base class, registry, and per-run configuration.
+
+A :class:`Rule` declares a stable code, a symbolic name, a default
+severity and a *scope* — the kind of design object it inspects (``sfg``,
+``fsm``, ``process`` or ``system``).  Registering happens with the
+:func:`register` class decorator; the :class:`~repro.lint.linter.Linter`
+instantiates every registered rule unless given an explicit subset.
+
+:class:`LintConfig` carries per-run policy: disabled rules, severity
+overrides, per-object suppressions, and budgets for the more expensive
+analyses (FSM guard enumeration, interval analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Type
+
+from .diagnostics import SEVERITIES, Diagnostic, WARNING
+
+#: Scopes a rule can declare.
+SCOPES = ("sfg", "fsm", "process", "system")
+
+_REGISTRY: List[Type["Rule"]] = []
+
+
+def register(rule_cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding *rule_cls* to the global rule registry."""
+    if any(existing.code == rule_cls.code for existing in _REGISTRY):
+        raise ValueError(f"duplicate lint rule code {rule_cls.code!r}")
+    _REGISTRY.append(rule_cls)
+    return rule_cls
+
+
+def all_rules() -> List[Type["Rule"]]:
+    """Every registered rule class, in registration (code) order."""
+    return sorted(_REGISTRY, key=lambda cls: cls.code)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Diagnostic` records.  ``check`` receives the object
+    matching the rule's scope plus the :class:`LintContext` (config and
+    surrounding system, when linting one).
+    """
+
+    code: str = ""
+    name: str = ""
+    scope: str = "sfg"
+    severity: str = WARNING
+    #: One-line description for ``--list-rules``.
+    description: str = ""
+
+    def check(self, obj, ctx: "LintContext") -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, message: str, obj=None, loc=None,
+             severity: Optional[str] = None) -> Diagnostic:
+        """Build a diagnostic with this rule's identity filled in."""
+        if loc is None:
+            loc = getattr(obj, "loc", None)
+        return Diagnostic(severity or self.severity, self.code, self.name,
+                          message, obj, loc)
+
+
+class LintConfig:
+    """Per-run lint policy."""
+
+    def __init__(self,
+                 disabled: Iterable[str] = (),
+                 severities: Optional[Dict[str, str]] = None,
+                 max_enum_states: int = 4096,
+                 interval_analysis: bool = True):
+        #: Codes or names of rules to skip entirely.
+        self.disabled: Set[str] = set(disabled)
+        #: Per-rule severity overrides, keyed by code or name.
+        self.severities: Dict[str, str] = dict(severities or {})
+        for severity in self.severities.values():
+            if severity not in SEVERITIES:
+                raise ValueError(f"unknown severity {severity!r}")
+        #: State-space budget for FSM guard satisfiability enumeration.
+        self.max_enum_states = max_enum_states
+        #: Run the IR interval analysis rules.
+        self.interval_analysis = interval_analysis
+        # Object-level suppression: id(obj) -> codes/names.  Strong refs
+        # are kept alongside so ids cannot be recycled mid-run.
+        self._suppressed: Dict[int, Set[str]] = {}
+        self._suppress_refs: List[object] = []
+
+    def disable(self, *codes: str) -> "LintConfig":
+        """Disable rules by code or name."""
+        self.disabled.update(codes)
+        return self
+
+    def override(self, code: str, severity: str) -> "LintConfig":
+        """Override one rule's severity (by code or name)."""
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.severities[code] = severity
+        return self
+
+    def suppress(self, obj, *codes: str) -> "LintConfig":
+        """Suppress specific rules (or all, with no codes) for one object."""
+        entry = self._suppressed.setdefault(id(obj), set())
+        entry.update(codes or {"*"})
+        self._suppress_refs.append(obj)
+        return self
+
+    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
+        """True when *diagnostic* is disabled or suppressed on its object."""
+        if self.disabled & {diagnostic.code, diagnostic.name}:
+            return True
+        entry = self._suppressed.get(id(diagnostic.obj))
+        if entry is None:
+            return False
+        return bool(entry & {diagnostic.code, diagnostic.name, "*"})
+
+    def effective_severity(self, diagnostic: Diagnostic) -> str:
+        """The diagnostic's severity after per-rule overrides."""
+        for key in (diagnostic.code, diagnostic.name):
+            if key in self.severities:
+                return self.severities[key]
+        return diagnostic.severity
+
+
+class LintContext:
+    """What a rule can see besides its own object."""
+
+    def __init__(self, config: Optional[LintConfig] = None, system=None):
+        self.config = config or LintConfig()
+        #: The system being linted, when rules run under ``lint_system``
+        #: (lets SFG/FSM rules see wiring context); None for standalone
+        #: object lints.
+        self.system = system
+        self._interval_cache: Dict[int, object] = {}
+
+    def interval_analysis(self, sfg):
+        """Cached lower-and-analyze of one SFG (shared by the L40x rules)."""
+        key = id(sfg)
+        if key not in self._interval_cache:
+            from .rules_interval import analyze_sfg
+
+            self._interval_cache[key] = analyze_sfg(sfg)
+        return self._interval_cache[key]

@@ -1,0 +1,179 @@
+"""Interval-analysis rules: overflow proofs on lowered SFGs.
+
+Each SFG is lowered to the shared three-address IR (the same lowering
+every back-end consumes, so the analysis judges exactly the arithmetic
+the hardware will do) and swept by :mod:`repro.lint.interval`.  Three
+rules interpret the findings:
+
+* **L401 guaranteed-overflow** — every reachable value overflows the
+  target format.  An error for ``Overflow.ERROR`` formats (simulation is
+  guaranteed to raise) and a warning for saturate/wrap formats (the
+  signal can never carry its nominal range).
+* **L402 possible-overflow** — some reachable value overflows an
+  ``Overflow.ERROR`` format, so simulation *can* raise ``FxOverflowError``
+  depending on data.  Saturating/wrapping formats are not reported:
+  partial-range clipping is ordinary fixed-point design.
+* **L403 quantize-collapse** — a quantize step so coarse that the whole
+  (non-constant) source range lands on one constant: the wordlength
+  boundary destroys all information.
+
+**L404 provably-constant** reports stores whose committed value the
+analysis pins to a single constant even though the expression reads
+signals — dead logic the IR constant folder cannot prove (it only folds
+literal subtrees).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.errors import ReproError
+from ..core.sfg import SFG
+from ..core.srcloc import SrcLoc
+from ..fixpt import Overflow
+from ..ir.lower import lower_sfg
+from ..ir.ops import IRBlock
+from .diagnostics import Diagnostic, ERROR, INFO, WARNING
+from .interval import Analysis, analyze
+from .rule import LintContext, Rule, register
+
+
+def analyze_sfg(sfg: SFG) -> Optional[Analysis]:
+    """Lower *sfg* and run the interval analysis (None when not lowerable)."""
+    try:
+        block = lower_sfg(sfg)
+    except ReproError:
+        return None  # loops / illegal float ops: other rules own those
+    return analyze(block)
+
+
+def _loc_of(block: IRBlock, vid: int, sfg: SFG) -> Optional[SrcLoc]:
+    """Best source location for value id *vid*: its own, else the SFG's."""
+    loc = block.locs.get(vid)
+    if loc is not None:
+        return loc
+    # Walk back through single-operand alignment ops the lowerer inserted.
+    seen = set()
+    while vid not in seen:
+        seen.add(vid)
+        op = block.ops[vid]
+        if not op.args:
+            break
+        vid = op.args[0]
+        loc = block.locs.get(vid)
+        if loc is not None:
+            return loc
+    return getattr(sfg, "loc", None)
+
+
+def _ancestors(block: IRBlock, vid: int) -> set:
+    """*vid* plus every value id it transitively depends on."""
+    seen = set()
+    stack = [vid]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(block.ops[current].args)
+    return seen
+
+
+class _IntervalRule(Rule):
+    scope = "sfg"
+
+    def check(self, sfg: SFG, ctx: LintContext) -> Iterator[Diagnostic]:
+        if not ctx.config.interval_analysis:
+            return
+        analysis = ctx.interval_analysis(sfg)
+        if analysis is None:
+            return
+        yield from self.judge(sfg, analysis, ctx)
+
+    def judge(self, sfg: SFG, analysis, ctx) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+@register
+class GuaranteedOverflow(_IntervalRule):
+    code = "L401"
+    name = "guaranteed-overflow"
+    severity = WARNING
+    description = "every reachable value overflows the target format"
+
+    def judge(self, sfg: SFG, analysis: Analysis,
+              ctx: LintContext) -> Iterator[Diagnostic]:
+        for finding in analysis.findings:
+            if finding.kind != "overflow" or not finding.certain:
+                continue
+            severity = ERROR if finding.fmt.overflow is Overflow.ERROR \
+                else self.severity
+            yield self.diag(
+                f"SFG {sfg.name!r}: {finding.describe()}",
+                obj=sfg, loc=_loc_of(analysis.block, finding.vid, sfg),
+                severity=severity)
+
+
+@register
+class PossibleOverflow(_IntervalRule):
+    code = "L402"
+    name = "possible-overflow"
+    severity = WARNING
+    description = "an Overflow.ERROR format can overflow on reachable data"
+
+    def judge(self, sfg: SFG, analysis: Analysis,
+              ctx: LintContext) -> Iterator[Diagnostic]:
+        for finding in analysis.findings:
+            if (finding.kind != "overflow" or finding.certain
+                    or finding.fmt.overflow is not Overflow.ERROR):
+                continue
+            yield self.diag(
+                f"SFG {sfg.name!r}: {finding.describe()}; simulation can "
+                "raise FxOverflowError",
+                obj=sfg, loc=_loc_of(analysis.block, finding.vid, sfg))
+
+
+@register
+class QuantizeCollapse(_IntervalRule):
+    code = "L403"
+    name = "quantize-collapse"
+    severity = WARNING
+    description = "a quantize step maps the whole value range to one constant"
+
+    def judge(self, sfg: SFG, analysis: Analysis,
+              ctx: LintContext) -> Iterator[Diagnostic]:
+        for finding in analysis.findings:
+            if finding.kind != "collapse":
+                continue
+            yield self.diag(
+                f"SFG {sfg.name!r}: {finding.describe()}",
+                obj=sfg, loc=_loc_of(analysis.block, finding.vid, sfg))
+
+
+@register
+class ProvablyConstant(_IntervalRule):
+    code = "L404"
+    name = "provably-constant"
+    severity = INFO
+    description = "a store's value is provably one constant (dead logic)"
+
+    def judge(self, sfg: SFG, analysis: Analysis,
+              ctx: LintContext) -> Iterator[Diagnostic]:
+        assignments = sfg.ordered_assignments()
+        overflowed = {finding.vid for finding in analysis.findings
+                      if finding.kind == "overflow"}
+        for index, store in enumerate(analysis.block.stores):
+            assignment = assignments[index]
+            if not assignment.expr.signals():
+                continue  # a literal constant store is intentional
+            if overflowed & _ancestors(analysis.block, store.value):
+                continue  # the constant is a clamp artifact: L401/L402's find
+            interval = analysis.store_interval(index)
+            if interval is None or not interval.is_constant:
+                continue
+            fmt = getattr(store.target, "fmt", None)
+            scale = 2.0 ** -fmt.frac_bits if fmt is not None else 1.0
+            yield self.diag(
+                f"SFG {sfg.name!r}: {store.target.name!r} is provably the "
+                f"constant {interval.lo * scale:g} despite reading signals",
+                obj=assignment, loc=assignment.loc)

@@ -1,0 +1,237 @@
+"""System- and process-scope rules: wiring, clocking, and firing rules.
+
+These are the checks that need to see more than one SFG at a time — the
+paper's system machine model (section 2) gives the linter the wiring
+(ports and channels), the clock bindings, and the data-flow firing
+contracts to judge against.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..core.process import Process, TimedProcess, UntimedProcess
+from ..core.sfg import SFG, constructed_sfgs
+from ..core.signal import Register, Sig
+from ..core.system import System
+from .diagnostics import Diagnostic, ERROR, WARNING
+from .rule import LintContext, Rule, register
+
+
+def _process_sfgs(process: Process) -> List[SFG]:
+    """The SFGs a process may execute (duck-typed: untimed hybrids too)."""
+    all_sfgs = getattr(process, "all_sfgs", None)
+    return list(all_sfgs()) if callable(all_sfgs) else []
+
+
+@register
+class UnconnectedPort(Rule):
+    code = "L301"
+    name = "unconnected-port"
+    scope = "system"
+    severity = WARNING
+    description = "a process port is wired to no channel"
+
+    def check(self, system: System, ctx: LintContext) -> Iterator[Diagnostic]:
+        for port in system.unconnected_ports():
+            yield self.diag(
+                f"port {port.process.name}.{port.name} is not connected",
+                obj=port)
+
+
+@register
+class MultiDrivenRegister(Rule):
+    code = "L302"
+    name = "multi-driven-register"
+    scope = "system"
+    severity = ERROR
+    description = "one register is driven from multiple SFGs that co-execute"
+
+    def check(self, system: System, ctx: LintContext) -> Iterator[Diagnostic]:
+        # Register -> [(process, sfg, assignment)] across the whole system.
+        drivers: Dict[Register, List[Tuple[Process, SFG, object]]] = {}
+        for process in system.processes:
+            for sfg in _process_sfgs(process):
+                for assignment in sfg.assignments:
+                    if assignment.target.is_register():
+                        drivers.setdefault(assignment.target, []).append(
+                            (process, sfg, assignment))
+
+        for register, sites in drivers.items():
+            processes = {process for process, _sfg, _a in sites}
+            if len(processes) > 1:
+                names = ", ".join(sorted(
+                    f"{p.name}/{s.name}" for p, s, _a in sites))
+                yield self.diag(
+                    f"register {register.name!r} is driven from multiple "
+                    f"processes ({names}); a register belongs to exactly one "
+                    "component",
+                    obj=register, loc=sites[1][2].loc)
+
+        # Within one process: SFGs selected in the same cycle must not
+        # both drive the same register.  Static SFGs run every cycle, so
+        # they co-execute with every transition's action SFGs.
+        for process in system.processes:
+            fsm = getattr(process, "fsm", None)
+            static = tuple(getattr(process, "static_sfgs", ()))
+            co_sets: List[Tuple[SFG, ...]] = []
+            if fsm is not None:
+                for transition in fsm.transitions:
+                    co_sets.append(tuple(dict.fromkeys(
+                        tuple(transition.sfgs) + static)))
+            elif static:
+                co_sets.append(static)
+            reported: Set[Tuple[Register, SFG, SFG]] = set()
+            for co_set in co_sets:
+                seen: Dict[Register, SFG] = {}
+                for sfg in co_set:
+                    for assignment in sfg.assignments:
+                        target = assignment.target
+                        if not target.is_register():
+                            continue
+                        first = seen.get(target)
+                        if first is None:
+                            seen[target] = sfg
+                        elif first is not sfg:
+                            key = (target, first, sfg)
+                            if key in reported:
+                                continue
+                            reported.add(key)
+                            yield self.diag(
+                                f"process {process.name!r}: register "
+                                f"{target.name!r} is driven by both SFG "
+                                f"{first.name!r} and SFG {sfg.name!r} in the "
+                                "same cycle",
+                                obj=target, loc=assignment.loc)
+
+
+@register
+class ClockDomainMismatch(Rule):
+    code = "L303"
+    name = "clock-domain-mismatch"
+    scope = "system"
+    severity = WARNING
+    description = "a channel connects timed processes on different clocks"
+
+    def check(self, system: System, ctx: LintContext) -> Iterator[Diagnostic]:
+        for channel in system.channels:
+            producer = channel.producer
+            if producer is None or not isinstance(producer.process,
+                                                  TimedProcess):
+                continue
+            for consumer in channel.consumers:
+                if not isinstance(consumer.process, TimedProcess):
+                    continue
+                if consumer.process.clk is not producer.process.clk:
+                    yield self.diag(
+                        f"channel {channel.name!r} crosses clock domains: "
+                        f"{producer.process.name} runs on "
+                        f"{producer.process.clk.name!r} but "
+                        f"{consumer.process.name} runs on "
+                        f"{consumer.process.clk.name!r} (no synchronizer is "
+                        "modeled)",
+                        obj=consumer)
+
+
+@register
+class ForeignClockRegister(Rule):
+    code = "L304"
+    name = "foreign-clock-register"
+    scope = "system"
+    severity = WARNING
+    description = "an SFG uses a register bound to another process's clock"
+
+    def check(self, system: System, ctx: LintContext) -> Iterator[Diagnostic]:
+        for process in system.processes:
+            clk = getattr(process, "clk", None)
+            if clk is None:
+                continue
+            for sfg in _process_sfgs(process):
+                for register in sfg.registers():
+                    if register.clk is not clk:
+                        yield self.diag(
+                            f"process {process.name!r}: SFG {sfg.name!r} uses "
+                            f"register {register.name!r} clocked by "
+                            f"{register.clk.name!r}, not the process clock "
+                            f"{clk.name!r}",
+                            obj=register)
+
+
+@register
+class UnreferencedSfg(Rule):
+    code = "L305"
+    name = "unreferenced-sfg"
+    scope = "system"
+    severity = WARNING
+    description = "an SFG shares the system's signals but nothing executes it"
+
+    def check(self, system: System, ctx: LintContext) -> Iterator[Diagnostic]:
+        reachable: Set[SFG] = set()
+        for process in system.processes:
+            reachable.update(_process_sfgs(process))
+        system_sigs: Set[Sig] = set()
+        for sfg in reachable:
+            system_sigs |= sfg.targets()
+            for assignment in sfg.assignments:
+                system_sigs |= assignment.reads()
+        for process in system.processes:
+            for port in process.ports.values():
+                if port.sig is not None:
+                    system_sigs.add(port.sig)
+        if not system_sigs:
+            return
+        for sfg in constructed_sfgs():
+            if sfg in reachable or not sfg.assignments:
+                continue
+            touched: Set[Sig] = set(sfg.targets())
+            for assignment in sfg.assignments:
+                touched |= assignment.reads()
+            if touched & system_sigs:
+                yield self.diag(
+                    f"SFG {sfg.name!r} shares signals with system "
+                    f"{system.name!r} but is referenced by no FSM transition "
+                    "or process (forgot to wire it into a transition?)",
+                    obj=sfg)
+
+
+@register
+class FiringArityMismatch(Rule):
+    code = "L306"
+    name = "firing-arity-mismatch"
+    scope = "process"
+    severity = ERROR
+    description = "an untimed process's behavior() cannot bind its ports"
+
+    def check(self, process: Process, ctx: LintContext) -> Iterator[Diagnostic]:
+        if not isinstance(process, UntimedProcess):
+            return
+        func = getattr(process, "_func", None) or process.behavior
+        try:
+            signature = inspect.signature(func)
+        except (TypeError, ValueError):  # builtins and C callables
+            return
+        params = signature.parameters
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in params.values()):
+            return  # **kwargs binds anything
+        accepted = {name for name, p in params.items()
+                    if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                                  inspect.Parameter.KEYWORD_ONLY)}
+        port_names = {port.name for port in process.in_ports()}
+        for missing in sorted(port_names - accepted):
+            yield self.diag(
+                f"process {process.name!r}: behavior() does not accept a "
+                f"{missing!r} argument, but the process declares input port "
+                f"{missing!r} — firing would raise TypeError",
+                obj=process.port(missing))
+        required = {name for name, p in params.items()
+                    if p.default is inspect.Parameter.empty
+                    and p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                                   inspect.Parameter.KEYWORD_ONLY)}
+        for extra in sorted(required - port_names):
+            yield self.diag(
+                f"process {process.name!r}: behavior() requires argument "
+                f"{extra!r} but no input port of that name exists — firing "
+                "would raise TypeError",
+                obj=process)

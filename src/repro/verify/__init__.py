@@ -17,6 +17,9 @@ stresses those checks:
 * :mod:`repro.verify.guard` — guard rails: a :class:`Watchdog` with cycle
   and wall-clock budgets that returns partial results instead of raising,
   plus deterministic checkpoint/restore of simulator state.
+* :mod:`repro.verify.overflow` — dynamic confirmation of the lint
+  interval analysis: random search for a concrete input valuation that
+  overflows an SFG's quantize step.
 """
 
 from .campaign import CampaignReport, FaultCampaign, FaultResult, random_stimulus
@@ -28,6 +31,7 @@ from .faults import (
     enumerate_faults,
 )
 from .guard import Watchdog, WatchdogResult, checkpoint, restore
+from .overflow import OverflowWitness, find_overflow_witness
 from .lockstep import (
     CompiledAdapter,
     CycleAdapter,
@@ -50,6 +54,7 @@ __all__ = [
     "FaultResult",
     "GateAdapter",
     "Lockstep",
+    "OverflowWitness",
     "StuckAtFault",
     "TransientFault",
     "Watchdog",
@@ -57,6 +62,7 @@ __all__ = [
     "checkpoint",
     "collapse_faults",
     "enumerate_faults",
+    "find_overflow_witness",
     "random_stimulus",
     "restore",
 ]

@@ -1,0 +1,71 @@
+"""Source-location capture on DSL constructions."""
+
+import sys
+
+from repro.core import FSM, SFG, Clock, Register, Sig, always, cnd
+from repro.core.srcloc import capturing, enable, enabled, here
+from repro.fixpt import FxFormat
+
+F = FxFormat(8, 4)
+HERE = __file__
+
+
+def lineno():
+    return sys._getframe(1).f_lineno
+
+
+class TestCapture:
+    def test_sig_and_register_record_user_frame(self):
+        clk = Clock()
+        x = Sig("x", F); x_line = lineno()  # noqa: E702
+        r = Register("r", clk, F); r_line = lineno()  # noqa: E702
+        assert x.loc.file == HERE and x.loc.line == x_line
+        assert r.loc.file == HERE and r.loc.line == r_line
+
+    def test_expr_and_assignment_record_user_frame(self):
+        x, y = Sig("x", F), Sig("y", F)
+        expr = x + 1; expr_line = lineno()  # noqa: E702
+        assert expr.loc.file == HERE and expr.loc.line == expr_line
+        sfg = SFG("t")
+        with sfg:
+            y <<= x * 2; assign_line = lineno()  # noqa: E702
+        assert sfg.assignments[0].loc.file == HERE
+        assert sfg.assignments[0].loc.line == assign_line
+
+    def test_fsm_states_and_transitions(self):
+        clk = Clock()
+        go = Register("go", clk, FxFormat(1, 1, signed=False))
+        f = FSM("f"); f_line = lineno()  # noqa: E702
+        s0 = f.initial("s0"); s0_line = lineno()  # noqa: E702
+        s0 << cnd(go) << s0; t_line = lineno()  # noqa: E702
+        s0 << always << s0
+        assert f.loc.line == f_line
+        assert s0.loc.line == s0_line
+        assert s0.transitions[0].loc.line == t_line
+
+    def test_framework_frames_are_skipped(self):
+        """The captured frame is the caller's, never repro.core internals."""
+        sig = Sig("s", F)
+        assert "repro/core" not in sig.loc.file
+        assert "repro/lint" not in sig.loc.file
+
+
+class TestToggle:
+    def test_disable_skips_capture(self):
+        assert enabled()
+        enable(False)
+        try:
+            sig = Sig("s", F)
+            assert sig.loc is None
+            assert here() is None
+        finally:
+            enable(True)
+        assert Sig("s2", F).loc is not None
+
+    def test_capturing_context_manager(self):
+        with capturing(False):
+            assert Sig("a", F).loc is None
+            with capturing(True):
+                assert Sig("b", F).loc is not None
+            assert Sig("c", F).loc is None
+        assert Sig("d", F).loc is not None

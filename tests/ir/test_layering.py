@@ -39,3 +39,36 @@ def test_checker_catches_a_violation(tmp_path):
     (pkg / "hdl" / "gen.py").write_text(
         "from ..sim.compiled import CompiledSimulator\n")
     assert checker.check_tree(tmp_path) == []
+
+
+def test_lint_layer_contract_holds():
+    checker = _load_checker()
+    violations = checker.check_lint_layer(REPO / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def test_lint_layer_checker_catches_violations(tmp_path):
+    """repro.lint may import only core/ir/fixpt, and no back-end may
+    import repro.lint."""
+    checker = _load_checker()
+    pkg = tmp_path / "repro"
+    for sub in ("lint", "core", "sim", "hdl", "synth"):
+        (pkg / sub).mkdir(parents=True)
+        (pkg / sub / "__init__.py").write_text("")
+
+    # The linter reaching into a back-end is a violation.
+    (pkg / "lint" / "rules.py").write_text(
+        "from ..sim.compiled import CompiledSimulator\n")
+    violations = checker.check_lint_layer(tmp_path)
+    assert len(violations) == 1 and "repro.lint imports" in violations[0]
+
+    # A back-end importing the linter is a violation.
+    (pkg / "lint" / "rules.py").write_text("from ..core.sfg import SFG\n")
+    (pkg / "sim" / "engine.py").write_text("import repro.lint\n")
+    violations = checker.check_lint_layer(tmp_path)
+    assert len(violations) == 1
+    assert "must not depend on repro.lint" in violations[0]
+
+    # The allowed dependencies are quiet.
+    (pkg / "sim" / "engine.py").write_text("from ..core.sfg import SFG\n")
+    assert checker.check_lint_layer(tmp_path) == []

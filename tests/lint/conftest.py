@@ -1,0 +1,17 @@
+"""Helpers shared by the lint tests."""
+
+import sys
+
+
+def lineno() -> int:
+    """The caller's current source line (for golden-location assertions)."""
+    return sys._getframe(1).f_lineno
+
+
+def by_code(diagnostics, code):
+    """All diagnostics with the given code."""
+    return [d for d in diagnostics if d.code == code]
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}

@@ -1,0 +1,156 @@
+"""The lint CLI: target collection, JSON output, exit codes, and the
+line-exact markers of the purpose-built bad example."""
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SRC = REPO / "src"
+TOUR = REPO / "examples" / "lint_tour.py"
+
+
+def run_cli(*args):
+    env = {"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"}
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True, text=True, env=env, cwd=str(REPO))
+
+
+BAD_MODULE = """\
+from repro.core import SFG, Sig
+from repro.fixpt import FxFormat
+
+F = FxFormat(8, 4)
+ghost = Sig("ghost", F)
+unused = Sig("unused", F)
+y = Sig("y", F)
+bad = SFG("bad")
+with bad:
+    y <<= ghost + 1
+bad.inp(unused).out(y)
+"""
+
+
+def bad_module(tmp_path):
+    path = tmp_path / "bad_design.py"
+    path.write_text(BAD_MODULE)
+    return path
+
+
+class TestCli:
+    def test_list_rules(self):
+        result = run_cli("--list-rules")
+        assert result.returncode == 0
+        for code in ("L101", "L204", "L301", "L401"):
+            assert code in result.stdout
+
+    def test_json_report_shape_and_exit_code(self, tmp_path):
+        result = run_cli("--json", str(bad_module(tmp_path)))
+        assert result.returncode == 1  # L103 undriven-signal is an error
+        payload = json.loads(result.stdout)
+        assert payload["summary"]["error"] > 0
+        assert payload["broken_modules"] == 0
+        report = payload["reports"][0]
+        assert report["path"].endswith("bad_design.py")
+        assert report["targets"], "module-level SFGs should be collected"
+        diagnostic = report["diagnostics"][0]
+        assert set(diagnostic) == {"severity", "code", "name", "message",
+                                   "object", "file", "line"}
+        assert diagnostic["file"].endswith("bad_design.py")
+        assert isinstance(diagnostic["line"], int)
+
+    def test_fail_on_never(self, tmp_path):
+        result = run_cli("--fail-on", "never", str(bad_module(tmp_path)))
+        assert result.returncode == 0
+
+    def test_fail_on_warning(self, tmp_path):
+        result = run_cli("--fail-on", "warning", "--disable",
+                         "L103,L104,L105", str(bad_module(tmp_path)))
+        assert result.returncode == 1  # the dangling input remains
+
+    def test_disable_rules(self, tmp_path):
+        result = run_cli("--json", "--fail-on", "never",
+                         "--disable", "L101,undriven-signal",
+                         str(bad_module(tmp_path)))
+        payload = json.loads(result.stdout)
+        seen = {d["code"] for r in payload["reports"]
+                for d in r["diagnostics"]}
+        assert "L101" not in seen and "L103" not in seen
+
+    def test_broken_module_reported(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("import does_not_exist_anywhere\n")
+        result = run_cli("--json", str(path))
+        assert result.returncode == 2
+        payload = json.loads(result.stdout)
+        assert payload["broken_modules"] == 1
+
+    def test_tour_opts_out(self):
+        """The intentionally broken tour must not fail CI linting."""
+        result = run_cli("--json", str(TOUR))
+        assert result.returncode == 0
+
+    def test_clean_design_exits_zero(self):
+        result = run_cli("--json", str(REPO / "examples" / "quickstart.py"))
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["summary"]["error"] == 0
+
+    def test_tools_wrapper(self):
+        env = {"PATH": "/usr/bin:/bin"}
+        result = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint.py"), "--list-rules"],
+            capture_output=True, text=True, env=env, cwd=str(REPO))
+        assert result.returncode == 0 and "L101" in result.stdout
+
+
+class TestLintTourMarkers:
+    """Acceptance criterion: on the purpose-built bad example, every
+    diagnostic lands on the exact line of the offending construction —
+    each ``# LINT: <code>`` marker must be matched by a diagnostic with
+    that code at that file:line."""
+
+    def collect(self):
+        sys.path.insert(0, str(TOUR.parent))
+        try:
+            import importlib.util
+
+            spec = importlib.util.spec_from_file_location("lint_tour", TOUR)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+        finally:
+            sys.path.remove(str(TOUR.parent))
+        from repro.lint import Linter
+
+        system, _datapath, orphan = module.build_bad_design()
+        diagnostics = Linter().lint_system(system)
+        assert orphan is not None  # keep the orphan SFG alive while linting
+        return diagnostics
+
+    def markers(self):
+        found = []
+        for number, line in enumerate(TOUR.read_text().splitlines(), start=1):
+            match = re.search(r"# LINT: ([L0-9, ]+)$", line)
+            if match:
+                for code in match.group(1).split(","):
+                    found.append((number, code.strip()))
+        return found
+
+    def test_every_marker_is_hit_exactly(self):
+        diagnostics = self.collect()
+        markers = self.markers()
+        assert len(markers) >= 11, "the tour should cover most rules"
+        located = {(d.loc.line, d.code) for d in diagnostics
+                   if d.loc is not None and d.loc.file == str(TOUR)}
+        for line, code in markers:
+            assert (line, code) in located, (
+                f"marker {code} at line {line} not matched; got {sorted(located)}")
+
+    def test_all_diagnostics_carry_locations(self):
+        diagnostics = self.collect()
+        assert diagnostics
+        assert all(d.loc is not None for d in diagnostics)
+        assert all(d.loc.file == str(TOUR) for d in diagnostics)

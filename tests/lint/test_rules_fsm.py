@@ -1,0 +1,189 @@
+"""Golden diagnostics for the FSM rules, including the determinism
+analysis (guard satisfiability by exact enumeration)."""
+
+from repro.core import BOOL, FSM, Clock, Register, Sig, always, cnd, ge, lt
+from repro.fixpt import FxFormat
+from repro.lint import ERROR, LintConfig, Linter, WARNING
+
+from tests.lint.conftest import by_code, codes, lineno
+
+HERE = __file__
+S4 = FxFormat(4, 4, signed=False)
+
+
+def lint(fsm, config=None):
+    return Linter(config=config).lint_fsm(fsm)
+
+
+class TestStructure:
+    def test_no_initial_state(self):
+        found = by_code(lint(FSM("f")), "L201")
+        assert len(found) == 1 and found[0].severity == ERROR
+
+    def test_unreachable_state_located(self):
+        f = FSM("f")
+        s0 = f.initial("s0")
+        f.state("island"); island_line = lineno()  # noqa: E702
+        s0 << always << s0
+        found = by_code(lint(f), "L202")
+        assert len(found) == 1
+        assert found[0].severity == WARNING
+        assert found[0].loc.file == HERE
+        assert found[0].loc.line == island_line
+
+    def test_stuck_state(self):
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s1 = f.state("s1")
+        s0 << always << s1
+        found = by_code(lint(f), "L203")
+        assert len(found) == 1 and found[0].severity == ERROR
+        assert "s1" in found[0].message
+
+    def test_unreachable_state_not_reported_stuck(self):
+        f = FSM("f")
+        s0 = f.initial("s0")
+        f.state("island")
+        s0 << always << s0
+        assert "L203" not in codes(lint(f))
+
+
+class TestShadowedTransitions:
+    def test_every_shadowed_transition_reported(self):
+        """Each dead transition gets its own located diagnostic — not
+        just the first (the historical check stopped at one)."""
+        clk = Clock()
+        go = Register("go", clk, BOOL)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s0 << always << s0
+        s0 << cnd(go) << s0; first_line = lineno()  # noqa: E702
+        s0 << ~cnd(go) << s0; second_line = lineno()  # noqa: E702
+        found = by_code(lint(f), "L204")
+        assert len(found) == 2
+        assert {d.loc.line for d in found} == {first_line, second_line}
+        assert all(d.loc.file == HERE for d in found)
+
+    def test_never_guard_reported(self):
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s0 << always << s0
+        s0.transitions[0].condition = ~always  # a 'never' guard
+        assert len(by_code(lint(f), "L204")) == 1
+
+    def test_trailing_always_is_fine(self):
+        clk = Clock()
+        go = Register("go", clk, BOOL)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s0 << cnd(go) << s0
+        s0 << always << s0
+        assert "L204" not in codes(lint(f))
+
+
+class TestUnregisteredCondition:
+    def test_reported_at_transition(self):
+        pin = Sig("pin", BOOL)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s0 << cnd(pin) << s0; t_line = lineno()  # noqa: E702
+        s0 << always << s0
+        found = by_code(lint(f), "L205")
+        assert len(found) == 1 and found[0].severity == ERROR
+        assert found[0].loc.file == HERE and found[0].loc.line == t_line
+
+
+class TestOverlappingGuards:
+    def test_overlap_reported_with_witness(self):
+        clk = Clock()
+        a = Register("a", clk, S4)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s1 = f.state("s1")
+        s1 << always << s0
+        s0 << cnd(ge(a, 4)) << s0
+        s0 << cnd(lt(a, 8)) << s1; t_line = lineno()  # noqa: E702
+        found = by_code(lint(f), "L206")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == WARNING and d.name == "overlapping-guards"
+        # Witness is a concrete register valuation in [4, 8).
+        assert "a=" in d.message
+        assert d.loc.file == HERE and d.loc.line == t_line
+
+    def test_disjoint_guards_clean(self):
+        clk = Clock()
+        go = Register("go", clk, BOOL)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s0 << cnd(go) << s0
+        s0 << ~cnd(go) << s0
+        assert "L206" not in codes(lint(f))
+
+    def test_same_effect_overlap_is_harmless(self):
+        """Overlapping guards with identical target and SFGs are skipped
+        — whichever fires, the machine does the same thing."""
+        clk = Clock()
+        a = Register("a", clk, S4)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s0 << cnd(ge(a, 4)) << s0
+        s0 << cnd(lt(a, 8)) << s0
+        assert "L206" not in codes(lint(f))
+
+    def test_enumeration_budget_declines_gracefully(self):
+        clk = Clock()
+        wide = Register("wide", clk, FxFormat(16, 16))
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s1 = f.state("s1")
+        s1 << always << s0
+        s0 << cnd(ge(wide, 0)) << s0
+        s0 << cnd(lt(wide, 1)) << s1
+        config = LintConfig(max_enum_states=16)
+        assert "L206" not in codes(lint(f, config))
+        # With the default budget the same overlap IS found.
+        assert "L206" in codes(lint(f, LintConfig(max_enum_states=1 << 17)))
+
+
+class TestIncompleteTransitions:
+    def test_gap_reported_with_witness(self):
+        clk = Clock()
+        a = Register("a", clk, S4)
+        f = FSM("f")
+        s0 = f.initial("s0"); s0_line = lineno()  # noqa: E702
+        s0 << cnd(ge(a, 8)) << s0
+        s0 << cnd(lt(a, 4)) << s0  # gap: a in [4, 8)
+        found = by_code(lint(f), "L207")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == WARNING and d.name == "incomplete-transitions"
+        assert d.loc.file == HERE and d.loc.line == s0_line
+
+    def test_complementary_guards_clean(self):
+        clk = Clock()
+        go = Register("go", clk, BOOL)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s0 << cnd(go) << s0
+        s0 << ~cnd(go) << s0
+        assert "L207" not in codes(lint(f))
+
+    def test_always_guard_completes(self):
+        clk = Clock()
+        go = Register("go", clk, BOOL)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        s0 << cnd(go) << s0
+        s0 << always << s0
+        assert "L207" not in codes(lint(f))
+
+    def test_unreachable_state_not_reported(self):
+        clk = Clock()
+        go = Register("go", clk, BOOL)
+        f = FSM("f")
+        s0 = f.initial("s0")
+        island = f.state("island")
+        s0 << always << s0
+        island << cnd(go) << s0
+        assert "L207" not in codes(lint(f))

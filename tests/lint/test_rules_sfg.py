@@ -1,0 +1,142 @@
+"""Golden diagnostics (code + source location) for the SFG rules."""
+
+from repro.core import SFG, Clock, Register, Sig
+from repro.fixpt import FxFormat
+from repro.lint import ERROR, Linter, WARNING
+
+from tests.lint.conftest import by_code, codes, lineno
+
+F = FxFormat(8, 4)
+HERE = __file__
+
+
+def lint(sfg):
+    return Linter().lint_sfg(sfg)
+
+
+class TestDanglingInput:
+    def test_code_severity_and_location(self):
+        a, y = Sig("a", F), Sig("y", F)
+        b = Sig("b", F); b_line = lineno()  # noqa: E702
+        sfg = SFG("t")
+        with sfg:
+            y <<= a + 1
+        sfg.inp(a, b).out(y)
+        found = by_code(lint(sfg), "L101")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == WARNING and d.name == "dangling-input"
+        assert d.loc.file == HERE and d.loc.line == b_line
+
+    def test_clean(self):
+        a, y = Sig("a", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= a + 1
+        sfg.inp(a).out(y)
+        assert "L101" not in codes(lint(sfg))
+
+
+class TestDrivenInput:
+    def test_reported_at_assignment(self):
+        a, y = Sig("a", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            a <<= y + 1; drive_line = lineno()  # noqa: E702
+        sfg.inp(a)
+        found = by_code(lint(sfg), "L102")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == ERROR and d.name == "driven-input"
+        assert d.loc.file == HERE and d.loc.line == drive_line
+
+
+class TestUndrivenSignal:
+    def test_reported_at_reading_assignment(self):
+        ghost, y = Sig("ghost", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= ghost + 1; read_line = lineno()  # noqa: E702
+        sfg.out(y)
+        found = by_code(lint(sfg), "L103")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == ERROR and d.name == "undriven-signal"
+        assert d.loc.file == HERE and d.loc.line == read_line
+
+    def test_registers_are_fine(self):
+        clk = Clock()
+        r = Register("r", clk, F)
+        y = Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= r + 1
+        sfg.out(y)
+        assert "L103" not in codes(lint(sfg))
+
+    def test_one_report_per_signal(self):
+        ghost, y, z = Sig("ghost", F), Sig("y", F), Sig("z", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= ghost + 1
+            z <<= ghost + 2
+        sfg.out(y).out(z)
+        assert len(by_code(lint(sfg), "L103")) == 1
+
+
+class TestUndrivenOutput:
+    def test_reported_at_output_declaration(self):
+        y = Sig("y", F); y_line = lineno()  # noqa: E702
+        sfg = SFG("t").out(y)
+        found = by_code(lint(sfg), "L104")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == ERROR and d.name == "undriven-output"
+        assert d.loc.file == HERE and d.loc.line == y_line
+
+    def test_register_output_is_fine(self):
+        clk = Clock()
+        r = Register("r", clk, F)
+        sfg = SFG("t").out(r)
+        assert "L104" not in codes(lint(sfg))
+
+
+class TestDeadCode:
+    def test_reported_at_dead_assignment(self):
+        a, y, dead = Sig("a", F), Sig("y", F), Sig("dead", F)
+        sfg = SFG("t")
+        with sfg:
+            y <<= a + 1
+            dead <<= a * 2; dead_line = lineno()  # noqa: E702
+        sfg.inp(a).out(y)
+        found = by_code(lint(sfg), "L105")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == WARNING and d.name == "dead-code"
+        assert d.loc.file == HERE and d.loc.line == dead_line
+
+    def test_intermediate_and_register_feeds_are_live(self):
+        clk = Clock()
+        r = Register("r", clk, F)
+        a, mid, y = Sig("a", F), Sig("mid", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            mid <<= a * 2
+            y <<= mid + 1
+            r <<= y
+        sfg.inp(a).out(y)
+        assert "L105" not in codes(lint(sfg))
+
+
+class TestCombinationalLoop:
+    def test_reported(self):
+        x, y = Sig("x", F), Sig("y", F)
+        sfg = SFG("t")
+        with sfg:
+            x <<= y + 1
+            y <<= x + 1
+        sfg.out(y)
+        found = by_code(lint(sfg), "L106")
+        assert len(found) == 1
+        assert found[0].severity == ERROR
+        assert found[0].name == "combinational-loop"

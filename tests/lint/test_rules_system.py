@@ -1,0 +1,245 @@
+"""Golden diagnostics for the system- and process-scope rules."""
+
+from repro.core import (
+    BOOL,
+    FSM,
+    SFG,
+    Clock,
+    Register,
+    Sig,
+    System,
+    TimedProcess,
+    actor,
+    always,
+    cnd,
+)
+from repro.fixpt import FxFormat
+from repro.lint import ERROR, Linter, WARNING
+
+from tests.lint.conftest import by_code, codes, lineno
+
+F = FxFormat(8, 4)
+HERE = __file__
+
+
+def lint(system):
+    return Linter().lint_system(system)
+
+
+def simple_process(name, clk, register):
+    sfg = SFG(f"{name}_sfg")
+    with sfg:
+        register <<= register + 1
+    return TimedProcess(name, clk, sfgs=[sfg])
+
+
+class TestUnconnectedPort:
+    def test_located_at_port_declaration(self):
+        clk = Clock()
+        count = Register("count", clk, F)
+        p = simple_process("p", clk, count)
+        p.add_output("q", count); port_line = lineno()  # noqa: E702
+        system = System("s")
+        system.add(p)
+        found = by_code(lint(system), "L301")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == WARNING and d.name == "unconnected-port"
+        assert d.loc.file == HERE and d.loc.line == port_line
+
+    def test_connected_clean(self):
+        clk = Clock()
+        count = Register("count", clk, F)
+        p = simple_process("p", clk, count)
+        p.add_output("q", count)
+        system = System("s")
+        system.add(p)
+        system.connect(p.port("q"), name="q")
+        assert "L301" not in codes(lint(system))
+
+
+class TestMultiDrivenRegister:
+    def test_cross_process_drive_is_error(self):
+        clk = Clock()
+        shared = Register("shared", clk, F)
+        p1 = simple_process("p1", clk, shared)
+        p2 = simple_process("p2", clk, shared)
+        system = System("s")
+        system.add(p1)
+        system.add(p2)
+        found = by_code(lint(system), "L302")
+        assert len(found) == 1
+        assert found[0].severity == ERROR
+        assert "shared" in found[0].message
+
+    def test_coexecuting_sfgs_in_one_process(self):
+        clk = Clock()
+        acc = Register("acc", clk, F)
+        go = Register("go", clk, BOOL)
+        background = SFG("background")
+        with background:
+            acc <<= acc + 1
+        action = SFG("action")
+        with action:
+            acc <<= acc + 2
+        fsm = FSM("ctl")
+        s0 = fsm.initial("s0")
+        s0 << always << action << s0
+        # 'background' is static: it runs every cycle, together with
+        # the transition's 'action' — both drive acc.
+        p = TimedProcess("p", clk, fsm=fsm, sfgs=[background])
+        system = System("s")
+        system.add(p)
+        found = by_code(lint(system), "L302")
+        assert len(found) == 1
+        assert "background" in found[0].message
+        assert "action" in found[0].message
+
+    def test_exclusive_sfgs_are_fine(self):
+        """Two SFGs on different transitions never co-execute."""
+        clk = Clock()
+        acc = Register("acc", clk, F)
+        go = Register("go", clk, BOOL)
+        add1 = SFG("add1")
+        with add1:
+            acc <<= acc + 1
+        add2 = SFG("add2")
+        with add2:
+            acc <<= acc + 2
+        fsm = FSM("ctl")
+        s0 = fsm.initial("s0")
+        s0 << cnd(go) << add1 << s0
+        s0 << ~cnd(go) << add2 << s0
+        p = TimedProcess("p", clk, fsm=fsm)
+        system = System("s")
+        system.add(p)
+        assert "L302" not in codes(lint(system))
+
+
+class TestClockDomainMismatch:
+    def _system(self, same_clock):
+        clk_a = Clock("a")
+        clk_b = clk_a if same_clock else Clock("b")
+        out_sig = Sig("out_sig", F)
+        r = Register("r", clk_a, F)
+        sfg_a = SFG("sfg_a")
+        with sfg_a:
+            out_sig <<= r + 1
+        sfg_a.out(out_sig)
+        producer = TimedProcess("producer", clk_a, sfgs=[sfg_a])
+        producer.add_output("y", out_sig)
+        in_sig = Sig("in_sig", F)
+        r2 = Register("r2", clk_b, F)
+        sfg_b = SFG("sfg_b")
+        with sfg_b:
+            r2 <<= in_sig
+        sfg_b.inp(in_sig)
+        consumer = TimedProcess("consumer", clk_b, sfgs=[sfg_b])
+        consumer.add_input("x", in_sig)
+        system = System("s")
+        system.add(producer)
+        system.add(consumer)
+        system.connect(producer.port("y"), consumer.port("x"))
+        return system
+
+    def test_mismatch_warned(self):
+        found = by_code(lint(self._system(same_clock=False)), "L303")
+        assert len(found) == 1
+        assert found[0].severity == WARNING
+        assert "clock domains" in found[0].message
+
+    def test_same_clock_clean(self):
+        assert "L303" not in codes(lint(self._system(same_clock=True)))
+
+
+class TestForeignClockRegister:
+    def test_foreign_register_located(self):
+        clk = Clock("mine")
+        other = Clock("theirs")
+        stranger = Register("stranger", other, F); reg_line = lineno()  # noqa: E702
+        sfg = SFG("sfg")
+        with sfg:
+            stranger <<= stranger + 1
+        p = TimedProcess("p", clk, sfgs=[sfg])
+        system = System("s")
+        system.add(p)
+        found = by_code(lint(system), "L304")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == WARNING
+        assert d.loc.file == HERE and d.loc.line == reg_line
+
+
+class TestUnreferencedSfg:
+    def test_orphan_sharing_signals_reported(self):
+        clk = Clock()
+        acc = Register("acc", clk, F)
+        wired = SFG("wired")
+        with wired:
+            acc <<= acc + 1
+        orphan = SFG("orphan"); orphan_line = lineno()  # noqa: E702
+        with orphan:
+            acc <<= acc + 2
+        p = TimedProcess("p", clk, sfgs=[wired])
+        system = System("s")
+        system.add(p)
+        found = by_code(lint(system), "L305")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == WARNING and "orphan" in d.message
+        assert d.loc.file == HERE and d.loc.line == orphan_line
+
+    def test_unrelated_sfg_not_reported(self):
+        """An SFG touching none of the system's signals belongs to some
+        other design — cross-design noise must not leak in."""
+        clk = Clock()
+        acc = Register("acc", clk, F)
+        wired = SFG("wired")
+        with wired:
+            acc <<= acc + 1
+        elsewhere = Register("elsewhere", clk, F)
+        foreign_sfg = SFG("foreign_sfg")
+        with foreign_sfg:
+            elsewhere <<= elsewhere + 1
+        p = TimedProcess("p", clk, sfgs=[wired])
+        system = System("s")
+        system.add(p)
+        names = {d.message for d in by_code(lint(system), "L305")}
+        assert not any("foreign_sfg" in m for m in names)
+
+
+class TestFiringArityMismatch:
+    def test_port_without_parameter(self):
+        bad = actor("bad", lambda value: {}, inputs={"sample": 1}, outputs={})
+        system = System("s")
+        system.add(bad)
+        system.connect(None, bad.port("sample"), name="sample")
+        found = by_code(lint(system), "L306")
+        assert len(found) == 2  # missing 'sample' + unbindable 'value'
+        assert all(d.severity == ERROR for d in found)
+
+    def test_matching_signature_clean(self):
+        good = actor("good", lambda sample: {"out": sample},
+                     inputs={"sample": 1}, outputs={"out": 1})
+        system = System("s")
+        system.add(good)
+        system.connect(None, good.port("sample"), name="sample")
+        system.connect(good.port("out"), name="out")
+        assert "L306" not in codes(lint(system))
+
+    def test_defaulted_parameters_are_optional(self):
+        relaxed = actor("relaxed", lambda sample, gate=1: {},
+                        inputs={"sample": 1}, outputs={})
+        system = System("s")
+        system.add(relaxed)
+        system.connect(None, relaxed.port("sample"), name="sample")
+        assert "L306" not in codes(lint(system))
+
+    def test_kwargs_accepts_anything(self):
+        sponge = actor("sponge", lambda **tokens: {},
+                       inputs={"a": 1, "b": 1}, outputs={})
+        system = System("s")
+        system.add(sponge)
+        system.connect(None, sponge.port("a"), name="a")
+        system.connect(None, sponge.port("b"), name="b")
+        assert "L306" not in codes(lint(system))

@@ -1,14 +1,22 @@
 #!/usr/bin/env python
-"""Import-layering check for the back-end subpackages.
+"""Import-layering check for the back-end subpackages and the linter.
 
-The lowered IR (:mod:`repro.ir`) is the one shared layer between the
-back-ends; ``repro.hdl``, ``repro.sim`` and ``repro.synth`` must not
-reach into each other's private names.  This script walks every module
-in those subpackages with :mod:`ast` and fails (exit 1) when a module
-imports an underscore-prefixed name — or star-imports — from a
-*different* back-end subpackage.  Public cross-imports (a documented
-API) are allowed; private ones are the layering violations that used to
-couple the Verilog generator to VHDL internals.
+Two layering contracts are enforced by walking every module with
+:mod:`ast` (exit 1 on violation):
+
+1. The lowered IR (:mod:`repro.ir`) is the one shared layer between the
+   back-ends; ``repro.hdl``, ``repro.sim`` and ``repro.synth`` must not
+   reach into each other's private names (no underscore-prefixed or
+   star imports from a *different* back-end subpackage).  Public
+   cross-imports (a documented API) are allowed; private ones are the
+   layering violations that used to couple the Verilog generator to
+   VHDL internals.
+
+2. ``repro.lint`` is an *analysis* layer: it may depend only on the
+   model (``repro.core``), the shared IR (``repro.ir``) and the number
+   system (``repro.fixpt``) — never on a back-end — and nothing in
+   ``repro.sim``/``repro.hdl``/``repro.synth`` may import ``repro.lint``
+   (the back-ends must stay buildable without the analyzer).
 
 Run from the repository root::
 
@@ -20,10 +28,14 @@ from __future__ import annotations
 import ast
 import sys
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 #: Back-end subpackages that must stay privately independent.
 LAYERS = ("hdl", "sim", "synth")
+#: Subpackages repro.lint is allowed to import from.
+LINT_MAY_IMPORT = ("lint", "core", "ir", "fixpt")
+#: Subpackages that must not depend on repro.lint.
+LINT_FREE = ("sim", "hdl", "synth")
 PACKAGE = "repro"
 
 
@@ -45,6 +57,29 @@ def _layer_of(dotted: str) -> Optional[str]:
     if len(parts) >= 2 and parts[0] == PACKAGE and parts[1] in LAYERS:
         return parts[1]
     return None
+
+
+def _subpackage_of(dotted: str) -> Optional[str]:
+    parts = dotted.split(".")
+    if len(parts) >= 2 and parts[0] == PACKAGE:
+        return parts[1]
+    return None
+
+
+def _imports(src_root: Path, subpackage: str) -> Iterator[Tuple[Path, int, str]]:
+    """Every absolute import target in *subpackage*: (file, line, dotted)."""
+    for path in sorted((src_root / PACKAGE / subpackage).rglob("*.py")):
+        rel = path.relative_to(src_root)
+        module_pkg = ".".join(rel.with_suffix("").parts[:-1])
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield rel, node.lineno, alias.name
+            elif isinstance(node, ast.ImportFrom):
+                target = _resolve(module_pkg, node)
+                if target is not None:
+                    yield rel, node.lineno, target
 
 
 def check_tree(src_root: Path) -> List[str]:
@@ -77,16 +112,39 @@ def check_tree(src_root: Path) -> List[str]:
     return violations
 
 
+def check_lint_layer(src_root: Path) -> List[str]:
+    """Violations of the repro.lint dependency contract, as messages."""
+    violations: List[str] = []
+    for rel, lineno, target in _imports(src_root, "lint"):
+        subpackage = _subpackage_of(target)
+        if subpackage is not None and subpackage not in LINT_MAY_IMPORT:
+            violations.append(
+                f"{rel}:{lineno}: repro.lint imports {target} — the "
+                f"linter may depend only on "
+                f"{', '.join(sorted(set(LINT_MAY_IMPORT) - {'lint'}))}"
+            )
+    for subpackage in LINT_FREE:
+        for rel, lineno, target in _imports(src_root, subpackage):
+            if _subpackage_of(target) == "lint":
+                violations.append(
+                    f"{rel}:{lineno}: repro.{subpackage} imports {target} — "
+                    "back-ends must not depend on repro.lint"
+                )
+    return violations
+
+
 def main(argv: Tuple[str, ...] = ()) -> int:
     root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
     src_root = root / "src"
-    violations = check_tree(src_root)
+    violations = check_tree(src_root) + check_lint_layer(src_root)
     if violations:
         print("layering violations:")
         for message in violations:
             print(f"  {message}")
         return 1
-    print(f"layering clean: {', '.join(LAYERS)} share no private names")
+    print(f"layering clean: {', '.join(LAYERS)} share no private names; "
+          "repro.lint depends only on core/ir/fixpt and no back-end "
+          "imports it")
     return 0
 
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Repo-level lint driver: ``python tools/lint.py [options] <paths>``.
+
+Thin wrapper putting ``src/`` on the path and delegating to
+:mod:`repro.lint.cli` so the linter runs without an installed package
+(the same convention as ``tools/check_layering.py``).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
