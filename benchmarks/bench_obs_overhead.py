@@ -1,0 +1,141 @@
+"""Observability overhead: what instrumentation costs per cycle.
+
+Measures HCOR cycles/sec on both state-carrying engines in three
+configurations:
+
+* ``bare``      — no capture at all (``obs=None``);
+* ``disabled``  — a capture with every feature off (must be free: the
+  cycle scheduler attaches no monitor, the compiled simulator emits no
+  instrumentation code);
+* ``full``      — activity + FSM + events + engine self-profiling.
+
+Writes ``BENCH_obs.json`` next to ``BENCH_ir.json`` and prints a
+summary.  Fails (exit 1) when the *disabled* configuration costs more
+than ``MAX_DISABLED_OVERHEAD_PCT`` — the acceptance threshold for
+"instrumentation you didn't ask for is instrumentation you don't pay
+for".  Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
+
+#: Acceptance threshold: a disabled capture may cost at most this much.
+MAX_DISABLED_OVERHEAD_PCT = 5.0
+BENCH_SECONDS = float(os.environ.get("BENCH_OBS_SECONDS", "0.5"))
+#: Repeat each measurement and keep the best rate (least-noise sample).
+REPEATS = int(os.environ.get("BENCH_OBS_REPEATS", "3"))
+
+
+def _rate(step: Callable[[], None], min_seconds: float) -> float:
+    best = 0.0
+    for _ in range(REPEATS):
+        count = 0
+        start = time.perf_counter()
+        while True:
+            step()
+            count += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_seconds:
+                break
+        best = max(best, count / elapsed)
+    return best
+
+
+def _make_capture(config: str):
+    from repro.obs import Capture
+
+    if config == "bare":
+        return None
+    if config == "disabled":
+        return Capture(activity=False, fsm=False, events=False,
+                       profile=False)
+    return Capture(profile=True)
+
+
+def _cycle_rate(config: str) -> float:
+    from repro.designs.hcor import build_hcor
+    from repro.sim import CycleScheduler
+
+    design = build_hcor()
+    scheduler = CycleScheduler(design.system, obs=_make_capture(config))
+    pin = design.soft_in
+    pins = {pin: 0.25}
+    for _ in range(50):
+        scheduler.step(pins)
+    return _rate(lambda: scheduler.step(pins), BENCH_SECONDS)
+
+
+def _compiled_rate(config: str) -> float:
+    from repro.designs.hcor import build_hcor
+    from repro.sim import CompiledSimulator
+
+    design = build_hcor()
+    simulator = CompiledSimulator(design.system, obs=_make_capture(config))
+    pins = {"soft": 0.25}
+    for _ in range(200):
+        simulator.step(pins)
+    return _rate(lambda: simulator.step(pins), BENCH_SECONDS)
+
+
+def _overhead_pct(bare: float, instrumented: float) -> float:
+    if bare <= 0:
+        return 0.0
+    return 100.0 * (bare - instrumented) / bare
+
+
+def run() -> Dict[str, object]:
+    results: Dict[str, object] = {"bench": "obs_overhead",
+                                  "threshold_pct": MAX_DISABLED_OVERHEAD_PCT,
+                                  "engines": {}}
+    for engine, measure in (("interpreted", _cycle_rate),
+                            ("compiled", _compiled_rate)):
+        rates = {config: measure(config)
+                 for config in ("bare", "disabled", "full")}
+        results["engines"][engine] = {
+            "cycles_per_sec": rates,
+            "disabled_overhead_pct":
+                _overhead_pct(rates["bare"], rates["disabled"]),
+            "full_overhead_pct":
+                _overhead_pct(rates["bare"], rates["full"]),
+        }
+    return results
+
+
+def main() -> int:
+    results = run()
+    with open(OUT_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+
+    ok = True
+    print(f"observability overhead (HCOR, best of {REPEATS})")
+    for engine, data in results["engines"].items():
+        rates = data["cycles_per_sec"]
+        print(f"  {engine}")
+        for config in ("bare", "disabled", "full"):
+            print(f"    {config:9}: {rates[config]:10.1f} cyc/s")
+        print(f"    disabled overhead: {data['disabled_overhead_pct']:+.2f}% "
+              f"(limit {MAX_DISABLED_OVERHEAD_PCT}%), "
+              f"full overhead: {data['full_overhead_pct']:+.2f}%")
+        if data["disabled_overhead_pct"] > MAX_DISABLED_OVERHEAD_PCT:
+            ok = False
+
+    if not ok:
+        print("FAIL: a disabled capture must be (near) free")
+        return 1
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from repro.dsp import (
     random_payloads,
     severe_channel,
 )
+from repro.obs import Capture
 
 
 def lint_targets():
@@ -70,7 +71,8 @@ def main():
           f"(the paper's 152)")
 
     print("\n== the chip decodes the burst ==")
-    transceiver = DectTransceiver()
+    capture = Capture()  # instrumentation rides along with the run
+    transceiver = DectTransceiver(obs=capture)
     coefficients = transceiver.chip_coefficients(equalizer.weights)
     holds = list(range(400, 430))  # a CTL hold_request pulse mid-burst
     start = time.perf_counter()
@@ -89,6 +91,16 @@ def main():
     print(f"  B-field    : {b_errors} bit errors / 320")
     print(f"  hold pulse : {len(holds)} frozen cycles absorbed "
           f"(Fig. 2 behaviour)")
+
+    print("\n== what the instrumentation saw (see observability_tour.py) ==")
+    for stats in capture.activity.top(3):
+        print(f"  busiest    : {stats.name:<18} {stats.toggles} bit toggles "
+              f"({stats.toggle_rate:.2f}/cycle)")
+    pc_fsm = capture.fsm.records()["pcctrl/pc_fsm"]
+    occupancy = ", ".join(f"{s} {c}" for s, c in pc_fsm.occupancy.items())
+    print(f"  pc_fsm     : {100 * pc_fsm.state_coverage():.0f}% states, "
+          f"{100 * pc_fsm.transition_coverage():.0f}% transitions "
+          f"({occupancy})")
 
     print("\n== the same burst on the compiled-code simulator (Fig. 7) ==")
     transceiver2 = DectTransceiver()

@@ -161,6 +161,9 @@ class FSM:
         self._initial_explicit = False
         self.current: Optional[State] = None
         self._pending: Optional[State] = None
+        #: The transition picked by the most recent :meth:`select` — the
+        #: hook observability monitors read to count transition fires.
+        self.last_taken: Optional[Transition] = None
         self.loc = here()
 
     # -- construction --------------------------------------------------------
@@ -203,6 +206,7 @@ class FSM:
         for transition in self.current.transitions:
             if transition.condition.evaluate():
                 self._pending = transition.target
+                self.last_taken = transition
                 return transition
         raise SimulationError(
             f"FSM {self.name!r}: no transition enabled from state "
@@ -219,6 +223,7 @@ class FSM:
         """Return to the initial state."""
         self.current = self._initial
         self._pending = None
+        self.last_taken = None
 
     def sfgs(self) -> List[SFG]:
         """Every SFG referenced by this FSM, in first-use order."""

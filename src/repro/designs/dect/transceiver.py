@@ -213,10 +213,12 @@ class DectTransceiver:
     """Testbench-level wrapper: build, drive, and read back the chip."""
 
     def __init__(self, a_len: int = 64, payload_len: int = 388,
-                 program: Optional[Program] = None):
+                 program: Optional[Program] = None, obs=None):
         self.chip = build_transceiver(program=program, a_len=a_len,
                                       payload_len=payload_len)
-        self.scheduler = CycleScheduler(self.chip.system)
+        #: Optional :class:`repro.obs.Capture` shared by both engines.
+        self.obs = obs
+        self.scheduler = CycleScheduler(self.chip.system, obs=obs)
         self.cycles = 0
 
     @staticmethod
@@ -291,18 +293,23 @@ class DectTransceiver:
 
     def run_burst_compiled(self, samples: Sequence[complex],
                            coefficients: Sequence[complex],
-                           max_cycles: int = 40000) -> Dict[str, object]:
+                           max_cycles: int = 40000,
+                           obs=None) -> Dict[str, object]:
         """The same burst flow on the compiled-code simulator (Fig. 7).
 
         The generated step function replaces the interpreted cycle
         scheduler; the untimed RAM blocks are shared, so results are
-        read back from the same RAM objects.
+        read back from the same RAM objects.  ``obs`` instruments this
+        compiled run (defaults to the transceiver's own capture — pass
+        a fresh :class:`~repro.obs.Capture` to keep the engines' counts
+        separate for lockstep comparison).
         """
         from ...sim import CompiledSimulator
 
         chip = self.chip
         simulator = CompiledSimulator(chip.system,
-                                      watch=[chip.ack, chip.pc, chip.status])
+                                      watch=[chip.ack, chip.pc, chip.status],
+                                      obs=obs if obs is not None else self.obs)
         coefficients = list(coefficients)
         pointer = 0
         coef_index = 0

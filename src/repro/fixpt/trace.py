@@ -102,6 +102,23 @@ class RangeTracer:
         """All records, keyed by signal name."""
         return dict(self._records)
 
+    def probe(self, name: str):
+        """A ``fn(cycle, value)`` probe feeding this tracer.
+
+        Attach it with :meth:`repro.obs.Capture.probe` to range-trace a
+        signal through the observability layer::
+
+            capture.probe(acc, tracer.probe("acc"))
+
+        The returned callable depends only on this tracer, so fixpt
+        stays free of obs imports.
+        """
+        def _probe(cycle: int, value) -> None:
+            if value is not None:
+                self.record(name, value)
+
+        return _probe
+
     def recommend_format(self, name: str, frac_bits: int = 8) -> FxFormat:
         """Smallest format covering the observed range of *name*.
 

@@ -1,0 +1,115 @@
+"""Switching-activity profiling: per-signal toggle counts.
+
+Toggle counts are the standard ASIC-flow proxy for dynamic power: a
+signal's contribution scales with how many of its bits flip per cycle.
+The profile records, per hierarchical signal name, both the *value
+change* count (did the word change at all this cycle) and the *bit
+toggle* count (Hamming distance between consecutive raw values).  Both
+engines that carry register state — the interpreted cycle scheduler and
+the compiled simulator — feed the same records from the same raw-integer
+domain, so the counts are engine-independent and lockstep-comparable.
+
+Float-valued signals (no :class:`~repro.fixpt.FxFormat`) have no bit
+pattern; a value change counts as one toggle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class ToggleStats:
+    """Observed switching activity of one signal."""
+
+    __slots__ = ("name", "width", "samples", "changes", "toggles", "_last",
+                 "_mask")
+
+    def __init__(self, name: str, width: Optional[int] = None,
+                 initial: Optional[int] = None):
+        self.name = name
+        #: Bit width (None for float-valued signals).
+        self.width = width
+        self.samples = 0
+        #: Cycles on which the value differed from the previous cycle.
+        self.changes = 0
+        #: Total bit flips (Hamming distance between consecutive values).
+        self.toggles = 0
+        self._last = initial
+        # Negative raws are two's complement; mask before XOR so the
+        # Hamming distance is computed over the signal's actual bits.
+        self._mask = (1 << width) - 1 if width else None
+
+    def observe_raw(self, raw: int) -> None:
+        """Account one cycle's raw (two's-complement integer) value."""
+        self.samples += 1
+        last = self._last
+        if last is not None and raw != last:
+            self.changes += 1
+            diff = raw ^ last
+            if self._mask is not None:
+                diff &= self._mask
+            self.toggles += bin(diff).count("1")
+        self._last = raw
+
+    def observe_value(self, value: object) -> None:
+        """Account one cycle's value without a bit pattern (floats)."""
+        self.samples += 1
+        last = self._last
+        if last is not None and value != last:
+            self.changes += 1
+            self.toggles += 1
+        self._last = value
+
+    @property
+    def toggle_rate(self) -> float:
+        """Mean bit flips per sampled cycle."""
+        return self.toggles / self.samples if self.samples else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "width": self.width,
+            "samples": self.samples,
+            "changes": self.changes,
+            "toggles": self.toggles,
+            "toggle_rate": self.toggle_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ToggleStats({self.name!r}, changes={self.changes}, "
+                f"toggles={self.toggles})")
+
+
+class ActivityProfile:
+    """All toggle records of one capture, keyed by hierarchical name."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, ToggleStats] = {}
+
+    def record(self, name: str, width: Optional[int] = None,
+               initial: Optional[int] = None) -> ToggleStats:
+        """The record for *name*, created on first use."""
+        stats = self._records.get(name)
+        if stats is None:
+            stats = ToggleStats(name, width, initial)
+            self._records[name] = stats
+        return stats
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def __getitem__(self, name: str) -> ToggleStats:
+        return self._records[name]
+
+    def records(self) -> Dict[str, ToggleStats]:
+        return dict(self._records)
+
+    def top(self, count: int = 10) -> List[ToggleStats]:
+        """The *count* most-toggling signals, busiest first."""
+        ranked = sorted(self._records.values(),
+                        key=lambda r: (r.toggles, r.changes, r.name),
+                        reverse=True)
+        return ranked[:count]
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return {name: self._records[name].as_dict()
+                for name in sorted(self._records)}

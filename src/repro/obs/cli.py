@@ -1,0 +1,47 @@
+"""``python -m repro.obs`` — render a captured run's report.
+
+Usage::
+
+    python -m repro.obs CAPTURE_DIR [--json] [--top N]
+
+``CAPTURE_DIR`` is a directory written by
+:meth:`repro.obs.Capture.save` (``metrics.json`` plus optional
+``events.jsonl`` / ``trace.vcd``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .report import load_capture, render_json, render_text
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render the observability report of a captured run.",
+    )
+    parser.add_argument("capture", help="capture directory (Capture.save)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="rows in the toggle / hot-block tables")
+    args = parser.parse_args(argv)
+
+    try:
+        data = load_capture(args.capture)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.json:
+            print(render_json(data, top=args.top))
+        else:
+            print(render_text(data, top=args.top))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Reader (head, less) closed the pipe: not an error.
+        sys.stderr.close()
+    return 0

@@ -1,0 +1,78 @@
+"""Engine self-profiling: wall-time attribution per schedulable unit.
+
+When profiling is enabled the cycle scheduler attributes wall time to
+each SFG evaluation step and the compiled simulator to each lowered
+``IRBlock``, so a BENCH regression can be localized to a specific block
+instead of "the simulator got slower".  Off by default; when off the
+engines skip the clock reads entirely (cycle engine: one ``is None``
+test per step; compiled engine: the instrumentation is simply not
+emitted into the generated source).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class BlockTime:
+    """Accumulated wall time of one schedulable unit."""
+
+    __slots__ = ("label", "calls", "seconds")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.calls = 0
+        self.seconds = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"calls": self.calls, "seconds": self.seconds}
+
+    def __repr__(self) -> str:
+        return f"BlockTime({self.label!r}, {self.calls} calls, {self.seconds:.6f}s)"
+
+
+class EngineProfile:
+    """Wall-time records of one capture, keyed by hierarchical label."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, BlockTime] = {}
+
+    def block(self, label: str) -> BlockTime:
+        """The record for *label*, created on first use."""
+        record = self._records.get(label)
+        if record is None:
+            record = BlockTime(label)
+            self._records[label] = record
+        return record
+
+    def add(self, label: str, seconds: float) -> None:
+        """Attribute *seconds* of wall time to *label* (hot path)."""
+        record = self._records.get(label)
+        if record is None:
+            record = BlockTime(label)
+            self._records[label] = record
+        record.calls += 1
+        record.seconds += seconds
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._records
+
+    def __getitem__(self, label: str) -> BlockTime:
+        return self._records[label]
+
+    def records(self) -> Dict[str, BlockTime]:
+        return dict(self._records)
+
+    def hottest(self, count: int = 10) -> List[BlockTime]:
+        """The *count* most expensive blocks, hottest first."""
+        ranked = sorted(self._records.values(),
+                        key=lambda r: (r.seconds, r.calls, r.label),
+                        reverse=True)
+        return ranked[:count]
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self._records.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return {label: self._records[label].as_dict()
+                for label in sorted(self._records)}

@@ -1,0 +1,99 @@
+"""The structured event trace: one JSON object per line.
+
+Alongside the waveform (VCD) view of a run, the event trace records the
+*discrete* happenings — FSM transitions, untimed firings, deadlocks,
+watchdog expiries, injected faults — each with the simulation cycle and,
+where the model carries one, the ``srcloc`` of the construction site
+that caused it.  The schema is deliberately small and stable:
+
+``kind``
+    The event type.  Current kinds: ``cycle`` (periodic cycle-boundary
+    marker), ``fsm_transition`` (a state change; ``fsm``, ``src``,
+    ``dst``, ``srcloc``), ``fire`` (an untimed process firing;
+    ``process``), ``deadlock`` (``pending``, ``channels``,
+    ``iterations``, ``trace``), ``watchdog`` (``budget``, ``cycles``,
+    ``seconds``), ``fault`` (``fault``, ``net``, ``detected``,
+    ``detect_cycle``, ``detect_output``, ``class_size``),
+    ``campaign_start`` / ``campaign_end``, and ``overflow``.
+``seq``
+    Monotone sequence number (the line's position in the stream).
+``cycle``
+    The simulation cycle the event belongs to (None when acyclic, e.g.
+    data-flow firings are tagged with the firing count instead).
+
+All other fields are kind-specific payload.  Unknown kinds/fields must
+be tolerated by readers — the stream is append-only and forward
+compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, TextIO, Union
+
+
+class EventTrace:
+    """Collects events in memory and (optionally) streams them as JSONL."""
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self.events: List[Dict[str, object]] = []
+        self._stream = stream
+        self._seq = 0
+
+    def emit(self, kind: str, cycle: Optional[int] = None,
+             **fields) -> Dict[str, object]:
+        """Record one event; returns the event dict."""
+        event: Dict[str, object] = {"kind": kind, "seq": self._seq}
+        self._seq += 1
+        if cycle is not None:
+            event["cycle"] = cycle
+        event.update(fields)
+        self.events.append(event)
+        if self._stream is not None:
+            self._stream.write(json.dumps(event, default=str) + "\n")
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[Dict[str, object]]:
+        """All recorded events of one kind, in emission order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def kinds(self) -> Dict[str, int]:
+        """Event count per kind."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            kind = event["kind"]
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def write_jsonl(self, stream: TextIO) -> int:
+        """Write every buffered event as JSON lines; returns the count."""
+        for event in self.events:
+            stream.write(json.dumps(event, default=str) + "\n")
+        return len(self.events)
+
+
+def read_events(source: Union[str, TextIO]) -> List[Dict[str, object]]:
+    """Parse a JSONL event stream from a path or open text stream.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number (a truncated trailing line — a run that
+    died mid-write — is reported, not silently dropped).
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_events(handle)
+    events: List[Dict[str, object]] = []
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"events line {lineno} is not valid JSON: {exc}"
+            ) from None
+    return events

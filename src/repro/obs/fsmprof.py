@@ -1,0 +1,141 @@
+"""FSM occupancy and transition-fire profiling.
+
+For every finite state machine in a run the profile records how many
+cycles were spent in each state (occupancy — the controller-side
+switching-activity / power proxy) and how many times each transition
+fired, from which it derives state and transition *coverage*: the
+fraction of the machine actually exercised by the stimulus.  Uncovered
+states and transitions are exactly the verification holes an FSM
+coverage report exists to surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class TransitionStats:
+    """Fire count of one FSM transition."""
+
+    __slots__ = ("index", "src", "dst", "label", "srcloc", "fires")
+
+    def __init__(self, index: int, src: str, dst: str, label: str,
+                 srcloc: Optional[str]):
+        self.index = index
+        self.src = src
+        self.dst = dst
+        self.label = label
+        self.srcloc = srcloc
+        self.fires = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "src": self.src,
+            "dst": self.dst,
+            "label": self.label,
+            "srcloc": self.srcloc,
+            "fires": self.fires,
+        }
+
+
+class FsmStats:
+    """Occupancy and transition fires of one FSM."""
+
+    def __init__(self, name: str, states: List[str],
+                 transitions: List[Tuple[str, str, str, Optional[str]]],
+                 initial: Optional[str] = None):
+        self.name = name
+        self.states = list(states)
+        #: Cycles spent in each state (sampled post-commit each cycle).
+        self.occupancy: Dict[str, int] = {s: 0 for s in states}
+        self.transitions: List[TransitionStats] = [
+            TransitionStats(i, src, dst, label, loc)
+            for i, (src, dst, label, loc) in enumerate(transitions)
+        ]
+        self.initial = initial
+        self.cycles = 0
+
+    # -- per-cycle accounting (hot path) ---------------------------------------
+
+    def observe(self, state: str, transition_index: Optional[int]) -> None:
+        """Account one cycle: post-commit *state*, fired transition."""
+        self.cycles += 1
+        self.occupancy[state] += 1
+        if transition_index is not None:
+            self.transitions[transition_index].fires += 1
+
+    # -- coverage ----------------------------------------------------------------
+
+    def states_visited(self) -> List[str]:
+        """States occupied at least one cycle (plus the initial state)."""
+        visited = [s for s in self.states if self.occupancy[s] > 0]
+        if self.initial is not None and self.initial not in visited:
+            # The machine *starts* in the initial state even if it leaves
+            # on the first cycle and never returns.
+            if self.cycles > 0:
+                visited.insert(0, self.initial)
+        return visited
+
+    def state_coverage(self) -> float:
+        """Fraction of states visited (1.0 for a state-less machine)."""
+        if not self.states:
+            return 1.0
+        return len(self.states_visited()) / len(self.states)
+
+    def transition_coverage(self) -> float:
+        """Fraction of transitions fired at least once."""
+        if not self.transitions:
+            return 1.0
+        fired = sum(1 for t in self.transitions if t.fires > 0)
+        return fired / len(self.transitions)
+
+    def uncovered_states(self) -> List[str]:
+        visited = set(self.states_visited())
+        return [s for s in self.states if s not in visited]
+
+    def uncovered_transitions(self) -> List[TransitionStats]:
+        return [t for t in self.transitions if t.fires == 0]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "states": self.states,
+            "initial": self.initial,
+            "cycles": self.cycles,
+            "occupancy": dict(self.occupancy),
+            "transitions": [t.as_dict() for t in self.transitions],
+            "state_coverage": self.state_coverage(),
+            "transition_coverage": self.transition_coverage(),
+            "uncovered_states": self.uncovered_states(),
+            "uncovered_transitions": [t.index for t in
+                                      self.uncovered_transitions()],
+        }
+
+
+class FsmProfile:
+    """All FSM records of one capture, keyed by hierarchical name."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, FsmStats] = {}
+
+    def record(self, name: str, states: List[str],
+               transitions: List[Tuple[str, str, str, Optional[str]]],
+               initial: Optional[str] = None) -> FsmStats:
+        stats = self._records.get(name)
+        if stats is None:
+            stats = FsmStats(name, states, transitions, initial)
+            self._records[name] = stats
+        return stats
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def __getitem__(self, name: str) -> FsmStats:
+        return self._records[name]
+
+    def records(self) -> Dict[str, FsmStats]:
+        return dict(self._records)
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return {name: self._records[name].as_dict()
+                for name in sorted(self._records)}

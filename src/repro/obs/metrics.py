@@ -1,0 +1,155 @@
+"""Counters, gauges and histograms keyed by hierarchical names.
+
+The registry is the shared vocabulary of the observability layer: every
+profile (activity, FSM occupancy, engine self-profiling) ultimately
+renders into plain metric values so a captured run can be serialized to
+one ``metrics.json`` and re-read by the report CLI without importing any
+engine.  Names are hierarchical with ``/`` separators, e.g.
+``dect_transceiver/pcctrl/pc`` — the same convention Hardcaml-style
+tracing tools use for scoped signal paths.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value that also remembers its observed extremes."""
+
+    __slots__ = ("name", "value", "min_value", "max_value", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.samples += 1
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "min": self.min_value,
+            "max": self.max_value,
+            "samples": self.samples,
+        }
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+#: Default histogram bucket boundaries: powers of two up to 64k.
+_DEFAULT_BOUNDS = tuple(1 << i for i in range(17))
+
+
+class Histogram:
+    """A bucketed distribution (upper-bound buckets plus overflow)."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total")
+
+    def __init__(self, name: str, bounds: Sequence[float] = _DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(sorted(bounds))
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """All metrics of one capture, keyed by hierarchical name.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the existing instrument afterwards; asking for an existing name with
+    a different instrument kind is an error (one name, one meaning).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = _DEFAULT_BOUNDS) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def names(self, prefix: str = "") -> List[str]:
+        """All metric names under *prefix*, sorted."""
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serializable view of every metric."""
+        return {name: self._metrics[name].as_dict()
+                for name in sorted(self._metrics)}

@@ -1,0 +1,152 @@
+"""Render a captured run as a text or JSON report.
+
+Loads the directory written by :meth:`repro.obs.Capture.save`
+(``metrics.json`` plus optional ``events.jsonl``) and renders the
+questions an ASIC designer asks first: which signals toggle most
+(switching-activity / power proxy), how much of each controller FSM the
+stimulus exercised, where the engine spent its wall time, and what
+discrete events the run produced.  No engine import is needed to read a
+capture — the report works on serialized data only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from .events import read_events
+
+
+def load_capture(directory: str) -> Dict[str, object]:
+    """Load a capture directory into one dict (``events`` inlined)."""
+    metrics_path = os.path.join(directory, "metrics.json")
+    if not os.path.isfile(metrics_path):
+        raise FileNotFoundError(
+            f"{directory!r} is not a capture directory (no metrics.json); "
+            "write one with Capture.save(directory)"
+        )
+    with open(metrics_path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    events_path = os.path.join(directory, "events.jsonl")
+    if os.path.isfile(events_path):
+        data["event_list"] = read_events(events_path)
+    return data
+
+
+def _top_toggles(activity: Dict[str, Dict], count: int) -> List[Dict]:
+    rows = [
+        {"name": name, **record} for name, record in activity.items()
+    ]
+    rows.sort(key=lambda r: (r.get("toggles", 0), r.get("changes", 0),
+                             r["name"]),
+              reverse=True)
+    return rows[:count]
+
+
+def _hot_blocks(profile: Dict[str, Dict], count: int) -> List[Dict]:
+    rows = [{"label": label, **record} for label, record in profile.items()]
+    rows.sort(key=lambda r: (r.get("seconds", 0.0), r.get("calls", 0),
+                             r["label"]),
+              reverse=True)
+    return rows[:count]
+
+
+def summarize(data: Dict[str, object], top: int = 10) -> Dict[str, object]:
+    """The report's content as plain data (the ``--json`` output)."""
+    activity = data.get("activity", {}) or {}
+    fsm = data.get("fsm", {}) or {}
+    profile = data.get("profile", {}) or {}
+    events = data.get("events", {}) or {}
+    if not events and "event_list" in data:
+        for event in data["event_list"]:
+            kind = event.get("kind", "?")
+            events[kind] = events.get(kind, 0) + 1
+    return {
+        "signals": len(activity),
+        "top_toggles": _top_toggles(activity, top),
+        "fsm_coverage": {
+            name: {
+                "state_coverage": record.get("state_coverage"),
+                "transition_coverage": record.get("transition_coverage"),
+                "cycles": record.get("cycles"),
+                "occupancy": record.get("occupancy", {}),
+                "uncovered_states": record.get("uncovered_states", []),
+                "uncovered_transitions":
+                    record.get("uncovered_transitions", []),
+            }
+            for name, record in fsm.items()
+        },
+        "hot_blocks": _hot_blocks(profile, top),
+        "events": events,
+    }
+
+
+def render_text(data: Dict[str, object], top: int = 10) -> str:
+    """Human-readable report of one capture."""
+    summary = summarize(data, top)
+    lines: List[str] = []
+
+    lines.append(f"observability report — {summary['signals']} signals")
+    rows = summary["top_toggles"]
+    if rows:
+        lines.append("")
+        lines.append(f"top toggling signals (of {summary['signals']})")
+        lines.append(f"  {'signal':<40} {'toggles':>10} {'changes':>10} "
+                     f"{'rate':>8}")
+        for row in rows:
+            rate = row.get("toggle_rate", 0.0) or 0.0
+            lines.append(
+                f"  {row['name']:<40} {row.get('toggles', 0):>10} "
+                f"{row.get('changes', 0):>10} {rate:>8.3f}"
+            )
+
+    coverage = summary["fsm_coverage"]
+    if coverage:
+        lines.append("")
+        lines.append("FSM coverage")
+        for name in sorted(coverage):
+            record = coverage[name]
+            sc = record["state_coverage"]
+            tc = record["transition_coverage"]
+            lines.append(
+                f"  {name:<40} states {100.0 * (sc or 0.0):5.1f}%  "
+                f"transitions {100.0 * (tc or 0.0):5.1f}%  "
+                f"({record['cycles']} cycles)"
+            )
+            occupancy = record["occupancy"]
+            total = sum(occupancy.values()) or 1
+            for state in occupancy:
+                share = 100.0 * occupancy[state] / total
+                lines.append(f"    {state:<22} {occupancy[state]:>8} cycles "
+                             f"({share:5.1f}%)")
+            if record["uncovered_states"]:
+                lines.append("    uncovered states: "
+                             + ", ".join(record["uncovered_states"]))
+            if record["uncovered_transitions"]:
+                indices = ", ".join(
+                    str(i) for i in record["uncovered_transitions"])
+                lines.append(f"    uncovered transitions: [{indices}]")
+
+    hot = summary["hot_blocks"]
+    if hot:
+        lines.append("")
+        lines.append("hot blocks (engine self-profile)")
+        lines.append(f"  {'block':<48} {'calls':>10} {'seconds':>12}")
+        for row in hot:
+            lines.append(f"  {row['label']:<48} {row.get('calls', 0):>10} "
+                         f"{row.get('seconds', 0.0):>12.6f}")
+
+    events = summary["events"]
+    if events:
+        lines.append("")
+        lines.append("events")
+        for kind in sorted(events):
+            lines.append(f"  {kind:<24} {events[kind]:>8}")
+
+    return "\n".join(lines)
+
+
+def render_json(data: Dict[str, object], top: int = 10) -> str:
+    """The summary as pretty-printed JSON."""
+    return json.dumps(summarize(data, top), indent=2, default=str)

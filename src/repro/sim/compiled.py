@@ -267,13 +267,19 @@ class CompiledSimulator:
     """
 
     def __init__(self, system: System, watch: Sequence[Channel] = (),
-                 optimize: bool = True):
+                 optimize: bool = True, obs=None):
         self.system = system
         self.watch = list(watch)
         self.optimize = optimize
         self.cycle = 0
         self.outputs: Dict[str, object] = {}
         self._env: Dict[str, object] = {}
+        #: Optional :class:`repro.obs.Capture`.  Instrumentation is
+        #: *emitted into the generated source* only when the capture
+        #: asks for it — a bare simulator contains no obs code at all.
+        self.obs = obs
+        self._obs_profile = obs.profile if obs is not None else None
+        self._obs_block_labels: List[str] = []
         #: IR ops across all blocks, before and after the pass pipeline.
         self.ir_op_count_raw = 0
         self.ir_op_count = 0
@@ -376,15 +382,20 @@ class CompiledSimulator:
                 return reg_name(sig, sig.name), sig.fmt
             return sig_name(sig, sig.name), sig.fmt
 
-        # Collect all registers and FSMs.
+        # Collect all registers and FSMs.  The hierarchical names are the
+        # same ones repro.obs.register_watchlist derives for the cycle
+        # scheduler — identical traversal, so cross-engine toggle counts
+        # line up signal for signal.
         registers: List[Register] = []
         seen_regs: Set[int] = set()
+        obs_regs: List[Tuple[str, Register]] = []
         for process in timed:
             for sfg in process.all_sfgs():
                 for reg in sfg.registers():
                     if id(reg) not in seen_regs:
                         seen_regs.add(id(reg))
                         registers.append(reg)
+                        obs_regs.append((f"{process.name}/{reg.name}", reg))
 
         # Channels driven by untimed outputs feed consumers through a variable;
         # the untimed behaviour returns interpreter-domain values, so reads of
@@ -539,6 +550,17 @@ class CompiledSimulator:
             if guard is not None:
                 b(f"        if {guard}:")
                 indent = "            "
+            prof_index = None
+            if self._obs_profile is not None:
+                # Self-profiling: bracket the rendered block with clock
+                # reads, attributed to the block's first store target.
+                g_process, g_assignment, _ = group[0]
+                label = f"{g_process.name}/{g_assignment.target.name}"
+                if len(group) > 1:
+                    label += f"(+{len(group) - 1})"
+                prof_index = len(self._obs_block_labels)
+                self._obs_block_labels.append(label)
+                b(f"{indent}_obs_t = _obs_perf()")
             lowerer = new_lowerer()
             for _process, assignment, _guard in group:
                 lowerer.lower_assignment(assignment)
@@ -554,6 +576,8 @@ class CompiledSimulator:
                 b(f"{indent}{var} = {code}")
                 if not isinstance(target, Register):
                     emitter.bind(store.value, var)
+            if prof_index is not None:
+                b(f"{indent}_obs_block({prof_index}, _obs_perf() - _obs_t)")
 
         # Main body: assignments and untimed calls in global order.
         untimed_name = _Namer("beh")
@@ -618,6 +642,29 @@ class CompiledSimulator:
                 pname = _sanitize(process.name)
                 commit.append(f"        st_{pname} = nst_{pname}")
 
+        # Observability hook: one post-commit call per cycle handing the
+        # capture raw register values, FSM state indices and selected
+        # transition indices.  Emitted only when the capture wants it.
+        self._obs_hook = None
+        if self.obs is not None:
+            obs_fsms = [(f"{p.name}/{p.fsm.name}", p.fsm)
+                        for p in timed if p.fsm is not None]
+            self._obs_hook = self.obs.compiled_observer(obs_regs, obs_fsms)
+        if self._obs_hook is not None:
+            regs_args = ", ".join(reg_name(reg, reg.name)
+                                  for reg in registers)
+            fsm_procs = [p for p in timed if p.fsm is not None]
+            sts_args = ", ".join(f"st_{_sanitize(p.name)}"
+                                 for p in fsm_procs)
+            trs_args = ", ".join(f"tr_{_sanitize(p.name)}"
+                                 for p in fsm_procs)
+            commit.append(
+                f"        _obs_end_cycle("
+                f"({regs_args}{',' if registers else ''}), "
+                f"({sts_args}{',' if fsm_procs else ''}), "
+                f"({trs_args}{',' if fsm_procs else ''}))"
+            )
+
         state_names = [reg_name(reg, reg.name) for reg in registers]
         state_names += [f"st_{_sanitize(p.name)}" for p in timed if p.fsm is not None]
         emit("    def step(pins, outputs):")
@@ -678,6 +725,16 @@ class CompiledSimulator:
         # Provide formats and behaviors in the module environment.
         self._env.update(_FMT_POOL)
         self._env.update(self._env_behaviors)
+        if self._obs_hook is not None:
+            self._env["_obs_end_cycle"] = self._obs_hook
+        if self._obs_profile is not None:
+            from time import perf_counter as _obs_perf
+
+            labels = self._obs_block_labels
+            profile = self._obs_profile
+            self._env["_obs_perf"] = _obs_perf
+            self._env["_obs_block"] = (
+                lambda index, dt: profile.add(labels[index], dt))
         return source
 
     def _watch_ref(self, chan: Channel, sig_ref_full, untimed_out_var):

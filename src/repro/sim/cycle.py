@@ -24,6 +24,7 @@ whose condition holds and marks its SFGs for execution.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.errors import DeadlockError, ModelError, SimulationError
@@ -36,14 +37,17 @@ from ..core.system import Channel, System
 class _PlanStep:
     """One assignment of a marked SFG, with its external-input dependencies."""
 
-    __slots__ = ("assignment", "input_ports", "output_port")
+    __slots__ = ("assignment", "input_ports", "output_port", "label")
 
     def __init__(self, assignment: Assignment,
                  input_ports: Tuple[Port, ...],
-                 output_port: Optional[Port]):
+                 output_port: Optional[Port],
+                 label: str = ""):
         self.assignment = assignment
         self.input_ports = input_ports
         self.output_port = output_port
+        #: ``process/sfg`` attribution label for engine self-profiling.
+        self.label = label
 
 
 class _ProcessPlan:
@@ -73,6 +77,7 @@ class _ProcessPlan:
         port_bound = set(in_port_of_sig)
         for sfg in marked:
             deps = sfg.assignment_input_deps(port_bound)
+            label = f"{process.name}/{sfg.name}"
             for assignment in sfg.ordered_assignments():
                 input_ports = tuple(
                     in_port_of_sig[sig]
@@ -83,7 +88,8 @@ class _ProcessPlan:
                 target = assignment.target
                 if not target.is_register() and target in port_of_sig:
                     output_port = port_of_sig[target]
-                self.steps.append(_PlanStep(assignment, input_ports, output_port))
+                self.steps.append(
+                    _PlanStep(assignment, input_ports, output_port, label))
                 driven.add(target)
 
         # Output ports bound to registers always emit the (phase-1) current
@@ -97,9 +103,13 @@ class _ProcessPlan:
 class CycleScheduler:
     """Simulates a system of timed (and untimed) processes cycle by cycle."""
 
-    def __init__(self, system: System, max_iterations: int = 1000):
+    def __init__(self, system: System, max_iterations: int = 1000,
+                 obs=None):
         self.system = system
         self.max_iterations = max_iterations
+        #: Optional :class:`repro.obs.Capture` instrumenting this run.
+        self.obs = obs
+        self._prof = obs.profile if obs is not None else None
         self.cycle = 0
         self.timed = system.timed_processes()
         self.untimed = system.untimed_processes()
@@ -121,6 +131,10 @@ class CycleScheduler:
         #: Per-cycle hook list: called as fn(scheduler) after each step.
         self.monitors: List[Callable[["CycleScheduler"], None]] = []
         self._stimuli: List[Tuple[Channel, Callable[[int], object]]] = []
+        if obs is not None:
+            monitor = obs.cycle_monitor(self)
+            if monitor is not None:
+                self.monitors.append(monitor)
 
     # -- stimuli --------------------------------------------------------------
 
@@ -180,6 +194,7 @@ class CycleScheduler:
         fired_untimed: Set[UntimedProcess] = set()
         iterations = 0
         trace: List[int] = []
+        prof = self._prof
         while True:
             iterations += 1
             if iterations > self.max_iterations:
@@ -198,7 +213,12 @@ class CycleScheduler:
                     continue
                 for port in step.input_ports:
                     port.sig.value = port.channel.value
-                step.assignment.execute()
+                if prof is None:
+                    step.assignment.execute()
+                else:
+                    t0 = _perf()
+                    step.assignment.execute()
+                    prof.add(step.label, _perf() - t0)
                 if step.output_port is not None and step.output_port.channel is not None:
                     step.output_port.channel.put(step.assignment.target.value)
                 progress += 1
@@ -282,12 +302,22 @@ class CycleScheduler:
     def _deadlock_error(self, pending, fired_untimed, iterations: int,
                         trace: List[int]) -> DeadlockError:
         """A :class:`DeadlockError` with structured diagnostics attached."""
+        blocked = self._blocked_map(pending, fired_untimed)
+        channels = {c.name: c.tokens() for c in self.system.channels}
+        if self.obs is not None and self.obs.events is not None:
+            # The same diagnostics the exception carries, but on the
+            # durable event stream — visible even if the exception is
+            # swallowed upstack.
+            self.obs.events.emit(
+                "deadlock", cycle=self.cycle, iterations=iterations,
+                pending=blocked, channels=channels, trace=list(trace),
+            )
         return DeadlockError(
             self._deadlock_message(pending),
             cycle=self.cycle,
             iterations=iterations,
-            pending=self._blocked_map(pending, fired_untimed),
-            channels={c.name: c.tokens() for c in self.system.channels},
+            pending=blocked,
+            channels=channels,
             trace=trace,
         )
 

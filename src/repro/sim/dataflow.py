@@ -23,7 +23,7 @@ from ..core.system import Channel, System
 class DataflowScheduler:
     """Dynamic data-flow simulation of a system of untimed processes."""
 
-    def __init__(self, system: System):
+    def __init__(self, system: System, obs=None):
         for process in system.processes:
             if process.is_timed():
                 raise ModelError(
@@ -39,6 +39,11 @@ class DataflowScheduler:
                 )
         self.system = system
         self.total_firings = 0
+        #: Optional :class:`repro.obs.Capture` instrumenting this run.
+        self.obs = obs
+        self._obs_observer = None
+        if obs is not None:
+            self._obs_observer = obs.dataflow_observer(self)
 
     def step(self) -> List[UntimedProcess]:
         """One scheduler pass: fire every process whose firing rule holds.
@@ -51,6 +56,8 @@ class DataflowScheduler:
                 process.fire()
                 fired.append(process)
                 self.total_firings += 1
+        if self._obs_observer is not None and fired:
+            self._obs_observer(fired)
         return fired
 
     def run(self, max_firings: int = 100000) -> int:
@@ -117,6 +124,11 @@ class DataflowScheduler:
     def _deadlock_error(self, message: str) -> DeadlockError:
         blocked = self.blocked_rules()
         channels = self.channel_occupancy()
+        if self.obs is not None and self.obs.events is not None:
+            self.obs.events.emit(
+                "deadlock", pending=blocked, channels=channels,
+                trace=[self.total_firings],
+            )
         detail_blocked = "; ".join(
             f"{name}: {', '.join(why)}" for name, why in sorted(blocked.items())
         ) or "none"

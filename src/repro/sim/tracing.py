@@ -3,11 +3,18 @@
 A lightweight value-change-dump writer so simulations can be inspected in
 any waveform viewer — the design-environment equivalent of an HDL
 simulator's trace facility.
+
+Samples are keyed by signal *identity*, so two distinct signals that
+happen to share a ``.name`` each keep their own history (and get
+distinct, disambiguated identifiers in the VCD).  Signed fixed-point
+signals are declared as VCD ``integer`` variables so viewers render the
+two's-complement bit patterns as signed decimals; float-valued signals
+(no format) are declared ``real``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, TextIO
+from typing import Dict, List, Optional, Sequence, TextIO, Union
 
 from ..fixpt import Fx
 from ..core.signal import Sig
@@ -19,26 +26,58 @@ class Tracer:
     """Samples signals once per cycle; can be used as a scheduler monitor."""
 
     def __init__(self, *signals: Sig):
-        self.signals: List[Sig] = list(signals)
-        self.samples: Dict[str, List[object]] = {s.name: [] for s in self.signals}
+        self.signals: List[Sig] = []
+        self._samples: Dict[int, List[object]] = {}
+        self._by_name: Dict[str, List[Sig]] = {}
         self._cycles = 0
+        for sig in signals:
+            self.watch(sig)
 
     def watch(self, sig: Sig) -> None:
-        """Add a signal to the trace set (history padded with None)."""
+        """Add a signal to the trace set (history padded with None).
+
+        Watching the same signal twice is a no-op; watching a *different*
+        signal with the same name keeps both histories separate.
+        """
+        if id(sig) in self._samples:
+            return
         self.signals.append(sig)
-        self.samples[sig.name] = [None] * self._cycles
+        self._samples[id(sig)] = [None] * self._cycles
+        self._by_name.setdefault(sig.name, []).append(sig)
 
     def sample(self) -> None:
         """Record the current value of every watched signal."""
         self._cycles += 1
+        samples = self._samples
         for sig in self.signals:
-            self.samples[sig.name].append(sig.value)
+            samples[id(sig)].append(sig.value)
 
     def __call__(self, scheduler) -> None:
         self.sample()
 
-    def __getitem__(self, name: str) -> List[object]:
-        return self.samples[name]
+    def samples_for(self, sig: Sig) -> List[object]:
+        """The sample history of one watched signal (by identity)."""
+        return self._samples[id(sig)]
+
+    def __getitem__(self, key: Union[str, Sig]) -> List[object]:
+        """Samples by signal object, or by name when the name is unique."""
+        if isinstance(key, Sig):
+            return self._samples[id(key)]
+        sigs = self._by_name.get(key)
+        if not sigs:
+            raise KeyError(key)
+        if len(sigs) > 1:
+            raise KeyError(
+                f"{len(sigs)} watched signals are named {key!r}; "
+                "index the tracer with the signal object instead"
+            )
+        return self._samples[id(sigs[0])]
+
+    @property
+    def samples(self) -> Dict[str, List[object]]:
+        """Name-keyed view of the histories (first signal per name)."""
+        return {name: self._samples[id(sigs[0])]
+                for name, sigs in self._by_name.items()}
 
     # -- VCD output ---------------------------------------------------------------
 
@@ -51,36 +90,63 @@ class Tracer:
             out = _VCD_IDS[digit] + out
         return out
 
+    def _display_names(self) -> Dict[int, str]:
+        """Per-signal display names, duplicates disambiguated by suffix."""
+        names: Dict[int, str] = {}
+        for sig in self.signals:
+            peers = self._by_name[sig.name]
+            if len(peers) == 1:
+                names[id(sig)] = sig.name
+            else:
+                names[id(sig)] = f"{sig.name}_{peers.index(sig)}"
+        return names
+
     def write_vcd(self, stream: TextIO, timescale: str = "1ns",
                   clock_period: int = 10) -> None:
-        """Write the trace as a VCD file."""
-        ids = {sig.name: self._vcd_id(i) for i, sig in enumerate(self.signals)}
-        widths = {}
-        for sig in self.signals:
-            widths[sig.name] = sig.fmt.wl if sig.fmt is not None else 64
+        """Write the trace as a VCD file.
+
+        Variable kinds follow the signal's format: signed fixed-point
+        signals become ``integer`` variables (two's-complement bit
+        strings, rendered as signed decimals by viewers), unsigned ones
+        ``wire``, and format-less (float) signals ``real``.
+        """
+        ids = {id(sig): self._vcd_id(i) for i, sig in enumerate(self.signals)}
+        names = self._display_names()
         stream.write(f"$timescale {timescale} $end\n")
         stream.write("$scope module repro $end\n")
         for sig in self.signals:
+            if sig.fmt is None:
+                kind, width = "real", 64
+            elif sig.fmt.signed:
+                kind, width = "integer", sig.fmt.wl
+            else:
+                kind, width = "wire", sig.fmt.wl
             stream.write(
-                f"$var wire {widths[sig.name]} {ids[sig.name]} {sig.name} $end\n"
+                f"$var {kind} {width} {ids[id(sig)]} {names[id(sig)]} $end\n"
             )
         stream.write("$upscope $end\n$enddefinitions $end\n")
-        cycles = max((len(v) for v in self.samples.values()), default=0)
-        previous: Dict[str, object] = {}
+        cycles = self._cycles
+        previous: Dict[int, object] = {}
         for cycle in range(cycles):
             header_written = False
             for sig in self.signals:
-                values = self.samples[sig.name]
+                values = self._samples[id(sig)]
                 value = values[cycle] if cycle < len(values) else None
-                if previous.get(sig.name, "\0") == value:
+                if previous.get(id(sig), "\0") == value:
+                    continue
+                if sig.fmt is None and value is None:
+                    # VCD has no unknown for reals; hold until defined.
                     continue
                 if not header_written:
                     stream.write(f"#{cycle * clock_period}\n")
                     header_written = True
-                stream.write(
-                    f"b{_to_bits(value, widths[sig.name])} {ids[sig.name]}\n"
-                )
-                previous[sig.name] = value
+                if sig.fmt is None:
+                    stream.write(f"r{float(value)} {ids[id(sig)]}\n")
+                else:
+                    stream.write(
+                        f"b{_to_bits(value, sig.fmt.wl)} {ids[id(sig)]}\n"
+                    )
+                previous[id(sig)] = value
 
 
 def _to_bits(value, width: int) -> str:

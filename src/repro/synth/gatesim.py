@@ -19,7 +19,7 @@ from .netlist import Net, Netlist
 class GateSimulator:
     """Cycle-based two-valued simulation of a :class:`Netlist`."""
 
-    def __init__(self, netlist: Netlist):
+    def __init__(self, netlist: Netlist, obs=None):
         self.netlist = netlist
         self.values: List[int] = [0] * netlist._net_count
         self._order = netlist.levelize()
@@ -28,6 +28,12 @@ class GateSimulator:
             self.values[dff.output] = dff.init
         self.cycle = 0
         self.monitors = []
+        #: Optional :class:`repro.obs.Capture` instrumenting this run.
+        self.obs = obs
+        if obs is not None:
+            monitor = obs.gate_monitor(self)
+            if monitor is not None:
+                self.monitors.append(monitor)
         #: Saboteur hooks: nets forced to a constant value (stuck-at
         #: faults) and nets whose settled value is inverted during
         #: propagation (transient bit flips).  Managed with

@@ -144,10 +144,14 @@ class FaultCampaign:
     def __init__(self, netlist: Netlist, stimuli: Stimulus,
                  faults: Optional[Sequence[Fault]] = None,
                  collapse: bool = True,
-                 watchdog: Optional[Watchdog] = None):
+                 watchdog: Optional[Watchdog] = None,
+                 obs=None):
         self.netlist = netlist
         self.stimuli = [dict(pins) for pins in stimuli]
         self.watchdog = watchdog
+        #: Optional :class:`repro.obs.Capture`: campaign progress and
+        #: per-fault outcomes become events on its stream.
+        self.obs = obs
         if faults is None:
             if collapse:
                 result = collapse_faults(netlist)
@@ -200,6 +204,14 @@ class FaultCampaign:
             sim.monitors = []
             sim.release()
 
+    def _event(self, kind: str, **fields) -> None:
+        """Emit one event on the capture's stream, if any (duck-typed)."""
+        if self.obs is None:
+            return
+        events = getattr(self.obs, "events", None)
+        if events is not None:
+            events.emit(kind, **fields)
+
     def run(self) -> CampaignReport:
         """Execute the campaign; always returns a report (never wedges)."""
         golden_sim = GateSimulator(self.netlist)
@@ -212,6 +224,9 @@ class FaultCampaign:
             total_faults=self.total_faults,
             collapsed_faults=len(self._work),
         )
+        self._event("campaign_start", netlist=self.netlist.name,
+                    cycles=len(self.stimuli), faults=self.total_faults,
+                    representatives=len(self._work))
         # One simulator for every fault: restore beats re-levelizing.
         fault_sim = GateSimulator(self.netlist)
         watchdog = self.watchdog
@@ -225,7 +240,15 @@ class FaultCampaign:
             result = self._simulate_fault(fault_sim, fault, golden, initial)
             result.class_size = class_size
             report.results.append(result)
+            self._event("fault", fault=str(fault), detected=result.detected,
+                        detect_cycle=result.detect_cycle,
+                        detect_output=result.detect_output,
+                        class_size=class_size)
             if watchdog is not None:
                 # One tick per fault: max_cycles doubles as a fault budget.
                 watchdog.tick()
+        self._event("campaign_end", netlist=self.netlist.name,
+                    coverage=report.coverage(), complete=report.complete,
+                    skipped=report.skipped,
+                    detected=len(report.detected()))
         return report

@@ -48,7 +48,8 @@ class Watchdog:
     def __init__(self, max_cycles: Optional[int] = None,
                  max_seconds: Optional[float] = None,
                  check_every: int = 1,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 obs=None):
         if max_cycles is not None and max_cycles < 0:
             raise SimulationError("watchdog max_cycles must be >= 0")
         if max_seconds is not None and max_seconds < 0:
@@ -59,6 +60,10 @@ class Watchdog:
         self._clock = clock
         self._started: Optional[float] = None
         self._count = 0
+        #: Optional :class:`repro.obs.Capture`: budget expiries become
+        #: ``watchdog`` events on its stream (duck-typed, no obs import).
+        self.obs = obs
+        self._reported = False
 
     # -- polling interface --------------------------------------------------------
 
@@ -66,6 +71,7 @@ class Watchdog:
         """(Re)start the budgets; returns self for chaining."""
         self._started = self._clock()
         self._count = 0
+        self._reported = False
         return self
 
     def elapsed(self) -> float:
@@ -80,10 +86,22 @@ class Watchdog:
     def expired(self) -> Optional[str]:
         """The budget that ran out (``"cycles"``/``"wall_clock"``) or None."""
         if self.max_cycles is not None and self._count >= self.max_cycles:
+            self._emit_expiry("cycles")
             return "cycles"
         if self.max_seconds is not None and self.elapsed() >= self.max_seconds:
+            self._emit_expiry("wall_clock")
             return "wall_clock"
         return None
+
+    def _emit_expiry(self, budget: str) -> None:
+        """Put one ``watchdog`` event on the capture's stream, once."""
+        if self.obs is None or self._reported:
+            return
+        self._reported = True
+        events = getattr(self.obs, "events", None)
+        if events is not None:
+            events.emit("watchdog", budget=budget, cycles=self._count,
+                        seconds=self.elapsed())
 
     # -- driving interface --------------------------------------------------------
 
@@ -109,6 +127,8 @@ class Watchdog:
             step(done)
             done += 1
             self.tick()
+        if exhausted is not None:
+            self._emit_expiry(exhausted)
         return WatchdogResult(cycles=done, seconds=self.elapsed(),
                               exhausted=exhausted)
 

@@ -72,3 +72,38 @@ def test_lint_layer_checker_catches_violations(tmp_path):
     # The allowed dependencies are quiet.
     (pkg / "sim" / "engine.py").write_text("from ..core.sfg import SFG\n")
     assert checker.check_lint_layer(tmp_path) == []
+
+
+def test_obs_layer_contract_holds():
+    checker = _load_checker()
+    violations = checker.check_obs_layer(REPO / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def test_obs_layer_checker_catches_violations(tmp_path):
+    """repro.obs may import only core/ir/fixpt, and no model layer
+    (core/ir/fixpt) may import repro.obs; engines may."""
+    checker = _load_checker()
+    pkg = tmp_path / "repro"
+    for sub in ("obs", "core", "ir", "fixpt", "sim"):
+        (pkg / sub).mkdir(parents=True)
+        (pkg / sub / "__init__.py").write_text("")
+
+    # The observability layer reaching into an engine is a violation.
+    (pkg / "obs" / "capture.py").write_text(
+        "from ..sim.cycle import CycleScheduler\n")
+    violations = checker.check_obs_layer(tmp_path)
+    assert len(violations) == 1 and "repro.obs imports" in violations[0]
+
+    # A model layer importing obs is a violation.
+    (pkg / "obs" / "capture.py").write_text("from ..core.sfg import SFG\n")
+    (pkg / "core" / "signal.py").write_text("import repro.obs\n")
+    violations = checker.check_obs_layer(tmp_path)
+    assert len(violations) == 1
+    assert "must not depend on repro.obs" in violations[0]
+
+    # An engine importing obs is the intended direction — quiet.
+    (pkg / "core" / "signal.py").write_text("")
+    (pkg / "sim" / "cycle.py").write_text(
+        "from ..obs.capture import Capture\n")
+    assert checker.check_obs_layer(tmp_path) == []

@@ -1,0 +1,69 @@
+"""Switching-activity accounting: value changes and bit toggles."""
+
+from repro.obs import ActivityProfile, ToggleStats
+
+
+class TestToggleStats:
+    def test_hamming_distance_per_change(self):
+        s = ToggleStats("x", width=8, initial=0)
+        s.observe_raw(0b1010)       # 2 bits flip
+        s.observe_raw(0b1010)       # no change
+        s.observe_raw(0b0101)       # 4 bits flip
+        assert s.samples == 3
+        assert s.changes == 2
+        assert s.toggles == 6
+
+    def test_negative_raws_are_masked_twos_complement(self):
+        # 0 -> -1 in a 4-bit signal flips exactly 4 bits, not an
+        # unbounded number from Python's infinite-width integers.
+        s = ToggleStats("x", width=4, initial=0)
+        s.observe_raw(-1)
+        assert s.toggles == 4
+        s.observe_raw(0)
+        assert s.toggles == 8
+
+    def test_first_sample_without_initial_is_a_baseline(self):
+        s = ToggleStats("x", width=8)
+        s.observe_raw(0xFF)
+        assert (s.changes, s.toggles) == (0, 0)
+        s.observe_raw(0x00)
+        assert s.toggles == 8
+
+    def test_float_signals_count_value_changes(self):
+        s = ToggleStats("f")
+        s.observe_value(1.5)
+        s.observe_value(1.5)
+        s.observe_value(2.5)
+        assert s.changes == 1 and s.toggles == 1
+
+    def test_toggle_rate(self):
+        s = ToggleStats("x", width=8, initial=0)
+        s.observe_raw(3)
+        s.observe_raw(3)
+        assert s.toggle_rate == 1.0
+
+
+class TestActivityProfile:
+    def test_record_create_on_first_use(self):
+        prof = ActivityProfile()
+        assert prof.record("a", width=4) is prof.record("a")
+        assert "a" in prof and prof["a"].width == 4
+
+    def test_top_ranks_by_toggles(self):
+        prof = ActivityProfile()
+        quiet = prof.record("quiet", width=8, initial=0)
+        busy = prof.record("busy", width=8, initial=0)
+        quiet.observe_raw(1)
+        for v in (0xFF, 0x00, 0xFF):
+            busy.observe_raw(v)
+        assert [r.name for r in prof.top(2)] == ["busy", "quiet"]
+
+    def test_as_dict_sorted_and_serializable(self):
+        import json
+
+        prof = ActivityProfile()
+        prof.record("b", width=2, initial=0).observe_raw(3)
+        prof.record("a", width=2, initial=0)
+        data = json.loads(json.dumps(prof.as_dict()))
+        assert list(data) == ["a", "b"]
+        assert data["b"]["toggles"] == 2

@@ -1,0 +1,83 @@
+"""FSM occupancy / coverage profiling on the Fig. 2 hold controller."""
+
+import pytest
+
+from repro.obs import Capture, FsmStats
+from repro.sim import CycleScheduler
+
+from tests.conftest import build_hold_system
+
+
+class TestFsmStats:
+    def test_occupancy_and_coverage(self):
+        stats = FsmStats(
+            "f", ["a", "b"],
+            [("a", "a", "stay", None), ("a", "b", "go", "x.py:1")],
+            initial="a")
+        stats.observe("a", 0)
+        stats.observe("b", 1)
+        assert stats.occupancy == {"a": 1, "b": 1}
+        assert stats.state_coverage() == 1.0
+        assert stats.transition_coverage() == 1.0
+        assert stats.uncovered_states() == []
+
+    def test_initial_state_counts_as_visited(self):
+        # A machine that leaves its initial state on cycle 1 and never
+        # returns still *started* there.
+        stats = FsmStats("f", ["a", "b"], [("a", "b", "", None)],
+                         initial="a")
+        stats.observe("b", 0)
+        assert stats.states_visited() == ["a", "b"]
+        assert stats.state_coverage() == 1.0
+
+    def test_unvisited_initial_not_counted_before_any_cycle(self):
+        stats = FsmStats("f", ["a", "b"], [], initial="a")
+        assert stats.states_visited() == []
+        assert stats.state_coverage() == 0.0
+
+    def test_as_dict_reports_uncovered(self):
+        stats = FsmStats("f", ["a", "b"],
+                         [("a", "a", "", None), ("a", "b", "", None)],
+                         initial="a")
+        stats.observe("a", 0)
+        data = stats.as_dict()
+        assert data["uncovered_states"] == ["b"]
+        assert data["uncovered_transitions"] == [1]
+        assert data["state_coverage"] == 0.5
+
+
+def run_hold(req_cycles, cycles=20):
+    system, pin, _out, _count, _fsm = build_hold_system()
+    cap = Capture()
+    scheduler = CycleScheduler(system, obs=cap)
+    for c in range(cycles):
+        scheduler.step({pin: 1 if c in req_cycles else 0})
+    return cap
+
+
+class TestHoldControllerProfile:
+    def test_full_coverage_with_hold_stimulus(self):
+        cap = run_hold({5, 6, 7})
+        stats = cap.fsm.records()["ctl/ctl"]
+        assert stats.state_coverage() == 1.0
+        assert stats.transition_coverage() == 1.0
+        # req registers one cycle late: hold occupies cycles 6..8.
+        assert stats.occupancy == {"execute": 17, "hold": 3}
+        assert stats.cycles == 20
+
+    def test_idle_stimulus_leaves_holes(self):
+        cap = run_hold(set())
+        stats = cap.fsm.records()["ctl/ctl"]
+        assert stats.state_coverage() == 0.5
+        assert stats.transition_coverage() == pytest.approx(0.25)
+        assert stats.uncovered_states() == ["hold"]
+        assert len(stats.uncovered_transitions()) == 3
+
+    def test_transition_events_carry_srcloc(self):
+        cap = run_hold({5})
+        events = cap.events.of_kind("fsm_transition")
+        # One entry into hold, one back out; self-loops emit nothing.
+        assert [(e["src"], e["dst"]) for e in events] == [
+            ("execute", "hold"), ("hold", "execute")]
+        assert all(e["fsm"] == "ctl/ctl" for e in events)
+        assert all(e["srcloc"] for e in events)

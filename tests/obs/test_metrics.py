@@ -1,0 +1,74 @@
+"""The metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_counts(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        assert c.as_dict() == {"type": "counter", "value": 4}
+
+
+class TestGauge:
+    def test_tracks_extremes(self):
+        g = Gauge("depth")
+        for v in (2.0, 7.0, 1.0):
+            g.set(v)
+        assert g.value == 1.0
+        assert g.min_value == 1.0
+        assert g.max_value == 7.0
+        assert g.samples == 3
+
+    def test_unset_gauge_serializes(self):
+        assert Gauge("g").as_dict()["value"] is None
+
+
+class TestHistogram:
+    def test_buckets_and_mean(self):
+        h = Histogram("lat", bounds=(1, 2, 4))
+        for v in (0.5, 1.5, 3, 100):
+            h.observe(v)
+        # buckets: <=1, <=2, <=4, overflow
+        assert h.buckets == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.mean == pytest.approx(105.0 / 4)
+
+    def test_default_bounds_are_powers_of_two(self):
+        h = Histogram("h")
+        assert h.bounds[0] == 1 and h.bounds[-1] == 1 << 16
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a/b") is reg.counter("a/b")
+        assert "a/b" in reg
+        assert reg["a/b"].value == 0
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_names_filter_by_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("dataflow/a/firings")
+        reg.counter("dataflow/b/firings")
+        reg.gauge("probe/acc")
+        assert reg.names("dataflow/") == [
+            "dataflow/a/firings", "dataflow/b/firings"]
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2.5)
+        reg.histogram("h").observe(3)
+        assert json.loads(json.dumps(reg.as_dict()))["c"]["value"] == 1

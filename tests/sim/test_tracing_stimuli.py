@@ -43,7 +43,9 @@ class TestTracer:
         tracer.write_vcd(stream)
         text = stream.getvalue()
         assert "$timescale" in text
-        assert "$var wire 8 ! count $end" in text
+        # W is signed, so the variable is declared integer: viewers then
+        # render the two's-complement bits as signed decimals.
+        assert "$var integer 8 ! count $end" in text
         assert "$enddefinitions" in text
         assert "#0" in text
 

@@ -18,6 +18,12 @@ Two layering contracts are enforced by walking every module with
    ``repro.sim``/``repro.hdl``/``repro.synth`` may import ``repro.lint``
    (the back-ends must stay buildable without the analyzer).
 
+3. ``repro.obs`` is the *observability* layer: like the linter it may
+   depend only on ``core``/``ir``/``fixpt``.  Engines import obs (they
+   accept a capture and feed it), never the reverse — and the model
+   layers obs builds on (``core``/``ir``/``fixpt``) must not import
+   obs, or instrumentation would become load-bearing.
+
 Run from the repository root::
 
     python tools/check_layering.py
@@ -36,6 +42,11 @@ LAYERS = ("hdl", "sim", "synth")
 LINT_MAY_IMPORT = ("lint", "core", "ir", "fixpt")
 #: Subpackages that must not depend on repro.lint.
 LINT_FREE = ("sim", "hdl", "synth")
+#: Subpackages repro.obs is allowed to import from.
+OBS_MAY_IMPORT = ("obs", "core", "ir", "fixpt")
+#: Model layers that must not depend on repro.obs (engines *may* import
+#: obs — that direction is the whole point).
+OBS_FREE = ("core", "ir", "fixpt")
 PACKAGE = "repro"
 
 
@@ -133,10 +144,35 @@ def check_lint_layer(src_root: Path) -> List[str]:
     return violations
 
 
+def check_obs_layer(src_root: Path) -> List[str]:
+    """Violations of the repro.obs dependency contract, as messages."""
+    violations: List[str] = []
+    if (src_root / PACKAGE / "obs").is_dir():
+        for rel, lineno, target in _imports(src_root, "obs"):
+            subpackage = _subpackage_of(target)
+            if subpackage is not None and subpackage not in OBS_MAY_IMPORT:
+                violations.append(
+                    f"{rel}:{lineno}: repro.obs imports {target} — the "
+                    f"observability layer may depend only on "
+                    f"{', '.join(sorted(set(OBS_MAY_IMPORT) - {'obs'}))}"
+                )
+    for subpackage in OBS_FREE:
+        if not (src_root / PACKAGE / subpackage).is_dir():
+            continue
+        for rel, lineno, target in _imports(src_root, subpackage):
+            if _subpackage_of(target) == "obs":
+                violations.append(
+                    f"{rel}:{lineno}: repro.{subpackage} imports {target} — "
+                    "model layers must not depend on repro.obs"
+                )
+    return violations
+
+
 def main(argv: Tuple[str, ...] = ()) -> int:
     root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
     src_root = root / "src"
-    violations = check_tree(src_root) + check_lint_layer(src_root)
+    violations = (check_tree(src_root) + check_lint_layer(src_root)
+                  + check_obs_layer(src_root))
     if violations:
         print("layering violations:")
         for message in violations:
@@ -144,7 +180,8 @@ def main(argv: Tuple[str, ...] = ()) -> int:
         return 1
     print(f"layering clean: {', '.join(LAYERS)} share no private names; "
           "repro.lint depends only on core/ir/fixpt and no back-end "
-          "imports it")
+          "imports it; repro.obs depends only on core/ir/fixpt and no "
+          "model layer imports it")
     return 0
 
 
