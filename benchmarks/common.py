@@ -106,6 +106,28 @@ def hcor_netlist_rate() -> float:
                        max_cycles=2000)
 
 
+def hcor_compiled_batched_rate(lanes: int = 64) -> float:
+    """Lane-cycles/sec of the batched compiled engine (64 streams)."""
+    from repro.designs.hcor import build_hcor
+    from repro.sim import BatchedCompiledSimulator
+
+    simulator = BatchedCompiledSimulator(build_hcor().system, lanes=lanes)
+    pins = {"soft": 0.25}
+    return lanes * _timed_rate(lambda: simulator.step(pins))
+
+
+def hcor_netlist_batched_rate(lanes: int = 64) -> float:
+    """Lane-cycles/sec of the word-parallel gate engine (64 streams)."""
+    from repro.designs.hcor import build_hcor
+    from repro.synth import GateSimulator, synthesize_process
+
+    synthesis = synthesize_process(build_hcor().process)
+    simulator = GateSimulator(synthesis.netlist, lanes=lanes)
+    pins = {"soft": 16}
+    return lanes * _timed_rate(lambda: simulator.step(pins),
+                               min_seconds=0.3, max_cycles=2000)
+
+
 def hcor_loc() -> Dict[str, int]:
     import repro.designs.hcor as hcor_module
     from repro.designs.hcor import build_hcor

@@ -11,11 +11,20 @@ domain, so the counts are engine-independent and lockstep-comparable.
 
 Float-valued signals (no :class:`~repro.fixpt.FxFormat`) have no bit
 pattern; a value change counts as one toggle.
+
+Lane-parallel engines feed :meth:`ToggleStats.observe_raw_lanes`, which
+keeps one last-value per lane and sums Hamming toggles across lanes —
+N lanes contribute N samples per cycle.  Mixing scalar and lane
+observations on one record, or changing a record's lane count, raises
+:class:`~repro.core.errors.ReproError`: a lane-packed word fed to the
+scalar path would silently miscount toggles, and that is never allowed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ReproError
 
 
 class ToggleStats:
@@ -41,8 +50,13 @@ class ToggleStats:
 
     def observe_raw(self, raw: int) -> None:
         """Account one cycle's raw (two's-complement integer) value."""
-        self.samples += 1
         last = self._last
+        if isinstance(last, list):
+            raise ReproError(
+                f"signal {self.name!r}: scalar observation on a "
+                "lane-parallel record — use observe_raw_lanes"
+            )
+        self.samples += 1
         if last is not None and raw != last:
             self.changes += 1
             diff = raw ^ last
@@ -51,10 +65,45 @@ class ToggleStats:
             self.toggles += bin(diff).count("1")
         self._last = raw
 
+    def observe_raw_lanes(self, raws: Sequence[int]) -> None:
+        """Account one cycle's per-lane raw values (one sample per lane).
+
+        Toggle counts aggregate across lanes: the Hamming distance is
+        taken lane-wise against each lane's own previous value, never
+        across a packed word.
+        """
+        last = self._last
+        if last is not None and not isinstance(last, list):
+            raise ReproError(
+                f"signal {self.name!r}: lane observation on a scalar "
+                "record — one record cannot mix lane widths"
+            )
+        if last is not None and len(last) != len(raws):
+            raise ReproError(
+                f"signal {self.name!r}: lane count changed from "
+                f"{len(last)} to {len(raws)} mid-capture"
+            )
+        self.samples += len(raws)
+        if last is not None:
+            mask = self._mask
+            for prev, raw in zip(last, raws):
+                if raw != prev:
+                    self.changes += 1
+                    diff = raw ^ prev
+                    if mask is not None:
+                        diff &= mask
+                    self.toggles += bin(diff).count("1")
+        self._last = list(raws)
+
     def observe_value(self, value: object) -> None:
         """Account one cycle's value without a bit pattern (floats)."""
-        self.samples += 1
         last = self._last
+        if isinstance(last, list):
+            raise ReproError(
+                f"signal {self.name!r}: scalar observation on a "
+                "lane-parallel record — use observe_raw_lanes"
+            )
+        self.samples += 1
         if last is not None and value != last:
             self.changes += 1
             self.toggles += 1

@@ -364,7 +364,10 @@ class Capture:
         """A post-settle monitor for a :class:`GateSimulator`, or None.
 
         Samples every primary-output bus (unsigned raw domain) into the
-        activity profile under ``<netlist>/<output>`` names.
+        activity profile under ``<netlist>/<output>`` names.  On a
+        word-parallel simulator (``sim.lanes > 1``) every lane is
+        sampled and aggregated per lane — a lane-packed word is never
+        fed to the scalar toggle path, so Hamming counts stay exact.
         """
         if self.activity is None:
             return None
@@ -376,6 +379,13 @@ class Capture:
         ]
         if not bus_obs:
             return None
+        if getattr(sim, "lanes", 1) > 1:
+            def monitor(gatesim) -> None:
+                for stats, bus in bus_obs:
+                    stats.observe_raw_lanes(
+                        gatesim.read_bus_lanes(bus, signed=False))
+
+            return monitor
 
         def monitor(gatesim) -> None:
             for stats, bus in bus_obs:

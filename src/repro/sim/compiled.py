@@ -22,6 +22,17 @@ specialized Python ``step()`` function:
 The generated source is compiled with :func:`compile` and executed — the
 Python equivalent of regenerating C++ and running it through the compiler.
 
+Scalar semantics vs lane-width execution
+----------------------------------------
+Everything about *what* a cycle computes — channel aliasing, register
+collection, FSM transition tables, the global assignment schedule and its
+guards — is scalar semantics and lives in :class:`SystemLayout`.  *How
+many independent stimulus streams* evaluate that schedule at once is an
+emitter decision: this module's :class:`_PyEmitter` renders one-lane
+Python integers, while :mod:`repro.sim.batched` renders the same layout
+as numpy-vectorized code over N lanes.  The layout never knows about
+lanes.
+
 Semantics note: under the cycle scheduler a channel whose producer is
 inactive carries *no token*; the compiled simulator models the same net as
 a wire that holds its last value (what the synthesized hardware does).
@@ -255,6 +266,234 @@ class _PyEmitter:
         return f"((({code}) - {span}) if ({code}) >= {half} else ({code}))"
 
 
+#: Structured guard of a scheduled assignment: ``None`` (always executes)
+#: or ``(process, transition_indices)`` — the assignment runs when the
+#: process's selected transition is one of the indices.  Emitters render
+#: this per value plane (a Python comparison for one lane, a boolean mask
+#: over all lanes for the batched back-end).
+Guard = Optional[Tuple[TimedProcess, Tuple[int, ...]]]
+
+
+class SystemLayout:
+    """The scalar semantics of a system, shared by every compiled emitter.
+
+    One :class:`SystemLayout` answers every *what-does-a-cycle-compute*
+    question — channel aliasing, pin formats, register/FSM inventories,
+    the globally scheduled assignment order and its structured
+    :data:`Guard` s — without committing to *how many* stimulus streams
+    evaluate it.  The scalar :class:`CompiledSimulator` and the
+    numpy-vectorized :class:`~repro.sim.batched.BatchedCompiledSimulator`
+    both consume one layout and differ only in rendering.
+    """
+
+    def __init__(self, system: System, watch: Sequence[Channel] = ()):
+        self.system = system
+        self.watch = list(watch)
+        self.timed: List[TimedProcess] = system.timed_processes()
+        self.untimed: List[UntimedProcess] = system.untimed_processes()
+        self.sig_name = _Namer("s")
+        self.reg_name = _Namer("r")
+        self.pin_fmts: Dict[str, FxFormat] = {}
+
+        # Map every timed input-port signal to its channel's producing sig.
+        alias: Dict[Sig, Sig] = {}
+        self.pin_channels: List[Channel] = []
+        self.untimed_out_var: Dict[Tuple[UntimedProcess, str], str] = {}
+        for chan in system.channels:
+            driver_sig = None
+            if chan.producer is not None and chan.producer.sig is not None:
+                driver_sig = chan.producer.sig
+            for consumer in chan.consumers:
+                if consumer.sig is not None and driver_sig is not None:
+                    alias[consumer.sig] = driver_sig
+            if chan.producer is None:
+                self.pin_channels.append(chan)
+        self._alias = alias
+
+        # Collect all registers and FSMs.  The hierarchical names are the
+        # same ones repro.obs.register_watchlist derives for the cycle
+        # scheduler — identical traversal, so cross-engine toggle counts
+        # line up signal for signal.
+        self.registers: List[Register] = []
+        seen_regs: Set[int] = set()
+        self.obs_regs: List[Tuple[str, Register]] = []
+        for process in self.timed:
+            for sfg in process.all_sfgs():
+                for reg in sfg.registers():
+                    if id(reg) not in seen_regs:
+                        seen_regs.add(id(reg))
+                        self.registers.append(reg)
+                        self.obs_regs.append(
+                            (f"{process.name}/{reg.name}", reg))
+
+        #: FSM state-name -> index per timed process (keyed by id).
+        self.fsm_index: Dict[int, Dict[str, int]] = {}
+        for process in self.timed:
+            if process.fsm is not None:
+                self.fsm_index[id(process)] = {
+                    s.name: i for i, s in enumerate(process.fsm.states)
+                }
+
+        # Channels driven by untimed outputs feed consumers through a
+        # variable; the untimed behaviour returns interpreter-domain
+        # values, so reads of these variables are float/Fx-typed (fmt None
+        # in the override means "already a Python value", handled by the
+        # quantize slow path).
+        for chan in system.channels:
+            producer = chan.producer
+            if producer is not None and isinstance(producer.process,
+                                                  UntimedProcess):
+                var = (f"u_{_sanitize(producer.process.name)}"
+                       f"_{_sanitize(producer.name)}")
+                self.untimed_out_var[(producer.process, producer.name)] = var
+
+        self.overrides: Dict[Sig, Tuple[str, Optional[FxFormat]]] = {}
+        for chan in system.channels:
+            producer = chan.producer
+            if producer is not None and isinstance(producer.process,
+                                                  UntimedProcess):
+                var = self.untimed_out_var[(producer.process, producer.name)]
+                for consumer in chan.consumers:
+                    if consumer.sig is not None:
+                        # The variable holds an interpreter-domain value
+                        # (whatever the untimed behaviour returned: Fx, int
+                        # or float), so reads go through the exact slow
+                        # quantization path rather than raw-integer codegen.
+                        self.overrides[consumer.sig] = (var, None)
+            if producer is None:
+                for consumer in chan.consumers:
+                    if consumer.sig is not None:
+                        var = f"pin_{_sanitize(chan.name)}"
+                        self.overrides[consumer.sig] = (var, consumer.sig.fmt)
+                        if consumer.sig.fmt is not None:
+                            self.pin_fmts[chan.name] = consumer.sig.fmt
+
+        # The globally scheduled assignment order (with structured guards)
+        # plus interleaved untimed processes.
+        nodes, edges = self._build_graph()
+        self.order = _toposort(nodes, edges, system.name)
+
+    # -- signal references --------------------------------------------------------
+
+    def resolve(self, sig: Sig) -> Sig:
+        alias = self._alias
+        while sig in alias:
+            sig = alias[sig]
+        return sig
+
+    def sig_ref(self, sig: Sig) -> Tuple[str, Optional[FxFormat]]:
+        sig = self.resolve(sig)
+        if isinstance(sig, Register):
+            return self.reg_name(sig, sig.name), sig.fmt
+        return self.sig_name(sig, sig.name), sig.fmt
+
+    def sig_ref_full(self, sig: Sig) -> Tuple[str, Optional[FxFormat]]:
+        if sig in self.overrides:
+            return self.overrides[sig]
+        return self.sig_ref(sig)
+
+    # The lowering resolves aliases up front so one producing signal is
+    # one IR read; override signals keep their identity (their variable
+    # is the canonical reference).
+    def ir_resolve(self, sig: Sig) -> Sig:
+        if sig in self.overrides:
+            return sig
+        return self.resolve(sig)
+
+    def ir_leaf_fmt(self, sig: Sig) -> Optional[FxFormat]:
+        return self.sig_ref_full(sig)[1]
+
+    def new_lowerer(self) -> Lowerer:
+        return Lowerer(leaf_fmt=self.ir_leaf_fmt, resolve=self.ir_resolve)
+
+    def watch_ref(self, chan: Channel) -> Tuple[str, Optional[FxFormat]]:
+        """Variable reference and format of one watched channel."""
+        producer = chan.producer
+        if producer is None:
+            return f"pins.get({chan.name!r}, 0)", None
+        if isinstance(producer.process, UntimedProcess):
+            return (self.untimed_out_var[(producer.process, producer.name)],
+                    None)
+        # A watched register sees the pre-edge value, like the cycle
+        # scheduler (the commit happens after the watch emission).
+        return self.sig_ref_full(producer.sig)
+
+    # -- schedule -----------------------------------------------------------------
+
+    def _build_graph(self):
+        """Nodes: (process, assignment, guard) triples and untimed processes."""
+        nodes: List = []
+        produces: Dict[Sig, object] = {}
+        resolve = self.resolve
+
+        for process in self.timed:
+            transitions = _global_transitions(process)
+            sfg_guard: Dict[int, Guard] = {}
+            for sfg in process.static_sfgs:
+                sfg_guard[id(sfg)] = None
+            if process.fsm is not None:
+                sfg_trs: Dict[int, List[int]] = {}
+                for t_index, transition in enumerate(transitions):
+                    for sfg in transition.sfgs:
+                        sfg_trs.setdefault(id(sfg), []).append(t_index)
+                for sfg in process.fsm.sfgs():
+                    if id(sfg) in sfg_guard:
+                        continue
+                    trs = sfg_trs.get(id(sfg), [])
+                    if len(trs) == len(transitions):
+                        sfg_guard[id(sfg)] = None
+                    else:
+                        sfg_guard[id(sfg)] = (process, tuple(sorted(trs)))
+            for sfg in process.all_sfgs():
+                guard = sfg_guard[id(sfg)]
+                for assignment in sfg.ordered_assignments():
+                    node = (process, assignment, guard)
+                    nodes.append(node)
+                    target = resolve(assignment.target)
+                    if not target.is_register():
+                        produces[target] = node
+
+        for process in self.untimed:
+            nodes.append(process)
+            for port in process.out_ports():
+                chan = port.channel
+                if chan is None:
+                    continue
+                for consumer in chan.consumers:
+                    if consumer.sig is not None:
+                        produces[consumer.sig] = process
+
+        edges: Dict[int, List] = {id(n): [] for n in nodes}
+
+        def add_edge(src_node, dst_node):
+            edges[id(src_node)].append(dst_node)
+
+        for node in nodes:
+            if isinstance(node, tuple):
+                _process, assignment, _guard = node
+                for sig in assignment.reads():
+                    source = produces.get(resolve(sig))
+                    if source is not None and source is not node:
+                        add_edge(source, node)
+            else:
+                process = node
+                for port in process.in_ports():
+                    chan = port.channel
+                    if chan is None or chan.producer is None:
+                        continue
+                    src_port = chan.producer
+                    if isinstance(src_port.process, UntimedProcess):
+                        add_edge(src_port.process, node)
+                    else:
+                        src_sig = resolve(src_port.sig)
+                        if src_sig.is_register():
+                            continue
+                        source = produces.get(src_sig)
+                        if source is not None:
+                            add_edge(source, node)
+        return nodes, edges
+
+
 class CompiledSimulator:
     """Generate, compile and run an application-specific simulator.
 
@@ -269,7 +508,8 @@ class CompiledSimulator:
     def __init__(self, system: System, watch: Sequence[Channel] = (),
                  optimize: bool = True, obs=None):
         self.system = system
-        self.watch = list(watch)
+        self.layout = SystemLayout(system, watch)
+        self.watch = self.layout.watch
         self.optimize = optimize
         self.cycle = 0
         self.outputs: Dict[str, object] = {}
@@ -349,108 +589,27 @@ class CompiledSimulator:
         self.ir_op_count += block.op_count()
         return block
 
+    @staticmethod
+    def _guard_code(guard: Guard) -> Optional[str]:
+        """Render a structured guard as a one-lane Python condition."""
+        if guard is None:
+            return None
+        process, trs = guard
+        pname = _sanitize(process.name)
+        if len(trs) == 1:
+            return f"tr_{pname} == {trs[0]}"
+        options = ", ".join(str(t) for t in trs)
+        return f"tr_{pname} in ({options})"
+
     def _generate(self) -> str:
-        system = self.system
-        timed = system.timed_processes()
-        untimed = system.untimed_processes()
-        sig_name = _Namer("s")
-        reg_name = _Namer("r")
-        self._pin_fmts: Dict[str, FxFormat] = {}
-
-        # Map every timed input-port signal to its channel's producing sig.
-        alias: Dict[Sig, Sig] = {}
-        pin_channels: List[Channel] = []
-        untimed_out_var: Dict[Tuple[UntimedProcess, str], str] = {}
-        for chan in system.channels:
-            driver_sig = None
-            if chan.producer is not None and chan.producer.sig is not None:
-                driver_sig = chan.producer.sig
-            for consumer in chan.consumers:
-                if consumer.sig is not None and driver_sig is not None:
-                    alias[consumer.sig] = driver_sig
-            if chan.producer is None:
-                pin_channels.append(chan)
-
-        def resolve(sig: Sig) -> Sig:
-            while sig in alias:
-                sig = alias[sig]
-            return sig
-
-        def sig_ref(sig: Sig) -> Tuple[str, Optional[FxFormat]]:
-            sig = resolve(sig)
-            if isinstance(sig, Register):
-                return reg_name(sig, sig.name), sig.fmt
-            return sig_name(sig, sig.name), sig.fmt
-
-        # Collect all registers and FSMs.  The hierarchical names are the
-        # same ones repro.obs.register_watchlist derives for the cycle
-        # scheduler — identical traversal, so cross-engine toggle counts
-        # line up signal for signal.
-        registers: List[Register] = []
-        seen_regs: Set[int] = set()
-        obs_regs: List[Tuple[str, Register]] = []
-        for process in timed:
-            for sfg in process.all_sfgs():
-                for reg in sfg.registers():
-                    if id(reg) not in seen_regs:
-                        seen_regs.add(id(reg))
-                        registers.append(reg)
-                        obs_regs.append((f"{process.name}/{reg.name}", reg))
-
-        # Channels driven by untimed outputs feed consumers through a variable;
-        # the untimed behaviour returns interpreter-domain values, so reads of
-        # these variables are float/Fx-typed (fmt None in the override means
-        # "already a Python value", handled by the quantize slow path).
-        for chan in system.channels:
-            producer = chan.producer
-            if producer is not None and isinstance(producer.process, UntimedProcess):
-                var = f"u_{_sanitize(producer.process.name)}_{_sanitize(producer.name)}"
-                untimed_out_var[(producer.process, producer.name)] = var
-
-        overrides: Dict[Sig, Tuple[str, Optional[FxFormat]]] = {}
-        for chan in system.channels:
-            producer = chan.producer
-            if producer is not None and isinstance(producer.process, UntimedProcess):
-                var = untimed_out_var[(producer.process, producer.name)]
-                for consumer in chan.consumers:
-                    if consumer.sig is not None:
-                        # The variable holds an interpreter-domain value
-                        # (whatever the untimed behaviour returned: Fx, int
-                        # or float), so reads go through the exact slow
-                        # quantization path rather than raw-integer codegen.
-                        overrides[consumer.sig] = (var, None)
-            if producer is None:
-                for consumer in chan.consumers:
-                    if consumer.sig is not None:
-                        var = f"pin_{_sanitize(chan.name)}"
-                        overrides[consumer.sig] = (var, consumer.sig.fmt)
-                        if consumer.sig.fmt is not None:
-                            self._pin_fmts[chan.name] = consumer.sig.fmt
-
-        def sig_ref_full(sig: Sig) -> Tuple[str, Optional[FxFormat]]:
-            if sig in overrides:
-                return overrides[sig]
-            return sig_ref(sig)
-
-        # The lowering resolves aliases up front so one producing signal is
-        # one IR read; override signals keep their identity (their variable
-        # is the canonical reference).
-        def ir_resolve(sig: Sig) -> Sig:
-            if sig in overrides:
-                return sig
-            return resolve(sig)
-
-        def ir_leaf_fmt(sig: Sig) -> Optional[FxFormat]:
-            return sig_ref_full(sig)[1]
-
-        emitter = _PyEmitter(sig_ref_full)
-
-        def new_lowerer() -> Lowerer:
-            return Lowerer(leaf_fmt=ir_leaf_fmt, resolve=ir_resolve)
-
-        # -- global schedule over assignments and untimed processes ------------
-        nodes, edges = self._build_graph(timed, untimed, resolve)
-        order = _toposort(nodes, edges, system.name)
+        layout = self.layout
+        timed = layout.timed
+        sig_name = layout.sig_name
+        reg_name = layout.reg_name
+        self._pin_fmts = layout.pin_fmts
+        registers = layout.registers
+        fsm_index = layout.fsm_index
+        emitter = _PyEmitter(layout.sig_ref_full)
 
         # -- emit -------------------------------------------------------------------
         lines: List[str] = []
@@ -464,11 +623,9 @@ class CompiledSimulator:
         for reg in registers:
             init = reg.init.raw if isinstance(reg.init, Fx) else repr(reg.init)
             emit(f"    {reg_name(reg, reg.name)} = {init}")
-        fsm_index: Dict[int, Dict[str, int]] = {}
         for process in timed:
             if process.fsm is not None:
-                states = {s.name: i for i, s in enumerate(process.fsm.states)}
-                fsm_index[id(process)] = states
+                states = fsm_index[id(process)]
                 emit(f"    st_{_sanitize(process.name)} = "
                      f"{states[process.fsm.initial_state.name]}")
 
@@ -477,7 +634,7 @@ class CompiledSimulator:
 
         def condition_code(expr) -> Tuple[str, Optional[int]]:
             """Lower, optimize and inline-render one FSM guard."""
-            lowerer = new_lowerer()
+            lowerer = layout.new_lowerer()
             lowerer.lower_expr(expr)
             block = self._optimized(lowerer.block)
             refs = emitter.render(block, lines=None, allow_temps=False)
@@ -486,12 +643,10 @@ class CompiledSimulator:
             return refs[root], block.ops[root].frac
 
         # Phase 0: transition selection for every FSM.
-        tr_var: Dict[int, str] = {}
         for process in timed:
             if process.fsm is None:
                 continue
             pname = _sanitize(process.name)
-            tr_var[id(process)] = f"tr_{pname}"
             states = fsm_index[id(process)]
             b(f"        # phase 0: {process.name} transition select")
             first_state = True
@@ -536,7 +691,7 @@ class CompiledSimulator:
                       f"'FSM {process.name}: no transition from {state.name}')")
 
         # Pin reads.
-        for chan in pin_channels:
+        for chan in layout.pin_channels:
             var = f"pin_{_sanitize(chan.name)}"
             default = 0
             b(f"        {var} = pins.get({chan.name!r}, {default})")
@@ -545,7 +700,7 @@ class CompiledSimulator:
             """Lower one same-guard run of assignments as a single block."""
             if not group:
                 return
-            guard = group[0][2]
+            guard = self._guard_code(group[0][2])
             indent = "        "
             if guard is not None:
                 b(f"        if {guard}:")
@@ -561,7 +716,7 @@ class CompiledSimulator:
                 prof_index = len(self._obs_block_labels)
                 self._obs_block_labels.append(label)
                 b(f"{indent}_obs_t = _obs_perf()")
-            lowerer = new_lowerer()
+            lowerer = layout.new_lowerer()
             for _process, assignment, _guard in group:
                 lowerer.lower_assignment(assignment)
             block = self._optimized(lowerer.block)
@@ -583,7 +738,7 @@ class CompiledSimulator:
         untimed_name = _Namer("beh")
         self._env_behaviors: Dict[str, Callable] = {}
         group: List[tuple] = []
-        for node in order:
+        for node in layout.order:
             if isinstance(node, tuple):
                 if group and group[0][2] != node[2]:
                     flush_group(group)
@@ -603,10 +758,11 @@ class CompiledSimulator:
                         expr_code = f"pins.get({chan.name!r}, 0)" if chan else "0"
                         fmt = None
                     elif isinstance(src.process, UntimedProcess):
-                        expr_code = untimed_out_var[(src.process, src.name)]
+                        expr_code = layout.untimed_out_var[
+                            (src.process, src.name)]
                         fmt = None
                     else:
-                        expr_code, fmt = sig_ref_full(src.sig)
+                        expr_code, fmt = layout.sig_ref_full(src.sig)
                     if fmt is not None:
                         args.append(
                             f"{port.name}=Fx(raw={expr_code}, fmt={_fmt_ref(fmt)})"
@@ -616,14 +772,14 @@ class CompiledSimulator:
                 result_var = f"res_{_sanitize(process.name)}"
                 b(f"        {result_var} = {fn}({', '.join(args)})")
                 for port in process.out_ports():
-                    var = untimed_out_var.get((process, port.name))
+                    var = layout.untimed_out_var.get((process, port.name))
                     if var is not None:
                         b(f"        {var} = {result_var}[{port.name!r}]")
         flush_group(group)
 
         # Watched outputs.
         for chan in self.watch:
-            value_code, fmt = self._watch_ref(chan, sig_ref_full, untimed_out_var)
+            value_code, fmt = layout.watch_ref(chan)
             if fmt is not None:
                 b(f"        outputs[{chan.name!r}] = "
                   f"Fx(raw={value_code}, fmt={_fmt_ref(fmt)})")
@@ -649,7 +805,8 @@ class CompiledSimulator:
         if self.obs is not None:
             obs_fsms = [(f"{p.name}/{p.fsm.name}", p.fsm)
                         for p in timed if p.fsm is not None]
-            self._obs_hook = self.obs.compiled_observer(obs_regs, obs_fsms)
+            self._obs_hook = self.obs.compiled_observer(
+                layout.obs_regs, obs_fsms)
         if self._obs_hook is not None:
             regs_args = ", ".join(reg_name(reg, reg.name)
                                   for reg in registers)
@@ -736,94 +893,6 @@ class CompiledSimulator:
             self._env["_obs_block"] = (
                 lambda index, dt: profile.add(labels[index], dt))
         return source
-
-    def _watch_ref(self, chan: Channel, sig_ref_full, untimed_out_var):
-        producer = chan.producer
-        if producer is None:
-            return f"pins.get({chan.name!r}, 0)", None
-        if isinstance(producer.process, UntimedProcess):
-            return untimed_out_var[(producer.process, producer.name)], None
-        code, fmt = sig_ref_full(producer.sig)
-        if isinstance(producer.sig, Register):
-            # Watch sees the pre-edge value, like the cycle scheduler.
-            pass
-        return code, fmt
-
-    def _build_graph(self, timed, untimed, resolve):
-        """Nodes: (process, assignment, guard) triples and untimed processes."""
-        nodes: List = []
-        produces: Dict[Sig, object] = {}
-
-        for process in timed:
-            transitions = _global_transitions(process)
-            sfg_guard: Dict[int, Optional[str]] = {}
-            pname = _sanitize(process.name)
-            for sfg in process.static_sfgs:
-                sfg_guard[id(sfg)] = None
-            if process.fsm is not None:
-                sfg_trs: Dict[int, List[int]] = {}
-                for t_index, transition in enumerate(transitions):
-                    for sfg in transition.sfgs:
-                        sfg_trs.setdefault(id(sfg), []).append(t_index)
-                for sfg in process.fsm.sfgs():
-                    if id(sfg) in sfg_guard:
-                        continue
-                    trs = sfg_trs.get(id(sfg), [])
-                    if len(trs) == len(transitions):
-                        sfg_guard[id(sfg)] = None
-                    elif len(trs) == 1:
-                        sfg_guard[id(sfg)] = f"tr_{pname} == {trs[0]}"
-                    else:
-                        options = ", ".join(str(t) for t in sorted(trs))
-                        sfg_guard[id(sfg)] = f"tr_{pname} in ({options})"
-            for sfg in process.all_sfgs():
-                guard = sfg_guard[id(sfg)]
-                for assignment in sfg.ordered_assignments():
-                    node = (process, assignment, guard)
-                    nodes.append(node)
-                    target = resolve(assignment.target)
-                    if not target.is_register():
-                        produces[target] = node
-
-        for process in untimed:
-            nodes.append(process)
-            for port in process.out_ports():
-                chan = port.channel
-                if chan is None:
-                    continue
-                for consumer in chan.consumers:
-                    if consumer.sig is not None:
-                        produces[consumer.sig] = process
-
-        edges: Dict[int, List] = {id(n): [] for n in nodes}
-
-        def add_edge(src_node, dst_node):
-            edges[id(src_node)].append(dst_node)
-
-        for node in nodes:
-            if isinstance(node, tuple):
-                _process, assignment, _guard = node
-                for sig in assignment.reads():
-                    source = produces.get(resolve(sig))
-                    if source is not None and source is not node:
-                        add_edge(source, node)
-            else:
-                process = node
-                for port in process.in_ports():
-                    chan = port.channel
-                    if chan is None or chan.producer is None:
-                        continue
-                    src_port = chan.producer
-                    if isinstance(src_port.process, UntimedProcess):
-                        add_edge(src_port.process, node)
-                    else:
-                        src_sig = resolve(src_port.sig)
-                        if src_sig.is_register():
-                            continue
-                        source = produces.get(src_sig)
-                        if source is not None:
-                            add_edge(source, node)
-        return nodes, edges
 
 
 def _global_transitions(process: TimedProcess):

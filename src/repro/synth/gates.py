@@ -86,3 +86,38 @@ def evaluate_gate(kind: GateKind, inputs) -> int:
     if kind is GateKind.MUX2:
         return inputs[1] if inputs[0] else inputs[2]
     raise ValueError(f"cannot evaluate {kind} combinationally")
+
+
+def evaluate_gate_word(kind: GateKind, inputs, mask: int) -> int:
+    """Word-parallel boolean function of one cell.
+
+    Bit L of every operand carries lane L's value, so one bitwise Python
+    operation evaluates the cell for ``mask.bit_length()`` independent
+    stimulus vectors at once — the classic bit-sliced simulation trick.
+    *mask* is ``(1 << lanes) - 1``; every result is masked to it, and with
+    ``mask == 1`` this degenerates exactly to :func:`evaluate_gate`.
+    """
+    if kind is GateKind.CONST0:
+        return 0
+    if kind is GateKind.CONST1:
+        return mask
+    if kind is GateKind.BUF:
+        return inputs[0]
+    if kind is GateKind.INV:
+        return inputs[0] ^ mask
+    if kind is GateKind.AND2:
+        return inputs[0] & inputs[1]
+    if kind is GateKind.OR2:
+        return inputs[0] | inputs[1]
+    if kind is GateKind.NAND2:
+        return (inputs[0] & inputs[1]) ^ mask
+    if kind is GateKind.NOR2:
+        return (inputs[0] | inputs[1]) ^ mask
+    if kind is GateKind.XOR2:
+        return inputs[0] ^ inputs[1]
+    if kind is GateKind.XNOR2:
+        return (inputs[0] ^ inputs[1]) ^ mask
+    if kind is GateKind.MUX2:
+        sel = inputs[0]
+        return (sel & inputs[1]) | ((sel ^ mask) & inputs[2])
+    raise ValueError(f"cannot evaluate {kind} combinationally")

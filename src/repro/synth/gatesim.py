@@ -5,41 +5,79 @@ synthesis, three orders of magnitude slower than compiled behavioural
 simulation because every cell is evaluated every cycle.  The simulator
 levelizes the combinational gates once, then evaluates the whole array
 per clock cycle and finally clocks the DFFs.
+
+Word-parallel lanes
+-------------------
+The netlist defines *what* every net computes; ``lanes`` decides *how
+many* independent stimulus vectors evaluate it per step.  Each entry of
+:attr:`values` is an int whose bit L holds lane L's boolean, so one
+bitwise Python operation per gate simulates all lanes at once (classic
+bit-sliced simulation; ``lanes=64`` fills a machine word).  ``lanes=1``
+is bit-exact with the historical scalar simulator.  Saboteurs
+(:meth:`force` / :meth:`flip`) take a lane subset, which is what lets a
+fault campaign map one fault universe per bit-lane.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.errors import SimulationError
-from .gates import GateKind, evaluate_gate
+from .gates import GateKind, evaluate_gate, evaluate_gate_word
 from .netlist import Net, Netlist
 
 
-class GateSimulator:
-    """Cycle-based two-valued simulation of a :class:`Netlist`."""
+def _lane_mask(lanes: Optional[Iterable[int]], all_mask: int) -> int:
+    """An iterable of lane indices (or None = every lane) as a bit mask."""
+    if lanes is None:
+        return all_mask
+    mask = 0
+    for lane in lanes:
+        mask |= 1 << lane
+    return mask & all_mask
 
-    def __init__(self, netlist: Netlist, obs=None):
+
+class GateSimulator:
+    """Cycle-based two-valued simulation of a :class:`Netlist`.
+
+    ``lanes`` independent stimulus vectors run per step (default 1); all
+    lanes share the netlist and the clock, and differ only in pin values
+    and injected faults.
+    """
+
+    def __init__(self, netlist: Netlist, obs=None, lanes: int = 1):
+        if lanes < 1:
+            raise SimulationError(f"lanes must be >= 1, got {lanes}")
         self.netlist = netlist
+        self.lanes = lanes
+        self.lane_mask = (1 << lanes) - 1
+        #: Lane-packed net values: bit L of ``values[net]`` is lane L.
         self.values: List[int] = [0] * netlist._net_count
         self._order = netlist.levelize()
         self._dffs = netlist.dffs()
         for dff in self._dffs:
-            self.values[dff.output] = dff.init
+            self.values[dff.output] = -(dff.init & 1) & self.lane_mask
         self.cycle = 0
         self.monitors = []
+        #: Word-level gate evaluations performed so far (one per gate per
+        #: settle, independent of lane count — the denominator of the
+        #: batched campaign's "fewer gate-evaluation steps" claim).
+        self.gate_evals = 0
         #: Optional :class:`repro.obs.Capture` instrumenting this run.
         self.obs = obs
         if obs is not None:
             monitor = obs.gate_monitor(self)
             if monitor is not None:
                 self.monitors.append(monitor)
-        #: Saboteur hooks: nets forced to a constant value (stuck-at
+        #: Saboteur hooks: nets forced to constant values (stuck-at
         #: faults) and nets whose settled value is inverted during
-        #: propagation (transient bit flips).  Managed with
-        #: :meth:`force`, :meth:`flip` and :meth:`release`.
-        self._forces: Dict[Net, int] = {}
-        self._flips: set = set()
+        #: propagation (transient bit flips), each on a lane subset.
+        #: ``_forces[net]`` is ``(set_mask, bits)`` — lanes in *set_mask*
+        #: read the corresponding bit of *bits*; ``_flips[net]`` is an
+        #: xor mask.  Managed with :meth:`force`, :meth:`flip` and
+        #: :meth:`release`.
+        self._forces: Dict[Net, Tuple[int, int]] = {}
+        self._flips: Dict[Net, int] = {}
         self._comb_driven = {gate.output for gate in self._order}
         # Settle the combinational logic against the initial state.
         self._propagate()
@@ -47,90 +85,180 @@ class GateSimulator:
     # -- pin access ------------------------------------------------------------
 
     def set_input(self, name: str, raw: int) -> None:
-        """Drive a primary input bus with two's-complement *raw*."""
+        """Drive a primary input bus with two's-complement *raw*.
+
+        The value is broadcast to every lane; use :meth:`set_input_lanes`
+        for per-lane stimulus.
+        """
+        bus = self._input_bus(name)
+        mask = self.lane_mask
+        for i, net in enumerate(bus):
+            self.values[net] = -((raw >> i) & 1) & mask
+
+    def set_input_lanes(self, name: str, raws: Sequence[int]) -> None:
+        """Drive a primary input bus with one raw value per lane."""
+        bus = self._input_bus(name)
+        if len(raws) != self.lanes:
+            raise SimulationError(
+                f"input {name!r}: got {len(raws)} values for "
+                f"{self.lanes} lanes"
+            )
+        for i, net in enumerate(bus):
+            packed = 0
+            for lane, raw in enumerate(raws):
+                packed |= ((raw >> i) & 1) << lane
+            self.values[net] = packed
+
+    def _input_bus(self, name: str) -> Sequence[Net]:
         try:
-            bus = self.netlist.inputs[name]
+            return self.netlist.inputs[name]
         except KeyError:
             raise SimulationError(
                 f"netlist {self.netlist.name!r} has no input {name!r}"
             ) from None
-        for i, net in enumerate(bus):
-            self.values[net] = (raw >> i) & 1
 
-    def read_bus(self, nets: Sequence[Net], signed: bool = True) -> int:
-        """Read a bus as a two's-complement (or unsigned) integer."""
+    def read_bus(self, nets: Sequence[Net], signed: bool = True,
+                 lane: int = 0) -> int:
+        """Read one lane of a bus as a two's-complement (or unsigned) int."""
         raw = 0
         for i, net in enumerate(nets):
-            raw |= self.values[net] << i
+            raw |= ((self.values[net] >> lane) & 1) << i
         if signed and nets and (raw >> (len(nets) - 1)) & 1:
             raw -= 1 << len(nets)
         return raw
 
-    def output(self, name: str, signed: bool = True) -> int:
-        """Read a primary output bus."""
+    def read_bus_lanes(self, nets: Sequence[Net],
+                       signed: bool = True) -> List[int]:
+        """Read a bus on every lane: one integer per lane."""
+        return [self.read_bus(nets, signed, lane)
+                for lane in range(self.lanes)]
+
+    def output(self, name: str, signed: bool = True, lane: int = 0) -> int:
+        """Read one lane of a primary output bus."""
+        return self.read_bus(self._output_bus(name), signed, lane)
+
+    def output_lanes(self, name: str, signed: bool = True) -> List[int]:
+        """Read a primary output bus on every lane."""
+        return self.read_bus_lanes(self._output_bus(name), signed)
+
+    def _output_bus(self, name: str) -> Sequence[Net]:
         try:
-            bus = self.netlist.outputs[name]
+            return self.netlist.outputs[name]
         except KeyError:
             raise SimulationError(
                 f"netlist {self.netlist.name!r} has no output {name!r}"
             ) from None
-        return self.read_bus(bus, signed)
 
     # -- fault injection ---------------------------------------------------------
 
-    def force(self, net: Net, value: int) -> None:
+    def force(self, net: Net, value: int,
+              lanes: Optional[Iterable[int]] = None) -> None:
         """Stuck-at saboteur: hold *net* at *value* until released.
 
         The force overrides the driving gate (or pin / DFF output) during
         every propagation, and propagates through the downstream cone —
-        the standard stuck-at fault model.
+        the standard stuck-at fault model.  *lanes* restricts the
+        saboteur to a lane subset (default: every lane), so different
+        lanes can carry different faults.
         """
-        self._forces[net] = value & 1
+        lm = _lane_mask(lanes, self.lane_mask)
+        bits = -(value & 1) & lm
+        set_mask, old_bits = self._forces.get(net, (0, 0))
+        self._forces[net] = (set_mask | lm, (old_bits & ~lm) | bits)
 
-    def flip(self, net: Net) -> None:
+    def flip(self, net: Net, lanes: Optional[Iterable[int]] = None) -> None:
         """Transient saboteur: invert *net*'s settled value while armed.
 
         Models a single-event upset; arm before a :meth:`step` and
-        :meth:`release` afterwards for a one-cycle bit flip.
+        :meth:`release` afterwards for a one-cycle bit flip.  *lanes*
+        restricts the flip to a lane subset.
         """
-        self._flips.add(net)
+        self._flips[net] = self._flips.get(net, 0) \
+            | _lane_mask(lanes, self.lane_mask)
 
-    def release(self, net: Optional[Net] = None) -> None:
-        """Remove one injected fault (or all of them when *net* is None)."""
-        if net is None:
-            self._forces.clear()
-            self._flips.clear()
-        else:
-            self._forces.pop(net, None)
-            self._flips.discard(net)
+    def release(self, net: Optional[Net] = None,
+                lanes: Optional[Iterable[int]] = None) -> None:
+        """Remove injected faults.
+
+        ``release()`` clears everything; ``release(net)`` clears both
+        saboteurs on one net; *lanes* restricts either form to a lane
+        subset.
+        """
+        if lanes is None:
+            if net is None:
+                self._forces.clear()
+                self._flips.clear()
+            else:
+                self._forces.pop(net, None)
+                self._flips.pop(net, None)
+            return
+        lm = _lane_mask(lanes, self.lane_mask)
+        targets = [net] if net is not None else \
+            list(self._forces.keys() | self._flips.keys())
+        for target in targets:
+            got = self._forces.get(target)
+            if got is not None:
+                set_mask, bits = got
+                set_mask &= ~lm
+                if set_mask:
+                    self._forces[target] = (set_mask, bits & set_mask)
+                else:
+                    self._forces.pop(target, None)
+            fm = self._flips.get(target)
+            if fm is not None:
+                fm &= ~lm
+                if fm:
+                    self._flips[target] = fm
+                else:
+                    self._flips.pop(target, None)
 
     # -- simulation -------------------------------------------------------------------
 
     def _propagate(self) -> None:
         values = self.values
+        order = self._order
+        mask = self.lane_mask
+        self.gate_evals += len(order)
         if not self._forces and not self._flips:
-            for gate in self._order:
-                values[gate.output] = evaluate_gate(
-                    gate.kind, [values[n] for n in gate.inputs]
+            if mask == 1:
+                # Scalar fast path: identical to the historical simulator.
+                for gate in order:
+                    values[gate.output] = evaluate_gate(
+                        gate.kind, [values[n] for n in gate.inputs]
+                    )
+                return
+            for gate in order:
+                values[gate.output] = evaluate_gate_word(
+                    gate.kind, [values[n] for n in gate.inputs], mask
                 )
             return
         forces, flips = self._forces, self._flips
         # Faults on pins and DFF outputs (no combinational driver) apply
         # before the array evaluation; the rest are applied in place.
-        for net, value in forces.items():
+        # A force beats a flip on the same (net, lane).
+        for net, (set_mask, bits) in forces.items():
             if net not in self._comb_driven:
-                values[net] = value
-        for net in flips:
-            if net not in self._comb_driven and net not in forces:
-                values[net] ^= 1
-        for gate in self._order:
+                values[net] = (values[net] & ~set_mask) | bits
+        for net, flip_mask in flips.items():
+            if net not in self._comb_driven:
+                got = forces.get(net)
+                if got is not None:
+                    flip_mask &= ~got[0]
+                values[net] ^= flip_mask
+        for gate in order:
             out = gate.output
-            if out in forces:
-                values[out] = forces[out]
-                continue
-            value = evaluate_gate(gate.kind, [values[n] for n in gate.inputs])
-            if out in flips:
-                value ^= 1
+            value = evaluate_gate_word(
+                gate.kind, [values[n] for n in gate.inputs], mask
+            )
+            got = forces.get(out)
+            if got is not None:
+                set_mask, bits = got
+                value = (value & ~set_mask) | bits
+            flip_mask = flips.get(out)
+            if flip_mask is not None:
+                if got is not None:
+                    flip_mask &= ~got[0]
+                value ^= flip_mask
             values[out] = value
 
     #: Hooks called after the logic settles, before the clock edge — the
@@ -138,11 +266,18 @@ class GateSimulator:
     #: cycle scheduler's pre-commit monitors).
     monitors: List = None
 
-    def step(self, inputs: Optional[Mapping[str, int]] = None) -> None:
-        """One clock cycle: drive pins, settle logic, sample, clock DFFs."""
+    def step(self, inputs: Optional[Mapping[str, object]] = None) -> None:
+        """One clock cycle: drive pins, settle logic, sample, clock DFFs.
+
+        Scalar int pin values broadcast to every lane; list/tuple values
+        carry one raw per lane.
+        """
         if inputs:
             for name, raw in inputs.items():
-                self.set_input(name, raw)
+                if isinstance(raw, (list, tuple)):
+                    self.set_input_lanes(name, raw)
+                else:
+                    self.set_input(name, raw)
         self._propagate()
         if self.monitors:
             for monitor in self.monitors:
@@ -159,22 +294,49 @@ class GateSimulator:
         for _ in range(cycles):
             self.step(inputs_fn(self.cycle) if inputs_fn else None)
 
-    def settled_outputs(self) -> Dict[str, int]:
-        """All primary outputs after the last settle."""
-        return {name: self.output(name) for name in self.netlist.outputs}
+    def run_batch(self, batch) -> None:
+        """Run a :class:`repro.sim.stimuli.StimulusBatch` to completion.
+
+        The batch's lane count must match the simulator's.
+        """
+        if batch.lanes != self.lanes:
+            raise SimulationError(
+                f"stimulus batch has {batch.lanes} lanes, "
+                f"simulator has {self.lanes}"
+            )
+        for cycle in range(batch.cycles):
+            self.step(batch.pins_at(cycle))
+
+    def settled_outputs(self, lane: int = 0) -> Dict[str, int]:
+        """All primary outputs of one lane after the last settle."""
+        return {name: self.output(name, lane=lane)
+                for name in self.netlist.outputs}
+
+    def settled_outputs_lanes(self) -> Dict[str, List[int]]:
+        """All primary outputs of every lane after the last settle."""
+        return {name: self.output_lanes(name)
+                for name in self.netlist.outputs}
 
     # -- checkpoint / restore ---------------------------------------------------------
 
     def save_state(self) -> Dict[str, object]:
         """Deterministic checkpoint: every net value plus the cycle count.
 
-        Injected faults are *not* part of the checkpoint — restoring a
-        golden snapshot into a sabotaged simulator keeps the saboteurs
-        armed, which is exactly what a fault campaign needs.
+        The checkpoint is lane-aware: it records the simulator's lane
+        count and every lane-packed net word.  Injected faults are *not*
+        part of the checkpoint — restoring a golden snapshot into a
+        sabotaged simulator keeps the saboteurs armed, which is exactly
+        what a fault campaign needs.
         """
-        return {"cycle": self.cycle, "values": list(self.values)}
+        return {"cycle": self.cycle, "values": list(self.values),
+                "lanes": self.lanes}
 
     def restore_state(self, state: Dict[str, object]) -> None:
         """Restore a checkpoint taken with :meth:`save_state`."""
+        lanes = state.get("lanes", 1)
+        if lanes != self.lanes:
+            raise SimulationError(
+                f"checkpoint has {lanes} lanes, simulator has {self.lanes}"
+            )
         self.cycle = state["cycle"]
         self.values[:] = state["values"]

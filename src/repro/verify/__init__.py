@@ -33,6 +33,7 @@ from .faults import (
 from .guard import Watchdog, WatchdogResult, checkpoint, restore
 from .overflow import OverflowWitness, find_overflow_witness
 from .lockstep import (
+    BatchedCompiledAdapter,
     CompiledAdapter,
     CycleAdapter,
     Divergence,
@@ -40,12 +41,15 @@ from .lockstep import (
     EventAdapter,
     GateAdapter,
     Lockstep,
+    ReplicatedAdapter,
 )
 
 __all__ = [
+    "BatchedCompiledAdapter",
     "CampaignReport",
     "CollapseResult",
     "CompiledAdapter",
+    "ReplicatedAdapter",
     "CycleAdapter",
     "Divergence",
     "EngineAdapter",

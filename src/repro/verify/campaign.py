@@ -10,6 +10,20 @@ The campaign reuses one :class:`~repro.synth.gatesim.GateSimulator`
 through the checkpoint/restore guard rail instead of re-levelizing the
 netlist per fault, and accepts a :class:`~repro.verify.guard.Watchdog`
 so long campaigns return partial coverage instead of wedging.
+
+Lane-mapped campaigns
+---------------------
+With ``lanes=N`` the campaign maps the fault universe onto the gate
+simulator's bit-lanes: each chunk of up to N faults runs in *one*
+word-parallel replay — lane L carries fault L's saboteur — so the
+whole chunk costs one golden-replay's worth of gate evaluations
+instead of N.  Detection diffs each output bus's lane-packed words
+against the golden bit pattern, claiming each lane's first divergent
+(cycle, output) in the same order the scalar path checks them, so the
+resulting :class:`CampaignReport` is equal field for field to the
+scalar campaign's.  :attr:`FaultCampaign.gate_evals` (scalar-or-lane
+word evaluations, from :attr:`GateSimulator.gate_evals`) is the
+denominator of the speedup claim.
 """
 
 from __future__ import annotations
@@ -139,16 +153,27 @@ class FaultCampaign:
         Optional wall-clock/cycle budget.  When it expires mid-campaign,
         the report comes back with ``complete=False`` and the remaining
         faults counted as ``skipped`` — partial results, no exception.
+        (The batched path checks the budget per chunk, so a tight budget
+        may cut at a different fault boundary than the scalar path.)
+    lanes:
+        Faults simulated per word-parallel replay.  1 (default) is the
+        historical one-replay-per-fault path; 64 fills a machine word.
+        The report is the same either way.
     """
 
     def __init__(self, netlist: Netlist, stimuli: Stimulus,
                  faults: Optional[Sequence[Fault]] = None,
                  collapse: bool = True,
                  watchdog: Optional[Watchdog] = None,
-                 obs=None):
+                 obs=None, lanes: int = 1):
         self.netlist = netlist
         self.stimuli = [dict(pins) for pins in stimuli]
         self.watchdog = watchdog
+        self.lanes = lanes
+        #: Word-level gate evaluations spent by the last :meth:`run`
+        #: (golden + fault simulation) — compare a ``lanes=64`` campaign
+        #: against a ``lanes=1`` campaign to see the batching win.
+        self.gate_evals = 0
         #: Optional :class:`repro.obs.Capture`: campaign progress and
         #: per-fault outcomes become events on its stream.
         self.obs = obs
@@ -212,6 +237,76 @@ class FaultCampaign:
         if events is not None:
             events.emit(kind, **fields)
 
+    def _simulate_chunk(self, sim: GateSimulator,
+                        chunk: Sequence[tuple],
+                        golden: List[Dict[str, int]],
+                        initial) -> List[FaultResult]:
+        """Simulate up to ``sim.lanes`` faults in one word-parallel replay.
+
+        Lane L carries fault L.  Detection claims, per lane, the first
+        (cycle, output) whose lane-packed bus word differs from the
+        golden bit pattern — outputs checked in the same order as the
+        scalar path, so the recorded fields match it exactly.
+        """
+        sim.release()
+        sim.restore_state(initial)
+        count = len(chunk)
+        active_mask = (1 << count) - 1
+        transients: Dict[int, List[tuple]] = {}
+        for lane, (fault, _size) in enumerate(chunk):
+            if isinstance(fault, StuckAtFault):
+                sim.force(fault.net, fault.value, lanes=[lane])
+            else:
+                transients.setdefault(fault.cycle, []).append(
+                    (lane, fault.net))
+        detections: List[Optional[tuple]] = [None] * count
+        values = sim.values
+        buses = self.netlist.outputs
+        state = {"cycle": 0, "undetected": active_mask}
+
+        def check(_sim) -> None:
+            cycle = state["cycle"]
+            undetected = state["undetected"]
+            for name, value in golden[cycle].items():
+                bus = buses[name]
+                diff = 0
+                for i, net in enumerate(bus):
+                    golden_bits = -((value >> i) & 1) & active_mask
+                    diff |= values[net] ^ golden_bits
+                newly = diff & undetected
+                if newly:
+                    for lane in range(count):
+                        if (newly >> lane) & 1:
+                            detections[lane] = (cycle, name)
+                    undetected &= ~newly
+                    if not undetected:
+                        break
+            state["undetected"] = undetected
+
+        sim.monitors = [check]
+        try:
+            for cycle, pins in enumerate(self.stimuli):
+                armed = transients.get(cycle, ())
+                for lane, net in armed:
+                    sim.flip(net, lanes=[lane])
+                state["cycle"] = cycle
+                sim.step(pins)
+                for lane, net in armed:
+                    sim.release(net, lanes=[lane])
+                if not state["undetected"]:
+                    break
+        finally:
+            sim.monitors = []
+            sim.release()
+        results = []
+        for lane, (fault, _size) in enumerate(chunk):
+            hit = detections[lane]
+            if hit is None:
+                results.append(FaultResult(fault, False))
+            else:
+                results.append(FaultResult(fault, True, hit[0], hit[1]))
+        return results
+
     def run(self) -> CampaignReport:
         """Execute the campaign; always returns a report (never wedges)."""
         golden_sim = GateSimulator(self.netlist)
@@ -227,6 +322,19 @@ class FaultCampaign:
         self._event("campaign_start", netlist=self.netlist.name,
                     cycles=len(self.stimuli), faults=self.total_faults,
                     representatives=len(self._work))
+        if self.lanes > 1:
+            fault_sim = self._run_batched(report, golden)
+        else:
+            fault_sim = self._run_scalar(report, golden, initial)
+        self.gate_evals = golden_sim.gate_evals + fault_sim.gate_evals
+        self._event("campaign_end", netlist=self.netlist.name,
+                    coverage=report.coverage(), complete=report.complete,
+                    skipped=report.skipped,
+                    detected=len(report.detected()))
+        return report
+
+    def _run_scalar(self, report: CampaignReport,
+                    golden: List[Dict[str, int]], initial) -> GateSimulator:
         # One simulator for every fault: restore beats re-levelizing.
         fault_sim = GateSimulator(self.netlist)
         watchdog = self.watchdog
@@ -247,8 +355,38 @@ class FaultCampaign:
             if watchdog is not None:
                 # One tick per fault: max_cycles doubles as a fault budget.
                 watchdog.tick()
-        self._event("campaign_end", netlist=self.netlist.name,
-                    coverage=report.coverage(), complete=report.complete,
-                    skipped=report.skipped,
-                    detected=len(report.detected()))
-        return report
+        return fault_sim
+
+    def _run_batched(self, report: CampaignReport,
+                     golden: List[Dict[str, int]]) -> GateSimulator:
+        # One lane-wide simulator for the whole campaign; its fresh
+        # post-levelize state doubles as the per-chunk restore point
+        # (every lane starts from the same DFF init the golden run did),
+        # and the scalar golden outputs are the reference bit patterns
+        # every lane's packed words are diffed against.
+        fault_sim = GateSimulator(self.netlist, lanes=self.lanes)
+        initial = fault_sim.save_state()
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.start()
+        index = 0
+        work = self._work
+        while index < len(work):
+            if watchdog is not None and watchdog.expired():
+                report.complete = False
+                report.skipped = len(work) - index
+                break
+            chunk = work[index:index + self.lanes]
+            results = self._simulate_chunk(fault_sim, chunk, golden, initial)
+            for (fault, class_size), result in zip(chunk, results):
+                result.class_size = class_size
+                report.results.append(result)
+                self._event("fault", fault=str(fault),
+                            detected=result.detected,
+                            detect_cycle=result.detect_cycle,
+                            detect_output=result.detect_output,
+                            class_size=class_size)
+                if watchdog is not None:
+                    watchdog.tick()
+            index += len(chunk)
+        return fault_sim

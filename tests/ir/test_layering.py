@@ -107,3 +107,44 @@ def test_obs_layer_checker_catches_violations(tmp_path):
     (pkg / "sim" / "cycle.py").write_text(
         "from ..obs.capture import Capture\n")
     assert checker.check_obs_layer(tmp_path) == []
+
+
+def test_lane_layer_contract_holds():
+    checker = _load_checker()
+    violations = checker.check_lane_layer(REPO / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def test_lane_layer_checker_catches_violations(tmp_path):
+    """core/ir/fixpt/lint stay lane-agnostic: no engine imports, no
+    lane/batch-named definitions; engines own that machinery."""
+    checker = _load_checker()
+    pkg = tmp_path / "repro"
+    for sub in ("core", "ir", "fixpt", "lint", "sim", "synth", "verify"):
+        (pkg / sub).mkdir(parents=True)
+        (pkg / sub / "__init__.py").write_text("")
+
+    # A scalar-semantics layer importing an engine is a violation.
+    (pkg / "ir" / "ops.py").write_text(
+        "from ..sim.batched import BatchedCompiledSimulator\n")
+    violations = checker.check_lane_layer(tmp_path)
+    assert violations and "must not depend on an engine" in violations[0]
+    (pkg / "ir" / "ops.py").write_text("")
+
+    # Lane/batch-named machinery in a scalar layer is a violation —
+    # whether a function, an argument or an assigned attribute.
+    (pkg / "core" / "signal.py").write_text(
+        "def evaluate(lane_count):\n    pass\n")
+    violations = checker.check_lane_layer(tmp_path)
+    assert len(violations) == 1 and "lane_count" in violations[0]
+
+    (pkg / "core" / "signal.py").write_text(
+        "class Sig:\n    def __init__(self):\n        self.batch = 1\n")
+    violations = checker.check_lane_layer(tmp_path)
+    assert len(violations) == 1 and "'batch'" in violations[0]
+
+    # The same names inside an engine package are the intended home.
+    (pkg / "core" / "signal.py").write_text("")
+    (pkg / "sim" / "batched.py").write_text(
+        "def step_lanes(lanes):\n    batch = lanes\n    return batch\n")
+    assert checker.check_lane_layer(tmp_path) == []

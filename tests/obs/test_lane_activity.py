@@ -1,0 +1,105 @@
+"""Lane-aware switching-activity accounting.
+
+Toggle counts from a word-parallel engine must equal the sum of N
+scalar runs — and any attempt to mix lane-packed words into the scalar
+toggle path must raise, never silently miscount.
+"""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.obs import ActivityProfile, Capture, ToggleStats
+from repro.synth import GateKind, Netlist
+from repro.synth.gatesim import GateSimulator
+
+
+def _xor_netlist():
+    nl = Netlist("xorpair")
+    a = nl.add_input("a", 2)
+    b = nl.add_input("b", 2)
+    nl.set_output("y", [nl.add(GateKind.XOR2, [a[i], b[i]])
+                        for i in range(2)])
+    return nl
+
+
+class TestLaneToggleStats:
+    def test_lanes_aggregate_like_independent_scalars(self):
+        lane_values = [
+            [0b0000, 0b1111, 0b1010],   # lane 0 trajectory
+            [0b0101, 0b0101, 0b0110],   # lane 1 trajectory
+        ]
+        wide = ToggleStats("s", width=4)
+        narrow = [ToggleStats("s", width=4) for _ in lane_values]
+        for cycle in range(3):
+            wide.observe_raw_lanes([tr[cycle] for tr in lane_values])
+            for stats, tr in zip(narrow, lane_values):
+                stats.observe_raw(tr[cycle])
+        assert wide.samples == sum(s.samples for s in narrow) == 6
+        assert wide.changes == sum(s.changes for s in narrow) == 3
+        assert wide.toggles == sum(s.toggles for s in narrow) == 8
+
+    def test_negative_raws_mask_to_width(self):
+        stats = ToggleStats("s", width=4)
+        stats.observe_raw_lanes([-1, 0])   # 0b1111, 0b0000
+        stats.observe_raw_lanes([0, -1])
+        assert stats.toggles == 8
+
+    def test_scalar_observation_on_lane_record_raises(self):
+        stats = ToggleStats("s", width=4)
+        stats.observe_raw_lanes([1, 2])
+        with pytest.raises(ReproError, match="lane-parallel"):
+            stats.observe_raw(3)
+        with pytest.raises(ReproError, match="lane-parallel"):
+            stats.observe_value(3.0)
+
+    def test_lane_observation_on_scalar_record_raises(self):
+        stats = ToggleStats("s", width=4)
+        stats.observe_raw(1)
+        with pytest.raises(ReproError, match="mix lane widths"):
+            stats.observe_raw_lanes([1, 2])
+
+    def test_lane_count_change_raises(self):
+        stats = ToggleStats("s", width=4)
+        stats.observe_raw_lanes([1, 2, 3])
+        with pytest.raises(ReproError, match="lane count changed"):
+            stats.observe_raw_lanes([1, 2])
+
+
+class TestLaneGateMonitor:
+    def test_word_parallel_monitor_matches_scalar_sum(self):
+        programs = [
+            [{"a": 0, "b": 0}, {"a": 3, "b": 0}, {"a": 3, "b": 3}],
+            [{"a": 1, "b": 2}, {"a": 2, "b": 1}, {"a": 0, "b": 0}],
+        ]
+        lanes = len(programs)
+
+        wide_cap = Capture()
+        wide = GateSimulator(_xor_netlist(), obs=wide_cap, lanes=lanes)
+        for cycle in range(3):
+            wide.step({
+                name: [programs[lane][cycle][name] for lane in range(lanes)]
+                for name in ("a", "b")
+            })
+
+        narrow_caps = []
+        for lane in range(lanes):
+            cap = Capture()
+            sim = GateSimulator(_xor_netlist(), obs=cap)
+            for pins in programs[lane]:
+                sim.step(pins)
+            narrow_caps.append(cap)
+
+        got = wide_cap.activity["xorpair/y"]
+        want = [cap.activity["xorpair/y"] for cap in narrow_caps]
+        assert got.samples == sum(s.samples for s in want)
+        assert got.changes == sum(s.changes for s in want)
+        assert got.toggles == sum(s.toggles for s in want)
+
+    def test_profile_report_includes_lane_record(self):
+        profile = ActivityProfile()
+        stats = profile.record("top/x", width=2)
+        stats.observe_raw_lanes([0, 3])
+        stats.observe_raw_lanes([3, 0])
+        assert profile["top/x"].toggles == 4
+        assert profile.top(1)[0].name == "top/x"
+        assert stats.as_dict()["samples"] == 4

@@ -1,0 +1,197 @@
+"""Differential tests for the batched (numpy-vectorized) compiled engine.
+
+Modeled on ``tests/ir/test_random_differential.py``: seeded random
+systems run on the batched engine with a *different* stimulus per lane,
+in lockstep against a plane of independent scalar engines (interpreted
+and compiled).  Every output, every cycle, every lane must agree —
+the lane dimension must be pure bookkeeping, never semantics.
+"""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "ir"))
+from test_random_differential import build_random_system, _stimulus  # noqa: E402
+
+from repro.core.errors import CodegenError, ReproError, SimulationError
+from repro.core.process import UntimedProcess
+from repro.core.system import System
+from repro.sim import BatchedCompiledSimulator, CompiledSimulator, StimulusBatch
+from repro.verify import (
+    BatchedCompiledAdapter,
+    CompiledAdapter,
+    CycleAdapter,
+    Lockstep,
+    ReplicatedAdapter,
+)
+
+LANES = 5  # deliberately not a power of two
+CYCLES = 60
+
+
+def _lane_stimuli(seed, fmt):
+    """Per-cycle pin maps whose values are per-lane lists (all distinct)."""
+    base = _stimulus(seed, fmt)[:CYCLES]
+    rotated = [base[lane:] + base[:lane] for lane in range(LANES)]
+    return [
+        {"stim": [rotated[lane][cycle]["stim"] for lane in range(LANES)]}
+        for cycle in range(CYCLES)
+    ]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_batched_matches_scalar_planes(seed):
+    stim = _lane_stimuli(seed, build_random_system(seed)[1])
+
+    def batched():
+        return BatchedCompiledAdapter(build_random_system(seed)[0],
+                                      lanes=LANES)
+
+    def compiled_plane():
+        return ReplicatedAdapter(
+            [lambda: CompiledAdapter(build_random_system(seed)[0])] * LANES,
+            name="compiled_plane")
+
+    def interpreted_plane():
+        return ReplicatedAdapter(
+            [lambda: CycleAdapter(build_random_system(seed)[0])] * LANES,
+            name="interpreted_plane")
+
+    div = Lockstep(batched, compiled_plane, stim).run()
+    assert div is None, f"seed {seed}: batched vs compiled: {div}"
+    div = Lockstep(batched, interpreted_plane, stim, strict=False).run()
+    assert div is None, f"seed {seed}: batched vs interpreted: {div}"
+
+
+def test_divergence_localizes_to_lane():
+    """A single poisoned lane is named in the Divergence."""
+    seed = 0
+    stim = _lane_stimuli(seed, build_random_system(seed)[1])
+    poisoned = [
+        {"stim": list(pins["stim"])} for pins in stim
+    ]
+    for pins in poisoned[20:]:
+        pins["stim"][2] = -pins["stim"][2]  # corrupt lane 2 only
+
+    def batched_clean():
+        return BatchedCompiledAdapter(build_random_system(seed)[0],
+                                      lanes=LANES, name="clean")
+
+    class SkewedAdapter(BatchedCompiledAdapter):
+        """Drives the poisoned stimulus regardless of what lockstep sends."""
+
+        def __init__(self):
+            super().__init__(build_random_system(seed)[0], lanes=LANES,
+                             name="skewed")
+            self._cycle = 0
+
+        def step(self, pins):
+            super().step(poisoned[self._cycle])
+            self._cycle += 1
+
+    div = Lockstep(batched_clean, SkewedAdapter, stim).run()
+    assert div is not None
+    assert div.lanes, "per-lane tuples must localize to lanes"
+    assert all(lanes == [2] for lanes in div.lanes.values()), div.lanes
+    assert "lanes=[2]" in str(div)
+
+
+def test_hcor_fsm_lanes_run_independently():
+    """Lanes of the FSM design take different transitions independently."""
+    from repro.designs.hcor import build_hcor
+
+    design = build_hcor()
+    watch = [c for c in design.system.channels if c.producer is not None]
+    lanes = 4
+    rngs = [random.Random(40 + lane) for lane in range(lanes)]
+    # Lane 0 hears silence (correlation never crosses the threshold, so
+    # its FSM stays in search); the noisy lanes lock at random times.
+    programs = [
+        [{"soft": 0.0 if lane == 0 else rngs[lane].uniform(-3.5, 3.5)}
+         for _ in range(150)]
+        for lane in range(lanes)
+    ]
+    batch = StimulusBatch(programs)
+
+    bat = BatchedCompiledSimulator(design.system, lanes=lanes, watch=watch)
+    bat.run_batch(batch)
+
+    scalars = []
+    for lane in range(lanes):
+        d = build_hcor()
+        w = [c for c in d.system.channels if c.producer is not None]
+        sim = CompiledSimulator(d.system, watch=w)
+        for pins in batch.lane(lane):
+            sim.step(pins)
+        scalars.append((sim, {c.name: c for c in w}))
+
+    snap = bat.snapshot()
+    states = snap["hcor.state"]
+    assert len(set(states)) > 1, "stimuli should split the lanes' FSMs"
+    for lane, (sim, _) in enumerate(scalars):
+        want = sim.snapshot()
+        for name, got in snap.items():
+            assert want[name] == (got[lane]), (lane, name)
+
+
+def test_batched_save_restore_round_trip():
+    seed = 5
+    system, fmt = build_random_system(seed)
+    sim = BatchedCompiledSimulator(system, lanes=3)
+    stim = _stimulus(seed, fmt)
+    for cycle in range(10):
+        sim.step({"stim": [stim[cycle]["stim"]] * 3})
+    state = sim.save_state()
+    before = sim.snapshot()
+    sim.run(5, lambda c: {"stim": 0.25})
+    sim.restore_state(state)
+    assert sim.snapshot() == before
+    with pytest.raises(SimulationError):
+        BatchedCompiledSimulator(build_random_system(seed)[0],
+                                 lanes=2).restore_state(state)
+
+
+def test_untimed_systems_are_rejected():
+    class Source(UntimedProcess):
+        def behavior(self):
+            return {"o": 1}
+
+    process = Source("src")
+    process.add_output("o")
+    system = System("untimed_sys")
+    system.add(process)
+    system.connect(process.port("o"), name="o")
+    with pytest.raises(CodegenError, match="untimed"):
+        BatchedCompiledSimulator(system, lanes=4)
+
+
+def test_obs_captures_are_rejected():
+    class FakeCapture:
+        pass
+
+    with pytest.raises(ReproError, match="observability"):
+        BatchedCompiledSimulator(build_random_system(0)[0], lanes=4,
+                                 obs=FakeCapture())
+
+
+def test_stimulus_batch_shape_checks():
+    program = [{"stim": 1}, {"stim": 2}]
+    batch = StimulusBatch.broadcast(program, 4)
+    assert batch.lanes == 4 and batch.cycles == 2 and len(batch) == 2
+    assert batch.pins_at(1) == {"stim": [2, 2, 2, 2]}
+    assert batch.lane(3) == program
+
+    skewed = StimulusBatch.from_programs(program, [{"stim": 5}, {}])
+    assert skewed.pins_at(1) == {"stim": [2, 0]}
+
+    with pytest.raises(SimulationError):
+        StimulusBatch([])
+    with pytest.raises(SimulationError):
+        StimulusBatch([program, [{"stim": 1}]])
+
+    sim = BatchedCompiledSimulator(build_random_system(0)[0], lanes=3)
+    with pytest.raises(SimulationError):
+        sim.run_batch(batch)  # 4 lanes into a 3-lane simulator

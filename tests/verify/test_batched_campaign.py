@@ -1,0 +1,73 @@
+"""Lane-mapped fault campaigns must reproduce the scalar campaign.
+
+The batched campaign packs one fault per bit-lane and replays the
+stimulus once per 64 faults instead of once per fault.  Its whole value
+rests on being *undetectably* faster: the coverage report — every
+result, detection cycle and detection site — must be byte-identical to
+the scalar run, while spending an order of magnitude fewer word-level
+gate evaluations.
+"""
+
+
+import pytest
+
+from repro.verify import (
+    FaultCampaign,
+    StuckAtFault,
+    TransientFault,
+    enumerate_faults,
+    random_stimulus,
+)
+
+from .conftest import build_and_netlist
+
+EXHAUSTIVE = [{"a": a, "b": b} for a in (0, 1) for b in (0, 1)]
+
+
+class TestSmallNetlist:
+    def test_report_equals_scalar(self):
+        nl = build_and_netlist()
+        scalar = FaultCampaign(nl, EXHAUSTIVE).run()
+        for lanes in (2, 3, 64):
+            batched = FaultCampaign(nl, EXHAUSTIVE, lanes=lanes).run()
+            assert batched == scalar, f"lanes={lanes}"
+
+    def test_transient_mix_equals_scalar(self):
+        nl = build_and_netlist()
+        y = nl.outputs["y"][0]
+        a = nl.inputs["a"][0]
+        faults = [StuckAtFault(y, 1), StuckAtFault(y, 0),
+                  TransientFault(y, 2), TransientFault(a, 1),
+                  StuckAtFault(a, 0), TransientFault(y, 99)]
+        scalar = FaultCampaign(nl, EXHAUSTIVE, faults=faults).run()
+        batched = FaultCampaign(nl, EXHAUSTIVE, faults=faults,
+                                lanes=4).run()
+        assert batched == scalar
+
+    def test_partial_last_chunk(self):
+        """A fault count that doesn't fill the last word of lanes."""
+        nl = build_and_netlist()
+        faults = enumerate_faults(nl)
+        assert len(faults) % 5 != 0
+        scalar = FaultCampaign(nl, EXHAUSTIVE, faults=faults).run()
+        batched = FaultCampaign(nl, EXHAUSTIVE, faults=faults,
+                                lanes=5).run()
+        assert batched == scalar
+
+
+class TestHcorCampaign:
+    @pytest.fixture(scope="class")
+    def stimuli(self, hcor_synthesis):
+        return random_stimulus(hcor_synthesis.netlist, 40, seed=1998)
+
+    def test_report_byte_identical(self, hcor_synthesis, stimuli):
+        nl = hcor_synthesis.netlist
+        scalar_campaign = FaultCampaign(nl, stimuli)
+        batched_campaign = FaultCampaign(nl, stimuli, lanes=64)
+        scalar = scalar_campaign.run()
+        batched = batched_campaign.run()
+        assert batched == scalar
+        assert batched.report(nl) == scalar.report(nl)
+        # The acceptance bar: one golden replay per 64 faults must cut
+        # word-level gate evaluations by at least 10x.
+        assert scalar_campaign.gate_evals >= 10 * batched_campaign.gate_evals

@@ -24,6 +24,14 @@ Two layering contracts are enforced by walking every module with
    layers obs builds on (``core``/``ir``/``fixpt``) must not import
    obs, or instrumentation would become load-bearing.
 
+4. Lane/batch machinery lives only in the engines (``repro.sim``,
+   ``repro.synth``, ``repro.verify``).  The scalar-semantics layers —
+   ``repro.core``, ``repro.ir``, ``repro.fixpt`` and ``repro.lint`` —
+   stay lane-agnostic: they must not import an engine package, and no
+   definition, argument or assigned name in them may mention lanes or
+   batches ("what a signal computes" never knows "how many stimuli
+   evaluate it at once").
+
 Run from the repository root::
 
     python tools/check_layering.py
@@ -47,6 +55,12 @@ OBS_MAY_IMPORT = ("obs", "core", "ir", "fixpt")
 #: Model layers that must not depend on repro.obs (engines *may* import
 #: obs — that direction is the whole point).
 OBS_FREE = ("core", "ir", "fixpt")
+#: Scalar-semantics layers that must stay lane-agnostic.
+LANE_FREE = ("core", "ir", "fixpt", "lint")
+#: Engine packages allowed to own lane/batch machinery.
+LANE_OWNERS = ("sim", "synth", "verify")
+#: Identifier fragments that mark lane/batch machinery.
+LANE_WORDS = ("lane", "batch")
 PACKAGE = "repro"
 
 
@@ -168,11 +182,56 @@ def check_obs_layer(src_root: Path) -> List[str]:
     return violations
 
 
+def _lane_named(name: str) -> bool:
+    lowered = name.lower()
+    return any(word in lowered for word in LANE_WORDS)
+
+
+def check_lane_layer(src_root: Path) -> List[str]:
+    """Violations of the lane-agnosticism contract, as messages."""
+    violations: List[str] = []
+    for subpackage in LANE_FREE:
+        pkg = src_root / PACKAGE / subpackage
+        if not pkg.is_dir():
+            continue
+        for rel, lineno, target in _imports(src_root, subpackage):
+            if _subpackage_of(target) in LANE_OWNERS:
+                violations.append(
+                    f"{rel}:{lineno}: repro.{subpackage} imports {target} — "
+                    "scalar-semantics layers must not depend on an engine "
+                    "package"
+                )
+        for path in sorted(pkg.rglob("*.py")):
+            rel = path.relative_to(src_root)
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                names: List[str] = []
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    names.append(node.name)
+                elif isinstance(node, ast.arg):
+                    names.append(node.arg)
+                elif isinstance(node, ast.Name) \
+                        and isinstance(node.ctx, ast.Store):
+                    names.append(node.id)
+                elif isinstance(node, ast.Attribute) \
+                        and isinstance(node.ctx, ast.Store):
+                    names.append(node.attr)
+                for name in names:
+                    if _lane_named(name):
+                        violations.append(
+                            f"{rel}:{node.lineno}: repro.{subpackage} "
+                            f"defines {name!r} — lane/batch machinery "
+                            f"belongs to {', '.join(LANE_OWNERS)} only"
+                        )
+    return violations
+
+
 def main(argv: Tuple[str, ...] = ()) -> int:
     root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
     src_root = root / "src"
     violations = (check_tree(src_root) + check_lint_layer(src_root)
-                  + check_obs_layer(src_root))
+                  + check_obs_layer(src_root) + check_lane_layer(src_root))
     if violations:
         print("layering violations:")
         for message in violations:
@@ -181,7 +240,7 @@ def main(argv: Tuple[str, ...] = ()) -> int:
     print(f"layering clean: {', '.join(LAYERS)} share no private names; "
           "repro.lint depends only on core/ir/fixpt and no back-end "
           "imports it; repro.obs depends only on core/ir/fixpt and no "
-          "model layer imports it")
+          "model layer imports it; core/ir/fixpt/lint are lane-agnostic")
     return 0
 
 
