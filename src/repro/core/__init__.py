@@ -19,6 +19,9 @@ from .errors import (
     ReproError,
     SimulationError,
     SynthesisError,
+    TransientError,
+    WatchdogTimeout,
+    is_transient,
 )
 from .expr import (
     BOOL,
@@ -68,6 +71,7 @@ __all__ = [
     "FxOverflowError",
     "Issue",
     "ModelError",
+    "is_transient",
     "Mux",
     "Port",
     "Process",
@@ -78,6 +82,8 @@ __all__ = [
     "SimulationError",
     "SliceSelect",
     "State",
+    "TransientError",
+    "WatchdogTimeout",
     "SynthesisError",
     "System",
     "TimedProcess",

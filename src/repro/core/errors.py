@@ -1,10 +1,31 @@
-"""Exception hierarchy for the design environment."""
+"""Exception hierarchy for the design environment.
+
+Beyond the usual subsystem split (model / simulation / synthesis /
+codegen), the hierarchy carries a *retry taxonomy* for long-running
+infrastructure such as the sharded campaign runner: errors deriving
+from :class:`TransientError` describe failures of the run, not of the
+design — a budget expiring, a worker process dying — and are worth
+retrying; everything else is a property of the design or the workload
+and will fail identically on every attempt.  Retry decisions must go
+through :func:`is_transient`, never through string matching on
+messages.
+"""
 
 from typing import List, Mapping, Optional, Sequence
 
 
 class ReproError(Exception):
     """Base class for all design-environment errors."""
+
+
+class TransientError(ReproError):
+    """A failure of the *run*, not of the design — retrying may succeed.
+
+    Examples: a watchdog deadline expired because a machine was loaded,
+    a worker process was killed.  Deterministic failures (a deadlocked
+    schedule, a guaranteed overflow) must **not** derive from this
+    class: re-running them burns budget to reproduce the same answer.
+    """
 
 
 class ModelError(ReproError):
@@ -70,3 +91,53 @@ class FxOverflowError(ReproError, ArithmeticError):
     error handling catches it; ``ArithmeticError`` is kept as a secondary
     base for compatibility with numeric exception handlers.
     """
+
+
+class WatchdogTimeout(TransientError, SimulationError):
+    """A watchdog budget expired in a context that demanded completion.
+
+    The polling :class:`~repro.verify.guard.Watchdog` never raises — it
+    reports partial results.  Work that *must* complete wholesale (a
+    campaign shard whose partial results would corrupt a deterministic
+    merge) converts the expiry into this exception instead.  Transient:
+    the same shard typically completes on a retry or a fresh worker.
+    """
+
+    def __init__(self, message: str, *, budget: Optional[str] = None,
+                 cycles: Optional[int] = None,
+                 seconds: Optional[float] = None):
+        super().__init__(message)
+        #: Which budget expired: ``"cycles"`` or ``"wall_clock"``.
+        self.budget = budget
+        #: Work units accounted when the budget expired.
+        self.cycles = cycles
+        #: Wall-clock seconds elapsed when the budget expired.
+        self.seconds = seconds
+
+
+#: Exception types outside the ReproError hierarchy that still indicate
+#: an environmental (retryable) failure: broken worker pipes, dropped
+#: connections, interrupted system calls.
+_TRANSIENT_FOREIGN = (ConnectionError, EOFError, BrokenPipeError,
+                      InterruptedError, TimeoutError)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether retrying the work that raised *exc* could succeed.
+
+    The single classification point for retry policy:
+
+    * :class:`TransientError` subclasses (watchdog timeouts, worker
+      crashes) — yes;
+    * OS-level plumbing failures (broken pipes, EOF on a dead worker's
+      connection, timeouts) — yes;
+    * every other :class:`ReproError` — no: deadlocks, overflows and
+      model errors are deterministic properties of the design;
+    * anything else (``MemoryError``, ``KeyboardInterrupt``, arbitrary
+      bugs) — no: retrying unknown failures hides them.
+    """
+    if isinstance(exc, TransientError):
+        return True
+    if isinstance(exc, ReproError):
+        return False
+    return isinstance(exc, _TRANSIENT_FOREIGN)

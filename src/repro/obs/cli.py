@@ -23,7 +23,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.obs",
         description="Render the observability report of a captured run.",
     )
-    parser.add_argument("capture", help="capture directory (Capture.save)")
+    parser.add_argument("capture",
+                        help="capture directory (Capture.save) or a bare "
+                             "JSONL event stream (e.g. a runner's --events "
+                             "file)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     parser.add_argument("--top", type=int, default=10, metavar="N",

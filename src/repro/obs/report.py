@@ -19,7 +19,15 @@ from .events import read_events
 
 
 def load_capture(directory: str) -> Dict[str, object]:
-    """Load a capture directory into one dict (``events`` inlined)."""
+    """Load a capture directory into one dict (``events`` inlined).
+
+    Also accepts a bare JSONL event stream (a file path): the sharded
+    campaign runner journals its lifecycle events without a metrics
+    capture, and ``python -m repro.obs report`` renders those timelines
+    too.
+    """
+    if os.path.isfile(directory):
+        return {"event_list": read_events(directory)}
     metrics_path = os.path.join(directory, "metrics.json")
     if not os.path.isfile(metrics_path):
         raise FileNotFoundError(
@@ -52,17 +60,76 @@ def _hot_blocks(profile: Dict[str, Dict], count: int) -> List[Dict]:
     return rows[:count]
 
 
+#: Lifecycle kinds the sharded campaign runner emits; their presence in
+#: a stream switches on the run-timeline section of the report.
+RUNNER_KINDS = ("run_start", "worker_spawned", "worker_died",
+                "shard_dispatched", "shard_completed", "shard_retried",
+                "shard_abandoned", "run_end")
+
+
+def _describe_runner_event(event: Dict[str, object]) -> str:
+    kind = event.get("kind")
+    if kind == "run_start":
+        return (f"{event.get('shards')} shards over "
+                f"{event.get('workers')} workers "
+                f"({event.get('work')} work items, "
+                f"{event.get('reused', 0)} from journal)")
+    if kind == "worker_spawned":
+        return f"{event.get('worker')} (pid {event.get('pid')})"
+    if kind == "worker_died":
+        where = (f" holding shard {event['shard']}"
+                 if event.get("shard") is not None else "")
+        cause = " [deadline kill]" if event.get("timed_out") else ""
+        return (f"{event.get('worker')} exitcode "
+                f"{event.get('exitcode')}{where}{cause}")
+    if kind == "shard_dispatched":
+        return (f"shard {event.get('shard')} {event.get('span')} -> "
+                f"{event.get('worker')} (attempt {event.get('attempt')})")
+    if kind == "shard_completed":
+        return (f"shard {event.get('shard')} on {event.get('worker')}: "
+                f"{event.get('results')} results")
+    if kind == "shard_retried":
+        return (f"shard {event.get('shard')} failed "
+                f"({event.get('error')}), backoff "
+                f"{event.get('backoff')}s")
+    if kind == "shard_abandoned":
+        return (f"shard {event.get('shard')} after "
+                f"{event.get('attempts')} attempts: {event.get('error')}")
+    if kind == "run_end":
+        return (f"complete={event.get('complete')} "
+                f"({event.get('completed')} run, "
+                f"{event.get('retries')} retries, "
+                f"{event.get('abandoned')} abandoned, "
+                f"{event.get('worker_deaths')} worker deaths, "
+                f"{event.get('wall_seconds')}s)")
+    return ""
+
+
+def runner_timeline(event_list: List[Dict]) -> List[Dict[str, object]]:
+    """The runner lifecycle rows of an event stream, in emission order."""
+    return [
+        {"t": event.get("t"), "kind": event.get("kind"),
+         "detail": _describe_runner_event(event)}
+        for event in event_list
+        if event.get("kind") in RUNNER_KINDS
+    ]
+
+
 def summarize(data: Dict[str, object], top: int = 10) -> Dict[str, object]:
     """The report's content as plain data (the ``--json`` output)."""
     activity = data.get("activity", {}) or {}
     fsm = data.get("fsm", {}) or {}
     profile = data.get("profile", {}) or {}
     events = data.get("events", {}) or {}
+    timeline: List[Dict[str, object]] = []
+    if "event_list" in data:
+        timeline = runner_timeline(data["event_list"])
     if not events and "event_list" in data:
         for event in data["event_list"]:
             kind = event.get("kind", "?")
             events[kind] = events.get(kind, 0) + 1
     return {
+        "runner_timeline": timeline,
         "signals": len(activity),
         "top_toggles": _top_toggles(activity, top),
         "fsm_coverage": {
@@ -143,6 +210,16 @@ def render_text(data: Dict[str, object], top: int = 10) -> str:
         lines.append("events")
         for kind in sorted(events):
             lines.append(f"  {kind:<24} {events[kind]:>8}")
+
+    timeline = summary.get("runner_timeline") or []
+    if timeline:
+        lines.append("")
+        lines.append(f"run timeline ({len(timeline)} lifecycle events)")
+        lines.append(f"  {'t':>9}  {'event':<18} detail")
+        for row in timeline:
+            t = row.get("t")
+            stamp = f"{t:9.3f}" if isinstance(t, (int, float)) else " " * 9
+            lines.append(f"  {stamp}  {row['kind']:<18} {row['detail']}")
 
     return "\n".join(lines)
 

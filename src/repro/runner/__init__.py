@@ -1,0 +1,65 @@
+"""Fault-tolerant sharded campaign runner — the "heavy traffic" layer.
+
+One design description, arbitrarily many verification workloads: this
+package executes :class:`~repro.verify.campaign.FaultCampaign` and
+stimulus-sweep jobs across worker processes, surviving worker crashes,
+hangs and parent death, while guaranteeing the merged report is
+**byte-identical** to the single-process serial run — distribution is
+an implementation detail, never an answer-changing one (the paper's
+single-source-of-truth discipline applied to infrastructure).
+
+Pieces:
+
+* :mod:`~repro.runner.jobs` — serializable job specs (campaign, sweep);
+* :mod:`~repro.runner.sharding` — deterministic shard planning;
+* :mod:`~repro.runner.journal` — fsync'd write-ahead journal, resume;
+* :mod:`~repro.runner.cache` — compiled-artifact cache
+  (hash(design + IR passes + engine) -> pickled netlist);
+* :mod:`~repro.runner.worker` — the worker process loop;
+* :mod:`~repro.runner.runner` — the orchestrator: retry/backoff,
+  crash/hang detection, graceful degradation, obs lifecycle events;
+* :mod:`~repro.runner.chaos` — injected failures for self-testing;
+* ``python -m repro.runner`` — run / resume / chaos CLI.
+"""
+
+from .cache import ArtifactCache, artifact_key
+from .chaos import ChaosPlan
+from .errors import JournalCorrupt, RunnerError, WorkerCrash, describe_error
+from .jobs import (
+    CampaignJob,
+    SweepJob,
+    SweepReport,
+    job_from_json,
+    result_from_json,
+    result_to_json,
+)
+from .journal import Journal, JournalState, load_journal
+from .registry import resolve_design
+from .runner import RetryPolicy, RunOutcome, RunStats, ShardedRunner
+from .sharding import default_shard_size, plan_shards
+
+__all__ = [
+    "ArtifactCache",
+    "CampaignJob",
+    "ChaosPlan",
+    "Journal",
+    "JournalCorrupt",
+    "JournalState",
+    "RetryPolicy",
+    "RunOutcome",
+    "RunStats",
+    "RunnerError",
+    "ShardedRunner",
+    "SweepJob",
+    "SweepReport",
+    "WorkerCrash",
+    "artifact_key",
+    "default_shard_size",
+    "describe_error",
+    "job_from_json",
+    "load_journal",
+    "plan_shards",
+    "resolve_design",
+    "result_from_json",
+    "result_to_json",
+]

@@ -1,0 +1,86 @@
+"""Compiled-artifact cache keyed by design + IR passes + engine.
+
+Synthesizing a netlist is pure: the same design spec, the same IR-pass
+configuration and the same engine always yield the same artifact.  The
+cache exploits that to make worker start-up O(unpickle) instead of
+O(synthesis) — the parent warms the entry once, then every worker (and
+every respawned replacement after a crash) loads the identical bytes.
+
+Keys are SHA-256 over the canonical JSON of the spec fields, so any
+change to the design callable's identity, its kwargs, the pass
+configuration or the target engine misses cleanly.  Writes are atomic
+(temp file + ``os.replace``): a worker killed mid-store can never leave
+a half-written artifact for the next reader.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional
+
+
+def artifact_key(spec: Dict[str, object]) -> str:
+    """The cache key of a canonical spec dict (sorted-key JSON, SHA-256)."""
+    canon = json.dumps(spec, sort_keys=True, separators=(",", ":"),
+                       default=str)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """A directory of pickled synthesis artifacts.
+
+    ``root`` defaults to ``$REPRO_CACHE_DIR`` or ``.repro_cache`` under
+    the current directory.  ``hits``/``misses`` make the reuse claim
+    measurable.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.pkl")
+
+    def load(self, key: str):
+        """The cached artifact, or None on miss (counted)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                artifact = pickle.load(handle)
+        except (FileNotFoundError, EOFError, pickle.UnpicklingError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    def store(self, key: str, artifact) -> str:
+        """Atomically persist *artifact* under *key*; returns the path."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(artifact, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_or_build(self, key: str, build):
+        """Cached artifact for *key*, building and storing on miss."""
+        artifact = self.load(key)
+        if artifact is None:
+            artifact = build()
+            self.store(key, artifact)
+        return artifact

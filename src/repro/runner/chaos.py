@@ -1,0 +1,112 @@
+"""Chaos self-test knobs: injected failures that exercise recovery paths.
+
+Production fault tolerance that is never exercised is fiction, so the
+runner carries its own failure injector.  A :class:`ChaosPlan` names
+concrete failures — SIGKILL a worker before it runs shard K, hang on a
+shard until the parent's deadline fires, raise a transient or a fatal
+error, exit the parent mid-run — and CI asserts that the recovered
+run's merged report is byte-identical to the serial one.
+
+Plans travel to workers as JSON (they are part of the worker spawn
+args) and can also come from the environment: set ``REPRO_CHAOS`` to a
+JSON object, e.g. ``REPRO_CHAOS='{"kill_shard": 2, "hang_shard": 5}'``.
+
+Single-fire semantics: ``kill``/``hang``/``raise`` trigger only on a
+shard's *first* attempt, so the retry that follows succeeds and the
+failure is provably recovered from.  ``fatal_shard`` triggers on every
+attempt — it exercises the no-retry (abandon) path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.errors import DeadlockError, WatchdogTimeout
+
+
+@dataclass
+class ChaosPlan:
+    """Which failures to inject, and where."""
+
+    #: SIGKILL the worker right before it would run this shard.
+    kill_shard: Optional[int] = None
+    #: Sleep instead of running this shard (parent deadline must fire).
+    hang_shard: Optional[int] = None
+    hang_seconds: float = 3600.0
+    #: Raise a transient ``WatchdogTimeout`` instead of running this shard.
+    raise_shard: Optional[int] = None
+    #: Raise a fatal ``DeadlockError`` on *every* attempt of this shard.
+    fatal_shard: Optional[int] = None
+    #: Sleep this long before every shard (slow-worker jitter).
+    delay_seconds: float = 0.0
+    #: Parent calls ``os._exit`` after this many shard completions
+    #: (simulates a parent crash; the journal must carry the run).
+    parent_exit_after: Optional[int] = None
+
+    def enabled(self) -> bool:
+        return any(v is not None for v in (
+            self.kill_shard, self.hang_shard, self.raise_shard,
+            self.fatal_shard, self.parent_exit_after,
+        )) or self.delay_seconds > 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kill_shard": self.kill_shard,
+            "hang_shard": self.hang_shard,
+            "hang_seconds": self.hang_seconds,
+            "raise_shard": self.raise_shard,
+            "fatal_shard": self.fatal_shard,
+            "delay_seconds": self.delay_seconds,
+            "parent_exit_after": self.parent_exit_after,
+        }
+
+    @classmethod
+    def from_json(cls, record: Optional[Dict[str, object]]) -> "ChaosPlan":
+        if not record:
+            return cls()
+        known = {f: record[f] for f in cls.__dataclass_fields__
+                 if f in record}
+        return cls(**known)
+
+    @classmethod
+    def from_env(cls, env: Optional[Dict[str, str]] = None) -> "ChaosPlan":
+        """The plan named by ``$REPRO_CHAOS`` (empty plan when unset)."""
+        raw = (env if env is not None else os.environ).get("REPRO_CHAOS")
+        if not raw:
+            return cls()
+        return cls.from_json(json.loads(raw))
+
+    # -- injection points ----------------------------------------------------------
+
+    def before_shard(self, shard: int, attempt: int) -> None:
+        """Worker-side injection, called right before executing a shard."""
+        if self.delay_seconds > 0.0:
+            time.sleep(self.delay_seconds)
+        if self.fatal_shard == shard:
+            raise DeadlockError(
+                f"chaos: injected fatal failure on shard {shard}"
+            )
+        if attempt > 0:
+            return  # single-fire: the retry must succeed
+        if self.kill_shard == shard:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.hang_shard == shard:
+            time.sleep(self.hang_seconds)
+        if self.raise_shard == shard:
+            raise WatchdogTimeout(
+                f"chaos: injected timeout on shard {shard}",
+                budget="wall_clock",
+            )
+
+    def after_completion(self, completions: int) -> None:
+        """Parent-side injection, called after journaling a shard."""
+        if (self.parent_exit_after is not None
+                and completions >= self.parent_exit_after):
+            # A real crash: no cleanup, no atexit, no flushing beyond
+            # what the journal already fsync'd.
+            os._exit(3)

@@ -1,0 +1,278 @@
+"""Command line interface: ``python -m repro.runner {run,resume,chaos}``.
+
+``run``
+    Execute a campaign or sweep job sharded across workers, journaled
+    and resumable.  Exit 0 when every shard landed, 2 on a partial
+    (degraded) report.
+``resume <journal>``
+    Finish an interrupted run: completed shards replay from the
+    journal, only the remainder executes.
+``chaos``
+    The recovery self-test CI runs: serial reference, then a sharded
+    run with a worker SIGKILLed and a shard hung past its deadline
+    (both must be recovered, merged report byte-identical to serial),
+    then a parent crash mid-run followed by a resume that re-executes
+    only incomplete shards.  Exit 0 only if every property holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from typing import List, Optional
+
+from ..obs.events import EventTrace
+from .cache import ArtifactCache
+from .chaos import ChaosPlan
+from .jobs import CampaignJob, SweepJob
+from .runner import RetryPolicy, ShardedRunner
+
+
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker process count (default 4)")
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="work items per shard (default: auto)")
+    parser.add_argument("--journal", default=None,
+                        help="write-ahead journal path (enables resume)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-shard wall-clock budget in seconds")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="attempt budget per shard (default 3)")
+    parser.add_argument("--backoff-base", type=float, default=0.25,
+                        help="first retry backoff in seconds (default 0.25)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory "
+                             "(default $REPRO_CACHE_DIR or .repro_cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="synthesize in every process, no artifact cache")
+    parser.add_argument("--events", default=None,
+                        help="stream lifecycle events (JSONL) to this path; "
+                             "render with 'python -m repro.obs report'")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable outcome on stdout")
+
+
+def _add_job_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--design", default="hcor",
+                        help="registry name or 'module:function' "
+                             "(default hcor)")
+    parser.add_argument("--cycles", type=int, default=40,
+                        help="stimulus length in cycles (default 40)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base stimulus seed (default 0)")
+    parser.add_argument("--lanes", type=int, default=64,
+                        help="faults per word-parallel replay (default 64)")
+    parser.add_argument("--sweep", type=int, default=None, metavar="ITEMS",
+                        help="run a stimulus sweep of ITEMS programs "
+                             "instead of a fault campaign")
+
+
+def _make_job(args: argparse.Namespace):
+    if args.sweep is not None:
+        return SweepJob(design=args.design, cycles=args.cycles,
+                        items=args.sweep, seed=args.seed)
+    return CampaignJob(design=args.design, cycles=args.cycles,
+                       seed=args.seed, lanes=args.lanes)
+
+
+def _make_runner_kwargs(args: argparse.Namespace, chaos=None):
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    events = None
+    handle = None
+    if args.events:
+        handle = open(args.events, "w", encoding="utf-8")
+        events = EventTrace(stream=handle)
+    kwargs = dict(
+        workers=args.workers,
+        shard_size=args.shard_size,
+        journal_path=args.journal,
+        shard_deadline=args.deadline,
+        retry=RetryPolicy(max_attempts=args.max_attempts,
+                          backoff_base=args.backoff_base),
+        cache=cache,
+        events=events,
+        chaos=chaos if chaos is not None else ChaosPlan.from_env(),
+    )
+    return kwargs, handle
+
+
+def _print_outcome(outcome, args: argparse.Namespace) -> None:
+    if args.json:
+        print(json.dumps({
+            "complete": outcome.report.complete,
+            "stats": vars(outcome.stats),
+            "abandoned": outcome.abandoned,
+            "report": outcome.report.report()
+            if hasattr(outcome.report, "report") else None,
+        }, indent=2, default=str))
+        return
+    print(outcome.report.report())
+    stats = outcome.stats
+    print(f"  shards     : {stats.shards} "
+          f"({stats.completed} run, {stats.reused} from journal, "
+          f"{stats.abandoned} abandoned)")
+    print(f"  recovery   : {stats.retries} retries, "
+          f"{stats.worker_deaths} worker deaths, "
+          f"{stats.workers_spawned} workers spawned")
+    print(f"  cache      : {stats.cache_hits} hits, "
+          f"{stats.cache_misses} misses")
+    print(f"  wall       : {stats.wall_seconds:.2f}s")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs, handle = _make_runner_kwargs(args)
+    try:
+        runner = ShardedRunner(_make_job(args), **kwargs)
+        outcome = runner.run()
+    finally:
+        if handle is not None:
+            handle.close()
+    _print_outcome(outcome, args)
+    return 0 if outcome.report.complete else 2
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    kwargs, handle = _make_runner_kwargs(args)
+    kwargs.pop("journal_path", None)
+    kwargs.pop("shard_size", None)
+    try:
+        runner = ShardedRunner.resume(args.journal_file, **kwargs)
+        outcome = runner.run()
+    finally:
+        if handle is not None:
+            handle.close()
+    _print_outcome(outcome, args)
+    return 0 if outcome.report.complete else 2
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    failures: List[str] = []
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro_chaos_")
+    os.makedirs(workdir, exist_ok=True)
+    cache = ArtifactCache(os.path.join(workdir, "cache"))
+    job = _make_job(args)
+
+    print(f"[chaos] serial reference ({args.design}, {args.cycles} cycles)")
+    netlist = job.build_netlist(cache)
+    serial = job.run_serial(netlist)
+
+    # Phase A: worker kill + shard hang, recovered within one run.
+    plan = ChaosPlan(kill_shard=1, hang_shard=2, hang_seconds=3600.0)
+    journal_a = os.path.join(workdir, "chaos_a.jsonl")
+    events_path = args.events or os.path.join(workdir, "chaos_events.jsonl")
+    with open(events_path, "w", encoding="utf-8") as handle:
+        runner = ShardedRunner(
+            job, workers=args.workers, journal_path=journal_a,
+            shard_deadline=args.deadline, cache=cache, chaos=plan,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.05),
+            events=EventTrace(stream=handle),
+        )
+        outcome = runner.run()
+    stats = outcome.stats
+    print(f"[chaos] phase A: {stats.worker_deaths} worker deaths, "
+          f"{stats.retries} retries, wall {stats.wall_seconds:.2f}s")
+    if stats.worker_deaths < 2:
+        failures.append(
+            f"expected >=2 worker deaths (kill + hang-kill), saw "
+            f"{stats.worker_deaths}")
+    if stats.retries < 2:
+        failures.append(f"expected >=2 retries, saw {stats.retries}")
+    if outcome.report != serial:
+        failures.append("phase A merged report != serial report")
+    if outcome.report.report() != serial.report():
+        failures.append("phase A rendered report not byte-identical")
+
+    # Phase B: parent killed mid-run (in a subprocess — the chaos knob
+    # calls os._exit), then resume finishes only the remainder.
+    journal_b = os.path.join(workdir, "chaos_b.jsonl")
+    exit_after = 2
+    env = dict(os.environ)
+    env["REPRO_CHAOS"] = json.dumps({"parent_exit_after": exit_after})
+    src_dir = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable, "-m", "repro.runner", "run",
+        "--design", args.design, "--cycles", str(args.cycles),
+        "--seed", str(args.seed), "--lanes", str(args.lanes),
+        "--workers", str(args.workers), "--journal", journal_b,
+        "--cache-dir", cache.root,
+    ]
+    if args.sweep is not None:
+        command += ["--sweep", str(args.sweep)]
+    proc = subprocess.run(command, env=env, capture_output=True, text=True)
+    if proc.returncode != 3:
+        failures.append(
+            f"chaos parent was supposed to _exit(3), got rc={proc.returncode}"
+            f"\n{proc.stderr[-2000:]}")
+    resumed = ShardedRunner.resume(
+        journal_b, workers=args.workers, cache=cache,
+        shard_deadline=args.deadline,
+    )
+    outcome_b = resumed.run()
+    print(f"[chaos] phase B: resumed with {outcome_b.stats.reused} shards "
+          f"from the journal, {outcome_b.stats.completed} re-executed")
+    if outcome_b.stats.reused < exit_after:
+        failures.append(
+            f"resume replayed {outcome_b.stats.reused} shards from the "
+            f"journal, expected >= {exit_after}")
+    if outcome_b.stats.completed + outcome_b.stats.reused \
+            != outcome_b.stats.shards:
+        failures.append("resume did not account for every shard")
+    if outcome_b.report != serial:
+        failures.append("phase B resumed report != serial report")
+
+    if failures:
+        print("[chaos] FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"[chaos] PASS — merged reports byte-identical to serial; "
+          f"journal at {journal_b}, events at {events_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="fault-tolerant sharded campaign runner",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="execute a sharded job")
+    _add_job_args(run)
+    _add_runtime_args(run)
+    run.set_defaults(func=_cmd_run)
+
+    resume = commands.add_parser(
+        "resume", help="finish an interrupted run from its journal")
+    resume.add_argument("journal_file", help="journal written by 'run'")
+    _add_runtime_args(resume)
+    resume.set_defaults(func=_cmd_resume)
+
+    chaos = commands.add_parser(
+        "chaos", help="recovery self-test (kill, hang, parent crash)")
+    _add_job_args(chaos)
+    chaos.add_argument("--workers", type=int, default=4)
+    chaos.add_argument("--deadline", type=float, default=6.0,
+                       help="per-shard deadline the hung shard must blow")
+    chaos.add_argument("--workdir", default=None,
+                       help="where journals/cache/events land "
+                            "(default: temp dir)")
+    chaos.add_argument("--events", default=None)
+    chaos.set_defaults(func=_cmd_chaos)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

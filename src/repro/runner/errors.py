@@ -1,0 +1,48 @@
+"""Runner-specific errors and the wire form of worker failures.
+
+The runner's retry decisions are taxonomy-driven (see
+:func:`repro.core.errors.is_transient`): a worker ships a structured
+:func:`describe_error` record over its pipe — type, message and the
+transient classification *computed where the exception type is known* —
+so the parent never pattern-matches on message strings, and never needs
+the worker's exception class importable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.errors import ReproError, TransientError, is_transient
+
+
+class RunnerError(ReproError):
+    """The sharded runner itself could not proceed (bad plan, bad journal)."""
+
+
+class WorkerCrash(TransientError, RunnerError):
+    """A worker process died without reporting a result.
+
+    Covers kill -9, segfaults and broken pipes.  Transient: the shard
+    the worker held is re-dispatched to a fresh worker.
+    """
+
+    def __init__(self, message: str, *, worker: Optional[str] = None,
+                 shard: Optional[int] = None,
+                 exitcode: Optional[int] = None):
+        super().__init__(message)
+        self.worker = worker
+        self.shard = shard
+        self.exitcode = exitcode
+
+
+class JournalCorrupt(RunnerError):
+    """A journal record (other than a truncated final line) is unreadable."""
+
+
+def describe_error(exc: BaseException) -> Dict[str, object]:
+    """The JSON-safe wire form of an exception, for pipes and journals."""
+    return {
+        "type": f"{type(exc).__module__}.{type(exc).__qualname__}",
+        "message": str(exc),
+        "transient": is_transient(exc),
+    }

@@ -1,0 +1,247 @@
+"""Job specs: the serializable description of a distributable workload.
+
+A job is everything a worker process needs to rebuild its slice of the
+work bit-exactly: design spec, stimulus seed, lane count, pass
+configuration.  Jobs round-trip through JSON (they live in journal
+``meta`` records and cross process boundaries as strings), and every
+derived quantity — the stimulus program, the collapsed work list, each
+sweep item's RNG stream — is a pure function of the spec, which is what
+makes a sharded run mergeable into a byte-identical serial report.
+
+Two workloads:
+
+* :class:`CampaignJob` — a fault campaign over the collapsed stuck-at
+  universe; work items are the collapsed representatives.
+* :class:`SweepJob` — a stimulus sweep: N independent random programs
+  (per-item seed ``derive_seed(seed, item)``), each replayed on the
+  golden netlist and digested; work items are sweep indices.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import WatchdogTimeout
+from ..synth.gatesim import GateSimulator
+from ..verify.campaign import (
+    CampaignReport,
+    FaultCampaign,
+    FaultResult,
+    random_stimulus,
+)
+from ..verify.faults import StuckAtFault, TransientFault
+from ..verify.guard import Watchdog
+from .cache import ArtifactCache, artifact_key
+from .errors import RunnerError
+from .registry import resolve_design
+
+
+# -- fault/result wire form ----------------------------------------------------
+
+
+def result_to_json(result: FaultResult) -> Dict[str, object]:
+    """A :class:`FaultResult` as a JSON-safe dict (journal/pipe form)."""
+    fault = result.fault
+    if isinstance(fault, StuckAtFault):
+        encoded: Dict[str, object] = {"f": "sa", "n": fault.net,
+                                      "v": fault.value}
+    elif isinstance(fault, TransientFault):
+        encoded = {"f": "tr", "n": fault.net, "c": fault.cycle}
+    else:
+        raise RunnerError(f"unserializable fault type {type(fault).__name__}")
+    return {
+        "fault": encoded,
+        "d": bool(result.detected),
+        "dc": result.detect_cycle,
+        "do": result.detect_output,
+        "cs": result.class_size,
+    }
+
+
+def result_from_json(record: Dict[str, object]) -> FaultResult:
+    """Rebuild a :class:`FaultResult` from :func:`result_to_json` output."""
+    encoded = record["fault"]
+    kind = encoded["f"]
+    if kind == "sa":
+        fault = StuckAtFault(int(encoded["n"]), int(encoded["v"]))
+    elif kind == "tr":
+        fault = TransientFault(int(encoded["n"]), int(encoded["c"]))
+    else:
+        raise RunnerError(f"unknown fault wire form {kind!r}")
+    return FaultResult(
+        fault=fault,
+        detected=bool(record["d"]),
+        detect_cycle=record["dc"],
+        detect_output=record["do"],
+        class_size=int(record.get("cs", 1)),
+    )
+
+
+# -- job specs -----------------------------------------------------------------
+
+
+@dataclass
+class CampaignJob:
+    """A sharded fault campaign (collapsed stuck-at universe)."""
+
+    design: str
+    cycles: int
+    seed: int = 0
+    lanes: int = 64
+    collapse: bool = True
+    ir_passes: bool = True
+    engine: str = "gate"
+    design_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    kind = "campaign"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind, "design": self.design, "cycles": self.cycles,
+            "seed": self.seed, "lanes": self.lanes, "collapse": self.collapse,
+            "ir_passes": self.ir_passes, "engine": self.engine,
+            "design_kwargs": dict(self.design_kwargs),
+        }
+
+    def cache_spec(self) -> Dict[str, object]:
+        """The artifact-cache identity of this job's synthesized netlist."""
+        return {
+            "design": self.design,
+            "design_kwargs": dict(self.design_kwargs),
+            "ir_passes": self.ir_passes,
+            "engine": self.engine,
+        }
+
+    def build_netlist(self, cache: Optional[ArtifactCache] = None):
+        """Synthesize (or cache-load) the netlist this job targets."""
+        if self.engine != "gate":
+            raise RunnerError(
+                f"runner jobs execute on the gate engine, not "
+                f"{self.engine!r}"
+            )
+        build = lambda: resolve_design(self.design)(  # noqa: E731
+            ir_passes=self.ir_passes, **self.design_kwargs)
+        if cache is None:
+            return build()
+        return cache.get_or_build(artifact_key(self.cache_spec()), build)
+
+    def make_campaign(self, netlist) -> FaultCampaign:
+        """The full (unsharded) campaign — one collapse, many shards."""
+        stimuli = random_stimulus(netlist, self.cycles, seed=self.seed)
+        return FaultCampaign(netlist, stimuli, collapse=self.collapse,
+                             lanes=self.lanes)
+
+    def run_serial(self, netlist) -> CampaignReport:
+        """The single-process reference run sharded results must match."""
+        return self.make_campaign(netlist).run()
+
+
+@dataclass
+class SweepJob:
+    """A sharded stimulus sweep: one digest per independent random program."""
+
+    design: str
+    cycles: int
+    items: int
+    seed: int = 0
+    ir_passes: bool = True
+    engine: str = "gate"
+    design_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    kind = "sweep"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind, "design": self.design, "cycles": self.cycles,
+            "items": self.items, "seed": self.seed,
+            "ir_passes": self.ir_passes, "engine": self.engine,
+            "design_kwargs": dict(self.design_kwargs),
+        }
+
+    cache_spec = CampaignJob.cache_spec
+    build_netlist = CampaignJob.build_netlist
+
+    def run_item(self, netlist, index: int) -> Dict[str, object]:
+        """Replay sweep item *index* and digest its output stream.
+
+        The item's stimulus comes from RNG stream ``derive_seed(seed,
+        index)`` — a function of the item index alone, so any shard
+        split reproduces it exactly.
+        """
+        program = random_stimulus(netlist, self.cycles, seed=self.seed,
+                                  stream=index)
+        sim = GateSimulator(netlist)
+        outputs: List[Dict[str, int]] = []
+        for pins in program:
+            sim.step(pins)
+            outputs.append(sim.settled_outputs())
+        digest = hashlib.sha256(
+            json.dumps(outputs, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        return {"item": index, "digest": digest, "cycles": len(program)}
+
+    def run_serial(self, netlist) -> "SweepReport":
+        """The single-process reference run sharded results must match."""
+        return SweepReport(
+            netlist_name=netlist.name, cycles=self.cycles, items=self.items,
+            results=[self.run_item(netlist, i) for i in range(self.items)],
+        )
+
+
+@dataclass
+class SweepReport:
+    """Merged outcome of a stimulus sweep."""
+
+    netlist_name: str
+    cycles: int
+    items: int
+    results: List[Dict[str, object]] = field(default_factory=list)
+    complete: bool = True
+    skipped: int = 0
+
+    def report(self) -> str:
+        lines = [
+            f"stimulus sweep {self.netlist_name}",
+            f"  stimulus   : {self.cycles} cycles x {self.items} programs",
+            f"  executed   : {len(self.results)} items"
+            + ("" if self.complete
+               else f" (partial: {self.skipped} skipped)"),
+            f"  distinct   : {len({r['digest'] for r in self.results})} "
+            "output signatures",
+        ]
+        return "\n".join(lines)
+
+
+def job_from_json(record: Dict[str, object]):
+    """Rebuild a job spec from its :meth:`to_json` form."""
+    record = dict(record)
+    kind = record.pop("kind", None)
+    if kind == "campaign":
+        return CampaignJob(**record)
+    if kind == "sweep":
+        return SweepJob(**record)
+    raise RunnerError(f"unknown job kind {kind!r}")
+
+
+def require_complete(report: CampaignReport, deadline: Optional[float],
+                     watchdog: Optional[Watchdog]) -> CampaignReport:
+    """Turn a budget-truncated shard report into a retryable timeout.
+
+    A shard is all-or-nothing: merging partial shard results would
+    depend on where the budget cut, breaking determinism.  The polling
+    watchdog's graceful partial result therefore becomes a
+    :class:`~repro.core.errors.WatchdogTimeout` here.
+    """
+    if report.complete:
+        return report
+    raise WatchdogTimeout(
+        f"shard exceeded its deadline "
+        f"({deadline if deadline is not None else '?'}s): "
+        f"{report.skipped} of {report.skipped + len(report.results)} "
+        "representatives unexecuted",
+        budget="wall_clock",
+        seconds=watchdog.elapsed() if watchdog is not None else None,
+    )

@@ -1,0 +1,125 @@
+"""The write-ahead journal that makes interrupted campaigns resumable.
+
+One JSONL record per event, appended and **fsync'd** before the runner
+acts on it — a parent killed at any instant loses at most the record
+being written.  The reader tolerates exactly that failure mode: a
+truncated final line is dropped (and flagged), while garbage anywhere
+else raises :class:`~repro.runner.errors.JournalCorrupt` — silent
+mid-file damage must never masquerade as completed work.
+
+Record kinds
+------------
+``meta``
+    First record of a run: the job spec, the shard plan and the
+    campaign denominators.  ``resume`` rebuilds the run from this —
+    the stored plan is authoritative (recomputing it under different
+    runner settings would orphan the completed-shard records).
+``shard_done``
+    One completed shard: span, attempt number and the serialized
+    per-item results.
+``shard_abandoned``
+    A shard whose retry budget ran out, with the final error.  Resume
+    treats abandoned shards as *incomplete* — a fresh invocation gets a
+    fresh budget.
+``run_end``
+    The run finished (``complete`` says whether every shard landed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .errors import JournalCorrupt
+
+JOURNAL_VERSION = 1
+
+
+class Journal:
+    """Append-only fsync'd JSONL writer."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Write one record and force it to disk before returning."""
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """What a journal says happened, after :func:`load_journal`."""
+
+    meta: Optional[Dict[str, object]] = None
+    #: shard id -> its (latest) ``shard_done`` record.
+    done: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    #: shard id -> its (latest) ``shard_abandoned`` record, only while
+    #: no ``shard_done`` superseded it.
+    abandoned: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    #: True when the final line was truncated mid-write (parent crash).
+    truncated_tail: bool = False
+    #: True when a ``run_end`` record with ``complete`` was seen.
+    run_complete: bool = False
+
+    def incomplete_shards(self, plan_len: int) -> List[int]:
+        """Shard ids the next invocation still has to execute."""
+        return [k for k in range(plan_len) if k not in self.done]
+
+
+def load_journal(path: str) -> JournalState:
+    """Parse a journal, tolerating only a truncated final line."""
+    state = JournalState()
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                state.truncated_tail = True
+                break
+            raise JournalCorrupt(
+                f"{path}:{lineno}: unreadable journal record: {exc}"
+            ) from None
+        kind = record.get("kind")
+        if kind == "meta":
+            if state.meta is None:
+                state.meta = record
+            elif record.get("run_id") != state.meta.get("run_id"):
+                raise JournalCorrupt(
+                    f"{path}:{lineno}: meta record for a different run — "
+                    "journals are per-campaign, not shared"
+                )
+        elif kind == "shard_done":
+            shard = int(record["shard"])
+            state.done[shard] = record
+            state.abandoned.pop(shard, None)
+        elif kind == "shard_abandoned":
+            shard = int(record["shard"])
+            if shard not in state.done:
+                state.abandoned[shard] = record
+        elif kind == "run_end":
+            state.run_complete = bool(record.get("complete", False))
+        # Unknown kinds are tolerated: the stream is forward-compatible.
+    if state.meta is None:
+        raise JournalCorrupt(f"{path}: no meta record — not a runner journal")
+    return state

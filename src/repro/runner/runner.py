@@ -1,0 +1,613 @@
+"""The fault-tolerant sharded campaign runner (parent orchestrator).
+
+``ShardedRunner`` executes a :mod:`~repro.runner.jobs` job across
+worker processes with real fault tolerance:
+
+* the work list is sliced into deterministic shards
+  (:mod:`~repro.runner.sharding`); merging shard results in span order
+  reproduces the serial run **byte for byte**, whatever the worker
+  count, crash history or retry schedule;
+* each completed shard is journaled and fsync'd *before* the runner
+  acts on it (:mod:`~repro.runner.journal`), so a killed parent resumes
+  with ``ShardedRunner.resume`` re-executing only incomplete shards;
+* worker crashes (kill -9, segfault) are detected by process liveness,
+  hangs by a parent-side deadline that SIGKILLs the worker; both are
+  transient — the shard is retried with exponential backoff under a
+  bounded attempt budget, and a replacement worker is spawned;
+* retry decisions are taxonomy-driven
+  (:func:`repro.core.errors.is_transient` computed worker-side), never
+  message matching: a deadlocked or overflowing design fails fast, a
+  timeout retries;
+* on exhausted budgets the runner degrades to a **partial** report:
+  abandoned shards are counted in ``skipped`` and ``complete=False`` —
+  the coverage denominator never silently shrinks;
+* every lifecycle transition (worker spawned/died, shard dispatched/
+  completed/retried/abandoned) is emitted on an
+  :class:`~repro.obs.events.EventTrace`, so ``python -m repro.obs
+  report`` renders the run timeline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import WatchdogTimeout
+from ..obs.events import EventTrace
+from ..verify.campaign import CampaignReport
+from .cache import ArtifactCache, artifact_key
+from .chaos import ChaosPlan
+from .errors import RunnerError, WorkerCrash, describe_error
+from .jobs import CampaignJob, SweepReport, job_from_json, result_from_json
+from .journal import JOURNAL_VERSION, Journal, JournalState, load_journal
+from .sharding import Span, default_shard_size, plan_shards
+from .worker import worker_main
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retries with exponential backoff."""
+
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+
+    def delay(self, failures: int) -> float:
+        """Backoff before the retry following the *failures*-th failure."""
+        return min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** (failures - 1))
+
+
+@dataclass
+class RunStats:
+    """What it cost to produce the merged report."""
+
+    shards: int = 0
+    completed: int = 0
+    reused: int = 0            # shards replayed from the journal on resume
+    abandoned: int = 0
+    retries: int = 0
+    workers_spawned: int = 0
+    worker_deaths: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class RunOutcome:
+    """Merged report plus the runner's own accounting."""
+
+    report: object             # CampaignReport or SweepReport
+    stats: RunStats
+    abandoned: List[Dict[str, object]] = field(default_factory=list)
+
+
+class _Shard:
+    __slots__ = ("id", "span", "status", "attempts", "next_eligible",
+                 "kill_at", "worker", "results", "error")
+
+    def __init__(self, shard_id: int, span: Span):
+        self.id = shard_id
+        self.span = span
+        self.status = "pending"    # pending | running | done | abandoned
+        self.attempts = 0          # failures so far
+        self.next_eligible = 0.0
+        self.kill_at: Optional[float] = None
+        self.worker: Optional[str] = None
+        self.results: Optional[list] = None
+        self.error: Optional[dict] = None
+
+
+class _Worker:
+    __slots__ = ("id", "process", "conn", "state", "shard", "timed_out")
+
+    def __init__(self, wid: str, process, conn):
+        self.id = wid
+        self.process = process
+        self.conn = conn
+        self.state = "init"        # init | idle | busy | dead
+        self.shard: Optional[_Shard] = None
+        self.timed_out = False
+
+
+class ShardedRunner:
+    """Run one job across worker processes; see the module docstring.
+
+    Parameters
+    ----------
+    job:
+        A :class:`~repro.runner.jobs.CampaignJob` or ``SweepJob``.
+    workers:
+        Worker process count (scheduling only — never affects results).
+    shard_size:
+        Work items per shard; default balances retry granularity
+        against dispatch overhead (:func:`default_shard_size`).
+    journal_path:
+        Write-ahead journal location.  None disables journaling (and
+        resumability).  An existing journal must go through
+        :meth:`resume` — running over it would orphan its records.
+    shard_deadline:
+        Per-shard wall-clock budget in seconds.  Enforced twice: a
+        worker-side :class:`~repro.verify.guard.Watchdog` raises a
+        retryable timeout, and the parent SIGKILLs a worker that blows
+        ``deadline * deadline_grace`` (a hung worker can't poll its own
+        watchdog).
+    retry:
+        The :class:`RetryPolicy`; attempts are per shard.
+    chaos:
+        A :class:`~repro.runner.chaos.ChaosPlan` of injected failures
+        (merged with ``$REPRO_CHAOS`` by the CLI, not here).
+    cache:
+        The :class:`~repro.runner.cache.ArtifactCache` workers load the
+        synthesized netlist from.  The parent warms it before spawning.
+    obs:
+        Optional :class:`repro.obs.Capture`; lifecycle events also land
+        on its stream (duck-typed).
+    events:
+        Optional :class:`~repro.obs.events.EventTrace` (e.g. one
+        streaming to a file); default records in memory on
+        ``self.events``.
+    """
+
+    #: Parent-side kill deadline = shard_deadline * this grace factor.
+    DEADLINE_GRACE = 1.5
+
+    def __init__(self, job, *, workers: int = 4,
+                 shard_size: Optional[int] = None,
+                 journal_path: Optional[str] = None,
+                 shard_deadline: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 chaos: Optional[ChaosPlan] = None,
+                 cache: Optional[ArtifactCache] = None,
+                 obs=None, events: Optional[EventTrace] = None,
+                 poll_interval: float = 0.02,
+                 mp_context: Optional[str] = None,
+                 max_respawns: Optional[int] = None):
+        if workers < 1:
+            raise RunnerError(f"need at least one worker, got {workers}")
+        self.job = job
+        self.workers = workers
+        self.shard_size = shard_size
+        self.journal_path = journal_path
+        self.shard_deadline = shard_deadline
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chaos = chaos if chaos is not None else ChaosPlan()
+        self.cache = cache
+        self.obs = obs
+        self.events = events if events is not None else EventTrace()
+        self.poll_interval = poll_interval
+        if mp_context is None:
+            mp_context = ("fork" if "fork"
+                          in multiprocessing.get_all_start_methods()
+                          else "spawn")
+        self._ctx = multiprocessing.get_context(mp_context)
+        self.max_respawns = (max_respawns if max_respawns is not None
+                             else 2 * workers + 4)
+        self.stats = RunStats()
+        self._clock = time.monotonic
+        self._start = 0.0
+        self._resume_state: Optional[JournalState] = None
+        self._journal: Optional[Journal] = None
+        self._workers: List[_Worker] = []
+        self._spawned = 0
+        self._completions_this_run = 0
+
+    # -- construction of a resumed runner -----------------------------------------
+
+    @classmethod
+    def resume(cls, journal_path: str, **kwargs) -> "ShardedRunner":
+        """A runner that replays *journal_path* and finishes the remainder.
+
+        The job spec and the shard plan come from the journal's meta
+        record (authoritative: recomputing the plan under different
+        settings would orphan the completed-shard records); runtime
+        knobs — workers, deadlines, retry budget — come fresh from
+        *kwargs*, and abandoned shards get a fresh attempt budget.
+        """
+        state = load_journal(journal_path)
+        job = job_from_json(state.meta["job"])
+        kwargs.pop("journal_path", None)
+        runner = cls(job, journal_path=journal_path, **kwargs)
+        runner._resume_state = state
+        return runner
+
+    # -- event plumbing ------------------------------------------------------------
+
+    def _event(self, kind: str, **fields) -> None:
+        fields.setdefault("t", round(self._clock() - self._start, 6))
+        self.events.emit(kind, **fields)
+        if self.obs is not None:
+            stream = getattr(self.obs, "events", None)
+            if stream is not None and stream is not self.events:
+                stream.emit(kind, **fields)
+
+    # -- run -----------------------------------------------------------------------
+
+    def run(self) -> RunOutcome:
+        """Execute (or finish) the job; always returns a merged outcome."""
+        self._start = self._clock()
+        netlist, total_faults, work_size = self._prepare()
+        plan, preloaded = self._plan_and_journal(total_faults, work_size,
+                                                netlist)
+        shards = [_Shard(i, tuple(span)) for i, span in enumerate(plan)]
+        for shard_id, record in preloaded.items():
+            shard = shards[shard_id]
+            shard.status = "done"
+            shard.results = record["results"]
+            self.stats.reused += 1
+        self.stats.shards = len(shards)
+        self._event("run_start", netlist=netlist.name, job=self.job.kind,
+                    shards=len(shards), reused=self.stats.reused,
+                    workers=self.workers, work=work_size)
+        try:
+            self._event_loop(shards)
+        finally:
+            self._stop_workers()
+        outcome = self._finish(netlist, total_faults, work_size, shards)
+        return outcome
+
+    def _prepare(self):
+        """Warm the cache, size the work list, count the denominators."""
+        cache = self.cache
+        netlist = self.job.build_netlist(cache)
+        if cache is not None:
+            self.stats.cache_hits = cache.hits
+            self.stats.cache_misses = cache.misses
+        if isinstance(self.job, CampaignJob):
+            campaign = self.job.make_campaign(netlist)
+            return netlist, campaign.total_faults, campaign.work_size
+        return netlist, None, self.job.items
+
+    def _plan_and_journal(self, total_faults, work_size, netlist
+                          ) -> Tuple[List[Span], Dict[int, dict]]:
+        if self._resume_state is not None:
+            state = self._resume_state
+            meta = state.meta
+            if meta.get("work_size") != work_size:
+                raise RunnerError(
+                    f"journal work size {meta.get('work_size')} != "
+                    f"{work_size} recomputed from the job — the design or "
+                    "code changed since the journal was written"
+                )
+            plan = [tuple(span) for span in meta["plan"]]
+            self._journal = Journal(self.journal_path)
+            return plan, dict(state.done)
+        size = self.shard_size
+        if size is None:
+            lanes = getattr(self.job, "lanes", 1)
+            size = default_shard_size(work_size, self.workers, lanes)
+        plan = plan_shards(work_size, size)
+        if self.journal_path is not None:
+            if (os.path.exists(self.journal_path)
+                    and os.path.getsize(self.journal_path) > 0):
+                raise RunnerError(
+                    f"journal {self.journal_path!r} already exists — use "
+                    "'resume' to finish it, or point at a fresh path"
+                )
+            self._journal = Journal(self.journal_path)
+            self._journal.append({
+                "kind": "meta", "version": JOURNAL_VERSION,
+                "run_id": uuid.uuid4().hex,
+                "job": self.job.to_json(),
+                "plan": [list(span) for span in plan],
+                "work_size": work_size,
+                "total_faults": total_faults,
+                "netlist": netlist.name,
+                "artifact_key": artifact_key(self.job.cache_spec()),
+            })
+        return plan, {}
+
+    # -- worker management ---------------------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        wid = f"w{self._spawned}"
+        self._spawned += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, wid, self.job.to_json(),
+                  self.cache.root if self.cache is not None else None,
+                  self.chaos.to_json()),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(wid, process, parent_conn)
+        self._workers.append(worker)
+        self.stats.workers_spawned += 1
+        self._event("worker_spawned", worker=wid, pid=process.pid)
+        return worker
+
+    def _alive(self) -> List[_Worker]:
+        return [w for w in self._workers if w.state != "dead"]
+
+    def _stop_workers(self) -> None:
+        for worker in self._workers:
+            if worker.state == "dead":
+                continue
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        for worker in self._workers:
+            if worker.state == "dead":
+                continue
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.state = "dead"
+
+    def _handle_death(self, worker: _Worker,
+                      unfinished_left: bool) -> None:
+        if worker.state == "dead":
+            return
+        self._drain(worker)
+        exitcode = worker.process.exitcode
+        worker.state = "dead"
+        self.stats.worker_deaths += 1
+        shard = worker.shard
+        worker.shard = None
+        self._event("worker_died", worker=worker.id, exitcode=exitcode,
+                    shard=shard.id if shard is not None else None,
+                    timed_out=worker.timed_out)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=0.5)
+        if shard is not None and shard.status == "running":
+            if worker.timed_out:
+                error = describe_error(WatchdogTimeout(
+                    f"shard {shard.id} exceeded the parent-side deadline "
+                    f"({self.shard_deadline}s x {self.DEADLINE_GRACE}); "
+                    f"worker {worker.id} was killed",
+                    budget="wall_clock",
+                ))
+            else:
+                error = describe_error(WorkerCrash(
+                    f"worker {worker.id} died (exitcode {exitcode}) "
+                    f"holding shard {shard.id}",
+                    worker=worker.id, shard=shard.id, exitcode=exitcode,
+                ))
+            self._shard_failed(shard, error, worker.id)
+        if unfinished_left and len(self._alive()) < self.workers:
+            if self._spawned < self.max_respawns + self.workers:
+                self._spawn_worker()
+
+    def _drain(self, worker: _Worker) -> None:
+        """Process replies a dying worker managed to buffer (work is work)."""
+        try:
+            while worker.conn.poll(0):
+                self._handle_message(worker, worker.conn.recv())
+        except (EOFError, OSError):
+            pass
+
+    # -- shard lifecycle -----------------------------------------------------------
+
+    def _dispatch(self, worker: _Worker, shard: _Shard) -> bool:
+        now = self._clock()
+        try:
+            worker.conn.send(("run", shard.id, shard.span[0], shard.span[1],
+                              shard.attempts, self.shard_deadline))
+        except (BrokenPipeError, EOFError, OSError):
+            self._handle_death(worker, unfinished_left=True)
+            return False
+        shard.status = "running"
+        shard.worker = worker.id
+        shard.kill_at = (now + self.shard_deadline * self.DEADLINE_GRACE
+                         if self.shard_deadline is not None else None)
+        worker.shard = shard
+        worker.state = "busy"
+        self._event("shard_dispatched", shard=shard.id,
+                    span=list(shard.span), attempt=shard.attempts,
+                    worker=worker.id)
+        return True
+
+    def _shard_failed(self, shard: _Shard, error: Dict[str, object],
+                      worker_id: Optional[str]) -> None:
+        shard.attempts += 1
+        shard.status = "pending"
+        shard.worker = None
+        shard.kill_at = None
+        transient = bool(error.get("transient"))
+        if transient and shard.attempts < self.retry.max_attempts:
+            delay = self.retry.delay(shard.attempts)
+            shard.next_eligible = self._clock() + delay
+            self.stats.retries += 1
+            self._event("shard_retried", shard=shard.id,
+                        span=list(shard.span), attempt=shard.attempts,
+                        backoff=delay, worker=worker_id,
+                        error=error.get("type"),
+                        message=error.get("message"))
+        else:
+            shard.status = "abandoned"
+            shard.error = error
+            self.stats.abandoned += 1
+            if self._journal is not None:
+                self._journal.append({
+                    "kind": "shard_abandoned", "shard": shard.id,
+                    "span": list(shard.span), "attempts": shard.attempts,
+                    "error": error,
+                })
+            self._event("shard_abandoned", shard=shard.id,
+                        span=list(shard.span), attempts=shard.attempts,
+                        transient=transient, error=error.get("type"),
+                        message=error.get("message"))
+
+    def _shard_done(self, worker: _Worker, shard: _Shard, payload) -> None:
+        # Write-ahead: the journal record lands on disk before the
+        # runner believes the shard happened.
+        if self._journal is not None:
+            self._journal.append({
+                "kind": "shard_done", "shard": shard.id,
+                "span": list(shard.span), "attempt": shard.attempts,
+                "results": payload,
+            })
+        shard.status = "done"
+        shard.results = payload
+        shard.worker = None
+        shard.kill_at = None
+        self.stats.completed += 1
+        self._completions_this_run += 1
+        self._event("shard_completed", shard=shard.id,
+                    span=list(shard.span), attempt=shard.attempts,
+                    worker=worker.id, results=len(payload))
+        self.chaos.after_completion(self._completions_this_run)
+
+    def _handle_message(self, worker: _Worker, message) -> None:
+        kind = message[0]
+        if kind == "ready":
+            if worker.state == "init":
+                worker.state = "idle"
+            return
+        if kind == "init_error":
+            raise RunnerError(
+                f"worker {message[1]} failed to initialize: "
+                f"{message[2].get('type')}: {message[2].get('message')}"
+            )
+        _, shard_id, payload = message
+        shard = worker.shard
+        if shard is None or shard.id != shard_id or shard.status != "running":
+            return  # stale reply for a shard already resolved elsewhere
+        worker.shard = None
+        worker.state = "idle"
+        if kind == "done":
+            self._shard_done(worker, shard, payload)
+        elif kind == "error":
+            self._shard_failed(shard, payload, worker.id)
+
+    # -- the event loop ------------------------------------------------------------
+
+    def _unfinished(self, shards: List[_Shard]) -> bool:
+        return any(s.status in ("pending", "running") for s in shards)
+
+    def _event_loop(self, shards: List[_Shard]) -> None:
+        from multiprocessing.connection import wait as conn_wait
+
+        if not self._unfinished(shards):
+            return
+        want = min(self.workers, len([s for s in shards
+                                      if s.status == "pending"]))
+        for _ in range(max(1, want)):
+            self._spawn_worker()
+        while self._unfinished(shards):
+            now = self._clock()
+            # 1. Feed idle workers the lowest pending, eligible shard.
+            pending = [s for s in shards if s.status == "pending"
+                       and s.next_eligible <= now]
+            pending.sort(key=lambda s: s.id)
+            for worker in self._workers:
+                if not pending:
+                    break
+                if worker.state == "idle":
+                    if self._dispatch(worker, pending[0]):
+                        pending.pop(0)
+            # 2. Wait for traffic.
+            conns = {w.conn: w for w in self._workers
+                     if w.state in ("init", "idle", "busy")}
+            if conns:
+                try:
+                    ready = conn_wait(list(conns), timeout=self.poll_interval)
+                except OSError:
+                    ready = []
+                for conn in ready:
+                    worker = conns[conn]
+                    if worker.state == "dead":
+                        continue
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        self._handle_death(
+                            worker, self._unfinished(shards))
+                        continue
+                    self._handle_message(worker, message)
+            else:
+                time.sleep(self.poll_interval)
+            # 3. Liveness: a killed worker's pipe may be held open by
+            #    sibling forks, so EOF alone cannot be trusted.
+            for worker in list(self._workers):
+                if worker.state != "dead" and not worker.process.is_alive():
+                    self._handle_death(worker, self._unfinished(shards))
+            # 4. Parent-side deadline: SIGKILL a hung worker.
+            now = self._clock()
+            for worker in self._workers:
+                if (worker.state == "busy" and worker.shard is not None
+                        and worker.shard.kill_at is not None
+                        and now > worker.shard.kill_at):
+                    worker.timed_out = True
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+                    self._handle_death(worker, self._unfinished(shards))
+            # 5. Starvation backstop: pending work, nobody to run it.
+            if not self._alive() and self._unfinished(shards):
+                if self._spawned < self.max_respawns + self.workers:
+                    self._spawn_worker()
+                else:
+                    for shard in shards:
+                        if shard.status in ("pending", "running"):
+                            self._shard_failed(shard, describe_error(
+                                RunnerError(
+                                    "worker respawn budget exhausted "
+                                    f"({self.max_respawns} respawns)"
+                                )), None)
+
+    # -- merge ---------------------------------------------------------------------
+
+    def _finish(self, netlist, total_faults, work_size,
+                shards: List[_Shard]) -> RunOutcome:
+        complete = True
+        skipped = 0
+        abandoned_records: List[Dict[str, object]] = []
+        merged: List = []
+        for shard in shards:  # already in span order
+            if shard.status == "done":
+                merged.extend(shard.results)
+            else:
+                complete = False
+                skipped += shard.span[1] - shard.span[0]
+                abandoned_records.append({
+                    "shard": shard.id, "span": list(shard.span),
+                    "attempts": shard.attempts, "error": shard.error,
+                })
+        if isinstance(self.job, CampaignJob):
+            report: object = CampaignReport(
+                netlist_name=netlist.name,
+                cycles=self.job.cycles,
+                total_faults=total_faults,
+                collapsed_faults=work_size,
+                results=[result_from_json(r) for r in merged],
+                complete=complete,
+                skipped=skipped,
+            )
+        else:
+            report = SweepReport(
+                netlist_name=netlist.name, cycles=self.job.cycles,
+                items=self.job.items, results=merged,
+                complete=complete, skipped=skipped,
+            )
+        self.stats.wall_seconds = self._clock() - self._start
+        if self._journal is not None:
+            self._journal.append({"kind": "run_end", "complete": complete,
+                                  "skipped": skipped})
+            self._journal.close()
+            self._journal = None
+        self._event("run_end", complete=complete, skipped=skipped,
+                    completed=self.stats.completed,
+                    reused=self.stats.reused,
+                    retries=self.stats.retries,
+                    abandoned=self.stats.abandoned,
+                    worker_deaths=self.stats.worker_deaths,
+                    wall_seconds=round(self.stats.wall_seconds, 6))
+        return RunOutcome(report=report, stats=self.stats,
+                          abandoned=abandoned_records)

@@ -1,0 +1,44 @@
+"""Deterministic shard planning over a campaign's work list.
+
+A shard is a contiguous ``(start, stop)`` slice of the canonical work
+list — the collapsed fault representatives in the order
+:func:`repro.verify.collapse_faults` yields them, or sweep items in
+index order.  The plan depends only on the work size and the shard
+size, never on worker count or scheduling: merging shard results in
+span order therefore reproduces the serial run byte for byte, whatever
+the split.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from .errors import RunnerError
+
+Span = Tuple[int, int]
+
+
+def plan_shards(n_items: int, shard_size: int) -> List[Span]:
+    """Slice ``n_items`` work items into contiguous spans of *shard_size*.
+
+    The last span carries the remainder.  Zero items plan to zero
+    shards (an empty campaign completes immediately).
+    """
+    if shard_size <= 0:
+        raise RunnerError(f"shard_size must be positive, got {shard_size}")
+    return [(start, min(start + shard_size, n_items))
+            for start in range(0, n_items, shard_size)]
+
+
+def default_shard_size(n_items: int, workers: int, lanes: int = 1) -> int:
+    """A shard size balancing retry granularity against dispatch overhead.
+
+    Aim for ~4 shards per worker so a lost shard forfeits little work,
+    but never slice below one full lane word (a smaller shard would
+    waste lanes every replay).
+    """
+    if n_items <= 0:
+        return max(1, lanes)
+    per_worker = math.ceil(n_items / max(1, workers) / 4)
+    return max(1, lanes, per_worker)

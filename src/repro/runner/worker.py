@@ -1,0 +1,113 @@
+"""Worker process entry point: execute shards until told to stop.
+
+A worker is deliberately dumb: it rebuilds the job from its JSON spec
+(netlist via the artifact cache, fault collapse once at start-up), then
+loops on its pipe executing ``("run", shard, start, stop, attempt,
+deadline)`` commands.  All policy — retries, backoff, reassignment —
+lives in the parent; the worker's only contract is that every command
+gets exactly one reply, ``("done", ...)`` or ``("error", ...)``, unless
+the process dies, which the parent detects by liveness.
+
+Per-shard deadlines run through a :class:`~repro.verify.guard.Watchdog`
+threaded into the campaign; a budget-truncated shard is converted into
+a retryable :class:`~repro.core.errors.WatchdogTimeout` (shards are
+all-or-nothing — see :func:`repro.runner.jobs.require_complete`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..verify.guard import Watchdog
+from .cache import ArtifactCache
+from .chaos import ChaosPlan
+from .errors import describe_error
+from .jobs import (
+    CampaignJob,
+    SweepJob,
+    job_from_json,
+    require_complete,
+    result_to_json,
+)
+
+
+def _run_campaign_shard(campaign, start: int, stop: int,
+                        deadline: Optional[float]):
+    watchdog = None
+    if deadline is not None:
+        watchdog = Watchdog(max_seconds=deadline, check_every=4)
+    campaign.watchdog = watchdog
+    report = campaign.run_shard(start, stop)
+    require_complete(report, deadline, watchdog)
+    return [result_to_json(r) for r in report.results]
+
+
+def _run_sweep_shard(job: SweepJob, netlist, start: int, stop: int,
+                     deadline: Optional[float]):
+    watchdog = Watchdog(max_seconds=deadline).start() \
+        if deadline is not None else None
+    results = []
+    for index in range(start, stop):
+        if watchdog is not None and watchdog.expired():
+            from ..core.errors import WatchdogTimeout
+            raise WatchdogTimeout(
+                f"sweep shard exceeded its deadline ({deadline}s) after "
+                f"{index - start} of {stop - start} items",
+                budget="wall_clock", seconds=watchdog.elapsed(),
+            )
+        results.append(job.run_item(netlist, index))
+    return results
+
+
+def worker_main(conn, worker_id: str, job_json: dict,
+                cache_dir: Optional[str], chaos_json: Optional[dict]) -> None:
+    """Process target: initialize once, then serve shard commands."""
+    chaos = ChaosPlan.from_json(chaos_json)
+    try:
+        job = job_from_json(job_json)
+        cache = ArtifactCache(cache_dir) if cache_dir else None
+        netlist = job.build_netlist(cache)
+        campaign = None
+        if isinstance(job, CampaignJob):
+            campaign = job.make_campaign(netlist)
+    except BaseException as exc:  # init failures are fatal, but reported
+        try:
+            conn.send(("init_error", worker_id, describe_error(exc)))
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        return
+    conn.send(("ready", worker_id))
+    parent_pid = os.getppid()
+    while True:
+        try:
+            # Sibling workers hold forked copies of each other's pipe
+            # ends, so EOF alone cannot signal parent death: poll, and
+            # exit when reparented (orphaned by a parent crash).  An
+            # orphan that lingered would also hold the parent's
+            # stdout/stderr open, wedging any harness capturing them.
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent is gone; nothing left to serve
+        if message[0] == "stop":
+            return
+        _, shard_id, start, stop, attempt, deadline = message
+        try:
+            chaos.before_shard(shard_id, attempt)
+            if campaign is not None:
+                payload = _run_campaign_shard(campaign, start, stop, deadline)
+            else:
+                payload = _run_sweep_shard(job, netlist, start, stop,
+                                           deadline)
+            reply = ("done", shard_id, payload)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            reply = ("error", shard_id, describe_error(exc))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, EOFError, OSError):
+            return

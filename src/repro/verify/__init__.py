@@ -22,7 +22,13 @@ stresses those checks:
   overflows an SFG's quantize step.
 """
 
-from .campaign import CampaignReport, FaultCampaign, FaultResult, random_stimulus
+from .campaign import (
+    CampaignReport,
+    FaultCampaign,
+    FaultResult,
+    derive_seed,
+    random_stimulus,
+)
 from .faults import (
     CollapseResult,
     StuckAtFault,
@@ -30,7 +36,13 @@ from .faults import (
     collapse_faults,
     enumerate_faults,
 )
-from .guard import Watchdog, WatchdogResult, checkpoint, restore
+from .guard import (
+    Watchdog,
+    WatchdogResult,
+    checkpoint,
+    restore,
+    supports_checkpoint,
+)
 from .overflow import OverflowWitness, find_overflow_witness
 from .lockstep import (
     BatchedCompiledAdapter,
@@ -65,8 +77,10 @@ __all__ = [
     "WatchdogResult",
     "checkpoint",
     "collapse_faults",
+    "derive_seed",
     "enumerate_faults",
     "find_overflow_witness",
     "random_stimulus",
     "restore",
+    "supports_checkpoint",
 ]

@@ -28,10 +28,12 @@ denominator of the speedup claim.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..core.errors import SimulationError
 from ..synth.gatesim import GateSimulator
 from ..synth.netlist import Netlist
 from .faults import (
@@ -46,14 +48,39 @@ Fault = Union[StuckAtFault, TransientFault]
 Stimulus = Sequence[Mapping[str, int]]
 
 
+def derive_seed(base: int, *components: int) -> int:
+    """A stable per-item seed from a base seed and item coordinates.
+
+    Splitting work across shards/workers must never change what any
+    item simulates, so per-item seeds are *derived* — hashed from the
+    base seed and the item's position — rather than drawn sequentially
+    from one shared RNG (whose stream would depend on execution order).
+    SHA-256 based: stable across processes, platforms and Python's
+    per-run string-hash salt.
+    """
+    digest = hashlib.sha256(
+        ("repro-seed:" + ":".join(str(c) for c in (base,) + components))
+        .encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 def random_stimulus(netlist: Netlist, cycles: int,
-                    seed: int = 0) -> List[Dict[str, int]]:
+                    seed: int = 0,
+                    stream: Optional[int] = None) -> List[Dict[str, int]]:
     """A reproducible random stimulus program for *netlist*'s inputs.
 
     Each cycle drives every primary input with a uniform random raw value
     of the right width (two's-complement domain, like
     :meth:`GateSimulator.set_input`).
+
+    ``stream`` selects one of many independent programs sharing the same
+    base *seed*: the effective seed is ``derive_seed(seed, stream)``, so
+    sweep item N's stimulus is identical no matter which shard or worker
+    generates it.
     """
+    if stream is not None:
+        seed = derive_seed(seed, stream)
     rng = random.Random(seed)
     program: List[Dict[str, int]] = []
     for _ in range(cycles):
@@ -159,13 +186,23 @@ class FaultCampaign:
         Faults simulated per word-parallel replay.  1 (default) is the
         historical one-replay-per-fault path; 64 fills a machine word.
         The report is the same either way.
+    shard:
+        Optional ``(start, stop)`` slice of the deterministic work list
+        (the collapsed representatives, in their canonical order): only
+        those items are simulated.  ``total_faults`` still counts the
+        *full* universe — a shard's own coverage number is meaningless;
+        shards exist to be merged by a runner that re-assembles the
+        complete report.  Lane packing restarts at each shard boundary,
+        which is report-invariant (the batched path is byte-identical
+        to the scalar path at any chunking).
     """
 
     def __init__(self, netlist: Netlist, stimuli: Stimulus,
                  faults: Optional[Sequence[Fault]] = None,
                  collapse: bool = True,
                  watchdog: Optional[Watchdog] = None,
-                 obs=None, lanes: int = 1):
+                 obs=None, lanes: int = 1,
+                 shard: Optional[Tuple[int, int]] = None):
         self.netlist = netlist
         self.stimuli = [dict(pins) for pins in stimuli]
         self.watchdog = watchdog
@@ -192,6 +229,18 @@ class FaultCampaign:
         else:
             self.total_faults = len(faults)
             self._work = [(fault, 1) for fault in faults]
+        #: Length of the full work list before any shard slicing — the
+        #: ``collapsed_faults`` a merged report must carry.
+        self.work_size = len(self._work)
+        self.shard = shard
+        if shard is not None:
+            start, stop = shard
+            if not (0 <= start <= stop <= len(self._work)):
+                raise SimulationError(
+                    f"shard ({start}, {stop}) outside work list of "
+                    f"{len(self._work)} representatives"
+                )
+            self._work = self._work[start:stop]
 
     # -- execution ---------------------------------------------------------------
 
@@ -307,6 +356,27 @@ class FaultCampaign:
                 results.append(FaultResult(fault, True, hit[0], hit[1]))
         return results
 
+    def run_shard(self, start: int, stop: int) -> CampaignReport:
+        """Run only work items ``[start, stop)`` of the current work list.
+
+        The returned report's results cover just that span (the
+        denominators still describe the whole campaign, as with the
+        ``shard`` parameter).  The campaign object stays reusable — the
+        work list is restored afterwards — so a shard worker pays for
+        fault collapsing once and then executes any number of spans.
+        """
+        if not (0 <= start <= stop <= len(self._work)):
+            raise SimulationError(
+                f"shard span ({start}, {stop}) outside work list of "
+                f"{len(self._work)} representatives"
+            )
+        saved = self._work
+        self._work = saved[start:stop]
+        try:
+            return self.run()
+        finally:
+            self._work = saved
+
     def run(self) -> CampaignReport:
         """Execute the campaign; always returns a report (never wedges)."""
         golden_sim = GateSimulator(self.netlist)
@@ -317,7 +387,7 @@ class FaultCampaign:
             netlist_name=self.netlist.name,
             cycles=len(self.stimuli),
             total_faults=self.total_faults,
-            collapsed_faults=len(self._work),
+            collapsed_faults=self.work_size,
         )
         self._event("campaign_start", netlist=self.netlist.name,
                     cycles=len(self.stimuli), faults=self.total_faults,

@@ -79,6 +79,52 @@ class Watchdog:
             return 0.0
         return self._clock() - self._started
 
+    def remaining_cycles(self) -> Optional[int]:
+        """Cycle budget left (None when unbounded, never negative)."""
+        if self.max_cycles is None:
+            return None
+        return max(0, self.max_cycles - self._count)
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock budget left (None when unbounded, never negative).
+
+        Before :meth:`start` the full budget remains — a watchdog that
+        has not begun has spent nothing.
+        """
+        if self.max_seconds is None:
+            return None
+        if self._started is None:
+            return self.max_seconds
+        return max(0.0, self.max_seconds - self.elapsed())
+
+    def child(self, max_cycles: Optional[int] = None,
+              max_seconds: Optional[float] = None,
+              check_every: Optional[int] = None,
+              obs=None) -> "Watchdog":
+        """A nested watchdog clamped to this one's *remaining* budget.
+
+        A shard running under a campaign-level deadline gets its own
+        watchdog without being able to overrun the parent: each of the
+        child's budgets is the minimum of the requested budget and what
+        the parent has left.  An unbounded parent passes requests
+        through; an unbounded request inherits the parent's remainder.
+        """
+        def clamp(requested, remaining):
+            if requested is None:
+                return remaining
+            if remaining is None:
+                return requested
+            return min(requested, remaining)
+
+        return Watchdog(
+            max_cycles=clamp(max_cycles, self.remaining_cycles()),
+            max_seconds=clamp(max_seconds, self.remaining_seconds()),
+            check_every=(self.check_every if check_every is None
+                         else check_every),
+            clock=self._clock,
+            obs=self.obs if obs is None else obs,
+        )
+
     def tick(self) -> None:
         """Account one unit of work against the cycle budget."""
         self._count += 1
@@ -134,6 +180,19 @@ class Watchdog:
 
 
 # -- checkpoint / restore -------------------------------------------------------
+
+
+def supports_checkpoint(engine) -> bool:
+    """Whether *engine* implements the checkpoint guard-rail hooks.
+
+    True when both ``save_state`` and ``restore_state`` are callable —
+    the contract :func:`checkpoint`/:func:`restore` rely on.  Callers
+    that can degrade (e.g. a shard runner that falls back to replaying
+    from cycle 0) should test this instead of catching
+    :class:`~repro.core.errors.SimulationError`.
+    """
+    return (callable(getattr(engine, "save_state", None))
+            and callable(getattr(engine, "restore_state", None)))
 
 
 def checkpoint(engine) -> Dict[str, object]:

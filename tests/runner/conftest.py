@@ -1,0 +1,37 @@
+"""Shared fixtures: one tiny campaign job and its serial reference."""
+
+import pytest
+
+from repro.runner import ArtifactCache, CampaignJob, SweepJob
+
+
+@pytest.fixture(scope="session")
+def shared_cache(tmp_path_factory):
+    """One artifact cache for the whole runner suite (synthesize once)."""
+    return ArtifactCache(str(tmp_path_factory.mktemp("artifacts")))
+
+
+@pytest.fixture(scope="session")
+def and2_job():
+    """A campaign small enough to shard one fault per shard."""
+    return CampaignJob(design="and2", cycles=6, seed=7, lanes=4)
+
+
+@pytest.fixture(scope="session")
+def and2_serial(and2_job, shared_cache):
+    """The single-process reference every sharded run must reproduce."""
+    netlist = and2_job.build_netlist(shared_cache)
+    report = and2_job.run_serial(netlist)
+    assert report.collapsed_faults >= 3  # enough shards to inject chaos
+    return report
+
+
+@pytest.fixture(scope="session")
+def sweep_job():
+    return SweepJob(design="and2", cycles=5, items=8, seed=3)
+
+
+@pytest.fixture(scope="session")
+def sweep_serial(sweep_job, shared_cache):
+    netlist = sweep_job.build_netlist(shared_cache)
+    return sweep_job.run_serial(netlist)

@@ -1,0 +1,80 @@
+"""Compiled-artifact cache: keying, atomicity, measurable reuse."""
+
+import os
+import pickle
+
+from repro.runner import ArtifactCache, CampaignJob, artifact_key
+
+
+class TestArtifactKey:
+    def test_stable_and_order_insensitive(self):
+        assert artifact_key({"a": 1, "b": 2}) == artifact_key({"b": 2,
+                                                               "a": 1})
+
+    def test_sensitive_to_every_field(self):
+        base = {"design": "hcor", "ir_passes": True, "engine": "gate"}
+        for field, value in (("design", "and2"), ("ir_passes", False),
+                             ("engine", "rtl")):
+            assert artifact_key({**base, field: value}) != artifact_key(base)
+
+    def test_job_spec_key_ignores_runtime_knobs(self):
+        # Stimulus length / seed / lanes change the campaign, not the
+        # synthesized artifact: they must share one cache entry.
+        a = CampaignJob(design="and2", cycles=4, seed=0, lanes=1)
+        b = CampaignJob(design="and2", cycles=99, seed=5, lanes=64)
+        assert artifact_key(a.cache_spec()) == artifact_key(b.cache_spec())
+
+
+class TestArtifactCache:
+    def test_miss_build_hit(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"))
+        builds = []
+
+        def build():
+            builds.append(1)
+            return {"netlist": "x"}
+
+        first = cache.get_or_build("k", build)
+        second = cache.get_or_build("k", build)
+        assert first == second == {"netlist": "x"}
+        assert builds == [1]  # second call served from disk
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_fresh_instance_reads_the_same_entry(self, tmp_path):
+        root = str(tmp_path / "c")
+        ArtifactCache(root).store("k", [1, 2, 3])
+        reader = ArtifactCache(root)  # a respawned worker
+        assert reader.load("k") == [1, 2, 3]
+        assert reader.hits == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"))
+        path = cache.store("k", {"ok": True})
+        with open(path, "wb") as handle:
+            handle.write(b"\x80\x04 definitely not a pickle")
+        assert cache.load("k") is None
+        assert cache.misses == 1
+
+    def test_store_leaves_no_temp_droppings(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"))
+        cache.store("k1", {"a": 1})
+        cache.store("k2", {"b": 2})
+        names = os.listdir(cache.root)
+        assert sorted(names) == ["k1.pkl", "k2.pkl"]
+
+    def test_failed_store_cleans_up(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"))
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("no")
+
+        try:
+            cache.store("k", Unpicklable())
+        except (RuntimeError, pickle.PicklingError):
+            pass
+        assert os.listdir(cache.root) == []  # no half-written artifact
+
+    def test_env_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envroot"))
+        assert ArtifactCache().root == str(tmp_path / "envroot")

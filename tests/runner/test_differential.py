@@ -1,0 +1,80 @@
+"""Serial-vs-sharded differentials, up to the real HCOR design.
+
+The runner's headline invariant: the merged report is byte-identical to
+the serial run whatever the shard split.  The tiny and2 cases in
+``test_runner.py`` exercise the machinery; here the same property runs
+against the paper's HCOR correlator — a netlist big enough that shard
+boundaries fall inside real fault-equivalence structure — and against
+``FaultCampaign.run_shard`` directly (the primitive workers call).
+"""
+
+import pytest
+
+from repro.runner import CampaignJob, RetryPolicy, ShardedRunner
+from repro.verify import FaultCampaign, random_stimulus
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.01)
+
+
+class TestRunShardPrimitive:
+    def test_shard_reports_concatenate_to_the_serial_run(
+            self, and2_job, shared_cache):
+        netlist = and2_job.build_netlist(shared_cache)
+        serial = and2_job.run_serial(netlist)
+        campaign = and2_job.make_campaign(netlist)
+        n = campaign.work_size
+        merged = []
+        for start in range(0, n, 2):
+            merged.extend(
+                campaign.run_shard(start, min(start + 2, n)).results)
+        assert merged == serial.results
+
+    def test_out_of_range_shard_rejected(self, and2_job, shared_cache):
+        from repro.core.errors import SimulationError
+
+        netlist = and2_job.build_netlist(shared_cache)
+        campaign = and2_job.make_campaign(netlist)
+        with pytest.raises(SimulationError):
+            campaign.run_shard(0, campaign.work_size + 1)
+        with pytest.raises(SimulationError):
+            campaign.run_shard(-1, 1)
+
+    def test_shard_constructor_slices_the_same_work(self, and2_job,
+                                                    shared_cache):
+        netlist = and2_job.build_netlist(shared_cache)
+        serial = and2_job.run_serial(netlist)
+        stimuli = random_stimulus(netlist, and2_job.cycles,
+                                  seed=and2_job.seed)
+        shard = FaultCampaign(netlist, stimuli, lanes=and2_job.lanes,
+                              shard=(1, 3))
+        report = shard.run()
+        assert report.results == serial.results[1:3]
+        # Denominators describe the whole campaign, not the slice.
+        assert report.total_faults == serial.total_faults
+        assert report.collapsed_faults == serial.collapsed_faults
+
+
+class TestHcorDifferential:
+    """The acceptance-grade differential on the real correlator."""
+
+    CYCLES = 16
+
+    @pytest.fixture(scope="class")
+    def hcor_job(self):
+        return CampaignJob(design="hcor", cycles=self.CYCLES, seed=0,
+                           lanes=64)
+
+    @pytest.fixture(scope="class")
+    def hcor_serial(self, hcor_job, shared_cache):
+        netlist = hcor_job.build_netlist(shared_cache)
+        return hcor_job.run_serial(netlist)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_sharded_hcor_matches_serial(self, hcor_job, hcor_serial,
+                                         shared_cache, workers):
+        outcome = ShardedRunner(hcor_job, cache=shared_cache,
+                                workers=workers,
+                                retry=FAST_RETRY).run()
+        assert outcome.stats.shards > 1  # the split actually happened
+        assert outcome.report == hcor_serial
+        assert outcome.report.report() == hcor_serial.report()

@@ -1,0 +1,79 @@
+"""Retry taxonomy: transience is a property of the type, never the text."""
+
+import pytest
+
+from repro.core import (
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    TransientError,
+    WatchdogTimeout,
+    is_transient,
+)
+from repro.core.errors import FxOverflowError
+from repro.runner import RunnerError, WorkerCrash, describe_error
+
+
+class TestTaxonomy:
+    def test_watchdog_timeout_is_transient(self):
+        exc = WatchdogTimeout("slow shard", budget="wall_clock")
+        assert isinstance(exc, TransientError)
+        assert isinstance(exc, SimulationError)  # still a sim failure
+        assert is_transient(exc)
+
+    def test_worker_crash_is_transient(self):
+        exc = WorkerCrash("w0 died", worker="w0", shard=3, exitcode=-9)
+        assert is_transient(exc)
+        assert isinstance(exc, RunnerError)
+
+    def test_design_bugs_are_fatal(self):
+        # Retrying a deadlocked or overflowing design reruns the same
+        # deterministic failure: the taxonomy must refuse.
+        assert not is_transient(DeadlockError("stuck"))
+        assert not is_transient(FxOverflowError("overflow"))
+        assert not is_transient(RunnerError("bad plan"))
+        assert not is_transient(ReproError("generic"))
+
+    def test_os_plumbing_is_transient(self):
+        for exc in (ConnectionError("reset"), EOFError(),
+                    BrokenPipeError(), TimeoutError()):
+            assert is_transient(exc), type(exc).__name__
+
+    def test_unknown_exceptions_are_fatal(self):
+        # An unclassified failure gets no retries — fail loudly, not
+        # three times slowly.
+        assert not is_transient(ValueError("?"))
+        assert not is_transient(KeyError("?"))
+
+    def test_message_text_is_irrelevant(self):
+        # The word "timeout" in a fatal error must not earn a retry.
+        assert not is_transient(DeadlockError("timeout timeout timeout"))
+        assert is_transient(WatchdogTimeout("all good otherwise"))
+
+
+class TestWireForm:
+    def test_describe_error_carries_classification(self):
+        record = describe_error(WatchdogTimeout("late", budget="cycles"))
+        assert record["type"] == "repro.core.errors.WatchdogTimeout"
+        assert record["message"] == "late"
+        assert record["transient"] is True
+
+    def test_describe_error_fatal(self):
+        record = describe_error(DeadlockError("stuck"))
+        assert record["type"] == "repro.core.errors.DeadlockError"
+        assert record["transient"] is False
+
+    def test_json_safe(self):
+        import json
+
+        json.dumps(describe_error(WorkerCrash("w1", worker="w1",
+                                              shard=0, exitcode=-9)))
+
+
+class TestWatchdogTimeoutPayload:
+    def test_carries_budget_details(self):
+        exc = WatchdogTimeout("m", budget="wall_clock", cycles=12,
+                              seconds=1.5)
+        assert exc.budget == "wall_clock"
+        assert exc.cycles == 12
+        assert exc.seconds == pytest.approx(1.5)

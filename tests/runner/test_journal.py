@@ -1,0 +1,147 @@
+"""Write-ahead journal semantics: exactly one tolerated failure mode."""
+
+import json
+
+import pytest
+
+from repro.runner import Journal, JournalCorrupt, load_journal
+
+
+def meta_record(run_id="run0", plan=((0, 2), (2, 4))):
+    return {"kind": "meta", "version": 1, "run_id": run_id,
+            "job": {"kind": "campaign", "design": "and2", "cycles": 4},
+            "plan": [list(span) for span in plan], "work_size": 4,
+            "total_faults": 8, "netlist": "and2", "artifact_key": "k"}
+
+
+def write_lines(path, records, tail=None):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+        if tail is not None:
+            handle.write(tail)
+    return str(path)
+
+
+class TestRoundTrip:
+    def test_append_then_load(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append(meta_record())
+            journal.append({"kind": "shard_done", "shard": 0,
+                            "span": [0, 2], "attempt": 0, "results": [1, 2]})
+            journal.append({"kind": "run_end", "complete": False,
+                            "skipped": 2})
+        state = load_journal(path)
+        assert state.meta["run_id"] == "run0"
+        assert state.done[0]["results"] == [1, 2]
+        assert not state.run_complete  # run_end said complete=False
+        assert not state.truncated_tail
+        assert state.incomplete_shards(2) == [1]
+
+    def test_complete_run(self, tmp_path):
+        path = write_lines(tmp_path / "j.jsonl", [
+            meta_record(),
+            {"kind": "shard_done", "shard": 0, "span": [0, 2],
+             "attempt": 0, "results": []},
+            {"kind": "shard_done", "shard": 1, "span": [2, 4],
+             "attempt": 1, "results": []},
+            {"kind": "run_end", "complete": True, "skipped": 0},
+        ])
+        state = load_journal(path)
+        assert state.run_complete
+        assert state.incomplete_shards(2) == []
+
+    def test_journal_appends_do_not_clobber(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append(meta_record())
+        with Journal(path) as journal:  # reopened, e.g. by resume
+            journal.append({"kind": "shard_done", "shard": 1,
+                            "span": [2, 4], "attempt": 0, "results": []})
+        state = load_journal(path)
+        assert state.meta is not None and 1 in state.done
+
+
+class TestCrashTolerance:
+    def test_truncated_tail_dropped_and_flagged(self, tmp_path):
+        path = write_lines(tmp_path / "j.jsonl", [
+            meta_record(),
+            {"kind": "shard_done", "shard": 0, "span": [0, 2],
+             "attempt": 0, "results": []},
+        ], tail='{"kind": "shard_done", "shard": 1, "resu')
+        state = load_journal(path)
+        assert state.truncated_tail
+        assert 0 in state.done and 1 not in state.done
+
+    def test_midfile_garbage_is_corruption(self, tmp_path):
+        path = write_lines(tmp_path / "j.jsonl", [meta_record()])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"kind": "run_end",
+                                     "complete": True}) + "\n")
+        with pytest.raises(JournalCorrupt, match="unreadable"):
+            load_journal(path)
+
+    def test_no_meta_is_not_a_journal(self, tmp_path):
+        path = write_lines(tmp_path / "j.jsonl", [
+            {"kind": "shard_done", "shard": 0, "span": [0, 2],
+             "attempt": 0, "results": []},
+        ])
+        with pytest.raises(JournalCorrupt, match="no meta"):
+            load_journal(path)
+
+    def test_foreign_meta_is_corruption(self, tmp_path):
+        path = write_lines(tmp_path / "j.jsonl", [
+            meta_record(run_id="a"), meta_record(run_id="b"),
+        ])
+        with pytest.raises(JournalCorrupt, match="different run"):
+            load_journal(path)
+
+    def test_same_run_meta_tolerated(self, tmp_path):
+        # A resumed run may re-append its own meta; that is not damage.
+        path = write_lines(tmp_path / "j.jsonl", [
+            meta_record(run_id="a"), meta_record(run_id="a"),
+        ])
+        assert load_journal(path).meta["run_id"] == "a"
+
+    def test_unknown_kinds_skipped(self, tmp_path):
+        path = write_lines(tmp_path / "j.jsonl", [
+            meta_record(), {"kind": "future_extension", "x": 1},
+        ])
+        assert load_journal(path).meta is not None
+
+
+class TestSupersession:
+    def test_done_supersedes_abandoned(self, tmp_path):
+        # A later invocation finished a shard an earlier one gave up on.
+        path = write_lines(tmp_path / "j.jsonl", [
+            meta_record(),
+            {"kind": "shard_abandoned", "shard": 0, "span": [0, 2],
+             "attempts": 3, "error": {"type": "X"}},
+            {"kind": "shard_done", "shard": 0, "span": [0, 2],
+             "attempt": 0, "results": []},
+        ])
+        state = load_journal(path)
+        assert 0 in state.done and 0 not in state.abandoned
+
+    def test_abandoned_after_done_ignored(self, tmp_path):
+        path = write_lines(tmp_path / "j.jsonl", [
+            meta_record(),
+            {"kind": "shard_done", "shard": 0, "span": [0, 2],
+             "attempt": 0, "results": []},
+            {"kind": "shard_abandoned", "shard": 0, "span": [0, 2],
+             "attempts": 3, "error": {"type": "X"}},
+        ])
+        state = load_journal(path)
+        assert 0 in state.done and 0 not in state.abandoned
+
+    def test_latest_done_record_wins(self, tmp_path):
+        path = write_lines(tmp_path / "j.jsonl", [
+            meta_record(),
+            {"kind": "shard_done", "shard": 0, "span": [0, 2],
+             "attempt": 0, "results": ["old"]},
+            {"kind": "shard_done", "shard": 0, "span": [0, 2],
+             "attempt": 1, "results": ["new"]},
+        ])
+        assert load_journal(path).done[0]["results"] == ["new"]

@@ -1,0 +1,143 @@
+"""The orchestrator: determinism, recovery, degradation, observability."""
+
+import pytest
+
+from repro.obs.report import runner_timeline
+from repro.runner import ChaosPlan, RetryPolicy, RunnerError, ShardedRunner
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.01)
+
+
+def run_sharded(job, cache, **kwargs):
+    kwargs.setdefault("retry", FAST_RETRY)
+    return ShardedRunner(job, cache=cache, **kwargs).run()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_any_worker_count_matches_serial(self, and2_job, and2_serial,
+                                             shared_cache, workers):
+        outcome = run_sharded(and2_job, shared_cache, workers=workers,
+                              shard_size=1)
+        assert outcome.report == and2_serial
+        assert outcome.report.report() == and2_serial.report()
+
+    def test_any_shard_size_matches_serial(self, and2_job, and2_serial,
+                                           shared_cache):
+        outcome = run_sharded(and2_job, shared_cache, workers=2,
+                              shard_size=2)
+        assert outcome.report == and2_serial
+
+    def test_sweep_matches_serial(self, sweep_job, sweep_serial,
+                                  shared_cache):
+        outcome = run_sharded(sweep_job, shared_cache, workers=3,
+                              shard_size=2)
+        assert outcome.report == sweep_serial
+        assert outcome.report.report() == sweep_serial.report()
+
+
+class TestRecovery:
+    def test_killed_worker_is_replaced_and_shard_retried(
+            self, and2_job, and2_serial, shared_cache):
+        outcome = run_sharded(
+            and2_job, shared_cache, workers=2, shard_size=1,
+            chaos=ChaosPlan(kill_shard=1))
+        assert outcome.stats.worker_deaths >= 1
+        assert outcome.stats.retries >= 1
+        assert outcome.report == and2_serial  # recovery changed nothing
+
+    def test_transient_error_is_retried(self, and2_job, and2_serial,
+                                        shared_cache):
+        outcome = run_sharded(
+            and2_job, shared_cache, workers=2, shard_size=1,
+            chaos=ChaosPlan(raise_shard=0))
+        assert outcome.stats.retries >= 1
+        assert outcome.stats.worker_deaths == 0  # no process was lost
+        assert outcome.report == and2_serial
+
+    def test_hung_worker_hits_parent_deadline(self, and2_job, and2_serial,
+                                              shared_cache):
+        outcome = run_sharded(
+            and2_job, shared_cache, workers=2, shard_size=1,
+            shard_deadline=0.4,
+            chaos=ChaosPlan(hang_shard=1, hang_seconds=3600.0))
+        assert outcome.stats.worker_deaths >= 1  # SIGKILLed by the parent
+        assert outcome.report == and2_serial
+
+
+class TestDegradation:
+    def test_fatal_error_is_not_retried(self, and2_job, and2_serial,
+                                        shared_cache):
+        outcome = run_sharded(
+            and2_job, shared_cache, workers=2, shard_size=1,
+            chaos=ChaosPlan(fatal_shard=1))
+        report = outcome.report
+        assert not report.complete
+        assert outcome.stats.abandoned == 1
+        assert outcome.stats.retries == 0  # fatal means zero retries
+        assert len(outcome.abandoned) == 1
+        assert "DeadlockError" in outcome.abandoned[0]["error"]["type"]
+
+    def test_denominator_never_shrinks(self, and2_job, and2_serial,
+                                       shared_cache):
+        outcome = run_sharded(
+            and2_job, shared_cache, workers=2, shard_size=1,
+            chaos=ChaosPlan(fatal_shard=0))
+        report = outcome.report
+        assert report.total_faults == and2_serial.total_faults
+        assert report.collapsed_faults == and2_serial.collapsed_faults
+        assert report.skipped == 1
+        assert len(report.results) == len(and2_serial.results) - 1
+        assert "partial" in report.report()
+
+    def test_exhausted_retry_budget_abandons(self, and2_job, shared_cache):
+        # A transient failure with no attempts left must abandon the
+        # shard, not spin forever.
+        outcome = run_sharded(
+            and2_job, shared_cache, workers=2, shard_size=1,
+            retry=RetryPolicy(max_attempts=1, backoff_base=0.01),
+            chaos=ChaosPlan(raise_shard=0))
+        assert not outcome.report.complete
+        assert outcome.stats.abandoned == 1
+        assert outcome.stats.retries == 0  # budget of one: no retry
+        error = outcome.abandoned[0]["error"]
+        assert error["transient"]  # transient, yet out of budget
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_is_capped(self):
+        policy = RetryPolicy(max_attempts=10, backoff_base=0.25,
+                             backoff_factor=2.0, backoff_max=5.0)
+        delays = [policy.delay(n) for n in range(1, 8)]
+        assert delays[:3] == [0.25, 0.5, 1.0]
+        assert max(delays) == 5.0  # capped, never unbounded
+
+    def test_rejects_zero_workers(self, and2_job):
+        with pytest.raises(RunnerError):
+            ShardedRunner(and2_job, workers=0)
+
+
+class TestObservability:
+    def test_lifecycle_events_tell_the_story(self, and2_job, and2_serial,
+                                             shared_cache):
+        runner = ShardedRunner(and2_job, cache=shared_cache, workers=2,
+                               shard_size=1, retry=FAST_RETRY,
+                               chaos=ChaosPlan(kill_shard=1))
+        outcome = runner.run()
+        assert outcome.report == and2_serial
+        kinds = [e["kind"] for e in runner.events.events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "worker_spawned" in kinds
+        assert "worker_died" in kinds
+        assert "shard_dispatched" in kinds
+        assert "shard_completed" in kinds
+        assert "shard_retried" in kinds
+        # Every event renders into a non-empty timeline row.
+        rows = runner_timeline(runner.events.events)
+        assert len(rows) == len(kinds)
+        assert all(row["detail"] for row in rows)
+
+    def test_cache_reuse_is_measured(self, and2_job, and2_serial,
+                                     shared_cache):
+        outcome = run_sharded(and2_job, shared_cache, workers=1)
+        assert outcome.stats.cache_hits >= 1  # warmed by earlier fixtures

@@ -32,6 +32,11 @@ Two layering contracts are enforced by walking every module with
    batches ("what a signal computes" never knows "how many stimuli
    evaluate it at once").
 
+5. ``repro.runner`` is the *orchestration* layer — the top of the
+   stack.  It may import anything, but nothing else in ``repro`` may
+   import it: campaigns, engines and the observability layer must stay
+   fully usable (and testable) without the multiprocess machinery.
+
 Run from the repository root::
 
     python tools/check_layering.py
@@ -61,6 +66,8 @@ LANE_FREE = ("core", "ir", "fixpt", "lint")
 LANE_OWNERS = ("sim", "synth", "verify")
 #: Identifier fragments that mark lane/batch machinery.
 LANE_WORDS = ("lane", "batch")
+#: The orchestration layer nothing else may depend on.
+TOP_LAYER = "runner"
 PACKAGE = "repro"
 
 
@@ -227,11 +234,28 @@ def check_lane_layer(src_root: Path) -> List[str]:
     return violations
 
 
+def check_runner_layer(src_root: Path) -> List[str]:
+    """Violations of the repro.runner top-layer contract, as messages."""
+    violations: List[str] = []
+    for pkg in sorted((src_root / PACKAGE).iterdir()):
+        if not pkg.is_dir() or pkg.name == TOP_LAYER:
+            continue
+        for rel, lineno, target in _imports(src_root, pkg.name):
+            if _subpackage_of(target) == TOP_LAYER:
+                violations.append(
+                    f"{rel}:{lineno}: repro.{pkg.name} imports {target} — "
+                    "repro.runner is the top orchestration layer; nothing "
+                    "may depend on it"
+                )
+    return violations
+
+
 def main(argv: Tuple[str, ...] = ()) -> int:
     root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
     src_root = root / "src"
     violations = (check_tree(src_root) + check_lint_layer(src_root)
-                  + check_obs_layer(src_root) + check_lane_layer(src_root))
+                  + check_obs_layer(src_root) + check_lane_layer(src_root)
+                  + check_runner_layer(src_root))
     if violations:
         print("layering violations:")
         for message in violations:
@@ -240,7 +264,8 @@ def main(argv: Tuple[str, ...] = ()) -> int:
     print(f"layering clean: {', '.join(LAYERS)} share no private names; "
           "repro.lint depends only on core/ir/fixpt and no back-end "
           "imports it; repro.obs depends only on core/ir/fixpt and no "
-          "model layer imports it; core/ir/fixpt/lint are lane-agnostic")
+          "model layer imports it; core/ir/fixpt/lint are lane-agnostic; "
+          "nothing imports repro.runner")
     return 0
 
 
