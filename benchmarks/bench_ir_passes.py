@@ -32,12 +32,13 @@ DATAPATHS = ("disc", "sum", "lms")
 SIM_CYCLES = int(os.environ.get("BENCH_IR_CYCLES", "1500"))
 
 
-def _compiled_rate(optimize: bool) -> Dict[str, float]:
+def _compiled_rate(optimize: bool, passes=None) -> Dict[str, float]:
     from repro.designs.dect import build_transceiver
     from repro.sim import CompiledSimulator
 
     chip = build_transceiver()
-    simulator = CompiledSimulator(chip.system, optimize=optimize)
+    simulator = CompiledSimulator(chip.system, optimize=optimize,
+                                  passes=passes)
     pins = {"sample_i": 0.5, "sample_q": -0.25, "hold_request": 0,
             "ctl_coef_re": 0.1, "ctl_coef_im": 0.0}
     for _ in range(200):  # warm caches so the timed loop is steady-state
@@ -67,17 +68,30 @@ def _build_datapath(name: str):
     return builders[name]()
 
 
-def _gate_counts(name: str, ir_passes: bool) -> Dict[str, int]:
+def _gate_counts(name: str, ir_passes: bool,
+                 passes=None) -> Dict[str, int]:
     from repro.synth.flow import synthesize_process
 
     raw = synthesize_process(_build_datapath(name), ir_passes=ir_passes,
-                             optimize=False)
+                             passes=passes, optimize=False)
     final = synthesize_process(_build_datapath(name), ir_passes=ir_passes,
-                               optimize=True)
+                               passes=passes, optimize=True)
     return {
         "gates_synthesized": raw.gate_count,
         "gates_after_netlist_opt": final.gate_count,
     }
+
+
+def _pipeline_without(dropped: str):
+    """The aggressive pipeline minus one pass (leave-one-out ablation)."""
+    from repro.ir import AGGRESSIVE_PASSES
+
+    return tuple(entry for entry in AGGRESSIVE_PASSES
+                 if entry[0] != dropped)
+
+
+#: New aggressive-pipeline passes with their own ablation rows.
+NEW_PASSES = ("mux_restructure", "strength_reduce")
 
 
 def run() -> Dict[str, object]:
@@ -87,14 +101,23 @@ def run() -> Dict[str, object]:
         "compiled_sim": {
             "passes_on": _compiled_rate(True),
             "passes_off": _compiled_rate(False),
+            "aggressive": _compiled_rate(True, passes="aggressive"),
         },
         "synthesis": {},
+        "ablation": {},
     }
     for name in DATAPATHS:
         results["synthesis"][name] = {
             "passes_on": _gate_counts(name, True),
             "passes_off": _gate_counts(name, False),
+            "aggressive": _gate_counts(name, True, passes="aggressive"),
         }
+    # Leave-one-out rows for the new passes, on the datapath where the
+    # aggressive pipeline moves the needle (disc: the chain hoist halves
+    # the array multipliers).
+    for dropped in NEW_PASSES:
+        results["ablation"][f"aggressive-no-{dropped}"] = _gate_counts(
+            "disc", True, passes=_pipeline_without(dropped))
     return results
 
 
@@ -111,24 +134,51 @@ def main() -> int:
     print(f"  passes off: {off['cycles_per_sec']:8.1f} cyc/s, "
           f"{off['ir_op_count']} IR ops")
 
+    agg = sim["aggressive"]
+    print(f"  aggressive: {agg['cycles_per_sec']:8.1f} cyc/s, "
+          f"{agg['ir_op_count']} IR ops")
+
     ok = on["ir_op_count"] < off["ir_op_count"]
+    agg_ok = agg["ir_op_count"] <= off["ir_op_count"]
     any_gate_win = False
+    best_opt_win = 0.0
     print("synthesis (gates as allocated / after netlist opt)")
     for name, cells in results["synthesis"].items():
         g_on, g_off = cells["passes_on"], cells["passes_off"]
+        g_agg = cells["aggressive"]
         print(f"  {name:6} on : {g_on['gates_synthesized']:6} / "
               f"{g_on['gates_after_netlist_opt']:6}"
               f"   off: {g_off['gates_synthesized']:6} / "
-              f"{g_off['gates_after_netlist_opt']:6}")
+              f"{g_off['gates_after_netlist_opt']:6}"
+              f"   aggressive: {g_agg['gates_synthesized']:6} / "
+              f"{g_agg['gates_after_netlist_opt']:6}")
         if g_on["gates_synthesized"] < g_off["gates_synthesized"]:
             any_gate_win = True
+        base = g_off["gates_after_netlist_opt"]
+        if base:
+            best_opt_win = max(
+                best_opt_win,
+                (base - g_agg["gates_after_netlist_opt"]) / base)
+
+    print("ablation (disc, gates as allocated / after netlist opt)")
+    for row, cells in results["ablation"].items():
+        print(f"  {row:32} {cells['gates_synthesized']:6} / "
+              f"{cells['gates_after_netlist_opt']:6}")
 
     if not ok:
         print("FAIL: passes did not reduce the compiled-sim op count")
         return 1
+    if not agg_ok:
+        print("FAIL: aggressive pipeline increased compiled-sim op count")
+        return 1
     if not any_gate_win:
         print("FAIL: passes did not reduce gates on any DECT datapath")
         return 1
+    if best_opt_win < 0.05:
+        print("FAIL: aggressive pipeline won <5% post-opt gates on every "
+              "DECT datapath")
+        return 1
+    print(f"best aggressive post-opt gate win: {100 * best_opt_win:.1f}%")
     print(f"wrote {os.path.normpath(OUT_PATH)}")
     return 0
 

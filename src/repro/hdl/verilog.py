@@ -21,7 +21,7 @@ from ..core.errors import CodegenError
 from ..core.process import TimedProcess, UntimedProcess
 from ..core.signal import Register, Sig
 from ..core.system import System
-from ..ir import IRBlock, lower_expr, lower_sfg, run_passes
+from ..ir import IRBlock, PassManager, lower_expr, lower_sfg
 from .formats import sig_fmt, vector_width
 from .naming import NameScope, sanitize
 from .vhdl import _BlockRefs
@@ -136,10 +136,17 @@ class _VerilogEmitter:
 class VerilogGenerator:
     """Generates Verilog modules for a system's timed components."""
 
-    def __init__(self, system: System, optimize: bool = True):
+    def __init__(self, system: System, optimize: bool = True,
+                 passes=None, validate: str = "off"):
         self.system = system
-        #: Run the IR pass pipeline over every lowered block before emission.
+        #: Run the IR pass pipeline over every lowered block before
+        #: emission; ``passes`` names the pipeline and ``validate``
+        #: turns on translation validation of each application.
         self.optimize = optimize
+        self.pass_manager = PassManager(
+            "default" if passes is None else passes, validate=validate)
+        #: Per-pass statistics across every generated block.
+        self.pass_stats = self.pass_manager.stats
 
     def generate(self) -> Dict[str, str]:
         """Return a mapping of file name to Verilog source."""
@@ -152,7 +159,7 @@ class VerilogGenerator:
     def _lower(self, build) -> IRBlock:
         block = build()
         if self.optimize:
-            block = run_passes(block)
+            block = self.pass_manager.run(block)
         return block
 
     def component(self, process: TimedProcess) -> str:
@@ -347,6 +354,8 @@ class VerilogGenerator:
         return "\n".join(lines) + "\n"
 
 
-def generate_verilog(system: System, optimize: bool = True) -> Dict[str, str]:
+def generate_verilog(system: System, optimize: bool = True,
+                     passes=None, validate: str = "off") -> Dict[str, str]:
     """Convenience wrapper: generate Verilog for every timed component."""
-    return VerilogGenerator(system, optimize=optimize).generate()
+    return VerilogGenerator(system, optimize=optimize, passes=passes,
+                            validate=validate).generate()

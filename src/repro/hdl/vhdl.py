@@ -26,7 +26,7 @@ from ..core.errors import CodegenError
 from ..core.process import TimedProcess, UntimedProcess
 from ..core.signal import Register, Sig
 from ..core.system import System
-from ..ir import IRBlock, lower_expr, lower_sfg, run_passes
+from ..ir import IRBlock, PassManager, lower_expr, lower_sfg
 from .formats import sig_fmt, vector_width
 from .naming import NameScope, sanitize
 
@@ -235,10 +235,17 @@ class _VhdlEmitter:
 class VhdlGenerator:
     """Generates VHDL for a whole system: package, entities, top level."""
 
-    def __init__(self, system: System, optimize: bool = True):
+    def __init__(self, system: System, optimize: bool = True,
+                 passes=None, validate: str = "off"):
         self.system = system
-        #: Run the IR pass pipeline over every lowered block before emission.
+        #: Run the IR pass pipeline over every lowered block before
+        #: emission; ``passes`` names the pipeline and ``validate``
+        #: turns on translation validation of each application.
         self.optimize = optimize
+        self.pass_manager = PassManager(
+            "default" if passes is None else passes, validate=validate)
+        #: Per-pass statistics across every generated block.
+        self.pass_stats = self.pass_manager.stats
 
     def generate(self) -> Dict[str, str]:
         """Return a mapping of file name to VHDL source."""
@@ -306,7 +313,7 @@ class VhdlGenerator:
             if block is None:
                 block = lower_sfg(sfg, require_formats=True)
                 if self.optimize:
-                    block = run_passes(block)
+                    block = self.pass_manager.run(block)
                 block_cache[id(sfg)] = block
             return block
 
@@ -416,7 +423,7 @@ class VhdlGenerator:
                     cond_block = lower_expr(condition.expr,
                                             require_formats=True)
                     if self.optimize:
-                        cond_block = run_passes(cond_block)
+                        cond_block = self.pass_manager.run(cond_block)
                     code = emitter.refs(cond_block).ref(cond_block.roots[0])
                     test = f"{code} /= 0"
                     if condition.negated:
@@ -600,9 +607,11 @@ class VhdlGenerator:
         return "\n".join(lines) + "\n"
 
 
-def generate_vhdl(system: System, optimize: bool = True) -> Dict[str, str]:
+def generate_vhdl(system: System, optimize: bool = True,
+                  passes=None, validate: str = "off") -> Dict[str, str]:
     """Convenience wrapper: generate all VHDL files for *system*."""
-    return VhdlGenerator(system, optimize=optimize).generate()
+    return VhdlGenerator(system, optimize=optimize, passes=passes,
+                         validate=validate).generate()
 
 
 def line_count(files: Dict[str, str]) -> int:

@@ -6,6 +6,14 @@ folding, algebraic simplification, CSE, DCE); the compiled simulator,
 both HDL generators and the datapath synthesizer render the result.
 """
 
+from .equiv import (
+    Counterexample,
+    EquivReport,
+    PassEquivalenceError,
+    VALIDATE_MODES,
+    check_blocks,
+    observable_srclocs,
+)
 from .formats import sig_fmt, vector_width
 from .lower import Lowerer, lower_assignments, lower_expr, lower_sfg
 from .ops import (
@@ -17,23 +25,35 @@ from .ops import (
     sign_fold,
 )
 from .passes import (
+    AGGRESSIVE_PASSES,
     DEFAULT_PASSES,
+    PIPELINES,
     PassManager,
     algebraic_simplify,
     cse,
     constant_fold,
     dce,
+    resolve_pipeline,
+    restructure_mux,
     run_passes,
+    strength_reduce,
 )
 
 __all__ = [
+    "AGGRESSIVE_PASSES",
+    "Counterexample",
     "DEFAULT_PASSES",
+    "EquivReport",
     "IRBlock",
     "IROp",
     "Lowerer",
+    "PIPELINES",
+    "PassEquivalenceError",
     "PassManager",
     "Store",
+    "VALIDATE_MODES",
     "algebraic_simplify",
+    "check_blocks",
     "cse",
     "constant_fold",
     "dce",
@@ -41,9 +61,13 @@ __all__ = [
     "lower_assignments",
     "lower_expr",
     "lower_sfg",
+    "observable_srclocs",
     "quantize_raw_at",
+    "resolve_pipeline",
+    "restructure_mux",
     "run_passes",
     "sig_fmt",
     "sign_fold",
+    "strength_reduce",
     "vector_width",
 ]

@@ -1,0 +1,463 @@
+"""Translation validation: prove an optimized IRBlock ≡ its raw source.
+
+Every optimization pass claims "same observables, fewer ops".  This
+module checks the claim per block pair, without trusting the pass:
+
+* **Exhaustive** — when the product of the leaf-input ranges feeding an
+  observable (a store or root) is small enough to enumerate, every
+  input valuation of that cone is executed through both blocks with the
+  reference interpreter (:func:`repro.ir.ops.execute`) and the
+  observable is *proved* bit-identical.  Observables sharing a cone
+  share the enumeration.
+* **Interval** — the lint interval analysis (:mod:`repro.lint.interval`)
+  gives sound raw-value ranges per observable.  Disjoint ranges refute
+  equivalence for *every* input (the counterexample is then concrete,
+  from the base valuation); equal constant ranges prove an observable
+  without enumeration.  The import is lazy: the IR stays buildable
+  without the analysis layer, and layering contract 6 whitelists this
+  one edge.
+* **Stratified sampling** — wide cones fall back to seeded, stratified
+  random valuations (corners lo/lo+1/0/hi-1/hi plus uniform draws), so
+  a failure is reproducible from the seed alone.
+
+A refutation is reported as a :class:`Counterexample`: the concrete
+input valuation, the first divergent observable in block order, both
+values, and the source location the observable was lowered from (when
+the caller still has the pristine block's ``locs`` side-table —
+optimization passes drop it).
+
+Blocks compare on their observables only: stores pair by position (and
+must target the identical signal), roots pair by index.  A structural
+mismatch is itself a counterexample.  ``Overflow.ERROR`` quantizes may
+legitimately raise in both blocks — a divergence is when only one side
+raises, or they produce different values.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ReproError
+from ..fixpt.fixed import FxOverflowError
+from .ops import IRBlock, execute
+
+#: Recognized validation modes, weakest to strongest.
+VALIDATE_MODES = ("off", "sampled", "exhaustive")
+
+#: Default number of sampled valuations per mode.
+SAMPLED_TRIALS = 64
+EXHAUSTIVE_TRIALS = 256
+
+#: Default cap on enumerated valuations per observable cone.
+EXHAUSTIVE_BUDGET = 4096
+
+#: Sentinel observable value: the block raised FxOverflowError.
+RAISED = "<FxOverflowError>"
+
+
+@dataclass(frozen=True)
+class Observable:
+    """One compared output: a store (by position) or a root (by index)."""
+
+    kind: str            # "store" | "root"
+    index: int
+    target: object = None  # the stored signal, None for roots
+
+    def label(self) -> str:
+        if self.kind == "store":
+            name = getattr(self.target, "name", None) or repr(self.target)
+            return f"store[{self.index}] -> {name}"
+        return f"root[{self.index}]"
+
+
+@dataclass
+class Counterexample:
+    """A concrete input valuation on which the two blocks diverge."""
+
+    inputs: Dict[object, object]     # leaf signal -> raw int / float
+    observable: Optional[Observable]
+    expected: object                 # raw block's value (or RAISED)
+    got: object                      # optimized block's value (or RAISED)
+    srcloc: object = None            # SrcLoc of the divergent observable
+    note: str = ""
+
+    def valuation(self) -> Dict[str, object]:
+        """The inputs keyed by signal name (stable, printable)."""
+        return {getattr(sig, "name", None) or repr(sig): value
+                for sig, value in self.inputs.items()}
+
+    def describe(self) -> str:
+        where = self.observable.label() if self.observable else "structure"
+        parts = [f"first divergent observable {where}: "
+                 f"expected {self.expected!r}, got {self.got!r}"]
+        if self.srcloc is not None:
+            parts.append(f"lowered at {self.srcloc}")
+        if self.inputs:
+            vals = ", ".join(f"{name}={value!r}"
+                             for name, value in sorted(self.valuation().items()))
+            parts.append(f"under inputs {{{vals}}}")
+        if self.note:
+            parts.append(self.note)
+        return "; ".join(parts)
+
+
+@dataclass
+class EquivReport:
+    """The outcome of :func:`check_blocks` on one block pair."""
+
+    equivalent: bool
+    counterexample: Optional[Counterexample] = None
+    #: True when every observable was exhaustively enumerated or proved
+    #: constant by interval analysis — a proof, not just absence of a
+    #: sampled refutation.
+    proved: bool = False
+    #: Input valuations executed through both blocks.
+    assignments: int = 0
+    observables: int = 0
+    proved_observables: int = 0
+    strategy: str = "sampled"
+
+
+class PassEquivalenceError(ReproError):
+    """An optimization pass changed observable behavior.
+
+    Carries the guilty pass name and the concrete
+    :class:`Counterexample` so callers (and CI logs) can replay it.
+    """
+
+    def __init__(self, pass_name: str, counterexample: Counterexample,
+                 iteration: int = 0):
+        self.pass_name = pass_name
+        self.counterexample = counterexample
+        self.iteration = iteration
+        super().__init__(
+            f"pass {pass_name!r} (pipeline iteration {iteration}) is not "
+            f"equivalence-preserving: {counterexample.describe()}")
+
+
+def block_leaves(block: IRBlock) -> List[object]:
+    """The leaf signals read by *block*, in first-read order."""
+    seen: List[object] = []
+    ids = set()
+    for op in block.ops:
+        if op.opcode == "read" and id(op.attrs[0]) not in ids:
+            ids.add(id(op.attrs[0]))
+            seen.append(op.attrs[0])
+    return seen
+
+
+def observable_srclocs(block: IRBlock) -> Dict[Tuple[str, int], object]:
+    """Observable -> SrcLoc map from a block that still carries ``locs``.
+
+    Passes preserve store/root order, so the map built from the pristine
+    lowered block labels the same observables in every optimized
+    descendant.
+    """
+    out: Dict[Tuple[str, int], object] = {}
+    for index, store in enumerate(block.stores):
+        loc = block.locs.get(store.value)
+        if loc is not None:
+            out[("store", index)] = loc
+    for index, root in enumerate(block.roots):
+        loc = block.locs.get(root)
+        if loc is not None:
+            out[("root", index)] = loc
+    return out
+
+
+def _leaf_range(sig) -> Optional[Tuple[int, int]]:
+    """Raw [lo, hi] of a formatted leaf, None for float-domain leaves."""
+    fmt = getattr(sig, "fmt", None)
+    if fmt is None:
+        return None
+    return fmt.raw_min, fmt.raw_max
+
+
+def _observables(block: IRBlock) -> List[Observable]:
+    obs = [Observable("store", i, s.target)
+           for i, s in enumerate(block.stores)]
+    obs += [Observable("root", i) for i in range(len(block.roots))]
+    return obs
+
+
+def _observe(block: IRBlock, assignment: Dict[int, object],
+             leaves: Sequence[object]) -> List[object]:
+    """Observable values of *block* under *assignment* (id(sig)-keyed).
+
+    A raising ``Overflow.ERROR`` quantize maps every observable to
+    :data:`RAISED` — two blocks that both raise agree.
+    """
+    try:
+        values = execute(block, lambda sig: assignment[id(sig)])
+    except FxOverflowError:
+        n = len(block.stores) + len(block.roots)
+        return [RAISED] * n
+    out = [values[s.value] for s in block.stores]
+    out += [values[r] for r in block.roots]
+    return out
+
+
+def _cone_leaves(block: IRBlock, vid: int) -> List[object]:
+    """Leaf signals feeding value *vid*, deduplicated by identity."""
+    seen_ops = set()
+    work = [vid]
+    leaves: List[object] = []
+    leaf_ids = set()
+    while work:
+        v = work.pop()
+        if v in seen_ops:
+            continue
+        seen_ops.add(v)
+        op = block.ops[v]
+        if op.opcode == "read":
+            if id(op.attrs[0]) not in leaf_ids:
+                leaf_ids.add(id(op.attrs[0]))
+                leaves.append(op.attrs[0])
+        work.extend(op.args)
+    return leaves
+
+
+def _observable_vid(block: IRBlock, obs: Observable) -> int:
+    if obs.kind == "store":
+        return block.stores[obs.index].value
+    return block.roots[obs.index]
+
+
+def _base_assignment(leaves: Sequence[object]) -> Dict[int, object]:
+    """A deterministic valuation: 0 where representable, else the low end."""
+    out: Dict[int, object] = {}
+    for sig in leaves:
+        rng = _leaf_range(sig)
+        if rng is None:
+            out[id(sig)] = 0.0
+        else:
+            lo, hi = rng
+            out[id(sig)] = min(max(0, lo), hi)
+    return out
+
+
+def _strata(lo: int, hi: int) -> List[int]:
+    """Corner values of a raw range, deduplicated, in order."""
+    candidates = [lo, lo + 1, 0, (lo + hi) // 2, hi - 1, hi]
+    out: List[int] = []
+    for c in candidates:
+        if lo <= c <= hi and c not in out:
+            out.append(c)
+    return out
+
+
+def _sample(leaves: Sequence[object], rng: random.Random,
+            trial: int) -> Dict[int, object]:
+    """One stratified valuation: corners first, then mixed random draws."""
+    out: Dict[int, object] = {}
+    for sig in leaves:
+        bounds = _leaf_range(sig)
+        if bounds is None:
+            if trial == 0:
+                out[id(sig)] = 0.0
+            elif trial == 1:
+                out[id(sig)] = 1.0
+            elif trial == 2:
+                out[id(sig)] = -1.0
+            else:
+                out[id(sig)] = rng.uniform(-8.0, 8.0)
+            continue
+        lo, hi = bounds
+        if trial == 0:
+            out[id(sig)] = lo
+        elif trial == 1:
+            out[id(sig)] = hi
+        elif trial == 2:
+            out[id(sig)] = min(max(0, lo), hi)
+        else:
+            strata = _strata(lo, hi)
+            pick = rng.randrange(len(strata) + 2)
+            if pick < len(strata):
+                out[id(sig)] = strata[pick]
+            else:
+                out[id(sig)] = rng.randint(lo, hi)
+    return out
+
+
+def _divergence(raw: IRBlock, opt: IRBlock, observables: Sequence[Observable],
+                assignment: Dict[int, object], leaves: Sequence[object],
+                srclocs, only: Optional[set] = None,
+                note: str = "") -> Optional[Counterexample]:
+    """Compare both blocks under one valuation; None when they agree."""
+    got_raw = _observe(raw, assignment, leaves)
+    got_opt = _observe(opt, assignment, leaves)
+    for pos, obs in enumerate(observables):
+        if only is not None and pos not in only:
+            continue
+        if got_raw[pos] != got_opt[pos]:
+            inputs = {sig: assignment[id(sig)] for sig in leaves}
+            loc = None
+            if srclocs:
+                loc = srclocs.get((obs.kind, obs.index))
+            return Counterexample(inputs, obs, got_raw[pos], got_opt[pos],
+                                  srcloc=loc, note=note)
+    return None
+
+
+def _interval_phase(raw: IRBlock, opt: IRBlock,
+                    observables: Sequence[Observable]):
+    """Sound per-observable interval facts: (disjoint_pos, proved_pos).
+
+    Uses :mod:`repro.lint.interval` lazily — the lint package imports
+    ``repro.ir`` at init, so a module-level import here would be
+    circular (and would make the analysis layer load-bearing for the
+    IR).
+    """
+    try:
+        from ..lint.interval import analyze
+    except ImportError:        # pragma: no cover - lint layer stripped
+        return None, set()
+    ana_raw = analyze(raw)
+    ana_opt = analyze(opt)
+    disjoint: Optional[int] = None
+    proved = set()
+    for pos, obs in enumerate(observables):
+        iv_raw = ana_raw.of(_observable_vid(raw, obs))
+        iv_opt = ana_opt.of(_observable_vid(opt, obs))
+        if iv_raw is None or iv_opt is None:
+            continue
+        if iv_raw.hi < iv_opt.lo or iv_opt.hi < iv_raw.lo:
+            if disjoint is None:
+                disjoint = pos
+        elif (iv_raw.is_constant and iv_opt.is_constant
+                and iv_raw.lo == iv_opt.lo):
+            proved.add(pos)
+    return disjoint, proved
+
+
+def check_blocks(raw: IRBlock, opt: IRBlock, mode: str = "sampled",
+                 seed: int = 0, trials: Optional[int] = None,
+                 budget: int = EXHAUSTIVE_BUDGET,
+                 srclocs: Optional[Dict[Tuple[str, int], object]] = None,
+                 ) -> EquivReport:
+    """Check that *opt* computes the same observables as *raw*.
+
+    *mode* is ``"sampled"`` (stratified random valuations) or
+    ``"exhaustive"`` (additionally enumerate every observable whose
+    input cone has at most *budget* valuations — those observables are
+    *proved*).  *srclocs* optionally maps ``(kind, index)`` observables
+    to source locations for counterexample reporting (build it from the
+    pristine block with :func:`observable_srclocs`).
+    """
+    if mode not in VALIDATE_MODES or mode == "off":
+        raise ValueError(
+            f"validate mode {mode!r}: expected one of {VALIDATE_MODES[1:]}")
+    observables = _observables(raw)
+    report = EquivReport(True, observables=len(observables), strategy=mode)
+
+    # Structural contract: same observables, same targets, same order.
+    structural = None
+    if len(opt.stores) != len(raw.stores) or len(opt.roots) != len(raw.roots):
+        structural = (f"store/root shape {len(raw.stores)}/{len(raw.roots)} "
+                      f"-> {len(opt.stores)}/{len(opt.roots)}")
+    else:
+        for i, (a, b) in enumerate(zip(raw.stores, opt.stores)):
+            if a.target is not b.target:
+                structural = (f"store[{i}] retargeted from "
+                              f"{getattr(a.target, 'name', a.target)!r} to "
+                              f"{getattr(b.target, 'name', b.target)!r}")
+                break
+    if structural is not None:
+        report.equivalent = False
+        report.counterexample = Counterexample(
+            {}, None, "<raw block shape>", "<optimized block shape>",
+            note=structural)
+        return report
+
+    leaves = block_leaves(raw)
+    for extra in block_leaves(opt):
+        if not any(extra is sig for sig in leaves):
+            leaves.append(extra)
+
+    # Interval refutation / constant proofs (sound, no execution).
+    disjoint_pos, proved = _interval_phase(raw, opt, observables)
+    report.proved_observables = len(proved)
+    base = _base_assignment(leaves)
+    if disjoint_pos is not None:
+        cex = _divergence(
+            raw, opt, observables, base, leaves, srclocs,
+            note="raw-value intervals are disjoint: the blocks diverge on "
+                 "every input (refuted by interval analysis)")
+        report.assignments += 1
+        if cex is not None:
+            report.equivalent = False
+            report.counterexample = cex
+            report.strategy = "interval"
+            return report
+
+    # Exhaustive enumeration per cone, grouped by shared leaf sets.
+    if mode == "exhaustive":
+        groups: Dict[frozenset, List[int]] = {}
+        cone_sigs: Dict[frozenset, List[object]] = {}
+        for pos, obs in enumerate(observables):
+            if pos in proved:
+                continue
+            cone = _cone_leaves(raw, _observable_vid(raw, obs))
+            for extra in _cone_leaves(opt, _observable_vid(opt, obs)):
+                if not any(extra is sig for sig in cone):
+                    cone.append(extra)
+            key = frozenset(id(sig) for sig in cone)
+            groups.setdefault(key, []).append(pos)
+            cone_sigs.setdefault(key, cone)
+        for key, positions in groups.items():
+            cone = cone_sigs[key]
+            total = 1
+            for sig in cone:
+                bounds = _leaf_range(sig)
+                if bounds is None:
+                    total = None
+                    break
+                total *= bounds[1] - bounds[0] + 1
+                if total > budget:
+                    break
+            if total is None or total > budget:
+                continue
+            ranges = [range(bounds[0], bounds[1] + 1)
+                      for bounds in map(_leaf_range, cone)]
+            for combo in itertools.product(*ranges):
+                assignment = dict(base)
+                for sig, value in zip(cone, combo):
+                    assignment[id(sig)] = value
+                report.assignments += 1
+                cex = _divergence(raw, opt, observables, assignment, leaves,
+                                  srclocs, only=set(positions),
+                                  note=f"found by exhaustive enumeration of "
+                                       f"a {total}-valuation input cone")
+                if cex is not None:
+                    report.equivalent = False
+                    report.counterexample = cex
+                    report.strategy = "exhaustive"
+                    return report
+            proved.update(positions)
+        report.proved_observables = len(proved)
+
+    # Stratified sampling over the full leaf set for whatever is left.
+    remaining = {pos for pos in range(len(observables)) if pos not in proved}
+    if remaining:
+        n = trials if trials is not None else (
+            EXHAUSTIVE_TRIALS if mode == "exhaustive" else SAMPLED_TRIALS)
+        rng = random.Random(seed)
+        for trial in range(n):
+            assignment = _sample(leaves, rng, trial)
+            report.assignments += 1
+            cex = _divergence(raw, opt, observables, assignment, leaves,
+                              srclocs, only=remaining,
+                              note=f"found by stratified sampling "
+                                   f"(seed {seed}, trial {trial})")
+            if cex is not None:
+                report.equivalent = False
+                report.counterexample = cex
+                return report
+
+    report.proved = len(proved) == len(observables)
+    if report.proved and mode == "exhaustive":
+        report.strategy = "exhaustive"
+    return report

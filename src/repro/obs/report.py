@@ -130,6 +130,7 @@ def summarize(data: Dict[str, object], top: int = 10) -> Dict[str, object]:
             events[kind] = events.get(kind, 0) + 1
     return {
         "runner_timeline": timeline,
+        "ir_passes": _pass_table(data.get("metrics", {}) or {}),
         "signals": len(activity),
         "top_toggles": _top_toggles(activity, top),
         "fsm_coverage": {
@@ -149,6 +150,23 @@ def summarize(data: Dict[str, object], top: int = 10) -> Dict[str, object]:
     }
 
 
+def _pass_table(metrics: Dict[str, object]) -> Dict[str, Dict[str, int]]:
+    """Per-pass statistics published by a ``PassManager`` (engines call
+    ``pass_manager.publish(obs.metrics)``), re-grouped from the flat
+    ``ir_passes/<pass>/<field>`` counter names."""
+    table: Dict[str, Dict[str, int]] = {}
+    for name, record in metrics.items():
+        if not name.startswith("ir_passes/"):
+            continue
+        try:
+            _, pass_name, field = name.split("/", 2)
+        except ValueError:
+            continue
+        value = record.get("value", 0) if isinstance(record, dict) else record
+        table.setdefault(pass_name, {})[field] = int(value or 0)
+    return table
+
+
 def render_text(data: Dict[str, object], top: int = 10) -> str:
     """Human-readable report of one capture."""
     summary = summarize(data, top)
@@ -166,6 +184,21 @@ def render_text(data: Dict[str, object], top: int = 10) -> str:
             lines.append(
                 f"  {row['name']:<40} {row.get('toggles', 0):>10} "
                 f"{row.get('changes', 0):>10} {rate:>8.3f}"
+            )
+
+    passes = summary["ir_passes"]
+    if passes:
+        lines.append("")
+        lines.append("IR pass pipeline")
+        lines.append(f"  {'pass':<24} {'runs':>6} {'changed':>8} "
+                     f"{'ops-':>6} {'us':>8} {'validated':>10} {'proved':>7}")
+        for name in sorted(passes):
+            row = passes[name]
+            lines.append(
+                f"  {name:<24} {row.get('runs', 0):>6} "
+                f"{row.get('changed', 0):>8} {row.get('ops_removed', 0):>6} "
+                f"{row.get('time_us', 0):>8} {row.get('validated', 0):>10} "
+                f"{row.get('proved', 0):>7}"
             )
 
     coverage = summary["fsm_coverage"]

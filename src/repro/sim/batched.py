@@ -42,7 +42,7 @@ import numpy as _np
 from ..core.errors import CodegenError, ReproError, SimulationError
 from ..core.system import Channel, System
 from ..fixpt import Fx, FxFormat, Overflow, Rounding, quantize_raw
-from ..ir import IRBlock, run_passes
+from ..ir import IRBlock, PassManager
 from .compiled import (
     Guard,
     SystemLayout,
@@ -147,7 +147,7 @@ class BatchedCompiledSimulator:
 
     def __init__(self, system: System, lanes: int = DEFAULT_LANES,
                  watch: Sequence[Channel] = (), optimize: bool = True,
-                 obs=None):
+                 passes=None, validate: str = "off", obs=None):
         if obs is not None:
             raise ReproError(
                 "batched simulation does not support observability "
@@ -169,6 +169,8 @@ class BatchedCompiledSimulator:
             )
         self.watch = self.layout.watch
         self.optimize = optimize
+        self.pass_manager = PassManager(
+            "default" if passes is None else passes, validate=validate)
         self.cycle = 0
         self.outputs: Dict[str, object] = {}
         self._env: Dict[str, object] = {}
@@ -176,6 +178,7 @@ class BatchedCompiledSimulator:
         self.ir_op_count_raw = 0
         self.ir_op_count = 0
         self.source = self._generate()
+        self.pass_stats = self.pass_manager.stats
         code = compile(self.source, f"<batched:{system.name}>", "exec")
         exec(code, self._env)
         self._step, self._dump, self._dump_raw, self._load = \
@@ -277,7 +280,7 @@ class BatchedCompiledSimulator:
     def _optimized(self, block: IRBlock) -> IRBlock:
         self.ir_op_count_raw += block.op_count()
         if self.optimize:
-            block = run_passes(block)
+            block = self.pass_manager.run(block)
         self.ir_op_count += block.op_count()
         self._check_block(block)
         return block

@@ -50,7 +50,7 @@ from ..core.errors import CodegenError
 from ..core.process import TimedProcess, UntimedProcess
 from ..core.signal import Register, Sig
 from ..core.system import Channel, System
-from ..ir import IRBlock, Lowerer, run_passes
+from ..ir import IRBlock, Lowerer, PassManager
 from ..ir.ops import LEAF_OPS
 
 
@@ -497,20 +497,30 @@ class SystemLayout:
 class CompiledSimulator:
     """Generate, compile and run an application-specific simulator.
 
-    ``optimize=True`` (the default) runs the IR pass pipeline
-    (:func:`repro.ir.run_passes`) over every lowered block before
-    emission; ``optimize=False`` renders the naive lowering, the
-    ablation baseline.  :attr:`ir_op_count` /
+    ``optimize=True`` (the default) runs the IR pass pipeline over
+    every lowered block before emission; ``optimize=False`` renders the
+    naive lowering, the ablation baseline.  ``passes`` picks the
+    pipeline (``"default"``, ``"aggressive"``, or an explicit
+    ``(name, fn)`` sequence) and ``validate`` turns on translation
+    validation of every pass application (``"sampled"`` /
+    ``"exhaustive"``, see :mod:`repro.ir.equiv`) — an inequivalent
+    rewrite aborts construction with
+    :class:`~repro.ir.equiv.PassEquivalenceError` naming the pass.
+    :attr:`pass_stats` holds the per-pass statistics (also published to
+    ``obs.metrics`` when a capture is attached); :attr:`ir_op_count` /
     :attr:`ir_op_count_raw` report the step function's IR op totals
     after / before optimization.
     """
 
     def __init__(self, system: System, watch: Sequence[Channel] = (),
-                 optimize: bool = True, obs=None):
+                 optimize: bool = True, passes=None, validate: str = "off",
+                 obs=None):
         self.system = system
         self.layout = SystemLayout(system, watch)
         self.watch = self.layout.watch
         self.optimize = optimize
+        self.pass_manager = PassManager(
+            "default" if passes is None else passes, validate=validate)
         self.cycle = 0
         self.outputs: Dict[str, object] = {}
         self._env: Dict[str, object] = {}
@@ -524,6 +534,10 @@ class CompiledSimulator:
         self.ir_op_count_raw = 0
         self.ir_op_count = 0
         self.source = self._generate()
+        #: Per-pass statistics across every block (see ``PassManager``).
+        self.pass_stats = self.pass_manager.stats
+        if obs is not None:
+            self.pass_manager.publish(obs.metrics)
         code = compile(self.source, f"<compiled:{system.name}>", "exec")
         exec(code, self._env)
         self._step, self._dump, self._dump_raw, self._load = \
@@ -585,7 +599,7 @@ class CompiledSimulator:
     def _optimized(self, block: IRBlock) -> IRBlock:
         self.ir_op_count_raw += block.op_count()
         if self.optimize:
-            block = run_passes(block)
+            block = self.pass_manager.run(block)
         self.ir_op_count += block.op_count()
         return block
 
@@ -910,6 +924,20 @@ def _wrap_behavior(process: UntimedProcess):
     return behavior
 
 
+def _guard_affinity(node) -> object:
+    """Grouping key for a node's guard (None for untimed processes).
+
+    Assignment nodes are ``(process, assignment, guard)`` with guard
+    either None (always runs) or ``(process, transition_indices)``.
+    """
+    if not isinstance(node, tuple):
+        return ("untimed", id(node))
+    guard = node[2]
+    if guard is None:
+        return None
+    return (id(guard[0]), guard[1])
+
+
 def _toposort(nodes, edges, system_name: str):
     indegree: Dict[int, int] = {id(n): 0 for n in nodes}
     by_id = {id(n): n for n in nodes}
@@ -918,11 +946,25 @@ def _toposort(nodes, edges, system_name: str):
             indegree[id(target)] += 1
     from collections import deque
 
-    # Stable order: keep original declaration order among ready nodes.
+    # Stable order with guard affinity: among ready nodes prefer the
+    # first with the same guard as the node just emitted, falling back
+    # to declaration order.  Longer same-guard runs mean more
+    # assignments lowered into one IRBlock, so CSE shares subexpressions
+    # *across* SFG boundaries; the tie-break keeps the order
+    # deterministic and the fallback keeps it the old declaration order.
     order = []
     ready = deque(n for n in nodes if indegree[id(n)] == 0)
+    last_guard = object()
     while ready:
         node = ready.popleft()
+        if _guard_affinity(node) != last_guard:
+            for index, candidate in enumerate(ready):
+                if _guard_affinity(candidate) == last_guard:
+                    ready.appendleft(node)
+                    del ready[index + 1]
+                    node = candidate
+                    break
+        last_guard = _guard_affinity(node)
         order.append(node)
         for target in edges[id(node)]:
             indegree[id(target)] -= 1

@@ -10,6 +10,13 @@ at gate level and verified against the captured system stimuli.
 from .bitops import Word
 from .controller import ControllerResult, encode_states, synthesize_controller
 from .datapath import ExprSynthesizer, OperatorAllocator
+from .equiv import (
+    NetlistCounterexample,
+    NetlistEquivReport,
+    NetlistEquivalenceError,
+    build_miter,
+    check_netlists,
+)
 from .flow import (
     ComponentSynthesis,
     SystemSynthesis,
@@ -38,7 +45,12 @@ __all__ = [
     "Gate",
     "GateKind",
     "GateSimulator",
+    "NetlistCounterexample",
+    "NetlistEquivReport",
+    "NetlistEquivalenceError",
     "Netlist",
+    "build_miter",
+    "check_netlists",
     "OperatorAllocator",
     "RAM_MACRO_GATES",
     "SystemSynthesis",

@@ -26,7 +26,7 @@ from ..core.errors import SynthesisError
 from ..core.expr import Expr
 from ..core.sfg import SFG
 from ..core.signal import Sig
-from ..ir import IRBlock, lower_expr, lower_sfg, run_passes
+from ..ir import IRBlock, PassManager, lower_expr, lower_sfg
 from . import bitops
 from .bitops import Word, or_tree
 from .gates import GateKind
@@ -196,12 +196,19 @@ class ExprSynthesizer:
     """
 
     def __init__(self, nl: Netlist, alloc: OperatorAllocator,
-                 leaf_word: Callable[[Sig], Word], optimize: bool = True):
+                 leaf_word: Callable[[Sig], Word], optimize: bool = True,
+                 passes=None, validate: str = "off"):
         self.nl = nl
         self.alloc = alloc
         self.leaf_word = leaf_word
-        #: Run the IR pass pipeline over every lowered block.
+        #: Run the IR pass pipeline over every lowered block; ``passes``
+        #: names the pipeline and ``validate`` turns on translation
+        #: validation of each application.
         self.optimize = optimize
+        self.pass_manager = PassManager(
+            "default" if passes is None else passes, validate=validate)
+        #: Per-pass statistics across every lowered block.
+        self.pass_stats = self.pass_manager.stats
         self._sfg_blocks: Dict[int, IRBlock] = {}
         self._expr_blocks: Dict[int, IRBlock] = {}
 
@@ -212,7 +219,7 @@ class ExprSynthesizer:
         if block is None:
             block = build()
             if self.optimize:
-                block = run_passes(block)
+                block = self.pass_manager.run(block)
             cache[key] = block
         return block
 

@@ -64,12 +64,17 @@ def synthesize_process(process: TimedProcess, share: bool = True,
                        encoding: str = "binary", two_level: bool = False,
                        optimize: bool = True,
                        expose_registers: bool = False,
-                       ir_passes: bool = True) -> ComponentSynthesis:
+                       ir_passes: bool = True, passes=None,
+                       validate: str = "off") -> ComponentSynthesis:
     """Synthesize one timed component to a gate-level netlist.
 
-    ``ir_passes`` runs the IR optimization pipeline (constant folding,
-    CSE, DCE, algebraic simplification) over every lowered instruction
-    before expansion to gates; disable it for the ablation baseline.
+    ``ir_passes`` runs the IR optimization pipeline over every lowered
+    instruction before expansion to gates; disable it for the ablation
+    baseline.  ``passes`` picks the pipeline (``"default"``,
+    ``"aggressive"`` or an explicit sequence) and ``validate`` turns on
+    translation validation of every IR pass application *and* a
+    netlist-level miter check of the post-synthesis optimizer
+    (:func:`repro.synth.equiv.check_netlists`).
     """
     nl = Netlist(process.name)
     all_sfgs = process.all_sfgs()
@@ -118,7 +123,8 @@ def synthesize_process(process: TimedProcess, share: bool = True,
             "an intermediate, a register, nor an input port"
         )
 
-    synthesizer = ExprSynthesizer(nl, alloc, leaf_word, optimize=ir_passes)
+    synthesizer = ExprSynthesizer(nl, alloc, leaf_word, optimize=ir_passes,
+                                  passes=passes, validate=validate)
 
     # Guard conditions (always active: dedicated operators).
     controller = None
@@ -231,7 +237,7 @@ def synthesize_process(process: TimedProcess, share: bool = True,
             nl.set_output(f"reg__{reg.name}", reg_q[id(reg)].nets)
 
     if optimize:
-        nl = optimize_netlist(nl)
+        nl = optimize_netlist(nl, validate=validate)
 
     return ComponentSynthesis(
         process=process,
@@ -270,11 +276,13 @@ class SystemSynthesis:
 def synthesize_system(system: System, share: bool = True,
                       encoding: str = "binary",
                       optimize: bool = True,
-                      ir_passes: bool = True) -> SystemSynthesis:
+                      ir_passes: bool = True, passes=None,
+                      validate: str = "off") -> SystemSynthesis:
     """Synthesize every timed component of *system* (Fig. 8 flow)."""
     components = [
         synthesize_process(p, share=share, encoding=encoding,
-                           optimize=optimize, ir_passes=ir_passes)
+                           optimize=optimize, ir_passes=ir_passes,
+                           passes=passes, validate=validate)
         for p in system.timed_processes()
     ]
     return SystemSynthesis(

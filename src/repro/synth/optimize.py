@@ -110,14 +110,30 @@ def _simplify(kind: GateKind, inputs: List[Union[Net, str]]
     return None
 
 
-def optimize_netlist(netlist: Netlist, max_passes: int = 8) -> Netlist:
-    """Return an optimized copy of *netlist* (same PI/PO interface)."""
+def optimize_netlist(netlist: Netlist, max_passes: int = 8,
+                     validate: str = "off", seed: int = 0) -> Netlist:
+    """Return an optimized copy of *netlist* (same PI/PO interface).
+
+    With ``validate`` set to ``"sampled"`` or ``"exhaustive"``, the
+    result is checked against the input netlist with the miter
+    construction (:func:`repro.synth.equiv.check_netlists`) and an
+    inequivalent rewrite raises
+    :class:`~repro.synth.equiv.NetlistEquivalenceError` carrying the
+    divergent stimulus.
+    """
     current = netlist
     for _pass in range(max_passes):
         optimized, changed = _one_pass(current)
         current = optimized
         if not changed:
             break
+    if validate != "off" and current is not netlist:
+        from .equiv import NetlistEquivalenceError, check_netlists
+
+        report = check_netlists(netlist, current, mode=validate, seed=seed)
+        if not report.equivalent:
+            raise NetlistEquivalenceError("netlist-optimize",
+                                          report.counterexample)
     return current
 
 

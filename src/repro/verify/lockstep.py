@@ -106,12 +106,13 @@ class CompiledAdapter(EngineAdapter):
     """The generated compiled-code simulator."""
 
     def __init__(self, system, name: str = "compiled",
-                 optimize: bool = True):
+                 optimize: bool = True, passes=None, validate: str = "off"):
         self._outs = [
             chan for chan in system.channels if chan.producer is not None
         ]
         self.sim = CompiledSimulator(system, watch=self._outs,
-                                     optimize=optimize)
+                                     optimize=optimize, passes=passes,
+                                     validate=validate)
         self.name = name
 
     def step(self, pins: Mapping[str, object]) -> None:
@@ -128,13 +129,15 @@ class BatchedCompiledAdapter(EngineAdapter):
     """The numpy-vectorized batched compiled simulator (per-lane tuples)."""
 
     def __init__(self, system, lanes: int, name: str = "batched",
-                 optimize: bool = True):
+                 optimize: bool = True, passes=None, validate: str = "off"):
         self._outs = [
             chan for chan in system.channels if chan.producer is not None
         ]
         self.sim = BatchedCompiledSimulator(system, lanes=lanes,
                                             watch=self._outs,
-                                            optimize=optimize)
+                                            optimize=optimize,
+                                            passes=passes,
+                                            validate=validate)
         self.name = name
 
     def step(self, pins: Mapping[str, object]) -> None:

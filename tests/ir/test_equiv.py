@@ -1,0 +1,183 @@
+"""Translation validation: the equivalence checker and verified passes.
+
+The checker itself is tested three ways: it must *prove* hcor's pass
+pipeline (every pass application equivalence-preserving, exhaustively
+where cones allow), it must *catch* a deliberately broken pass with a
+concrete counterexample naming the culprit, and its interval phase must
+refute blocks whose value ranges cannot overlap.
+"""
+
+import pytest
+
+from repro.core import Sig
+from repro.fixpt import FxFormat
+from repro.ir import (
+    IRBlock,
+    IROp,
+    PassEquivalenceError,
+    PassManager,
+    Store,
+    check_blocks,
+    dce,
+    lower_sfg,
+    observable_srclocs,
+    run_passes,
+)
+
+F84 = FxFormat(8, 4)
+
+#: Shared leaves/targets: equivalence pairs observables by *identity*
+#: (a pass never swaps the Sig a store writes), so blocks under
+#: comparison must talk about the same signals.
+X_SIG = Sig("x", F84)
+Y_SIG = Sig("y", F84)
+
+
+def _block_with_add(delta: int = 0) -> IRBlock:
+    """y = quantize(x + (1 + delta)) over one 8-bit leaf."""
+    block = IRBlock()
+    x = block.emit(IROp("read", (), (X_SIG,), 4, 8))
+    c = block.emit(IROp("const", (), (1 + delta,), 4, 8))
+    s = block.emit(IROp("add", (x, c), (), 4, 9))
+    q = block.emit(IROp("quantize", (s,), (F84,), 4, 8))
+    block.stores.append(Store(Y_SIG, q))
+    return block
+
+
+def _hcor_blocks():
+    from repro.designs.hcor import build_hcor
+
+    design = build_hcor()
+    blocks = []
+    for process in design.system.timed_processes():
+        for sfg in process.all_sfgs():
+            blocks.append(lower_sfg(sfg))
+    assert blocks
+    return blocks
+
+
+class TestCheckBlocks:
+    def test_identical_blocks_equivalent(self):
+        report = check_blocks(_block_with_add(), _block_with_add(),
+                              mode="exhaustive")
+        assert report.equivalent
+        assert report.proved  # one 8-bit cone: fully enumerable
+
+    def test_different_constants_refuted_with_valuation(self):
+        report = check_blocks(_block_with_add(0), _block_with_add(1),
+                              mode="exhaustive")
+        assert not report.equivalent
+        cex = report.counterexample
+        assert cex is not None
+        assert cex.inputs  # concrete leaf valuation
+        assert cex.expected != cex.got
+        assert "y" in cex.describe()
+
+    def test_sampled_mode_also_catches(self):
+        report = check_blocks(_block_with_add(0), _block_with_add(4),
+                              mode="sampled", seed=11)
+        assert not report.equivalent
+
+    def test_structural_mismatch_is_counterexample(self):
+        a = _block_with_add()
+        b = _block_with_add()
+        b.stores = []
+        report = check_blocks(a, b)
+        assert not report.equivalent
+        assert report.counterexample.note
+
+    def test_store_targets_must_match(self):
+        a = _block_with_add()
+        b = _block_with_add()
+        b.stores = [Store(Sig("z", F84), b.stores[0].value)]
+        report = check_blocks(a, b)
+        assert not report.equivalent
+
+
+class TestObservableSrclocs:
+    def test_lowered_sfg_observables_have_locations(self):
+        block = _hcor_blocks()[0]
+        locs = observable_srclocs(block)
+        assert all(kind in ("store", "root") for kind, _ in locs)
+
+
+class TestHcorProved:
+    """Acceptance: validate="exhaustive" proves hcor's whole pipeline."""
+
+    @pytest.mark.parametrize("passes", ["default", "aggressive"])
+    def test_all_passes_equivalence_preserving(self, passes):
+        manager = PassManager(passes, validate="exhaustive")
+        for block in _hcor_blocks():
+            manager.run(block)  # raises PassEquivalenceError on a bad pass
+        validated = sum(s["validated"] for s in manager.stats.values())
+        assert validated > 0
+        assert all(s["validated"] >= s["proved"]
+                   for s in manager.stats.values())
+
+
+def _broken_dce(block):
+    """A deliberately broken pass: drops ops *and* rewrites the kept
+    adds into subs — equivalence-breaking on almost every input."""
+    out, changed = dce(block)
+    rewritten = IRBlock()
+    remap = {}
+    for index, op in enumerate(out.ops):
+        code = "sub" if op.opcode == "add" else op.opcode
+        args = tuple(remap[a] for a in op.args)
+        remap[index] = rewritten.emit(
+            IROp(code, args, op.attrs, op.frac, op.width))
+    rewritten.stores = [Store(s.target, remap[s.value]) for s in out.stores]
+    rewritten.roots = [remap[r] for r in out.roots]
+    return rewritten, True
+
+
+class TestBrokenPassCaught:
+    def test_culprit_named_with_concrete_counterexample(self):
+        manager = PassManager([("evil_dce", _broken_dce)],
+                              validate="exhaustive")
+        with pytest.raises(PassEquivalenceError) as info:
+            manager.run(_block_with_add())
+        err = info.value
+        assert err.pass_name == "evil_dce"
+        assert err.counterexample is not None
+        assert err.counterexample.inputs
+        assert "evil_dce" in str(err)
+
+    def test_validation_off_lets_it_through(self):
+        block = run_passes(_block_with_add(),
+                           passes=[("evil_dce", _broken_dce)],
+                           validate="off")
+        assert block.counts().get("sub") == 1  # the corruption shipped
+
+    def test_sampled_mode_catches_it_too(self):
+        with pytest.raises(PassEquivalenceError):
+            run_passes(_block_with_add(),
+                       passes=[("evil_dce", _broken_dce)],
+                       validate="sampled")
+
+
+class TestPassManagerStats:
+    def test_stats_accumulate_and_publish(self):
+        class FakeCounter:
+            def __init__(self):
+                self.total = 0
+
+            def inc(self, amount=1):
+                self.total += amount
+
+        class FakeRegistry:
+            def __init__(self):
+                self.counters = {}
+
+            def counter(self, name):
+                return self.counters.setdefault(name, FakeCounter())
+
+        manager = PassManager("default", validate="sampled")
+        manager.run(_block_with_add())
+        registry = FakeRegistry()
+        manager.publish(registry)
+        names = set(registry.counters)
+        assert any(name.startswith("ir_passes/") for name in names)
+        runs = [c.total for n, c in registry.counters.items()
+                if n.endswith("/runs")]
+        assert runs and all(r > 0 for r in runs)

@@ -37,6 +37,14 @@ Two layering contracts are enforced by walking every module with
    import it: campaigns, engines and the observability layer must stay
    fully usable (and testable) without the multiprocess machinery.
 
+6. Translation validation (``repro.ir.equiv``) sits between the IR and
+   the analysis layer: within ``repro.ir`` only ``equiv.py`` may import
+   ``repro.lint``, and only the interval domain
+   (``repro.lint.interval``).  Engines (``sim``/``hdl``/``synth``)
+   never import ``repro.ir.equiv`` directly — they state equivalence
+   obligations through the ``PassManager``'s ``validate=`` knob, so the
+   back-ends stay buildable without the checker's internals.
+
 Run from the repository root::
 
     python tools/check_layering.py
@@ -68,6 +76,12 @@ LANE_OWNERS = ("sim", "synth", "verify")
 LANE_WORDS = ("lane", "batch")
 #: The orchestration layer nothing else may depend on.
 TOP_LAYER = "runner"
+#: The one repro.ir module allowed to import repro.lint, and the one
+#: lint module it may reach.
+EQUIV_MODULE = ("ir", "equiv.py")
+EQUIV_MAY_IMPORT = "repro.lint.interval"
+#: Engine packages that must not import repro.ir.equiv directly.
+EQUIV_FREE = ("sim", "hdl", "synth")
 PACKAGE = "repro"
 
 
@@ -250,12 +264,43 @@ def check_runner_layer(src_root: Path) -> List[str]:
     return violations
 
 
+def check_equiv_layer(src_root: Path) -> List[str]:
+    """Violations of the translation-validation contract, as messages."""
+    violations: List[str] = []
+    equiv_rel = Path(PACKAGE) / EQUIV_MODULE[0] / EQUIV_MODULE[1]
+    for rel, lineno, target in _imports(src_root, EQUIV_MODULE[0]):
+        if _subpackage_of(target) != "lint":
+            continue
+        if rel != equiv_rel:
+            violations.append(
+                f"{rel}:{lineno}: repro.ir imports {target} — within "
+                f"repro.ir only {equiv_rel} may import repro.lint"
+            )
+        elif target != EQUIV_MAY_IMPORT:
+            violations.append(
+                f"{rel}:{lineno}: imports {target} — ir/equiv may only "
+                f"import {EQUIV_MAY_IMPORT}"
+            )
+    for subpackage in EQUIV_FREE:
+        for rel, lineno, target in _imports(src_root, subpackage):
+            if target == f"{PACKAGE}.ir.equiv" \
+                    or target.startswith(f"{PACKAGE}.ir.equiv."):
+                violations.append(
+                    f"{rel}:{lineno}: repro.{subpackage} imports {target} — "
+                    "engines state equivalence obligations through "
+                    "PassManager(validate=...), never by importing "
+                    "repro.ir.equiv"
+                )
+    return violations
+
+
 def main(argv: Tuple[str, ...] = ()) -> int:
     root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
     src_root = root / "src"
     violations = (check_tree(src_root) + check_lint_layer(src_root)
                   + check_obs_layer(src_root) + check_lane_layer(src_root)
-                  + check_runner_layer(src_root))
+                  + check_runner_layer(src_root)
+                  + check_equiv_layer(src_root))
     if violations:
         print("layering violations:")
         for message in violations:
@@ -265,7 +310,8 @@ def main(argv: Tuple[str, ...] = ()) -> int:
           "repro.lint depends only on core/ir/fixpt and no back-end "
           "imports it; repro.obs depends only on core/ir/fixpt and no "
           "model layer imports it; core/ir/fixpt/lint are lane-agnostic; "
-          "nothing imports repro.runner")
+          "nothing imports repro.runner; only ir/equiv touches "
+          "lint.interval and no engine imports ir.equiv")
     return 0
 
 
