@@ -1,0 +1,129 @@
+"""Bit-level narrowing ablation: gates with and without ``narrow``.
+
+Synthesizes the hcor correlator datapath and two DECT datapaths with the
+``aggressive`` pipeline and with ``narrow`` (aggressive plus the
+known-bits/liveness ``narrow_bitwidth`` pass), reporting gate counts as
+allocated and after the netlist post-optimization — which now includes
+the ternary sequential-constant sweep.  Also records the wordlength
+report totals (allocated vs provably-minimal bits) for each design.
+
+Writes ``BENCH_bits.json`` next to this file and prints a summary.  The
+exit status enforces the acceptance criterion: ``narrow`` must beat
+``aggressive`` on post-optimization gates for at least one design.  Run
+from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_bits.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_bits.json")
+
+#: Datapaths in the ablation: the hcor correlator plus the DECT rows
+#: where the aggressive pipeline already moves the needle.
+DESIGNS = ("hcor", "disc", "sum", "lms")
+
+
+def _build(name: str):
+    from repro.core import Clock
+    from repro.designs.dect import datapaths
+    from repro.designs.hcor import build_hcor
+
+    clk = Clock(f"bench_bits_{name}")
+    builders = {
+        "hcor": lambda: build_hcor().process,
+        "disc": lambda: datapaths.build_disc(clk),
+        "sum": lambda: datapaths.build_sum(clk),
+        "lms": lambda: datapaths.build_lms(clk),
+    }
+    return builders[name]()
+
+
+def _gate_counts(name: str, passes: str) -> Dict[str, int]:
+    from repro.synth.flow import synthesize_process
+
+    raw = synthesize_process(_build(name), passes=passes, optimize=False)
+    final = synthesize_process(_build(name), passes=passes, optimize=True)
+    return {
+        "gates_synthesized": raw.gate_count,
+        "gates_after_netlist_opt": final.gate_count,
+    }
+
+
+def _wordlengths(name: str) -> Dict[str, int]:
+    from repro.lint.bits import wordlength_report
+
+    report = wordlength_report(_build(name))
+    return {
+        "signals": len(report.rows),
+        "total_bits": report.total_bits,
+        "minimal_bits": report.minimal_bits,
+        "const_bits": sum(row.const_bits for row in report.rows),
+        "dead_bits": sum(row.dead_bits for row in report.rows),
+    }
+
+
+def run() -> Dict[str, object]:
+    results: Dict[str, object] = {
+        "bench": "bits",
+        "synthesis": {},
+        "wordlengths": {},
+    }
+    for name in DESIGNS:
+        results["synthesis"][name] = {
+            "aggressive": _gate_counts(name, "aggressive"),
+            "narrow": _gate_counts(name, "narrow"),
+        }
+        results["wordlengths"][name] = _wordlengths(name)
+    return results
+
+
+def main() -> int:
+    results = run()
+    with open(OUT_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+
+    strict_win = False
+    never_worse = True
+    print("synthesis (gates as allocated / after netlist opt)")
+    for name, cells in results["synthesis"].items():
+        agg, nar = cells["aggressive"], cells["narrow"]
+        base = agg["gates_after_netlist_opt"]
+        win = ((base - nar["gates_after_netlist_opt"]) / base
+               if base else 0.0)
+        print(f"  {name:6} aggressive: {agg['gates_synthesized']:6} / "
+              f"{agg['gates_after_netlist_opt']:6}"
+              f"   narrow: {nar['gates_synthesized']:6} / "
+              f"{nar['gates_after_netlist_opt']:6}"
+              f"   ({100 * win:+.1f}% post-opt)")
+        if nar["gates_after_netlist_opt"] < agg["gates_after_netlist_opt"]:
+            strict_win = True
+        if nar["gates_after_netlist_opt"] > agg["gates_after_netlist_opt"]:
+            never_worse = False
+
+    print("wordlengths (allocated -> provably minimal bits)")
+    for name, row in results["wordlengths"].items():
+        print(f"  {name:6} {row['total_bits']:5} -> {row['minimal_bits']:5} "
+              f"bits over {row['signals']} signals "
+              f"({row['const_bits']} const, {row['dead_bits']} dead)")
+
+    if not strict_win:
+        print("FAIL: narrow did not beat aggressive post-opt gates on any "
+              "design")
+        return 1
+    if not never_worse:
+        print("FAIL: narrow lost gates to aggressive on some design")
+        return 1
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

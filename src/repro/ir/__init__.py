@@ -27,12 +27,14 @@ from .ops import (
 from .passes import (
     AGGRESSIVE_PASSES,
     DEFAULT_PASSES,
+    NARROW_PASSES,
     PIPELINES,
     PassManager,
     algebraic_simplify,
     cse,
     constant_fold,
     dce,
+    narrow_bitwidth,
     resolve_pipeline,
     restructure_mux,
     run_passes,
@@ -43,6 +45,7 @@ __all__ = [
     "AGGRESSIVE_PASSES",
     "Counterexample",
     "DEFAULT_PASSES",
+    "NARROW_PASSES",
     "EquivReport",
     "IRBlock",
     "IROp",
@@ -61,6 +64,7 @@ __all__ = [
     "lower_assignments",
     "lower_expr",
     "lower_sfg",
+    "narrow_bitwidth",
     "observable_srclocs",
     "quantize_raw_at",
     "resolve_pipeline",

@@ -164,7 +164,9 @@ def quantize_raw_at(raw: int, frac: int, fmt: FxFormat) -> int:
 
 
 def execute(block: IRBlock,
-            read: Callable[[object], object]) -> Dict[int, object]:
+            read: Callable[[object], object],
+            override: Optional[Callable[[int, object], object]] = None
+            ) -> Dict[int, object]:
     """Reference interpreter: evaluate every op of *block*.
 
     *read* maps a leaf signal to its current value — a raw integer for
@@ -172,6 +174,11 @@ def execute(block: IRBlock,
     the full id -> value map so tests can check stores and roots.  This
     is the executable specification the fast back-ends are validated
     against; it is deliberately simple, not fast.
+
+    *override*, when given, maps ``(value id, computed value)`` to the
+    value actually recorded — the hook the bit-liveness soundness
+    harness uses to flip claimed-dead bits of one intermediate value
+    and confirm no observable moves.
     """
     values: Dict[int, object] = {}
     for index, op in enumerate(block.ops):
@@ -242,5 +249,7 @@ def execute(block: IRBlock,
             result = int(a[0])
         else:
             raise CodegenError(f"unknown IR opcode {code!r}")
+        if override is not None:
+            result = override(index, result)
         values[index] = result
     return values

@@ -626,6 +626,27 @@ def restructure_mux(block: IRBlock) -> Tuple[IRBlock, bool]:
     return out, changed
 
 
+def narrow_bitwidth(block: IRBlock) -> Tuple[IRBlock, bool]:
+    """Shrink every op to its minimal width with bit-analysis facts.
+
+    The pass body lives in :func:`repro.lint.bits.narrow_block` — the
+    reduced product of known-bits, bit-liveness and interval domains
+    proves which bits are constant or never observed, then ops are
+    constant-folded, in-range quantizes become pure shifts, and width
+    labels drop to the minimum that preserves every observable.
+    Operator allocation sizes hardware straight from those labels, so
+    this is the pass that turns static wordlength analysis into gates.
+
+    The import is deferred, mirroring ``ir/equiv.py``'s sanctioned edge
+    onto the analysis layer: the IR package stays importable without
+    the linter, and only this pass touches ``repro.lint.bits``
+    (layering contract #7).
+    """
+    from ..lint.bits import narrow_block
+
+    return narrow_block(block)
+
+
 #: The default pipeline, in application order.
 DEFAULT_PASSES: Tuple[Tuple[str, Callable], ...] = (
     ("constant_fold", constant_fold),
@@ -646,10 +667,25 @@ AGGRESSIVE_PASSES: Tuple[Tuple[str, Callable], ...] = (
     ("dce", dce),
 )
 
+#: The aggressive pipeline plus bit-level width narrowing.  The
+#: narrowing runs after the structural rewrites (their new ops get
+#: narrowed too) and before cse/dce (narrowing unifies widths, which
+#: exposes sharing, and its constant rewrites leave dead cones).
+NARROW_PASSES: Tuple[Tuple[str, Callable], ...] = (
+    ("constant_fold", constant_fold),
+    ("algebraic_simplify", algebraic_simplify),
+    ("mux_restructure", restructure_mux),
+    ("strength_reduce", strength_reduce),
+    ("narrow_bitwidth", narrow_bitwidth),
+    ("cse", cse),
+    ("dce", dce),
+)
+
 #: Named pipelines accepted wherever a pass sequence is expected.
 PIPELINES: Dict[str, Tuple[Tuple[str, Callable], ...]] = {
     "default": DEFAULT_PASSES,
     "aggressive": AGGRESSIVE_PASSES,
+    "narrow": NARROW_PASSES,
 }
 
 

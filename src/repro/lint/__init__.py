@@ -14,11 +14,22 @@ Rule families:
 * ``L2xx`` (:mod:`.rules_fsm`) — FSM reachability and determinism.
 * ``L3xx`` (:mod:`.rules_system`) — system wiring, clocking, firing rules.
 * ``L4xx`` (:mod:`.rules_interval`) — IR interval analysis overflow proofs.
+* ``L5xx`` (:mod:`.rules_bits`) — known-bits/bit-liveness wordlength advice.
 
 Run from the command line with ``python -m repro.lint <paths>`` or
 ``tools/lint.py``.
 """
 
+from .bits import (
+    BitsAnalysis,
+    KnownBits,
+    TOP_BITS,
+    WordlengthReport,
+    analyze_bits,
+    const_bits,
+    narrow_block,
+    wordlength_report,
+)
 from .diagnostics import Diagnostic, ERROR, INFO, SEVERITIES, WARNING, \
     severity_rank
 from .interval import Analysis, Finding, Interval, TOP, analyze, fmt_interval
@@ -30,27 +41,38 @@ from . import rules_sfg      # noqa: F401  (L1xx)
 from . import rules_fsm      # noqa: F401  (L2xx)
 from . import rules_system   # noqa: F401  (L3xx)
 from . import rules_interval  # noqa: F401  (L4xx)
+from . import rules_bits     # noqa: F401  (L5xx)
 from .rules_interval import analyze_sfg
+from .rules_bits import analyze_sfg_bits
 
 __all__ = [
     "Analysis",
+    "BitsAnalysis",
     "Diagnostic",
     "ERROR",
     "Finding",
     "INFO",
     "Interval",
+    "KnownBits",
     "LintConfig",
     "LintContext",
     "Linter",
     "Rule",
     "SEVERITIES",
     "TOP",
+    "TOP_BITS",
     "WARNING",
+    "WordlengthReport",
     "all_rules",
     "analyze",
+    "analyze_bits",
     "analyze_sfg",
+    "analyze_sfg_bits",
+    "const_bits",
     "fmt_interval",
     "lint",
+    "narrow_block",
     "register",
     "severity_rank",
+    "wordlength_report",
 ]

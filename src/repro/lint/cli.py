@@ -9,9 +9,25 @@ instances of those types are linted.  Modules with nothing to lint are
 skipped.
 
 Output is human-readable text (``file:line: severity [code/name]
-message``) or, with ``--json``, a machine-readable report for CI.  The
-exit status is 1 when any diagnostic at or above ``--fail-on`` severity
-remains, 2 when a module could not be imported or its hook raised.
+message``) or, with ``--json``, a machine-readable report for CI.
+
+``--select`` and ``--ignore`` filter diagnostics by code or name prefix
+(``--select L5`` keeps the bit-level rules; ``--ignore L301,L504`` drops
+specific findings).  Both are repeatable and accept comma-separated
+lists; ``--ignore`` wins when a diagnostic matches both.  Unlike
+``--disable``, which skips rules before they run, the filters apply to
+the finished report — the summary line and exit status see only what
+survives.
+
+Exit-code contract (stable; CI scripts may rely on it):
+
+* **0** — every module imported and no *surviving* diagnostic is at or
+  above the ``--fail-on`` severity (or ``--fail-on never`` was given).
+* **1** — lint ran to completion but at least one surviving diagnostic
+  meets the ``--fail-on`` threshold (default: ``error``).
+* **2** — a module could not be imported or its ``lint_targets()`` hook
+  raised; the report is incomplete and the run is broken regardless of
+  ``--fail-on`` or any filters.
 """
 
 from __future__ import annotations
@@ -136,6 +152,29 @@ def lint_paths(paths: Iterable[str],
     return reports, broken
 
 
+def _matches(diagnostic: Diagnostic, prefixes: List[str]) -> bool:
+    return any(diagnostic.code.startswith(prefix)
+               or diagnostic.name.startswith(prefix)
+               for prefix in prefixes)
+
+
+def filter_diagnostics(diagnostics: List[Diagnostic],
+                       select: List[str],
+                       ignore: List[str]) -> List[Diagnostic]:
+    """Apply the ``--select``/``--ignore`` prefix filters.
+
+    *select*, when non-empty, keeps only diagnostics whose code or name
+    starts with one of the prefixes; *ignore* then drops matches (it
+    wins over *select*).
+    """
+    out = diagnostics
+    if select:
+        out = [d for d in out if _matches(d, select)]
+    if ignore:
+        out = [d for d in out if not _matches(d, ignore)]
+    return out
+
+
 def _summary(diagnostics: List[Diagnostic]) -> dict:
     counts = {severity: 0 for severity in SEVERITIES}
     for diagnostic in diagnostics:
@@ -159,8 +198,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="CODE",
                         help="disable rules by code or name "
                              "(comma-separated, repeatable)")
+    parser.add_argument("--select", action="append", default=[],
+                        metavar="PREFIX",
+                        help="report only diagnostics whose code or name "
+                             "starts with PREFIX (comma-separated, "
+                             "repeatable; e.g. --select L5)")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="PREFIX",
+                        help="drop diagnostics whose code or name starts "
+                             "with PREFIX (comma-separated, repeatable; "
+                             "wins over --select)")
     parser.add_argument("--no-interval", action="store_true",
                         help="skip the IR interval-analysis rules")
+    parser.add_argument("--no-bits", action="store_true",
+                        help="skip the bit-level (known-bits/liveness) rules")
     parser.add_argument("--max-enum-states", type=int, default=4096,
                         metavar="N",
                         help="FSM guard enumeration budget (default 4096)")
@@ -176,12 +227,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.paths:
         parser.error("no paths given (or use --list-rules)")
 
-    disabled = [code
-                for chunk in args.disable for code in chunk.split(",") if code]
+    def _split(chunks: List[str]) -> List[str]:
+        return [item for chunk in chunks for item in chunk.split(",") if item]
+
+    disabled = _split(args.disable)
+    select, ignore = _split(args.select), _split(args.ignore)
     config = LintConfig(disabled=disabled,
                         max_enum_states=args.max_enum_states,
-                        interval_analysis=not args.no_interval)
+                        interval_analysis=not args.no_interval,
+                        bit_analysis=not args.no_bits)
     reports, broken = lint_paths(args.paths, config)
+    for report in reports:
+        report["diagnostics"] = filter_diagnostics(
+            report["diagnostics"], select, ignore)
     diagnostics = [d for report in reports for d in report["diagnostics"]]
 
     if args.json:

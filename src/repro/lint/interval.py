@@ -120,6 +120,50 @@ def _shift_value(raw: int, shift: int, rounding: Rounding) -> int:
     return raw >> shift
 
 
+def shifted_interval(source: Interval, shift: int,
+                     rounding: Rounding) -> Interval:
+    """*source* pushed through the quantize shift (before the overflow
+    policy) — the value interval :func:`quantize_raw_at` judges."""
+    return Interval(_shift_value(source.lo, shift, rounding),
+                    _shift_value(source.hi, shift, rounding))
+
+
+def _signed_bits(raw: int) -> int:
+    """Signed-vector bits needed to represent *raw* exactly."""
+    if raw >= 0:
+        return raw.bit_length() + 1
+    return (-raw - 1).bit_length() + 1
+
+
+def signed_width(value: Interval) -> int:
+    """Smallest signed-vector width holding every raw in *value*."""
+    return max(_signed_bits(value.lo), _signed_bits(value.hi))
+
+
+def minimal_format(value: Interval, fmt: FxFormat):
+    """The smallest ``(wl, iwl, signed)`` holding *value* at *fmt*'s
+    binary point.
+
+    *value* is a raw interval at ``fmt.frac_bits``; the suggested format
+    keeps the binary point (``wl - iwl``) and the signedness unless the
+    value forces a sign bit.  This is the advice L4xx overflow findings
+    and the L5xx bit rules both append, so the two families stay
+    consistent.
+    """
+    signed = fmt.signed or value.lo < 0
+    if signed:
+        wl = max(signed_width(value), 1)
+    else:
+        wl = max(value.hi.bit_length(), 1)
+    return wl, wl - fmt.frac_bits, signed
+
+
+def describe_format(wl: int, iwl: int, signed: bool) -> str:
+    """Human form of a suggested format, matching FxFormat's repr."""
+    sign = "" if signed else ", signed=False"
+    return f"FxFormat({wl}, {iwl}{sign})"
+
+
 def _mul(a: Interval, b: Interval) -> Interval:
     products = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
     return Interval(min(products), max(products))
@@ -140,6 +184,20 @@ def analyze(block: IRBlock,
         iv.append(_transfer(block, op, iv, result.findings, vid,
                             leaf_interval))
     return result
+
+
+def transfer(block: IRBlock, op: IROp, intervals: List[Optional[Interval]],
+             vid: int, findings: Optional[List[Finding]] = None,
+             leaf_interval=None) -> Optional[Interval]:
+    """Single-op interval transfer over caller-supplied operand facts.
+
+    The public entry for reduced-product clients (:mod:`repro.lint.bits`
+    re-runs the transfer over *refined* operand intervals).  *intervals*
+    must hold an entry for every operand id; quantize judgements are
+    appended to *findings* when given and discarded otherwise.
+    """
+    sink: List[Finding] = [] if findings is None else findings
+    return _transfer(block, op, intervals, sink, vid, leaf_interval)
 
 
 def _transfer(block: IRBlock, op: IROp, iv: List[Optional[Interval]],

@@ -71,7 +71,8 @@ class LintConfig:
                  disabled: Iterable[str] = (),
                  severities: Optional[Dict[str, str]] = None,
                  max_enum_states: int = 4096,
-                 interval_analysis: bool = True):
+                 interval_analysis: bool = True,
+                 bit_analysis: bool = True):
         #: Codes or names of rules to skip entirely.
         self.disabled: Set[str] = set(disabled)
         #: Per-rule severity overrides, keyed by code or name.
@@ -83,6 +84,8 @@ class LintConfig:
         self.max_enum_states = max_enum_states
         #: Run the IR interval analysis rules.
         self.interval_analysis = interval_analysis
+        #: Run the bit-level (known-bits/liveness) analysis rules.
+        self.bit_analysis = bit_analysis
         # Object-level suppression: id(obj) -> codes/names.  Strong refs
         # are kept alongside so ids cannot be recycled mid-run.
         self._suppressed: Dict[int, Set[str]] = {}
@@ -134,6 +137,7 @@ class LintContext:
         #: object lints.
         self.system = system
         self._interval_cache: Dict[int, object] = {}
+        self._bits_cache: Dict[int, object] = {}
 
     def interval_analysis(self, sfg):
         """Cached lower-and-analyze of one SFG (shared by the L40x rules)."""
@@ -143,3 +147,17 @@ class LintContext:
 
             self._interval_cache[key] = analyze_sfg(sfg)
         return self._interval_cache[key]
+
+    def bits_analysis(self, sfg):
+        """Cached lower-and-bit-analyze of one SFG (the L50x rules).
+
+        Liveness demand is seeded from architectural observables only
+        (registers and SFG outputs), so internal wires expose their
+        truly-dead bits.
+        """
+        key = id(sfg)
+        if key not in self._bits_cache:
+            from .rules_bits import analyze_sfg_bits
+
+            self._bits_cache[key] = analyze_sfg_bits(sfg)
+        return self._bits_cache[key]

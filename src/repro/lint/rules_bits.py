@@ -1,0 +1,218 @@
+"""Bit-level rules: constant, dead and wasted bits on lowered SFGs.
+
+Each SFG is lowered to the shared IR and swept by the reduced-product
+bit analysis (:mod:`repro.lint.bits`).  Liveness demand is seeded from
+*architectural* observables only — registers and declared SFG outputs —
+so an internal wire's own format window generates no demand and its
+genuinely unread bits surface.  Four rules interpret the facts, all at
+INFO severity (wordlength advice, not defects):
+
+* **L501 constant-bits** — bits of a committed value the product proves
+  constant on every cycle, with the minimal ``(wl, iwl)`` when the top
+  of the format is redundant.  Whole-word constants are L404's finding
+  and are skipped here, as are clamp artifacts under an overflow.
+* **L502 dead-bits** — bits of an internal wire no register, output or
+  root ever observes (narrowing the wire is free by construction).
+* **L503 sign-extension-waste** — a signed format whose value is
+  provably non-negative: the sign bit and its extension logic carry no
+  information.
+* **L504 truncation-discards-live-bits** — a truncating quantize whose
+  dropped low bits are not provably constant: information the
+  wordlength boundary silently destroys (consider ``Rounding.ROUND``
+  or a finer binary point).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.errors import ReproError
+from ..core.sfg import SFG
+from ..fixpt import Rounding
+from ..ir.lower import lower_sfg
+from .bits import BitsAnalysis, analyze_bits
+from .diagnostics import Diagnostic, INFO
+from .interval import describe_format, minimal_format
+from .rule import LintContext, Rule, register
+from .rules_interval import _ancestors, _loc_of
+
+
+def analyze_sfg_bits(sfg: SFG) -> Optional[BitsAnalysis]:
+    """Lower *sfg* and run the bit analysis with architectural demand.
+
+    Returns None when the SFG cannot be lowered (other rules own those
+    findings).  Stores to registers and declared outputs demand their
+    format window; internal wires demand nothing of their own, so their
+    liveness comes entirely from downstream readers.
+    """
+    try:
+        block = lower_sfg(sfg)
+    except ReproError:
+        return None
+    externals = set(sfg.outputs) | set(sfg.registers())
+
+    def store_demand(store):
+        if store.target in externals:
+            return None  # fall back to the format window
+        return 0
+
+    return analyze_bits(block, store_demand=store_demand)
+
+
+def _popcount(mask: int) -> int:
+    return bin(mask).count("1")
+
+
+class _BitsRule(Rule):
+    scope = "sfg"
+    severity = INFO
+
+    def check(self, sfg: SFG, ctx: LintContext) -> Iterator[Diagnostic]:
+        if not (ctx.config.bit_analysis and ctx.config.interval_analysis):
+            return
+        analysis = ctx.bits_analysis(sfg)
+        if analysis is None:
+            return
+        yield from self.judge(sfg, analysis, ctx)
+
+    def judge(self, sfg: SFG, analysis: BitsAnalysis,
+              ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+def _overflowed_vids(analysis: BitsAnalysis) -> set:
+    return {finding.vid for finding in analysis.base.findings
+            if finding.kind == "overflow"}
+
+
+@register
+class ConstantBits(_BitsRule):
+    code = "L501"
+    name = "constant-bits"
+    severity = INFO
+    description = "bits of a committed value are provably constant"
+
+    def judge(self, sfg: SFG, analysis: BitsAnalysis,
+              ctx: LintContext) -> Iterator[Diagnostic]:
+        assignments = sfg.ordered_assignments()
+        overflowed = _overflowed_vids(analysis)
+        for index, store in enumerate(analysis.block.stores):
+            assignment = assignments[index]
+            fmt = getattr(store.target, "fmt", None)
+            if fmt is None or not assignment.expr.signals():
+                continue
+            interval = analysis.intervals[store.value]
+            if interval is not None and interval.is_constant:
+                continue  # the whole word is constant: L404's finding
+            if overflowed & _ancestors(analysis.block, store.value):
+                continue  # clamp artifacts: L401/L402's find
+            window = (1 << fmt.wl) - 1
+            known = analysis.known[store.value].known & window
+            if not known:
+                continue
+            advice = ""
+            if interval is not None:
+                wl, iwl, signed = minimal_format(interval, fmt)
+                if wl < fmt.wl:
+                    advice = (f"; {describe_format(wl, iwl, signed)} "
+                              f"would hold it")
+            yield self.diag(
+                f"SFG {sfg.name!r}: {_popcount(known)} of "
+                f"{store.target.name!r}'s {fmt.wl} bits are provably "
+                f"constant{advice}",
+                obj=assignment, loc=assignment.loc)
+
+
+@register
+class DeadBits(_BitsRule):
+    code = "L502"
+    name = "dead-bits"
+    severity = INFO
+    description = "bits of an internal wire are never observed"
+
+    def judge(self, sfg: SFG, analysis: BitsAnalysis,
+              ctx: LintContext) -> Iterator[Diagnostic]:
+        assignments = sfg.ordered_assignments()
+        externals = set(sfg.outputs) | set(sfg.registers())
+        for index, store in enumerate(analysis.block.stores):
+            assignment = assignments[index]
+            fmt = getattr(store.target, "fmt", None)
+            if fmt is None or store.target in externals:
+                continue
+            window = (1 << fmt.wl) - 1
+            dead = window & ~analysis.demand[store.value]
+            if not dead:
+                continue
+            yield self.diag(
+                f"SFG {sfg.name!r}: {_popcount(dead)} of "
+                f"{store.target.name!r}'s {fmt.wl} bits are dead — no "
+                f"register, output or guard ever reads them",
+                obj=assignment, loc=assignment.loc)
+
+
+@register
+class SignExtensionWaste(_BitsRule):
+    code = "L503"
+    name = "sign-extension-waste"
+    severity = INFO
+    description = "a signed format's value is provably non-negative"
+
+    def judge(self, sfg: SFG, analysis: BitsAnalysis,
+              ctx: LintContext) -> Iterator[Diagnostic]:
+        assignments = sfg.ordered_assignments()
+        overflowed = _overflowed_vids(analysis)
+        for index, store in enumerate(analysis.block.stores):
+            assignment = assignments[index]
+            fmt = getattr(store.target, "fmt", None)
+            if fmt is None or not fmt.signed:
+                continue
+            if not assignment.expr.signals():
+                continue
+            interval = analysis.intervals[store.value]
+            if interval is None or interval.lo < 0:
+                continue
+            if interval.is_constant:
+                continue  # L404's finding
+            if overflowed & _ancestors(analysis.block, store.value):
+                continue
+            yield self.diag(
+                f"SFG {sfg.name!r}: {store.target.name!r} is signed but "
+                f"provably non-negative (range [{interval.lo}, "
+                f"{interval.hi}] raw) — the sign bit carries no "
+                f"information",
+                obj=assignment, loc=assignment.loc)
+
+
+@register
+class TruncationDiscardsLiveBits(_BitsRule):
+    code = "L504"
+    name = "truncation-discards-live-bits"
+    severity = INFO
+    description = "a truncating quantize drops bits that carry information"
+
+    def judge(self, sfg: SFG, analysis: BitsAnalysis,
+              ctx: LintContext) -> Iterator[Diagnostic]:
+        block = analysis.block
+        for vid, op in enumerate(block.ops):
+            if op.opcode != "quantize":
+                continue
+            fmt = op.attrs[0]
+            if fmt.rounding is not Rounding.TRUNCATE:
+                continue
+            src = block.ops[op.args[0]]
+            if src.frac is None:
+                continue
+            shift = src.frac - fmt.frac_bits
+            if shift <= 0:
+                continue
+            if not analysis.demand[vid]:
+                continue  # the result itself is dead
+            dropped = (1 << shift) - 1
+            live = dropped & analysis.known[op.args[0]].unknown
+            if not live:
+                continue  # every dropped bit is a known constant
+            yield self.diag(
+                f"SFG {sfg.name!r}: quantize into {fmt} truncates "
+                f"{_popcount(live)} live of {shift} dropped fractional "
+                f"bits (consider Rounding.ROUND or a finer binary point)",
+                obj=sfg, loc=_loc_of(block, vid, sfg))

@@ -34,8 +34,19 @@ from ..fixpt import Overflow
 from ..ir.lower import lower_sfg
 from ..ir.ops import IRBlock
 from .diagnostics import Diagnostic, ERROR, INFO, WARNING
-from .interval import Analysis, analyze
+from .interval import Analysis, analyze, describe_format, minimal_format
 from .rule import LintContext, Rule, register
+
+
+def suggest_format(finding) -> str:
+    """The minimal-format advice appended to overflow diagnostics.
+
+    Computed from the finding's value interval with
+    :func:`repro.lint.interval.minimal_format`, so L4xx overflow advice
+    and the L5xx bit rules quote the same numbers.
+    """
+    wl, iwl, signed = minimal_format(finding.value, finding.fmt)
+    return f"; {describe_format(wl, iwl, signed)} would hold the range"
 
 
 def analyze_sfg(sfg: SFG) -> Optional[Analysis]:
@@ -109,7 +120,8 @@ class GuaranteedOverflow(_IntervalRule):
             severity = ERROR if finding.fmt.overflow is Overflow.ERROR \
                 else self.severity
             yield self.diag(
-                f"SFG {sfg.name!r}: {finding.describe()}",
+                f"SFG {sfg.name!r}: {finding.describe()}"
+                f"{suggest_format(finding)}",
                 obj=sfg, loc=_loc_of(analysis.block, finding.vid, sfg),
                 severity=severity)
 
@@ -129,7 +141,7 @@ class PossibleOverflow(_IntervalRule):
                 continue
             yield self.diag(
                 f"SFG {sfg.name!r}: {finding.describe()}; simulation can "
-                "raise FxOverflowError",
+                f"raise FxOverflowError{suggest_format(finding)}",
                 obj=sfg, loc=_loc_of(analysis.block, finding.vid, sfg))
 
 

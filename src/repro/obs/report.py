@@ -131,6 +131,7 @@ def summarize(data: Dict[str, object], top: int = 10) -> Dict[str, object]:
     return {
         "runner_timeline": timeline,
         "ir_passes": _pass_table(data.get("metrics", {}) or {}),
+        "wordlengths": _wordlength_table(data.get("metrics", {}) or {}),
         "signals": len(activity),
         "top_toggles": _top_toggles(activity, top),
         "fsm_coverage": {
@@ -167,6 +168,22 @@ def _pass_table(metrics: Dict[str, object]) -> Dict[str, Dict[str, int]]:
     return table
 
 
+def _wordlength_table(metrics: Dict[str, object]) -> Dict[str, Dict[str, int]]:
+    """Per-signal wordlength advice published by
+    :meth:`repro.lint.bits.WordlengthReport.publish`, re-grouped from the
+    flat ``wordlength/<signal>/<field>`` counter names."""
+    table: Dict[str, Dict[str, int]] = {}
+    for name, record in metrics.items():
+        if not name.startswith("wordlength/"):
+            continue
+        signal, _, field = name[len("wordlength/"):].rpartition("/")
+        if not signal:
+            continue
+        value = record.get("value", 0) if isinstance(record, dict) else record
+        table.setdefault(signal, {})[field] = int(value or 0)
+    return table
+
+
 def render_text(data: Dict[str, object], top: int = 10) -> str:
     """Human-readable report of one capture."""
     summary = summarize(data, top)
@@ -200,6 +217,31 @@ def render_text(data: Dict[str, object], top: int = 10) -> str:
                 f"{row.get('time_us', 0):>8} {row.get('validated', 0):>10} "
                 f"{row.get('proved', 0):>7}"
             )
+
+    wordlengths = summary["wordlengths"]
+    if wordlengths:
+        lines.append("")
+        lines.append("wordlength advice (known-bits / liveness analysis)")
+        lines.append(f"  {'signal':<32} {'wl':>4} {'min':>4} {'save':>5} "
+                     f"{'const':>6} {'dead':>5}")
+        total = saved = 0
+        ordered = sorted(
+            wordlengths,
+            key=lambda s: (wordlengths[s].get("min_wl", 0)
+                           - wordlengths[s].get("wl", 0), s))
+        for signal in ordered:
+            row = wordlengths[signal]
+            wl = row.get("wl", 0)
+            min_wl = row.get("min_wl", wl)
+            total += wl
+            saved += max(wl - min_wl, 0)
+            lines.append(
+                f"  {signal:<32} {wl:>4} {min_wl:>4} "
+                f"{max(wl - min_wl, 0):>5} {row.get('const_bits', 0):>6} "
+                f"{row.get('dead_bits', 0):>5}"
+            )
+        lines.append(f"  total {total} bits allocated, "
+                     f"{saved} provably removable")
 
     coverage = summary["fsm_coverage"]
     if coverage:

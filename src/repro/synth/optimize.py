@@ -7,6 +7,12 @@ Implemented passes (iterated to a fixed point):
 
 * constant propagation (including sequential: a DFF whose D is constant
   and equal to its initial value is a constant),
+* ternary (0/1/X) sequential-constant analysis: assume every DFF holds
+  its initial value, simulate one symbolic cycle with primary inputs at
+  X, demote any DFF whose next state is not its assumed constant, and
+  iterate to a fixed point.  The surviving constants — which the purely
+  local rule above cannot find when registers depend on each other —
+  seed the alias map of the first rewrite pass,
 * local simplification (AND with 0/1, XOR with 0/1, MUX with constant
   select or equal branches, double inverters, buffers),
 * structural hashing (identical gates merged),
@@ -110,6 +116,93 @@ def _simplify(kind: GateKind, inputs: List[Union[Net, str]]
     return None
 
 
+#: The unknown value of the ternary domain.
+_X = "x"
+
+
+def _ternary_not(value: str) -> str:
+    if value == _X:
+        return _X
+    return "0" if value == "1" else "1"
+
+
+def _ternary_eval(kind: GateKind, inputs: List[str]) -> str:
+    """Evaluate one gate over {0, 1, X} (X = unknown, pessimistic)."""
+    if kind is GateKind.CONST0:
+        return "0"
+    if kind is GateKind.CONST1:
+        return "1"
+    if kind is GateKind.BUF:
+        return inputs[0]
+    if kind is GateKind.INV:
+        return _ternary_not(inputs[0])
+    if kind in (GateKind.AND2, GateKind.NAND2):
+        a, b = inputs
+        if a == "0" or b == "0":
+            value = "0"
+        elif a == "1" and b == "1":
+            value = "1"
+        else:
+            return _X
+        return _ternary_not(value) if kind is GateKind.NAND2 else value
+    if kind in (GateKind.OR2, GateKind.NOR2):
+        a, b = inputs
+        if a == "1" or b == "1":
+            value = "1"
+        elif a == "0" and b == "0":
+            value = "0"
+        else:
+            return _X
+        return _ternary_not(value) if kind is GateKind.NOR2 else value
+    if kind in (GateKind.XOR2, GateKind.XNOR2):
+        a, b = inputs
+        if _X in (a, b):
+            return _X
+        value = "1" if (a == "1") ^ (b == "1") else "0"
+        return _ternary_not(value) if kind is GateKind.XNOR2 else value
+    if kind is GateKind.MUX2:
+        sel, t, f = inputs
+        if sel == "1":
+            return t
+        if sel == "0":
+            return f
+        return t if t == f else _X
+    return _X
+
+
+def sequential_constants(netlist: Netlist) -> Dict[Net, str]:
+    """Nets provably constant on every cycle, by ternary fixpoint.
+
+    Starts from the optimistic assumption that every DFF forever holds
+    its initial value, simulates one symbolic cycle with primary inputs
+    at X, and demotes any DFF whose next state disagrees with its
+    assumption.  Values only move known -> X, so the loop terminates;
+    what survives is a genuine invariant of the machine (the classic
+    sequential-constant analysis).  Returns ``net -> "0"/"1"`` for every
+    net the final symbolic cycle pins down — DFF outputs and any
+    combinational cone forced by them.
+    """
+    order = netlist.levelize()
+    dffs = netlist.dffs()
+    assumed: Dict[Net, str] = {
+        dff.output: ("1" if dff.init else "0") for dff in dffs
+    }
+    while True:
+        value: Dict[Net, str] = dict(assumed)
+        for gate in order:
+            ins = [value.get(net, _X) for net in gate.inputs]
+            value[gate.output] = _ternary_eval(gate.kind, ins)
+        demoted = False
+        for dff in dffs:
+            if dff.output not in assumed:
+                continue
+            if value.get(dff.inputs[0], _X) != assumed[dff.output]:
+                del assumed[dff.output]
+                demoted = True
+        if not demoted:
+            return {net: v for net, v in value.items() if v != _X}
+
+
 def optimize_netlist(netlist: Netlist, max_passes: int = 8,
                      validate: str = "off", seed: int = 0) -> Netlist:
     """Return an optimized copy of *netlist* (same PI/PO interface).
@@ -123,7 +216,10 @@ def optimize_netlist(netlist: Netlist, max_passes: int = 8,
     """
     current = netlist
     for _pass in range(max_passes):
-        optimized, changed = _one_pass(current)
+        # The ternary fixpoint seeds only the first pass: its constants
+        # become CONST cells there, so later passes rediscover nothing.
+        seq_consts = sequential_constants(current) if _pass == 0 else None
+        optimized, changed = _one_pass(current, seq_consts)
         current = optimized
         if not changed:
             break
@@ -137,7 +233,9 @@ def optimize_netlist(netlist: Netlist, max_passes: int = 8,
     return current
 
 
-def _one_pass(old: Netlist) -> Tuple[Netlist, bool]:
+def _one_pass(old: Netlist,
+              seq_consts: Optional[Dict[Net, str]] = None
+              ) -> Tuple[Netlist, bool]:
     alias: Dict[Net, Union[Net, str]] = {}
     replacement_kind: Dict[int, Tuple[GateKind, List[Union[Net, str]]]] = {}
     hash_table: Dict[tuple, Net] = {}
@@ -148,6 +246,18 @@ def _one_pass(old: Netlist) -> Tuple[Netlist, bool]:
     # sweep for simplicity.)
     order = old.levelize()
     dffs = old.dffs()
+
+    if seq_consts:
+        # Sequential-constant seeding: alias the proven-constant DFF
+        # outputs (and the cones they force) before local rewriting, so
+        # mutually-dependent constant registers dissolve in one pass.
+        for net, value in seq_consts.items():
+            driver = old.driver(net)
+            if driver is not None and driver.kind in (GateKind.CONST0,
+                                                      GateKind.CONST1):
+                continue  # already a constant cell: no new information
+            alias[net] = value
+            changed = True
 
     for gate in order:
         resolved = [_resolve(alias, n) for n in gate.inputs]

@@ -80,6 +80,67 @@ class TestCli:
                 for d in r["diagnostics"]}
         assert "L101" not in seen and "L103" not in seen
 
+    def test_select_keeps_only_matching(self, tmp_path):
+        result = run_cli("--json", "--fail-on", "never", "--select", "L1",
+                         str(bad_module(tmp_path)))
+        payload = json.loads(result.stdout)
+        seen = {d["code"] for r in payload["reports"]
+                for d in r["diagnostics"]}
+        assert seen and all(code.startswith("L1") for code in seen)
+
+    def test_ignore_drops_matching(self, tmp_path):
+        result = run_cli("--json", "--fail-on", "never",
+                         "--ignore", "L101,L103",
+                         str(bad_module(tmp_path)))
+        payload = json.loads(result.stdout)
+        seen = {d["code"] for r in payload["reports"]
+                for d in r["diagnostics"]}
+        assert not seen & {"L101", "L103"}
+
+    def test_ignore_wins_over_select(self, tmp_path):
+        result = run_cli("--json", "--fail-on", "never",
+                         "--select", "L1", "--ignore", "L1",
+                         str(bad_module(tmp_path)))
+        payload = json.loads(result.stdout)
+        assert all(not r["diagnostics"] for r in payload["reports"])
+
+    def test_select_affects_exit_code(self, tmp_path):
+        # The module has an L1xx error; selecting only L4xx hides it and
+        # the run exits clean — the documented filter/exit interplay.
+        assert run_cli(str(bad_module(tmp_path))).returncode == 1
+        result = run_cli("--select", "L4", str(bad_module(tmp_path)))
+        assert result.returncode == 0
+
+    def test_select_matches_names_too(self, tmp_path):
+        result = run_cli("--json", "--fail-on", "never",
+                         "--select", "undriven",
+                         str(bad_module(tmp_path)))
+        payload = json.loads(result.stdout)
+        seen = {d["name"] for r in payload["reports"]
+                for d in r["diagnostics"]}
+        assert seen == {"undriven-signal"}
+
+    def test_no_bits_skips_l5xx(self, tmp_path):
+        path = tmp_path / "bits_design.py"
+        path.write_text(
+            "from repro.core import SFG, Sig\n"
+            "from repro.fixpt import FxFormat\n"
+            "a = Sig('a', FxFormat(3, 3))\n"
+            "y = Sig('y', FxFormat(8, 8))\n"
+            "t = SFG('t')\n"
+            "with t:\n"
+            "    y <<= a * 2\n"
+            "t.inp(a).out(y)\n")
+        with_bits = run_cli("--json", "--fail-on", "never", str(path))
+        seen = {d["code"] for r in json.loads(with_bits.stdout)["reports"]
+                for d in r["diagnostics"]}
+        assert "L501" in seen
+        without = run_cli("--json", "--fail-on", "never", "--no-bits",
+                          str(path))
+        seen = {d["code"] for r in json.loads(without.stdout)["reports"]
+                for d in r["diagnostics"]}
+        assert "L501" not in seen
+
     def test_broken_module_reported(self, tmp_path):
         path = tmp_path / "broken.py"
         path.write_text("import does_not_exist_anywhere\n")

@@ -82,7 +82,7 @@ class TestOptimizeValidate:
     def test_broken_rewrite_raises(self, monkeypatch):
         import repro.synth.optimize as optmod
 
-        def broken_one_pass(old):
+        def broken_one_pass(old, seq_consts=None):
             return _adder(old.name + "_broken", twist=True), True
 
         monkeypatch.setattr(optmod, "_one_pass", broken_one_pass)

@@ -186,3 +186,86 @@ class TestOptimizer:
             sim_a._propagate()
             sim_b._propagate()
             assert sim_a.output("y") == sim_b.output("y"), value
+
+
+class TestSequentialConstants:
+    """The ternary (0/1/X) sequential-constant fixpoint."""
+
+    def _stuck_pair(self):
+        """Two mutually-dependent DFFs both stuck at their init value 0:
+        d1 = q2 AND a, d2 = q1 OR q2.  Neither D is a literal constant,
+        so the purely local rule cannot prove either."""
+        from repro.synth.optimize import sequential_constants
+
+        nl = Netlist("seq")
+        a = nl.add_input("a", 1)[0]
+        q1, q2 = nl.new_net("q1"), nl.new_net("q2")
+        d1 = nl.add(GateKind.AND2, [q2, a])
+        d2 = nl.add(GateKind.OR2, [q1, q2])
+        nl.add(GateKind.DFF, [d1], output=q1, init=0)
+        nl.add(GateKind.DFF, [d2], output=q2, init=0)
+        nl.set_output("y", [nl.add(GateKind.OR2, [a, q1])])
+        return nl, q1, q2, sequential_constants(nl)
+
+    def test_mutual_constants_found(self):
+        _nl, q1, q2, consts = self._stuck_pair()
+        assert consts.get(q1) == "0" and consts.get(q2) == "0"
+
+    def test_constants_dissolve_validated(self):
+        from repro.synth.equiv import check_netlists
+
+        nl, _q1, _q2, _consts = self._stuck_pair()
+        optimized = optimize_netlist(nl, validate="exhaustive")
+        assert not optimized.dffs()
+        assert check_netlists(nl, optimized, mode="exhaustive").equivalent
+
+    def test_toggling_dff_not_constant(self):
+        from repro.synth.optimize import sequential_constants
+
+        nl = Netlist("toggle")
+        q = nl.new_net("q")
+        d = nl.add(GateKind.INV, [q])
+        nl.add(GateKind.DFF, [d], output=q, init=0)
+        nl.set_output("y", [q])
+        assert q not in sequential_constants(nl)
+        optimized = optimize_netlist(nl, validate="exhaustive")
+        assert len(optimized.dffs()) == 1
+
+    def test_input_driven_dff_not_constant(self):
+        from repro.synth.optimize import sequential_constants
+
+        nl = Netlist("pi")
+        a = nl.add_input("a", 1)[0]
+        q = nl.new_net("q")
+        nl.add(GateKind.DFF, [a], output=q, init=0)
+        nl.set_output("y", [q])
+        assert q not in sequential_constants(nl)
+
+    def test_one_constant_among_live(self):
+        """A stuck DFF gating live logic: the AND collapses to 0, the
+        live counter path survives."""
+        from repro.synth.optimize import sequential_constants
+
+        nl = Netlist("mixed")
+        a = nl.add_input("a", 1)[0]
+        stuck, live = nl.new_net("stuck"), nl.new_net("live")
+        nl.add(GateKind.DFF, [nl.add(GateKind.AND2, [stuck, a])],
+               output=stuck, init=0)
+        nl.add(GateKind.DFF, [nl.add(GateKind.INV, [live])],
+               output=live, init=0)
+        nl.set_output("y", [nl.add(GateKind.AND2, [stuck, live])])
+        nl.set_output("z", [live])
+        consts = sequential_constants(nl)
+        assert consts.get(stuck) == "0" and live not in consts
+        optimized = optimize_netlist(nl, validate="exhaustive")
+        assert len(optimized.dffs()) == 1
+
+    def test_init_one_constant(self):
+        from repro.synth.optimize import sequential_constants
+
+        nl = Netlist("hi")
+        q = nl.new_net("q")
+        nl.add(GateKind.DFF, [nl.add(GateKind.OR2, [q, q])],
+               output=q, init=1)
+        nl.set_output("y", [q])
+        assert sequential_constants(nl).get(q) == "1"

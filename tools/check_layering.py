@@ -40,10 +40,21 @@ Two layering contracts are enforced by walking every module with
 6. Translation validation (``repro.ir.equiv``) sits between the IR and
    the analysis layer: within ``repro.ir`` only ``equiv.py`` may import
    ``repro.lint``, and only the interval domain
-   (``repro.lint.interval``).  Engines (``sim``/``hdl``/``synth``)
-   never import ``repro.ir.equiv`` directly — they state equivalence
-   obligations through the ``PassManager``'s ``validate=`` knob, so the
-   back-ends stay buildable without the checker's internals.
+   (``repro.lint.interval``) — plus the one edge contract 7 sanctions.
+   Engines (``sim``/``hdl``/``synth``) never import ``repro.ir.equiv``
+   directly — they state equivalence obligations through the
+   ``PassManager``'s ``validate=`` knob, so the back-ends stay buildable
+   without the checker's internals.
+
+7. The bit-level domain (``repro.lint.bits``) is a leaf analysis: it
+   may import only ``repro.core``, ``repro.ir``, ``repro.fixpt`` and
+   its sibling interval domain (``repro.lint.interval``) — never the
+   rule modules, the linter driver, or a back-end.  Within ``repro.ir``
+   exactly one module may reach back into it: ``passes.py`` (lazily,
+   for the ``narrow_bitwidth`` pass), mirroring the ``equiv.py`` ->
+   ``lint.interval`` edge of contract 6.  Engines never import
+   ``repro.lint.bits``: narrowing reaches them only as an ordinary
+   validated pass in a pipeline.
 
 Run from the repository root::
 
@@ -82,6 +93,18 @@ EQUIV_MODULE = ("ir", "equiv.py")
 EQUIV_MAY_IMPORT = "repro.lint.interval"
 #: Engine packages that must not import repro.ir.equiv directly.
 EQUIV_FREE = ("sim", "hdl", "synth")
+#: The sanctioned repro.ir -> repro.lint edges: module file -> the one
+#: lint module it may import (contracts 6 and 7).
+IR_LINT_EDGES = {
+    ("ir", "equiv.py"): "repro.lint.interval",
+    ("ir", "passes.py"): "repro.lint.bits",
+}
+#: Contract 7: the bit-level domain module and its permitted imports.
+BITS_MODULE = ("lint", "bits.py")
+BITS_MAY_IMPORT = ("core", "ir", "fixpt")
+BITS_LINT_MAY_IMPORT = ("repro.lint.interval",)
+#: Engine packages that must not import repro.lint.bits.
+BITS_FREE = ("sim", "hdl", "synth")
 PACKAGE = "repro"
 
 
@@ -267,19 +290,21 @@ def check_runner_layer(src_root: Path) -> List[str]:
 def check_equiv_layer(src_root: Path) -> List[str]:
     """Violations of the translation-validation contract, as messages."""
     violations: List[str] = []
-    equiv_rel = Path(PACKAGE) / EQUIV_MODULE[0] / EQUIV_MODULE[1]
-    for rel, lineno, target in _imports(src_root, EQUIV_MODULE[0]):
+    allowed = {Path(PACKAGE) / pkg / name: target
+               for (pkg, name), target in IR_LINT_EDGES.items()}
+    for rel, lineno, target in _imports(src_root, "ir"):
         if _subpackage_of(target) != "lint":
             continue
-        if rel != equiv_rel:
+        if rel not in allowed:
+            edges = ", ".join(str(path) for path in sorted(allowed))
             violations.append(
                 f"{rel}:{lineno}: repro.ir imports {target} — within "
-                f"repro.ir only {equiv_rel} may import repro.lint"
+                f"repro.ir only {edges} may import repro.lint"
             )
-        elif target != EQUIV_MAY_IMPORT:
+        elif target != allowed[rel]:
             violations.append(
-                f"{rel}:{lineno}: imports {target} — ir/equiv may only "
-                f"import {EQUIV_MAY_IMPORT}"
+                f"{rel}:{lineno}: imports {target} — {rel} may only "
+                f"import {allowed[rel]}"
             )
     for subpackage in EQUIV_FREE:
         for rel, lineno, target in _imports(src_root, subpackage):
@@ -294,13 +319,55 @@ def check_equiv_layer(src_root: Path) -> List[str]:
     return violations
 
 
+def check_bits_layer(src_root: Path) -> List[str]:
+    """Violations of the bit-level-domain contract (7), as messages."""
+    violations: List[str] = []
+    bits_rel = Path(PACKAGE) / BITS_MODULE[0] / BITS_MODULE[1]
+    for rel, lineno, target in _imports(src_root, BITS_MODULE[0]):
+        if rel != bits_rel:
+            continue
+        subpackage = _subpackage_of(target)
+        if subpackage is None:
+            continue  # stdlib / third-party
+        if subpackage in BITS_MAY_IMPORT:
+            continue
+        if subpackage == "lint":
+            if target in BITS_LINT_MAY_IMPORT or any(
+                    target.startswith(ok + ".")
+                    for ok in BITS_LINT_MAY_IMPORT):
+                continue
+            violations.append(
+                f"{rel}:{lineno}: lint/bits imports {target} — within "
+                f"repro.lint the bit domain may only import "
+                f"{', '.join(BITS_LINT_MAY_IMPORT)}"
+            )
+            continue
+        violations.append(
+            f"{rel}:{lineno}: lint/bits imports {target} — the bit "
+            f"domain may depend only on "
+            f"{', '.join(BITS_MAY_IMPORT)} and "
+            f"{', '.join(BITS_LINT_MAY_IMPORT)}"
+        )
+    for subpackage in BITS_FREE:
+        for rel, lineno, target in _imports(src_root, subpackage):
+            if target == f"{PACKAGE}.lint.bits" \
+                    or target.startswith(f"{PACKAGE}.lint.bits."):
+                violations.append(
+                    f"{rel}:{lineno}: repro.{subpackage} imports {target} — "
+                    "engines see bit narrowing only as a validated pass in "
+                    "a pipeline, never by importing repro.lint.bits"
+                )
+    return violations
+
+
 def main(argv: Tuple[str, ...] = ()) -> int:
     root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
     src_root = root / "src"
     violations = (check_tree(src_root) + check_lint_layer(src_root)
                   + check_obs_layer(src_root) + check_lane_layer(src_root)
                   + check_runner_layer(src_root)
-                  + check_equiv_layer(src_root))
+                  + check_equiv_layer(src_root)
+                  + check_bits_layer(src_root))
     if violations:
         print("layering violations:")
         for message in violations:
@@ -310,8 +377,10 @@ def main(argv: Tuple[str, ...] = ()) -> int:
           "repro.lint depends only on core/ir/fixpt and no back-end "
           "imports it; repro.obs depends only on core/ir/fixpt and no "
           "model layer imports it; core/ir/fixpt/lint are lane-agnostic; "
-          "nothing imports repro.runner; only ir/equiv touches "
-          "lint.interval and no engine imports ir.equiv")
+          "nothing imports repro.runner; the only ir->lint edges are "
+          "ir/equiv->lint.interval and ir/passes->lint.bits, no engine "
+          "imports ir.equiv; lint/bits depends only on core/ir/fixpt "
+          "plus lint.interval and no engine imports it")
     return 0
 
 
