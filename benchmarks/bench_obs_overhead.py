@@ -3,14 +3,22 @@
 Measures HCOR cycles/sec on both state-carrying engines in three
 configurations:
 
-* ``bare``      — no capture at all (``obs=None``);
-* ``disabled``  — a capture with every feature off (must be free: the
-  cycle scheduler attaches no monitor, the compiled simulator emits no
-  instrumentation code);
-* ``full``      — activity + FSM + events + engine self-profiling.
+* ``bare``           — no capture at all (``obs=None``);
+* ``disabled``       — a capture with every feature off (must be free:
+  the cycle scheduler attaches no monitor, the compiled simulator
+  emits no instrumentation code);
+* ``spans_disabled`` — like ``disabled``, with every ``SPAN_BLOCK``-cycle
+  batch additionally wrapped in a span of a *disabled*
+  :class:`~repro.obs.spans.SpanTracer` (the shared no-op handle must
+  make untraced code free too; a span per work item matches how the
+  sharded runner traces — one span per shard, never per clock edge);
+* ``full``           — activity + FSM + events + engine self-profiling.
+
+Every configuration batches ``SPAN_BLOCK`` cycles per timed call so the
+timer overhead amortizes identically across rows.
 
 Writes ``BENCH_obs.json`` next to ``BENCH_ir.json`` and prints a
-summary.  Fails (exit 1) when the *disabled* configuration costs more
+summary.  Fails (exit 1) when either disabled configuration costs more
 than ``MAX_DISABLED_OVERHEAD_PCT`` — the acceptance threshold for
 "instrumentation you didn't ask for is instrumentation you don't pay
 for".  Run from the repository root::
@@ -35,16 +43,21 @@ MAX_DISABLED_OVERHEAD_PCT = 5.0
 BENCH_SECONDS = float(os.environ.get("BENCH_OBS_SECONDS", "0.5"))
 #: Repeat each measurement and keep the best rate (least-noise sample).
 REPEATS = int(os.environ.get("BENCH_OBS_REPEATS", "3"))
+#: Cycles per timed call — the size of one work item.  Spans delimit
+#: units of work (the runner opens one span per shard), so this is the
+#: granularity the ``spans_disabled`` row wraps one span around.
+SPAN_BLOCK = 64
 
 
-def _rate(step: Callable[[], None], min_seconds: float) -> float:
+def _rate(step: Callable[[], None], min_seconds: float,
+          cycles_per_call: int = 1) -> float:
     best = 0.0
     for _ in range(REPEATS):
         count = 0
         start = time.perf_counter()
         while True:
             step()
-            count += 1
+            count += cycles_per_call
             elapsed = time.perf_counter() - start
             if elapsed >= min_seconds:
                 break
@@ -57,10 +70,33 @@ def _make_capture(config: str):
 
     if config == "bare":
         return None
-    if config == "disabled":
+    if config in ("disabled", "spans_disabled"):
         return Capture(activity=False, fsm=False, events=False,
                        profile=False)
     return Capture(profile=True)
+
+
+def _make_step(config: str, step: Callable[[], None]) -> Callable[[], None]:
+    """Batch *step* into one ``SPAN_BLOCK``-cycle work item per call.
+
+    For ``spans_disabled`` the batch is additionally wrapped in a span
+    of a disabled tracer — the granularity the runner traces at.
+    """
+    def block() -> None:
+        for _ in range(SPAN_BLOCK):
+            step()
+
+    if config != "spans_disabled":
+        return block
+    from repro.obs import SpanTracer
+
+    tracer = SpanTracer(enabled=False)
+
+    def traced() -> None:
+        with tracer.span("item"):
+            block()
+
+    return traced
 
 
 def _cycle_rate(config: str) -> float:
@@ -73,7 +109,8 @@ def _cycle_rate(config: str) -> float:
     pins = {pin: 0.25}
     for _ in range(50):
         scheduler.step(pins)
-    return _rate(lambda: scheduler.step(pins), BENCH_SECONDS)
+    return _rate(_make_step(config, lambda: scheduler.step(pins)),
+                 BENCH_SECONDS, cycles_per_call=SPAN_BLOCK)
 
 
 def _compiled_rate(config: str) -> float:
@@ -85,7 +122,8 @@ def _compiled_rate(config: str) -> float:
     pins = {"soft": 0.25}
     for _ in range(200):
         simulator.step(pins)
-    return _rate(lambda: simulator.step(pins), BENCH_SECONDS)
+    return _rate(_make_step(config, lambda: simulator.step(pins)),
+                 BENCH_SECONDS, cycles_per_call=SPAN_BLOCK)
 
 
 def _overhead_pct(bare: float, instrumented: float) -> float:
@@ -101,11 +139,14 @@ def run() -> Dict[str, object]:
     for engine, measure in (("interpreted", _cycle_rate),
                             ("compiled", _compiled_rate)):
         rates = {config: measure(config)
-                 for config in ("bare", "disabled", "full")}
+                 for config in ("bare", "disabled", "spans_disabled",
+                                "full")}
         results["engines"][engine] = {
             "cycles_per_sec": rates,
             "disabled_overhead_pct":
                 _overhead_pct(rates["bare"], rates["disabled"]),
+            "spans_disabled_overhead_pct":
+                _overhead_pct(rates["bare"], rates["spans_disabled"]),
             "full_overhead_pct":
                 _overhead_pct(rates["bare"], rates["full"]),
         }
@@ -122,16 +163,20 @@ def main() -> int:
     for engine, data in results["engines"].items():
         rates = data["cycles_per_sec"]
         print(f"  {engine}")
-        for config in ("bare", "disabled", "full"):
-            print(f"    {config:9}: {rates[config]:10.1f} cyc/s")
+        for config in ("bare", "disabled", "spans_disabled", "full"):
+            print(f"    {config:14}: {rates[config]:10.1f} cyc/s")
         print(f"    disabled overhead: {data['disabled_overhead_pct']:+.2f}% "
-              f"(limit {MAX_DISABLED_OVERHEAD_PCT}%), "
+              f"(spans {data['spans_disabled_overhead_pct']:+.2f}%, "
+              f"limit {MAX_DISABLED_OVERHEAD_PCT}%), "
               f"full overhead: {data['full_overhead_pct']:+.2f}%")
         if data["disabled_overhead_pct"] > MAX_DISABLED_OVERHEAD_PCT:
             ok = False
+        if data["spans_disabled_overhead_pct"] > MAX_DISABLED_OVERHEAD_PCT:
+            ok = False
 
     if not ok:
-        print("FAIL: a disabled capture must be (near) free")
+        print("FAIL: a disabled capture (with or without spans) must be "
+              "(near) free")
         return 1
     print(f"wrote {os.path.normpath(OUT_PATH)}")
     return 0

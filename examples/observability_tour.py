@@ -13,6 +13,12 @@ and collects, from a single run:
 then saves everything to a capture directory and renders the same
 report ``python -m repro.obs <dir>`` would print.
 
+Part two runs a *sharded* fault campaign with a capture directory: the
+runner traces compile/simulate/merge spans, worker shards continue the
+parent's trace across process boundaries, per-shard telemetry
+fragments merge deterministically, and the journal doubles as a live
+progress stream (``python -m repro.obs tail <dir>`` while it runs).
+
 Run:  python examples/observability_tour.py [capture_dir]
 """
 
@@ -76,6 +82,31 @@ def main():
     print(f"render it any time with:  python -m repro.obs {directory}\n")
 
     print(render_text(load_capture(directory), top=8))
+
+    # -- part two: a traced sharded campaign -------------------------------------
+    run_traced_campaign()
+
+
+def run_traced_campaign():
+    """A sharded fault campaign with cross-process tracing and telemetry."""
+    from repro.runner import ArtifactCache, CampaignJob, ShardedRunner
+
+    cache_dir = tempfile.mkdtemp(prefix="and2_cache_")
+    capture_dir = tempfile.mkdtemp(prefix="and2_campaign_")
+    job = CampaignJob(design="and2", cycles=6, seed=7, lanes=4)
+    print("\nsharded fault campaign (and2, 2 workers), traced and captured")
+    print(f"follow it live with:  python -m repro.obs tail {capture_dir}")
+    outcome = ShardedRunner(job, workers=2, shard_size=1,
+                            cache=ArtifactCache(cache_dir),
+                            capture_dir=capture_dir).run()
+    print(outcome.report.report())
+
+    # The capture directory now holds the merged campaign telemetry
+    # (byte-identical whatever the worker count), the lifecycle events,
+    # the span tree and the journal — one report renders them all.
+    print(f"campaign capture saved to {capture_dir} "
+          "(metrics.json, events.jsonl, spans.jsonl, journal.jsonl)")
+    print(render_text(load_capture(capture_dir), top=4))
 
 
 if __name__ == "__main__":

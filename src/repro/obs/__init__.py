@@ -23,6 +23,7 @@ obs; obs never imports an engine.
 """
 
 from .activity import ActivityProfile, ToggleStats
+from .aggregate import merge_captures
 from .capture import (
     Capture,
     Instrumentation,
@@ -34,7 +35,23 @@ from .engineprof import BlockTime, EngineProfile
 from .events import EventTrace, read_events
 from .fsmprof import FsmProfile, FsmStats, TransitionStats
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .report import load_capture, render_json, render_text, summarize
+from .report import (
+    diff_captures,
+    load_capture,
+    render_diff,
+    render_json,
+    render_text,
+    summarize,
+)
+from .spans import (
+    Span,
+    SpanContext,
+    SpanTracer,
+    critical_path,
+    read_spans,
+    span_tree,
+)
+from .tail import TailState, follow, render_tail
 
 __all__ = [
     "ActivityProfile",
@@ -50,13 +67,24 @@ __all__ = [
     "Instrumentation",
     "MetricsRegistry",
     "Probe",
+    "Span",
+    "SpanContext",
+    "SpanTracer",
+    "TailState",
     "ToggleStats",
     "TransitionStats",
+    "critical_path",
+    "diff_captures",
+    "follow",
     "fsm_watchlist",
     "load_capture",
+    "merge_captures",
     "read_events",
-    "register_watchlist",
+    "read_spans",
+    "render_diff",
     "render_json",
+    "render_tail",
     "render_text",
+    "span_tree",
     "summarize",
 ]

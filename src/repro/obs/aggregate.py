@@ -1,0 +1,218 @@
+"""Deterministic merge of many capture fragments into one campaign view.
+
+A sharded campaign produces one small telemetry fragment per shard —
+the JSON form of a :class:`~repro.obs.capture.Capture`
+(``Capture.as_dict()``): metrics, toggle activity, FSM profiles, engine
+profiles, event-kind counts.  This module folds N fragments into one
+capture-shaped dict so the whole campaign reads like a single run:
+
+* **counters** sum;
+* **gauges** keep the *last* value in fold order plus the global
+  min/max and the summed sample count;
+* **histograms** merge bucket-wise (bounds must agree — merging
+  distributions bucketed differently would silently lie);
+* **toggle activity** sums samples/changes/toggles and recomputes the
+  rate (widths must agree);
+* **FSM profiles** union: occupancy and transition fires sum, and
+  coverage / uncovered lists are *recomputed* from the merged counts
+  via the real :class:`~repro.obs.fsmprof.FsmStats` logic — a state
+  covered in any shard is covered in the merge;
+* **engine profiles** sum calls and seconds;
+* **event-kind counts** sum.
+
+Determinism contract: the merge is a pure fold over the input sequence
+with all result keys emitted sorted, so for fragments keyed by *shard*
+(deterministic simulation output, fed in shard order) the merged dict —
+and its ``json.dumps(..., sort_keys=True)`` byte form — is identical
+regardless of worker count, crash history or retry schedule.  That is
+the runner's existing byte-identical report guarantee extended to
+telemetry.
+
+Layering (contract #8): imports only ``repro.core`` and sibling obs
+modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import ReproError
+from .fsmprof import FsmStats
+
+
+def _merge_counter(name: str, merged: Dict[str, object],
+                   record: Dict[str, object]) -> None:
+    merged["value"] = int(merged.get("value", 0)) + int(record.get("value", 0))
+
+
+def _merge_gauge(name: str, merged: Dict[str, object],
+                 record: Dict[str, object]) -> None:
+    if record.get("value") is not None:
+        merged["value"] = record["value"]
+    for key, pick in (("min", min), ("max", max)):
+        ours, theirs = merged.get(key), record.get(key)
+        if ours is None:
+            merged[key] = theirs
+        elif theirs is not None:
+            merged[key] = pick(ours, theirs)
+    merged["samples"] = (int(merged.get("samples", 0))
+                         + int(record.get("samples", 0)))
+
+
+def _merge_histogram(name: str, merged: Dict[str, object],
+                     record: Dict[str, object]) -> None:
+    if list(merged.get("bounds", [])) != list(record.get("bounds", [])):
+        raise ReproError(
+            f"histogram {name!r}: cannot merge fragments with different "
+            f"bucket bounds ({merged.get('bounds')} != "
+            f"{record.get('bounds')})"
+        )
+    ours = list(merged.get("buckets", []))
+    theirs = list(record.get("buckets", []))
+    merged["buckets"] = [a + b for a, b in zip(ours, theirs)]
+    merged["count"] = int(merged.get("count", 0)) + int(record.get("count", 0))
+    merged["total"] = float(merged.get("total", 0.0)) \
+        + float(record.get("total", 0.0))
+
+
+_METRIC_MERGERS = {
+    "counter": _merge_counter,
+    "gauge": _merge_gauge,
+    "histogram": _merge_histogram,
+}
+
+
+def merge_metrics(fragments: Sequence[Dict[str, Dict[str, object]]]
+                  ) -> Dict[str, Dict[str, object]]:
+    """Fold N ``MetricsRegistry.as_dict()`` forms into one."""
+    merged: Dict[str, Dict[str, object]] = {}
+    for fragment in fragments:
+        for name in fragment:
+            record = fragment[name]
+            kind = record.get("type")
+            ours = merged.get(name)
+            if ours is None:
+                merged[name] = dict(record)
+                continue
+            if ours.get("type") != kind:
+                raise ReproError(
+                    f"metric {name!r}: fragment kinds disagree "
+                    f"({ours.get('type')} != {kind})"
+                )
+            merger = _METRIC_MERGERS.get(kind)
+            if merger is None:
+                raise ReproError(f"metric {name!r}: unknown kind {kind!r}")
+            merger(name, ours, record)
+    return {name: merged[name] for name in sorted(merged)}
+
+
+def merge_activity(fragments: Sequence[Dict[str, Dict[str, object]]]
+                   ) -> Dict[str, Dict[str, object]]:
+    """Fold N ``ActivityProfile.as_dict()`` forms into one."""
+    merged: Dict[str, Dict[str, object]] = {}
+    for fragment in fragments:
+        for name in fragment:
+            record = fragment[name]
+            ours = merged.get(name)
+            if ours is None:
+                merged[name] = dict(record)
+                continue
+            if ours.get("width") != record.get("width"):
+                raise ReproError(
+                    f"signal {name!r}: fragment widths disagree "
+                    f"({ours.get('width')} != {record.get('width')})"
+                )
+            for key in ("samples", "changes", "toggles"):
+                ours[key] = int(ours.get(key, 0)) + int(record.get(key, 0))
+    out: Dict[str, Dict[str, object]] = {}
+    for name in sorted(merged):
+        record = merged[name]
+        samples = int(record.get("samples", 0))
+        record["toggle_rate"] = (
+            int(record.get("toggles", 0)) / samples if samples else 0.0)
+        out[name] = record
+    return out
+
+
+def merge_fsm(fragments: Sequence[Dict[str, Dict[str, object]]]
+              ) -> Dict[str, Dict[str, object]]:
+    """Fold N ``FsmProfile.as_dict()`` forms into one.
+
+    Coverage and the uncovered lists are recomputed from the merged
+    occupancy / fire counts through :class:`FsmStats` itself, so the
+    merge can never disagree with what a single-process run would have
+    reported for the same observations.
+    """
+    merged: Dict[str, FsmStats] = {}
+    for fragment in fragments:
+        for name in fragment:
+            record = fragment[name]
+            transitions = [
+                (t.get("src"), t.get("dst"), t.get("label"), t.get("srcloc"))
+                for t in record.get("transitions", [])
+            ]
+            stats = merged.get(name)
+            if stats is None:
+                stats = FsmStats(name, list(record.get("states", [])),
+                                 transitions,
+                                 initial=record.get("initial"))
+                merged[name] = stats
+            elif stats.states != list(record.get("states", [])) \
+                    or stats.initial != record.get("initial"):
+                raise ReproError(
+                    f"fsm {name!r}: fragment state spaces disagree"
+                )
+            stats.cycles += int(record.get("cycles", 0))
+            for state, count in record.get("occupancy", {}).items():
+                stats.occupancy[state] = \
+                    stats.occupancy.get(state, 0) + int(count)
+            for t in record.get("transitions", []):
+                stats.transitions[int(t["index"])].fires += \
+                    int(t.get("fires", 0))
+    return {name: merged[name].as_dict() for name in sorted(merged)}
+
+
+def merge_profile(fragments: Sequence[Dict[str, Dict[str, object]]]
+                  ) -> Dict[str, Dict[str, object]]:
+    """Fold N ``EngineProfile.as_dict()`` forms into one (sums)."""
+    merged: Dict[str, Dict[str, object]] = {}
+    for fragment in fragments:
+        for label in fragment:
+            record = fragment[label]
+            ours = merged.setdefault(label, {"calls": 0, "seconds": 0.0})
+            ours["calls"] = int(ours["calls"]) + int(record.get("calls", 0))
+            ours["seconds"] = float(ours["seconds"]) \
+                + float(record.get("seconds", 0.0))
+    return {label: merged[label] for label in sorted(merged)}
+
+
+def merge_event_kinds(fragments: Sequence[Dict[str, int]]) -> Dict[str, int]:
+    """Fold N event-kind count dicts into one (sums)."""
+    merged: Dict[str, int] = {}
+    for fragment in fragments:
+        for kind in fragment:
+            merged[kind] = merged.get(kind, 0) + int(fragment[kind])
+    return {kind: merged[kind] for kind in sorted(merged)}
+
+
+def merge_captures(fragments: Sequence[Optional[Dict[str, object]]]
+                   ) -> Dict[str, object]:
+    """Fold N ``Capture.as_dict()`` fragments into one capture dict.
+
+    ``None`` entries are skipped (a shard that shipped no telemetry —
+    e.g. an abandoned one — contributes nothing but costs nothing).
+    The result is save-compatible: write it as ``metrics.json`` and
+    ``python -m repro.obs report`` renders it like any single run.
+    """
+    present: List[Dict[str, object]] = [f for f in fragments if f]
+    return {
+        "metrics": merge_metrics(
+            [f.get("metrics", {}) or {} for f in present]),
+        "activity": merge_activity(
+            [f.get("activity", {}) or {} for f in present]),
+        "fsm": merge_fsm([f.get("fsm", {}) or {} for f in present]),
+        "profile": merge_profile(
+            [f.get("profile", {}) or {} for f in present]),
+        "events": merge_event_kinds(
+            [f.get("events", {}) or {} for f in present]),
+    }

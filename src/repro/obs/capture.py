@@ -40,6 +40,7 @@ from .engineprof import EngineProfile
 from .events import EventTrace
 from .fsmprof import FsmProfile, FsmStats
 from .metrics import MetricsRegistry
+from .spans import SpanTracer
 
 
 def register_watchlist(system: System) -> List[Tuple[str, Register]]:
@@ -114,12 +115,17 @@ class Capture:
     event_stream:
         Optional text stream events are written through to as they
         happen (crash-safe JSONL), in addition to the in-memory buffer.
+    spans:
+        Record a span trace (:class:`~repro.obs.spans.SpanTracer`).
+        Off by default; when enabled, :meth:`save` writes
+        ``spans.jsonl`` next to ``events.jsonl``.
     """
 
     def __init__(self, activity: bool = True, fsm: bool = True,
                  events: bool = True, profile: bool = False,
                  trace_fires: bool = False, cycle_markers: int = 0,
-                 event_stream: Optional[TextIO] = None):
+                 event_stream: Optional[TextIO] = None,
+                 spans: bool = False):
         self.metrics = MetricsRegistry()
         self.activity: Optional[ActivityProfile] = \
             ActivityProfile() if activity else None
@@ -128,6 +134,7 @@ class Capture:
             EventTrace(event_stream) if events else None
         self.profile: Optional[EngineProfile] = \
             EngineProfile() if profile else None
+        self.spans: SpanTracer = SpanTracer(enabled=spans)
         self.trace_fires = trace_fires
         self.cycle_markers = cycle_markers
         self._probes: Dict[int, List[Probe]] = {}
@@ -431,6 +438,10 @@ class Capture:
             with open(os.path.join(directory, "events.jsonl"), "w",
                       encoding="utf-8") as handle:
                 self.events.write_jsonl(handle)
+        if self.spans.enabled and len(self.spans):
+            with open(os.path.join(directory, "spans.jsonl"), "w",
+                      encoding="utf-8") as handle:
+                self.spans.write_jsonl(handle)
         for index, tracer in enumerate(self._tracers):
             name = "trace.vcd" if index == 0 else f"trace{index}.vcd"
             with open(os.path.join(directory, name), "w",

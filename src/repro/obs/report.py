@@ -16,6 +16,7 @@ import os
 from typing import Dict, List, Optional
 
 from .events import read_events
+from .spans import critical_path, read_spans, span_tree
 
 
 def load_capture(directory: str) -> Dict[str, object]:
@@ -25,20 +26,36 @@ def load_capture(directory: str) -> Dict[str, object]:
     campaign runner journals its lifecycle events without a metrics
     capture, and ``python -m repro.obs report`` renders those timelines
     too.
+
+    A *partial* capture directory — a run that died before
+    ``Capture.save`` finished, or a runner capture that only streamed
+    events/spans — loads gracefully: whatever of ``metrics.json``,
+    ``events.jsonl`` and ``spans.jsonl`` is present is read, and the
+    report says what was found (``capture_files`` / missing keys).
+    Only a directory with *none* of them raises.
     """
     if os.path.isfile(directory):
         return {"event_list": read_events(directory)}
     metrics_path = os.path.join(directory, "metrics.json")
-    if not os.path.isfile(metrics_path):
-        raise FileNotFoundError(
-            f"{directory!r} is not a capture directory (no metrics.json); "
-            "write one with Capture.save(directory)"
-        )
-    with open(metrics_path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
     events_path = os.path.join(directory, "events.jsonl")
+    spans_path = os.path.join(directory, "spans.jsonl")
+    found = [os.path.basename(p) for p in (metrics_path, events_path,
+                                           spans_path) if os.path.isfile(p)]
+    if not found:
+        raise FileNotFoundError(
+            f"{directory!r} is not a capture directory (no metrics.json, "
+            "events.jsonl or spans.jsonl); write one with "
+            "Capture.save(directory)"
+        )
+    data: Dict[str, object] = {}
+    if os.path.isfile(metrics_path):
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
     if os.path.isfile(events_path):
         data["event_list"] = read_events(events_path)
+    if os.path.isfile(spans_path):
+        data["span_list"] = read_spans(spans_path)
+    data["capture_files"] = found
     return data
 
 
@@ -65,6 +82,27 @@ def _hot_blocks(profile: Dict[str, Dict], count: int) -> List[Dict]:
 RUNNER_KINDS = ("run_start", "worker_spawned", "worker_died",
                 "shard_dispatched", "shard_completed", "shard_retried",
                 "shard_abandoned", "run_end")
+
+#: Per-cycle / per-fault simulation kinds: counted in the events table
+#: but never expanded into timeline rows (they would drown it).
+SIM_KINDS = ("cycle", "fsm_transition", "fire", "fault", "deadlock",
+             "watchdog", "overflow", "campaign_start", "campaign_end")
+
+#: High-frequency runner kinds: summarized, not rendered line by line.
+BULK_KINDS = ("progress", "heartbeat")
+
+
+def _describe_generic(event: Dict[str, object]) -> str:
+    """Forward-compat fallback: render any event as ``key=value`` pairs.
+
+    The event stream is append-only and forward compatible — a reader
+    must never silently drop a kind it does not know, so unknown kinds
+    get this generic line instead of vanishing from the timeline.
+    """
+    return ", ".join(
+        f"{key}={event[key]}" for key in sorted(event)
+        if key not in ("kind", "seq", "t")
+    )
 
 
 def _describe_runner_event(event: Dict[str, object]) -> str:
@@ -102,17 +140,69 @@ def _describe_runner_event(event: Dict[str, object]) -> str:
                 f"{event.get('abandoned')} abandoned, "
                 f"{event.get('worker_deaths')} worker deaths, "
                 f"{event.get('wall_seconds')}s)")
-    return ""
+    return _describe_generic(event)
 
 
 def runner_timeline(event_list: List[Dict]) -> List[Dict[str, object]]:
-    """The runner lifecycle rows of an event stream, in emission order."""
+    """The runner lifecycle rows of an event stream, in emission order.
+
+    Renders only when the stream carries runner lifecycle kinds at all.
+    Simulation kinds (:data:`SIM_KINDS`) stay in the events table, and
+    the high-frequency :data:`BULK_KINDS` are summarized there too —
+    but *every other* kind, including ones this reader has never heard
+    of, gets a row (generic ``key=value`` detail), so a newer runner's
+    stream never loses lifecycle information in an older report.
+    """
+    if not any(event.get("kind") in RUNNER_KINDS for event in event_list):
+        return []
+    skip = set(SIM_KINDS) | set(BULK_KINDS)
     return [
         {"t": event.get("t"), "kind": event.get("kind"),
          "detail": _describe_runner_event(event)}
         for event in event_list
-        if event.get("kind") in RUNNER_KINDS
+        if event.get("kind") not in skip
     ]
+
+
+def _span_rows(span_list: List[Dict[str, object]]
+               ) -> List[Dict[str, object]]:
+    """Depth-annotated rows of the span tree, in tree order."""
+    rows: List[Dict[str, object]] = []
+
+    def walk(node: Dict[str, object], depth: int) -> None:
+        record = node["record"]
+        rows.append({
+            "name": record.get("name"), "depth": depth,
+            "dur": record.get("dur"), "status": record.get("status"),
+            "attrs": record.get("attrs", {}),
+        })
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in span_tree(span_list):
+        walk(root, 0)
+    return rows
+
+
+def _span_summary(span_list: List[Dict[str, object]]) -> Dict[str, object]:
+    """Tree rows, phase totals and the critical path of one span stream."""
+    rows = _span_rows(span_list)
+    # Phase totals: wall time per distinct depth-1 span name (compile
+    # vs simulate vs merge under the root campaign span).
+    phases: Dict[str, float] = {}
+    for row in rows:
+        if row["depth"] == 1 and row["dur"] is not None:
+            name = str(row["name"])
+            phases[name] = phases.get(name, 0.0) + float(row["dur"])
+    path = [{"name": r.get("name"), "dur": r.get("dur"),
+             "status": r.get("status")} for r in critical_path(span_list)]
+    return {
+        "count": len(span_list),
+        "failed": sum(1 for r in span_list if r.get("status") == "failed"),
+        "tree": rows,
+        "phases": {name: phases[name] for name in sorted(phases)},
+        "critical_path": path,
+    }
 
 
 def summarize(data: Dict[str, object], top: int = 10) -> Dict[str, object]:
@@ -128,7 +218,12 @@ def summarize(data: Dict[str, object], top: int = 10) -> Dict[str, object]:
         for event in data["event_list"]:
             kind = event.get("kind", "?")
             events[kind] = events.get(kind, 0) + 1
+    spans: Dict[str, object] = {}
+    if data.get("span_list"):
+        spans = _span_summary(data["span_list"])
     return {
+        "capture_files": data.get("capture_files"),
+        "spans": spans,
         "runner_timeline": timeline,
         "ir_passes": _pass_table(data.get("metrics", {}) or {}),
         "wordlengths": _wordlength_table(data.get("metrics", {}) or {}),
@@ -190,6 +285,14 @@ def render_text(data: Dict[str, object], top: int = 10) -> str:
     lines: List[str] = []
 
     lines.append(f"observability report — {summary['signals']} signals")
+    found = summary.get("capture_files")
+    if found is not None:
+        lines.append("capture contents: " + ", ".join(found))
+        missing = [name for name in ("metrics.json", "events.jsonl",
+                                     "spans.jsonl") if name not in found]
+        if missing:
+            lines.append("  (partial capture — missing: "
+                         + ", ".join(missing) + ")")
     rows = summary["top_toggles"]
     if rows:
         lines.append("")
@@ -296,9 +399,127 @@ def render_text(data: Dict[str, object], top: int = 10) -> str:
             stamp = f"{t:9.3f}" if isinstance(t, (int, float)) else " " * 9
             lines.append(f"  {stamp}  {row['kind']:<18} {row['detail']}")
 
+    spans = summary.get("spans") or {}
+    if spans:
+        lines.append("")
+        lines.append(f"span tree ({spans['count']} spans, "
+                     f"{spans['failed']} failed)")
+        for row in spans["tree"]:
+            dur = row.get("dur")
+            stamp = f"{dur:10.3f}s" if isinstance(dur, (int, float)) \
+                else " " * 11
+            mark = "  FAILED" if row.get("status") == "failed" else ""
+            attrs = row.get("attrs") or {}
+            detail = "  [" + ", ".join(
+                f"{k}={attrs[k]}" for k in sorted(attrs)) + "]" \
+                if attrs else ""
+            lines.append(f"  {stamp}  {'  ' * row['depth']}{row['name']}"
+                         f"{mark}{detail}")
+        phases = spans.get("phases") or {}
+        if phases:
+            lines.append("  phase totals: " + ", ".join(
+                f"{name} {phases[name]:.3f}s" for name in sorted(phases)))
+        path = spans.get("critical_path") or []
+        if path:
+            lines.append("  critical path: " + " -> ".join(
+                f"{r['name']} ({r['dur']:.3f}s)" if r.get("dur") is not None
+                else str(r["name"]) for r in path))
+
     return "\n".join(lines)
 
 
 def render_json(data: Dict[str, object], top: int = 10) -> str:
     """The summary as pretty-printed JSON."""
     return json.dumps(summarize(data, top), indent=2, default=str)
+
+
+# -- capture diff ---------------------------------------------------------------
+
+
+def _scalar_view(data: Dict[str, object]) -> Dict[str, float]:
+    """Flatten a capture into comparable named scalars.
+
+    Covers metric values (counter/gauge values, histogram counts and
+    totals), per-signal toggle counts and event-kind counts — the
+    numbers a regression gate cares about.  Spans and engine profiles
+    are timing data and deliberately excluded: they vary run to run.
+    """
+    out: Dict[str, float] = {}
+    for name, record in (data.get("metrics", {}) or {}).items():
+        if not isinstance(record, dict):
+            out[f"metric/{name}"] = float(record)
+            continue
+        kind = record.get("type")
+        if kind == "histogram":
+            out[f"metric/{name}/count"] = float(record.get("count", 0))
+            out[f"metric/{name}/total"] = float(record.get("total", 0.0))
+        elif record.get("value") is not None:
+            out[f"metric/{name}"] = float(record["value"])
+    for name, record in (data.get("activity", {}) or {}).items():
+        out[f"toggles/{name}"] = float(record.get("toggles", 0))
+    events = data.get("events", {}) or {}
+    if not events and "event_list" in data:
+        for event in data["event_list"]:
+            kind = event.get("kind", "?")
+            events[kind] = events.get(kind, 0) + 1
+    for kind, count in events.items():
+        out[f"events/{kind}"] = float(count)
+    return out
+
+
+def diff_captures(a: Dict[str, object], b: Dict[str, object],
+                  threshold: float = 0.0) -> Dict[str, object]:
+    """Compare two loaded captures' scalars with threshold gating.
+
+    Returns rows for every name whose value differs (or exists on only
+    one side), each with ``old`` / ``new`` / ``delta`` / ``rel`` (the
+    relative change, ``None`` when old is 0 or the name is one-sided)
+    and ``flagged`` — True when the relative change exceeds
+    *threshold*, or the name appeared/disappeared, or old is 0 (no
+    baseline to scale by).  ``threshold=0.05`` means "fail the gate on
+    any metric that moved more than 5%".
+    """
+    left, right = _scalar_view(a), _scalar_view(b)
+    rows: List[Dict[str, object]] = []
+    for name in sorted(set(left) | set(right)):
+        old, new = left.get(name), right.get(name)
+        if old == new:
+            continue
+        rel: Optional[float] = None
+        if old is not None and new is not None and old != 0:
+            rel = (new - old) / abs(old)
+        flagged = rel is None or abs(rel) > threshold
+        rows.append({
+            "name": name, "old": old, "new": new,
+            "delta": (new or 0.0) - (old or 0.0),
+            "rel": rel, "flagged": flagged,
+        })
+    return {
+        "threshold": threshold,
+        "compared": len(set(left) | set(right)),
+        "rows": rows,
+        "flagged": sum(1 for row in rows if row["flagged"]),
+    }
+
+
+def render_diff(diff: Dict[str, object]) -> str:
+    """Human-readable table of one :func:`diff_captures` result."""
+    lines: List[str] = []
+    lines.append(
+        f"capture diff — {diff['compared']} scalars compared, "
+        f"{len(diff['rows'])} changed, {diff['flagged']} over the "
+        f"{100.0 * diff['threshold']:.1f}% threshold")
+    if diff["rows"]:
+        lines.append(f"  {'name':<44} {'old':>12} {'new':>12} "
+                     f"{'change':>9}")
+        for row in diff["rows"]:
+            old = "—" if row["old"] is None else f"{row['old']:g}"
+            new = "—" if row["new"] is None else f"{row['new']:g}"
+            rel = row.get("rel")
+            change = f"{100.0 * rel:+8.1f}%" if rel is not None else "      new" \
+                if row["old"] is None else "  removed" if row["new"] is None \
+                else "     ±inf"
+            mark = "  <-- FLAGGED" if row["flagged"] else ""
+            lines.append(f"  {row['name']:<44} {old:>12} {new:>12} "
+                         f"{change}{mark}")
+    return "\n".join(lines)

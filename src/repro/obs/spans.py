@@ -1,0 +1,371 @@
+"""Distributed tracing: spans over the compile -> simulate -> merge pipeline.
+
+A *span* is one timed unit of work — synthesizing a netlist, executing a
+shard, merging worker results — with a name, a wall-clock start, a
+monotonic-clock duration, a status (``ok`` / ``failed``) and arbitrary
+attributes.  Spans nest: every span records its parent, and the whole
+run shares one ``trace`` id, so a reader can rebuild the tree of what
+happened where and attribute the wall time of a campaign to its phases
+(the critical-path section of ``python -m repro.obs report``).
+
+Cross-process continuation is the point: a :class:`SpanContext` is the
+JSON-serializable (trace, span) pair identifying one open span.  The
+sharded runner threads it through the job wire form
+(:class:`~repro.runner.jobs.CampaignJob`), each worker opens a
+:class:`SpanTracer` *continued from* that context, and the worker's
+shard spans — shipped back as plain dicts over the reply pipe — nest
+under the parent campaign span exactly as if one process had run
+everything.  Serialized spans land in ``spans.jsonl`` next to the
+existing ``events.jsonl``.
+
+Timing model: ``start`` is wall-clock (``time.time``) so spans from
+different processes land on one comparable axis; ``dur`` is measured on
+the monotonic clock so a span's own duration is immune to wall-clock
+steps.  Span ids are random (uuid4) — spans are timing observations,
+never part of the deterministic merged telemetry
+(:mod:`repro.obs.aggregate` owns that).
+
+A disabled tracer (``SpanTracer(enabled=False)``) is free: ``span()``
+returns a shared no-op context manager, no record is ever allocated —
+the same "instrumentation you didn't ask for is instrumentation you
+don't pay for" contract the rest of :mod:`repro.obs` honours.
+
+Layering (contract #8 in ``tools/check_layering.py``): this module
+imports only ``repro.core`` and stdlib — the runner imports it, never
+the reverse.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from typing import Callable, Dict, List, Optional, Sequence, TextIO, Union
+
+from ..core.errors import ReproError
+
+
+class SpanContext:
+    """The serializable identity of one open span: ``(trace, span)``."""
+
+    __slots__ = ("trace", "span")
+
+    def __init__(self, trace: str, span: str):
+        self.trace = trace
+        self.span = span
+
+    def to_json(self) -> Dict[str, str]:
+        return {"trace": self.trace, "span": self.span}
+
+    @classmethod
+    def from_json(cls, record: Optional[Dict[str, str]]
+                  ) -> Optional["SpanContext"]:
+        if not record:
+            return None
+        return cls(str(record["trace"]), str(record["span"]))
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, SpanContext)
+                and self.trace == other.trace and self.span == other.span)
+
+    def __repr__(self) -> str:
+        return f"SpanContext(trace={self.trace!r}, span={self.span!r})"
+
+
+class Span:
+    """One timed unit of work; close it via the tracer's context manager."""
+
+    __slots__ = ("name", "trace", "span_id", "parent_id", "start", "dur",
+                 "status", "attrs", "_t0")
+
+    def __init__(self, name: str, trace: str, span_id: str,
+                 parent_id: Optional[str], attrs: Dict[str, object],
+                 wall: float, mono: float):
+        self.name = name
+        self.trace = trace
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = wall
+        self.dur: Optional[float] = None
+        self.status = "ok"
+        self.attrs = attrs
+        self._t0 = mono
+
+    def context(self) -> SpanContext:
+        """This span's context, for threading into a child process."""
+        return SpanContext(self.trace, self.span_id)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes after the span opened (e.g. result counts)."""
+        self.attrs.update(attrs)
+        return self
+
+    def fail(self) -> "Span":
+        """Mark the span failed (kept failed even if closed normally)."""
+        self.status = "failed"
+        return self
+
+    def as_record(self) -> Dict[str, object]:
+        """The JSON-safe wire/file form of a (closed) span."""
+        record: Dict[str, object] = {
+            "name": self.name, "trace": self.trace, "span": self.span_id,
+            "parent": self.parent_id,
+            "start": round(self.start, 6),
+            "dur": round(self.dur, 6) if self.dur is not None else None,
+            "status": self.status,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, status={self.status!r}, "
+                f"dur={self.dur})")
+
+
+class _NoopSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def fail(self) -> "_NoopSpan":
+        return self
+
+    def context(self) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _SpanHandle:
+    """Context-manager wrapper closing one span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __getattr__(self, name):
+        return getattr(self._span, name)
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.fail()
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer.close(self._span)
+        return False
+
+
+class SpanTracer:
+    """Creates, nests, serializes and absorbs spans for one process.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled tracer costs nothing and records nothing.
+    parent:
+        A :class:`SpanContext` (or its JSON dict) from another process;
+        root spans opened here become children of it, continuing the
+        parent's trace.
+    clock / wall:
+        Injectable monotonic / wall clocks (tests).
+    """
+
+    def __init__(self, enabled: bool = True,
+                 parent: Optional[Union[SpanContext, Dict[str, str]]] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 wall: Callable[[], float] = time.time):
+        self.enabled = enabled
+        if isinstance(parent, dict):
+            parent = SpanContext.from_json(parent)
+        self._parent = parent
+        self._clock = clock
+        self._wall = wall
+        self.trace = parent.trace if parent is not None else uuid.uuid4().hex
+        self._stack: List[Span] = []
+        self._records: List[Dict[str, object]] = []
+
+    # -- creation ----------------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Open a nested span; use as a context manager.
+
+        The span closes (duration stamped, record appended) when the
+        ``with`` block exits; an exception marks it ``failed`` and
+        propagates.
+        """
+        if not self.enabled:
+            return _NOOP
+        return _SpanHandle(self, self.begin(name, **attrs))
+
+    def begin(self, name: str, **attrs) -> Optional[Span]:
+        """Open a span without a context manager; pair with :meth:`close`."""
+        if not self.enabled:
+            return None
+        parent_id = (self._stack[-1].span_id if self._stack
+                     else (self._parent.span if self._parent is not None
+                           else None))
+        span = Span(name, self.trace, uuid.uuid4().hex, parent_id,
+                    dict(attrs), wall=self._wall(), mono=self._clock())
+        self._stack.append(span)
+        return span
+
+    def close(self, span: Optional[Span]) -> None:
+        """Close *span* (and any unclosed children, innermost first)."""
+        if span is None or not self.enabled:
+            return
+        while self._stack:
+            top = self._stack.pop()
+            top.dur = self._clock() - top._t0
+            self._records.append(top.as_record())
+            if top is span:
+                return
+        raise ReproError(f"span {span.name!r} is not open on this tracer")
+
+    def current_context(self) -> Optional[SpanContext]:
+        """The innermost open span's context (or the continued parent's)."""
+        if self._stack:
+            return self._stack[-1].context()
+        return self._parent
+
+    # -- records -----------------------------------------------------------------
+
+    def emit(self, name: str, *, parent: Optional[SpanContext] = None,
+             start: Optional[float] = None, dur: float = 0.0,
+             status: str = "ok", **attrs) -> Optional[Dict[str, object]]:
+        """Record a span directly (no open/close pair).
+
+        Used for spans observed from the outside — e.g. the parent
+        synthesizing a ``failed`` span for a worker that was SIGKILLed
+        and could never report its own.
+        """
+        if not self.enabled:
+            return None
+        if parent is None:
+            parent = self.current_context()
+        record: Dict[str, object] = {
+            "name": name, "trace": self.trace, "span": uuid.uuid4().hex,
+            "parent": parent.span if parent is not None else None,
+            "start": round(start if start is not None else self._wall(), 6),
+            "dur": round(dur, 6), "status": status,
+        }
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self._records.append(record)
+        return record
+
+    def add(self, records: Sequence[Dict[str, object]]) -> None:
+        """Absorb serialized spans from another process (worker replies)."""
+        if not self.enabled:
+            return
+        self._records.extend(dict(r) for r in records)
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every closed/absorbed span record, in completion order."""
+        return list(self._records)
+
+    def drain(self) -> List[Dict[str, object]]:
+        """Pop the accumulated records (worker-side: ship, then forget)."""
+        records, self._records = self._records, []
+        return records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def write_jsonl(self, stream: TextIO) -> int:
+        """Write every record as JSON lines; returns the count."""
+        for record in self._records:
+            stream.write(json.dumps(record, default=str) + "\n")
+        return len(self._records)
+
+
+def read_spans(source: Union[str, TextIO]) -> List[Dict[str, object]]:
+    """Parse a ``spans.jsonl`` stream from a path or open text stream.
+
+    Blank lines are skipped; a malformed line raises ``ValueError``
+    naming the line (same contract as
+    :func:`repro.obs.events.read_events`).
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_spans(handle)
+    spans: List[Dict[str, object]] = []
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            spans.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"spans line {lineno} is not valid JSON: {exc}"
+            ) from None
+    return spans
+
+
+# -- tree / critical path -------------------------------------------------------
+
+
+def span_tree(records: Sequence[Dict[str, object]]
+              ) -> List[Dict[str, object]]:
+    """Nest span records into trees: ``{"record", "children"}`` nodes.
+
+    Roots are spans whose parent is None or absent from *records* (a
+    worker batch read without its parent still renders).  Children sort
+    by wall-clock start, then name — stable across dict order.
+    """
+    nodes = {r["span"]: {"record": r, "children": []} for r in records}
+    roots: List[Dict[str, object]] = []
+    for record in records:
+        parent = record.get("parent")
+        if parent is not None and parent in nodes \
+                and parent != record["span"]:
+            nodes[parent]["children"].append(nodes[record["span"]])
+        else:
+            roots.append(nodes[record["span"]])
+
+    def sort(children: List[Dict[str, object]]) -> None:
+        children.sort(key=lambda n: (n["record"].get("start") or 0.0,
+                                     str(n["record"].get("name"))))
+        for child in children:
+            sort(child["children"])
+
+    sort(roots)
+    return roots
+
+
+def critical_path(records: Sequence[Dict[str, object]]
+                  ) -> List[Dict[str, object]]:
+    """The chain of spans dominating the trace's wall time.
+
+    From the longest root, repeatedly descend into the longest child —
+    the answer to "where did the time go": e.g. ``campaign -> simulate
+    -> shard 7``.
+    """
+    def duration(node: Dict[str, object]) -> float:
+        return node["record"].get("dur") or 0.0
+
+    roots = span_tree(records)
+    if not roots:
+        return []
+    path: List[Dict[str, object]] = []
+    node = max(roots, key=duration)
+    while node is not None:
+        path.append(node["record"])
+        node = max(node["children"], key=duration) \
+            if node["children"] else None
+    return path

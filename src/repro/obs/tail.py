@@ -1,0 +1,270 @@
+"""Follow a running sharded campaign live: per-shard state, rate, ETA.
+
+The sharded runner's write-ahead journal doubles as a progress stream:
+alongside the fsync'd completion records (``meta`` / ``shard_done`` /
+``shard_abandoned`` / ``run_end``) the runner appends lightweight
+``shard_dispatched``, ``progress`` and ``heartbeat`` records as the run
+advances.  ``python -m repro.obs tail <dir-or-journal>`` reads that
+file *as it grows* — no imports from :mod:`repro.runner`, no pipes into
+the running process — and renders a refreshing status panel: each
+shard's state (pending / running / done / abandoned), the in-flight
+shards' item progress, overall fault throughput (work items per
+second), and the ETA extrapolated from it.
+
+Everything except the follow loop is pure: :class:`TailState` folds
+journal records, :func:`TailState.snapshot` summarizes, and
+:func:`render_tail` formats — all unit-testable without a runner or a
+filesystem.
+
+Layering (contract #8): imports only sibling obs modules and stdlib —
+the journal is read as plain JSONL, so watching a campaign never
+requires the orchestration layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, TextIO
+
+
+#: Journal record kinds that advance the tail's model of the run.
+_PROGRESS_KINDS = ("meta", "shard_dispatched", "progress", "shard_done",
+                   "shard_retried", "shard_abandoned", "heartbeat",
+                   "run_end")
+
+
+class TailState:
+    """Folds journal records into a live model of one sharded run."""
+
+    def __init__(self) -> None:
+        self.meta: Optional[Dict[str, object]] = None
+        self.plan: List[List[int]] = []
+        self.work_size = 0
+        #: shard id -> {"status", "worker", "done", "total", "attempt"}
+        self.shards: Dict[int, Dict[str, object]] = {}
+        #: worker id -> last reported state string.
+        self.workers: Dict[str, str] = {}
+        self.t_last = 0.0
+        self.finished = False
+        self.complete: Optional[bool] = None
+
+    # -- folding ------------------------------------------------------------------
+
+    def feed(self, record: Dict[str, object]) -> None:
+        """Fold one journal record (unknown kinds are ignored)."""
+        kind = record.get("kind")
+        t = record.get("t")
+        if isinstance(t, (int, float)):
+            self.t_last = max(self.t_last, float(t))
+        if kind == "meta":
+            self.meta = record
+            self.plan = [list(span) for span in record.get("plan", [])]
+            self.work_size = int(record.get("work_size", 0) or 0)
+            for shard_id, span in enumerate(self.plan):
+                self.shards[shard_id] = {
+                    "status": "pending", "worker": None, "attempt": 0,
+                    "done": 0, "total": span[1] - span[0],
+                }
+            return
+        shard = self._shard(record)
+        if kind == "shard_dispatched" and shard is not None:
+            shard["status"] = "running"
+            shard["worker"] = record.get("worker")
+            shard["attempt"] = record.get("attempt", 0)
+            if record.get("worker"):
+                self.workers[str(record["worker"])] = "busy"
+        elif kind == "progress" and shard is not None:
+            shard["status"] = "running"
+            shard["done"] = int(record.get("done", 0) or 0)
+            if record.get("total") is not None:
+                shard["total"] = int(record["total"])
+            if record.get("worker"):
+                shard["worker"] = record["worker"]
+                self.workers[str(record["worker"])] = "busy"
+        elif kind == "shard_done" and shard is not None:
+            shard["status"] = "done"
+            shard["done"] = shard["total"]
+            if shard.get("worker"):
+                self.workers[str(shard["worker"])] = "idle"
+            shard["worker"] = None
+        elif kind == "shard_retried" and shard is not None:
+            shard["status"] = "pending"
+            shard["done"] = 0
+            shard["worker"] = None
+            shard["attempt"] = record.get("attempt", shard["attempt"])
+        elif kind == "shard_abandoned" and shard is not None:
+            shard["status"] = "abandoned"
+            shard["worker"] = None
+        elif kind == "heartbeat":
+            workers = record.get("workers")
+            if isinstance(workers, dict):
+                self.workers = {str(k): str(v) for k, v in workers.items()}
+        elif kind == "run_end":
+            self.finished = True
+            self.complete = bool(record.get("complete", False))
+
+    def _shard(self, record: Dict[str, object]
+               ) -> Optional[Dict[str, object]]:
+        shard = record.get("shard")
+        if shard is None:
+            return None
+        shard = int(shard)
+        if shard not in self.shards:
+            # A journal tailed from mid-file: synthesize a placeholder.
+            self.shards[shard] = {"status": "pending", "worker": None,
+                                  "attempt": 0, "done": 0, "total": 0}
+        return self.shards[shard]
+
+    # -- summary ------------------------------------------------------------------
+
+    def items_done(self) -> int:
+        done = 0
+        for shard in self.shards.values():
+            if shard["status"] == "done":
+                done += int(shard["total"])
+            elif shard["status"] == "running":
+                done += min(int(shard["done"]), int(shard["total"]))
+        return done
+
+    def snapshot(self) -> Dict[str, object]:
+        """The current run state as plain data (also the ``--json`` form)."""
+        by_status: Dict[str, int] = {}
+        for shard in self.shards.values():
+            status = str(shard["status"])
+            by_status[status] = by_status.get(status, 0) + 1
+        done = self.items_done()
+        elapsed = self.t_last
+        rate = done / elapsed if elapsed > 0 and done else 0.0
+        remaining = max(self.work_size - done, 0)
+        eta = remaining / rate if rate > 0 else None
+        meta = self.meta or {}
+        return {
+            "netlist": meta.get("netlist"),
+            "job": (meta.get("job") or {}).get("kind"),
+            "shards": {str(k): dict(v)
+                       for k, v in sorted(self.shards.items())},
+            "by_status": by_status,
+            "work_size": self.work_size,
+            "items_done": done,
+            "elapsed": elapsed,
+            "rate": rate,
+            "eta_seconds": eta,
+            "workers": dict(sorted(self.workers.items())),
+            "finished": self.finished,
+            "complete": self.complete,
+        }
+
+
+def render_tail(snapshot: Dict[str, object], max_shards: int = 40) -> str:
+    """Human-readable panel for one :meth:`TailState.snapshot`."""
+    lines: List[str] = []
+    work = snapshot.get("work_size") or 0
+    done = snapshot.get("items_done") or 0
+    pct = 100.0 * done / work if work else 0.0
+    name = snapshot.get("netlist") or "?"
+    lines.append(f"campaign {name} — {done}/{work} work items ({pct:.1f}%)")
+
+    shards = snapshot.get("shards") or {}
+    shown = 0
+    for shard_id in sorted(shards, key=int):
+        if shown >= max_shards:
+            lines.append(f"  ... {len(shards) - shown} more shards")
+            break
+        shard = shards[shard_id]
+        status = shard["status"]
+        where = f" on {shard['worker']}" if shard.get("worker") else ""
+        attempt = (f" (attempt {shard['attempt']})"
+                   if shard.get("attempt") else "")
+        progress = ""
+        if status == "running":
+            progress = f"  {shard['done']}/{shard['total']}"
+        lines.append(
+            f"  shard {int(shard_id):>3}  {status:<9}{where}"
+            f"{progress}{attempt}")
+        shown += 1
+
+    workers = snapshot.get("workers") or {}
+    if workers:
+        lines.append("  workers: " + ", ".join(
+            f"{wid} {state}" for wid, state in workers.items()))
+
+    rate = snapshot.get("rate") or 0.0
+    eta = snapshot.get("eta_seconds")
+    if snapshot.get("finished"):
+        verdict = "complete" if snapshot.get("complete") else "PARTIAL"
+        lines.append(f"  finished ({verdict}) after "
+                     f"{snapshot.get('elapsed', 0.0):.1f}s — "
+                     f"{rate:.1f} items/s")
+    else:
+        eta_text = f"{eta:.1f}s" if eta is not None else "—"
+        lines.append(f"  throughput {rate:.1f} items/s, ETA {eta_text}")
+    return "\n".join(lines)
+
+
+def resolve_journal(path: str) -> str:
+    """Accept a journal file or a capture directory containing one."""
+    if os.path.isdir(path):
+        candidate = os.path.join(path, "journal.jsonl")
+        if not os.path.isfile(candidate):
+            raise FileNotFoundError(
+                f"{path!r} has no journal.jsonl — point tail at a runner "
+                "capture directory or at the journal file itself"
+            )
+        return candidate
+    if not os.path.isfile(path):
+        raise FileNotFoundError(f"no journal at {path!r}")
+    return path
+
+
+def _feed_available(handle: TextIO, state: TailState, buffer: List[str]
+                    ) -> int:
+    """Feed every complete line currently readable; returns lines fed."""
+    fed = 0
+    for chunk in handle:
+        line = (buffer.pop() + chunk) if buffer else chunk
+        if not line.endswith("\n"):
+            buffer.append(line)  # torn mid-write; complete it next poll
+            break
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            state.feed(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # a record being appended right now
+        fed += 1
+    return fed
+
+
+def follow(path: str, stream: Optional[TextIO] = None,
+           interval: float = 0.5, once: bool = False,
+           timeout: Optional[float] = None,
+           clock=time.monotonic, sleep=time.sleep) -> TailState:
+    """Follow a journal until ``run_end`` (or *once* / *timeout*).
+
+    Renders a fresh panel every *interval* seconds; on a TTY the panel
+    repaints in place.  Returns the final :class:`TailState`.
+    """
+    stream = stream if stream is not None else sys.stdout
+    journal = resolve_journal(path)
+    state = TailState()
+    buffer: List[str] = []
+    start = clock()
+    clear = "\x1b[H\x1b[2J" if getattr(stream, "isatty", lambda: False)() \
+        else ""
+    with open(journal, "r", encoding="utf-8") as handle:
+        while True:
+            _feed_available(handle, state, buffer)
+            panel = render_tail(state.snapshot())
+            stream.write(f"{clear}{panel}\n")
+            if not clear:
+                stream.write("\n")
+            stream.flush()
+            if once or state.finished:
+                return state
+            if timeout is not None and clock() - start >= timeout:
+                return state
+            sleep(interval)

@@ -53,6 +53,11 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--events", default=None,
                         help="stream lifecycle events (JSONL) to this path; "
                              "render with 'python -m repro.obs report'")
+    parser.add_argument("--capture", default=None, metavar="DIR",
+                        help="land merged telemetry, events, spans and the "
+                             "journal in DIR; render with 'python -m "
+                             "repro.obs report DIR', follow live with "
+                             "'python -m repro.obs tail DIR'")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable outcome on stdout")
 
@@ -96,6 +101,7 @@ def _make_runner_kwargs(args: argparse.Namespace, chaos=None):
                           backoff_base=args.backoff_base),
         cache=cache,
         events=events,
+        capture_dir=getattr(args, "capture", None),
         chaos=chaos if chaos is not None else ChaosPlan.from_env(),
     )
     return kwargs, handle
@@ -161,13 +167,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     netlist = job.build_netlist(cache)
     serial = job.run_serial(netlist)
 
-    # Phase A: worker kill + shard hang, recovered within one run.
+    # Phase A: worker kill + shard hang, recovered within one run, the
+    # whole thing traced and captured (telemetry/events/spans/journal).
     plan = ChaosPlan(kill_shard=1, hang_shard=2, hang_seconds=3600.0)
-    journal_a = os.path.join(workdir, "chaos_a.jsonl")
+    capture_a = os.path.join(workdir, "capture")
     events_path = args.events or os.path.join(workdir, "chaos_events.jsonl")
     with open(events_path, "w", encoding="utf-8") as handle:
         runner = ShardedRunner(
-            job, workers=args.workers, journal_path=journal_a,
+            job, workers=args.workers, capture_dir=capture_a,
             shard_deadline=args.deadline, cache=cache, chaos=plan,
             retry=RetryPolicy(max_attempts=3, backoff_base=0.05),
             events=EventTrace(stream=handle),
@@ -186,6 +193,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         failures.append("phase A merged report != serial report")
     if outcome.report.report() != serial.report():
         failures.append("phase A rendered report not byte-identical")
+    for name in ("metrics.json", "events.jsonl", "spans.jsonl",
+                 "journal.jsonl"):
+        if not os.path.isfile(os.path.join(capture_a, name)):
+            failures.append(f"capture dir missing {name}")
+    spans_path = os.path.join(capture_a, "spans.jsonl")
+    if os.path.isfile(spans_path):
+        from ..obs.spans import read_spans
+        spans = read_spans(spans_path)
+        if not any(s.get("status") == "failed" for s in spans):
+            failures.append(
+                "no failed span recorded for the killed/hung workers")
+        own = {s["span"] for s in spans}
+        if not any(s.get("parent") in own and s["name"].startswith("shard")
+                   for s in spans):
+            failures.append(
+                "no worker shard span nests under the parent trace")
 
     # Phase B: parent killed mid-run (in a subprocess — the chaos knob
     # calls os._exit), then resume finishes only the remainder.
@@ -233,7 +256,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(f"  - {failure}")
         return 1
     print(f"[chaos] PASS — merged reports byte-identical to serial; "
-          f"journal at {journal_b}, events at {events_path}")
+          f"capture at {capture_a}, journal at {journal_b}, "
+          f"events at {events_path}")
     return 0
 
 

@@ -95,16 +95,26 @@ class CampaignJob:
     ir_passes: bool = True
     engine: str = "gate"
     design_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: Serialized :class:`~repro.obs.spans.SpanContext` of the parent
+    #: run's open span, injected by the runner at dispatch time so a
+    #: worker's shard spans continue the parent's trace.  Never part of
+    #: the job's identity: excluded from comparison, the cache spec and
+    #: (when None) the wire form.
+    span_context: Optional[Dict[str, str]] = \
+        field(default=None, compare=False, repr=False)
 
     kind = "campaign"
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        record = {
             "kind": self.kind, "design": self.design, "cycles": self.cycles,
             "seed": self.seed, "lanes": self.lanes, "collapse": self.collapse,
             "ir_passes": self.ir_passes, "engine": self.engine,
             "design_kwargs": dict(self.design_kwargs),
         }
+        if self.span_context is not None:
+            record["span_context"] = dict(self.span_context)
+        return record
 
     def cache_spec(self) -> Dict[str, object]:
         """The artifact-cache identity of this job's synthesized netlist."""
@@ -150,16 +160,22 @@ class SweepJob:
     ir_passes: bool = True
     engine: str = "gate"
     design_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: See :attr:`CampaignJob.span_context`.
+    span_context: Optional[Dict[str, str]] = \
+        field(default=None, compare=False, repr=False)
 
     kind = "sweep"
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        record = {
             "kind": self.kind, "design": self.design, "cycles": self.cycles,
             "items": self.items, "seed": self.seed,
             "ir_passes": self.ir_passes, "engine": self.engine,
             "design_kwargs": dict(self.design_kwargs),
         }
+        if self.span_context is not None:
+            record["span_context"] = dict(self.span_context)
+        return record
 
     cache_spec = CampaignJob.cache_spec
     build_netlist = CampaignJob.build_netlist

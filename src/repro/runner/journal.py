@@ -23,6 +23,12 @@ Record kinds
     fresh budget.
 ``run_end``
     The run finished (``complete`` says whether every shard landed).
+
+The runner also appends advisory, *non*-fsync'd records as the run
+advances — ``shard_dispatched``, ``shard_retried``, ``progress``,
+``heartbeat`` — which ``python -m repro.obs tail`` follows to render a
+live status panel.  :func:`load_journal` ignores them (like any
+unknown kind): they never affect resume.
 """
 
 from __future__ import annotations
@@ -46,11 +52,20 @@ class Journal:
         os.makedirs(directory, exist_ok=True)
         self._handle = open(path, "a", encoding="utf-8")
 
-    def append(self, record: Dict[str, object]) -> None:
-        """Write one record and force it to disk before returning."""
+    def append(self, record: Dict[str, object], sync: bool = True) -> None:
+        """Write one record; ``sync=True`` forces it to disk first.
+
+        Correctness records (``meta``, ``shard_done``, ...) must fsync —
+        the runner acts on them only once they are durable.  Advisory
+        progress records (``progress``, ``heartbeat``, consumed by
+        ``python -m repro.obs tail``) pass ``sync=False``: losing one to
+        a crash costs nothing, and fsync-per-heartbeat would dominate
+        the run.
+        """
         self._handle.write(json.dumps(record, default=str) + "\n")
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if sync:
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         self._handle.close()

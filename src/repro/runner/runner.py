@@ -24,11 +24,21 @@ worker processes with real fault tolerance:
 * every lifecycle transition (worker spawned/died, shard dispatched/
   completed/retried/abandoned) is emitted on an
   :class:`~repro.obs.events.EventTrace`, so ``python -m repro.obs
-  report`` renders the run timeline.
+  report`` renders the run timeline;
+* the whole run executes under a span trace (``campaign`` →
+  ``compile`` / ``simulate`` / ``merge``) that worker shards *continue*
+  cross-process, each completed shard ships a deterministic telemetry
+  fragment merged into one campaign-level capture
+  (:func:`repro.obs.aggregate.merge_captures`), and advisory
+  ``progress`` / ``heartbeat`` journal records feed the live
+  ``python -m repro.obs tail`` panel.  ``capture_dir`` lands all of it
+  (``metrics.json`` / ``events.jsonl`` / ``spans.jsonl`` /
+  ``journal.jsonl``) in one reportable directory.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import time
@@ -37,7 +47,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import WatchdogTimeout
+from ..obs.aggregate import merge_captures
 from ..obs.events import EventTrace
+from ..obs.spans import SpanTracer
 from ..verify.campaign import CampaignReport
 from .cache import ArtifactCache, artifact_key
 from .chaos import ChaosPlan
@@ -86,11 +98,16 @@ class RunOutcome:
     report: object             # CampaignReport or SweepReport
     stats: RunStats
     abandoned: List[Dict[str, object]] = field(default_factory=list)
+    #: Merged campaign telemetry (:func:`repro.obs.aggregate
+    #: .merge_captures` over the parent's denominator fragment plus
+    #: every completed shard's fragment, in shard order) — byte-
+    #: identical whatever the worker count or crash history.
+    telemetry: Optional[Dict[str, object]] = None
 
 
 class _Shard:
     __slots__ = ("id", "span", "status", "attempts", "next_eligible",
-                 "kill_at", "worker", "results", "error")
+                 "kill_at", "worker", "results", "error", "telemetry")
 
     def __init__(self, shard_id: int, span: Span):
         self.id = shard_id
@@ -102,6 +119,8 @@ class _Shard:
         self.worker: Optional[str] = None
         self.results: Optional[list] = None
         self.error: Optional[dict] = None
+        #: The shard's Capture fragment (final successful attempt only).
+        self.telemetry: Optional[dict] = None
 
 
 class _Worker:
@@ -153,6 +172,22 @@ class ShardedRunner:
         Optional :class:`~repro.obs.events.EventTrace` (e.g. one
         streaming to a file); default records in memory on
         ``self.events``.
+    tracer:
+        Optional :class:`~repro.obs.spans.SpanTracer`.  Default: an
+        enabled tracer when *capture_dir* is set, a disabled (free) one
+        otherwise.  The run executes under a root ``campaign`` span
+        with ``compile`` / ``simulate`` / ``merge`` children; workers
+        continue the trace (their shard spans nest under ``simulate``).
+    capture_dir:
+        Directory the run's merged observability lands in:
+        ``metrics.json`` (merged telemetry), ``events.jsonl``
+        (lifecycle events), ``spans.jsonl`` (the trace) and — unless
+        *journal_path* says otherwise — ``journal.jsonl``.  Readable by
+        ``python -m repro.obs report`` and followable live by
+        ``python -m repro.obs tail``.
+    heartbeat:
+        Seconds between advisory ``heartbeat`` journal records (worker
+        states for the live tail).  Never fsync'd.
     """
 
     #: Parent-side kill deadline = shard_deadline * this grace factor.
@@ -166,6 +201,9 @@ class ShardedRunner:
                  chaos: Optional[ChaosPlan] = None,
                  cache: Optional[ArtifactCache] = None,
                  obs=None, events: Optional[EventTrace] = None,
+                 tracer: Optional[SpanTracer] = None,
+                 capture_dir: Optional[str] = None,
+                 heartbeat: float = 1.0,
                  poll_interval: float = 0.02,
                  mp_context: Optional[str] = None,
                  max_respawns: Optional[int] = None):
@@ -174,6 +212,9 @@ class ShardedRunner:
         self.job = job
         self.workers = workers
         self.shard_size = shard_size
+        self.capture_dir = capture_dir
+        if capture_dir is not None and journal_path is None:
+            journal_path = os.path.join(capture_dir, "journal.jsonl")
         self.journal_path = journal_path
         self.shard_deadline = shard_deadline
         self.retry = retry if retry is not None else RetryPolicy()
@@ -181,6 +222,9 @@ class ShardedRunner:
         self.cache = cache
         self.obs = obs
         self.events = events if events is not None else EventTrace()
+        self.tracer = tracer if tracer is not None \
+            else SpanTracer(enabled=capture_dir is not None)
+        self.heartbeat = heartbeat
         self.poll_interval = poll_interval
         if mp_context is None:
             mp_context = ("fork" if "fork"
@@ -197,6 +241,8 @@ class ShardedRunner:
         self._workers: List[_Worker] = []
         self._spawned = 0
         self._completions_this_run = 0
+        self._span_context = None
+        self._last_heartbeat = 0.0
 
     # -- construction of a resumed runner -----------------------------------------
 
@@ -227,30 +273,80 @@ class ShardedRunner:
             if stream is not None and stream is not self.events:
                 stream.emit(kind, **fields)
 
+    def _journal_soft(self, record: Dict[str, object]) -> None:
+        """Append an advisory (non-fsync'd) record for the live tail."""
+        if self._journal is None:
+            return
+        record.setdefault("t", round(self._clock() - self._start, 6))
+        self._journal.append(record, sync=False)
+
     # -- run -----------------------------------------------------------------------
 
     def run(self) -> RunOutcome:
         """Execute (or finish) the job; always returns a merged outcome."""
         self._start = self._clock()
-        netlist, total_faults, work_size = self._prepare()
-        plan, preloaded = self._plan_and_journal(total_faults, work_size,
-                                                netlist)
-        shards = [_Shard(i, tuple(span)) for i, span in enumerate(plan)]
-        for shard_id, record in preloaded.items():
-            shard = shards[shard_id]
-            shard.status = "done"
-            shard.results = record["results"]
-            self.stats.reused += 1
-        self.stats.shards = len(shards)
-        self._event("run_start", netlist=netlist.name, job=self.job.kind,
-                    shards=len(shards), reused=self.stats.reused,
-                    workers=self.workers, work=work_size)
+        outcome = None
+        tracer = self.tracer
         try:
-            self._event_loop(shards)
+            with tracer.span("campaign", job=self.job.kind,
+                             design=getattr(self.job, "design", None)):
+                with tracer.span("compile"):
+                    netlist, total_faults, work_size = self._prepare()
+                    plan, preloaded = self._plan_and_journal(
+                        total_faults, work_size, netlist)
+                shards = [_Shard(i, tuple(span))
+                          for i, span in enumerate(plan)]
+                for shard_id, record in preloaded.items():
+                    shard = shards[shard_id]
+                    shard.status = "done"
+                    shard.results = record["results"]
+                    shard.telemetry = record.get("telemetry")
+                    self.stats.reused += 1
+                self.stats.shards = len(shards)
+                self._event("run_start", netlist=netlist.name,
+                            job=self.job.kind, shards=len(shards),
+                            reused=self.stats.reused,
+                            workers=self.workers, work=work_size)
+                with tracer.span("simulate", shards=len(shards)):
+                    # Workers spawned below continue the trace from here:
+                    # their shard spans nest under this simulate span.
+                    self._span_context = tracer.current_context()
+                    try:
+                        self._event_loop(shards)
+                    finally:
+                        self._span_context = None
+                        self._stop_workers()
+                with tracer.span("merge"):
+                    outcome = self._finish(netlist, total_faults,
+                                           work_size, shards)
         finally:
-            self._stop_workers()
-        outcome = self._finish(netlist, total_faults, work_size, shards)
+            self._write_capture(outcome)
         return outcome
+
+    def _write_capture(self, outcome: Optional[RunOutcome]) -> None:
+        """Land the run's observability in ``capture_dir``, if set.
+
+        ``metrics.json`` (merged telemetry, sorted keys — the
+        byte-identical artifact), ``events.jsonl`` and ``spans.jsonl``;
+        the journal already lives there.  Written even on a failed run,
+        with whatever was collected.
+        """
+        if self.capture_dir is None:
+            return
+        os.makedirs(self.capture_dir, exist_ok=True)
+        if outcome is not None and outcome.telemetry is not None:
+            path = os.path.join(self.capture_dir, "metrics.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(outcome.telemetry, handle, indent=2,
+                          sort_keys=True, default=str)
+                handle.write("\n")
+        with open(os.path.join(self.capture_dir, "events.jsonl"), "w",
+                  encoding="utf-8") as handle:
+            self.events.write_jsonl(handle)
+        if self.tracer.enabled and len(self.tracer):
+            with open(os.path.join(self.capture_dir, "spans.jsonl"), "w",
+                      encoding="utf-8") as handle:
+                self.tracer.write_jsonl(handle)
 
     def _prepare(self):
         """Warm the cache, size the work list, count the denominators."""
@@ -309,9 +405,15 @@ class ShardedRunner:
         wid = f"w{self._spawned}"
         self._spawned += 1
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        # The trace context rides a *copy* of the wire form: the job
+        # spec itself (and the journal meta derived from it) stays free
+        # of run-specific identifiers.
+        job_json = self.job.to_json()
+        if self._span_context is not None:
+            job_json["span_context"] = self._span_context.to_json()
         process = self._ctx.Process(
             target=worker_main,
-            args=(child_conn, wid, self.job.to_json(),
+            args=(child_conn, wid, job_json,
                   self.cache.root if self.cache is not None else None,
                   self.chaos.to_json()),
             daemon=True,
@@ -367,6 +469,13 @@ class ShardedRunner:
             pass
         worker.process.join(timeout=0.5)
         if shard is not None and shard.status == "running":
+            # The worker died holding the shard and can never report
+            # its own span — synthesize the failed one it would have.
+            self.tracer.emit(
+                f"shard {shard.id}", status="failed", shard=shard.id,
+                worker=worker.id, attempt=shard.attempts,
+                error="WatchdogTimeout" if worker.timed_out
+                else "WorkerCrash")
             if worker.timed_out:
                 error = describe_error(WatchdogTimeout(
                     f"shard {shard.id} exceeded the parent-side deadline "
@@ -412,6 +521,10 @@ class ShardedRunner:
         self._event("shard_dispatched", shard=shard.id,
                     span=list(shard.span), attempt=shard.attempts,
                     worker=worker.id)
+        self._journal_soft({"kind": "shard_dispatched", "shard": shard.id,
+                            "span": list(shard.span),
+                            "attempt": shard.attempts,
+                            "worker": worker.id})
         return True
 
     def _shard_failed(self, shard: _Shard, error: Dict[str, object],
@@ -430,6 +543,10 @@ class ShardedRunner:
                         backoff=delay, worker=worker_id,
                         error=error.get("type"),
                         message=error.get("message"))
+            self._journal_soft({"kind": "shard_retried", "shard": shard.id,
+                                "span": list(shard.span),
+                                "attempt": shard.attempts,
+                                "error": error.get("type")})
         else:
             shard.status = "abandoned"
             shard.error = error
@@ -445,17 +562,22 @@ class ShardedRunner:
                         transient=transient, error=error.get("type"),
                         message=error.get("message"))
 
-    def _shard_done(self, worker: _Worker, shard: _Shard, payload) -> None:
+    def _shard_done(self, worker: _Worker, shard: _Shard, payload,
+                    telemetry: Optional[dict] = None) -> None:
         # Write-ahead: the journal record lands on disk before the
-        # runner believes the shard happened.
+        # runner believes the shard happened.  The telemetry fragment
+        # rides the same record, so a resumed run merges the identical
+        # campaign view without re-executing the shard.
         if self._journal is not None:
             self._journal.append({
                 "kind": "shard_done", "shard": shard.id,
                 "span": list(shard.span), "attempt": shard.attempts,
                 "results": payload,
+                "telemetry": telemetry,
             })
         shard.status = "done"
         shard.results = payload
+        shard.telemetry = telemetry
         shard.worker = None
         shard.kill_at = None
         self.stats.completed += 1
@@ -476,14 +598,33 @@ class ShardedRunner:
                 f"worker {message[1]} failed to initialize: "
                 f"{message[2].get('type')}: {message[2].get('message')}"
             )
-        _, shard_id, payload = message
+        if kind == "progress":
+            _, shard_id, done, total = message
+            shard = worker.shard
+            if shard is not None and shard.id == shard_id \
+                    and shard.status == "running":
+                self._journal_soft({"kind": "progress", "shard": shard_id,
+                                    "done": done, "total": total,
+                                    "worker": worker.id})
+                self._event("progress", shard=shard_id, done=done,
+                            total=total, worker=worker.id)
+            return
+        # Replies are ("done"|"error", shard, payload[, extra]) — the
+        # trailing extra dict (spans, telemetry) is optional so older
+        # wire forms stay readable.
+        shard_id, payload = message[1], message[2]
+        extra = message[3] if len(message) > 3 else {}
+        if extra.get("spans"):
+            # Timing observations: absorbed even from stale replies.
+            self.tracer.add(extra["spans"])
         shard = worker.shard
         if shard is None or shard.id != shard_id or shard.status != "running":
             return  # stale reply for a shard already resolved elsewhere
         worker.shard = None
         worker.state = "idle"
         if kind == "done":
-            self._shard_done(worker, shard, payload)
+            self._shard_done(worker, shard, payload,
+                             extra.get("telemetry"))
         elif kind == "error":
             self._shard_failed(shard, payload, worker.id)
 
@@ -503,6 +644,14 @@ class ShardedRunner:
             self._spawn_worker()
         while self._unfinished(shards):
             now = self._clock()
+            # 0. Advisory heartbeat for the live tail (never fsync'd).
+            if now - self._last_heartbeat >= self.heartbeat:
+                self._last_heartbeat = now
+                self._journal_soft({
+                    "kind": "heartbeat",
+                    "workers": {w.id: w.state for w in self._workers
+                                if w.state != "dead"},
+                })
             # 1. Feed idle workers the lowest pending, eligible shard.
             pending = [s for s in shards if s.status == "pending"
                        and s.next_eligible <= now]
@@ -564,6 +713,26 @@ class ShardedRunner:
 
     # -- merge ---------------------------------------------------------------------
 
+    def _parent_fragment(self, total_faults, work_size,
+                         skipped: int) -> Dict[str, object]:
+        """The parent's own telemetry: the campaign denominators.
+
+        Only values that are pure functions of the job and the set of
+        completed shards belong here — runner accounting (retries,
+        worker deaths) varies with crash history and would break the
+        byte-identity of the merged view.  It lives in
+        ``RunStats`` / the event stream instead.
+        """
+        metrics: Dict[str, object] = {
+            "campaign/work_size": {"type": "counter", "value": work_size},
+            "campaign/skipped": {"type": "counter", "value": skipped},
+        }
+        if total_faults is not None:
+            metrics["campaign/total_faults"] = {
+                "type": "counter", "value": total_faults}
+        return {"metrics": metrics, "activity": {}, "fsm": {},
+                "profile": {}, "events": {}}
+
     def _finish(self, netlist, total_faults, work_size,
                 shards: List[_Shard]) -> RunOutcome:
         complete = True
@@ -596,6 +765,14 @@ class ShardedRunner:
                 items=self.job.items, results=merged,
                 complete=complete, skipped=skipped,
             )
+        # Merge the telemetry fragments in shard order: parent
+        # denominators first, then every completed shard's fragment.
+        # A pure fold over deterministic inputs — byte-identical for
+        # any worker count or crash history.
+        telemetry = merge_captures(
+            [self._parent_fragment(total_faults, work_size, skipped)]
+            + [shard.telemetry for shard in shards
+               if shard.status == "done"])
         self.stats.wall_seconds = self._clock() - self._start
         if self._journal is not None:
             self._journal.append({"kind": "run_end", "complete": complete,
@@ -610,4 +787,5 @@ class ShardedRunner:
                     worker_deaths=self.stats.worker_deaths,
                     wall_seconds=round(self.stats.wall_seconds, 6))
         return RunOutcome(report=report, stats=self.stats,
-                          abandoned=abandoned_records)
+                          abandoned=abandoned_records,
+                          telemetry=telemetry)

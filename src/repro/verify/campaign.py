@@ -214,6 +214,11 @@ class FaultCampaign:
         #: Optional :class:`repro.obs.Capture`: campaign progress and
         #: per-fault outcomes become events on its stream.
         self.obs = obs
+        #: Optional ``fn(done, total)`` called as work items complete —
+        #: per fault on the scalar path, per chunk on the batched path.
+        #: The sharded runner's workers hook this to stream live shard
+        #: progress to the parent; it never affects results.
+        self.progress = None
         if faults is None:
             if collapse:
                 result = collapse_faults(netlist)
@@ -425,6 +430,8 @@ class FaultCampaign:
             if watchdog is not None:
                 # One tick per fault: max_cycles doubles as a fault budget.
                 watchdog.tick()
+            if self.progress is not None:
+                self.progress(index + 1, len(self._work))
         return fault_sim
 
     def _run_batched(self, report: CampaignReport,
@@ -459,4 +466,6 @@ class FaultCampaign:
                 if watchdog is not None:
                     watchdog.tick()
             index += len(chunk)
+            if self.progress is not None:
+                self.progress(index, len(work))
         return fault_sim

@@ -1,0 +1,167 @@
+"""Deterministic merge of capture fragments: rules, guards, byte-identity."""
+
+import json
+
+import pytest
+
+from repro.core import ReproError
+from repro.obs import Capture, merge_captures
+from repro.obs.aggregate import (merge_activity, merge_event_kinds,
+                                 merge_fsm, merge_metrics, merge_profile)
+
+
+def counter(value):
+    return {"type": "counter", "value": value}
+
+
+class TestMetricMerge:
+    def test_counters_sum(self):
+        merged = merge_metrics([{"hits": counter(2)}, {"hits": counter(3)}])
+        assert merged["hits"] == counter(5)
+
+    def test_gauges_keep_last_value_and_global_extremes(self):
+        a = {"type": "gauge", "value": 4.0, "min": 1.0, "max": 4.0,
+             "samples": 3}
+        b = {"type": "gauge", "value": 2.0, "min": 0.5, "max": 9.0,
+             "samples": 2}
+        merged = merge_metrics([{"g": a}, {"g": b}])["g"]
+        assert merged["value"] == 2.0  # last in fold order
+        assert merged["min"] == 0.5
+        assert merged["max"] == 9.0
+        assert merged["samples"] == 5
+
+    def test_histograms_merge_bucketwise(self):
+        a = {"type": "histogram", "bounds": [1.0, 2.0],
+             "buckets": [1, 2, 0], "count": 3, "total": 4.0}
+        b = {"type": "histogram", "bounds": [1.0, 2.0],
+             "buckets": [0, 1, 4], "count": 5, "total": 11.0}
+        merged = merge_metrics([{"h": a}, {"h": b}])["h"]
+        assert merged["buckets"] == [1, 3, 4]
+        assert merged["count"] == 8
+        assert merged["total"] == 15.0
+
+    def test_histogram_bounds_must_agree(self):
+        a = {"type": "histogram", "bounds": [1.0], "buckets": [0, 0],
+             "count": 0, "total": 0.0}
+        b = {"type": "histogram", "bounds": [2.0], "buckets": [0, 0],
+             "count": 0, "total": 0.0}
+        with pytest.raises(ReproError, match="bucket bounds"):
+            merge_metrics([{"h": a}, {"h": b}])
+
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(ReproError, match="kinds disagree"):
+            merge_metrics([{"m": counter(1)},
+                           {"m": {"type": "gauge", "value": 1.0}}])
+
+    def test_output_keys_are_sorted(self):
+        merged = merge_metrics([{"z": counter(1), "a": counter(1)}])
+        assert list(merged) == ["a", "z"]
+
+
+class TestActivityMerge:
+    def test_counts_sum_and_rate_recomputed(self):
+        a = {"sig": {"width": 1, "samples": 4, "changes": 2, "toggles": 2,
+                     "toggle_rate": 0.5}}
+        b = {"sig": {"width": 1, "samples": 6, "changes": 1, "toggles": 1,
+                     "toggle_rate": 1.0 / 6.0}}
+        merged = merge_activity([a, b])["sig"]
+        assert merged["samples"] == 10
+        assert merged["toggles"] == 3
+        assert merged["toggle_rate"] == pytest.approx(0.3)
+
+    def test_width_mismatch_raises(self):
+        a = {"sig": {"width": 1, "samples": 1, "changes": 0, "toggles": 0}}
+        b = {"sig": {"width": 8, "samples": 1, "changes": 0, "toggles": 0}}
+        with pytest.raises(ReproError, match="widths disagree"):
+            merge_activity([a, b])
+
+
+class TestFsmMerge:
+    def fragment(self, occupancy, fires, cycles):
+        return {"ctl": {
+            "states": ["idle", "busy"], "initial": "idle",
+            "cycles": cycles, "occupancy": occupancy,
+            "transitions": [
+                {"index": 0, "src": "idle", "dst": "busy", "label": "go",
+                 "srcloc": None, "fires": fires},
+            ],
+        }}
+
+    def test_union_covers_what_any_shard_covered(self):
+        a = self.fragment({"idle": 3}, fires=0, cycles=3)
+        b = self.fragment({"busy": 2}, fires=2, cycles=2)
+        merged = merge_fsm([a, b])["ctl"]
+        assert merged["cycles"] == 5
+        assert merged["occupancy"] == {"idle": 3, "busy": 2}
+        assert merged["state_coverage"] == 1.0  # covered across shards
+        assert merged["transitions"][0]["fires"] == 2
+        assert merged["uncovered_states"] == []
+
+    def test_state_space_mismatch_raises(self):
+        a = self.fragment({"idle": 1}, fires=0, cycles=1)
+        b = self.fragment({"idle": 1}, fires=0, cycles=1)
+        b["ctl"]["states"] = ["idle", "busy", "halt"]
+        with pytest.raises(ReproError, match="state spaces"):
+            merge_fsm([a, b])
+
+
+class TestCaptureMerge:
+    def fragments(self):
+        return [
+            {"metrics": {"campaign/detected": counter(2)},
+             "activity": {}, "fsm": {},
+             "profile": {"sim": {"calls": 3, "seconds": 0.5}},
+             "events": {"fault": 4}},
+            {"metrics": {"campaign/detected": counter(1)},
+             "activity": {}, "fsm": {},
+             "profile": {"sim": {"calls": 1, "seconds": 0.25}},
+             "events": {"fault": 2, "deadlock": 1}},
+        ]
+
+    def test_capture_shaped_result(self):
+        merged = merge_captures(self.fragments())
+        assert sorted(merged) \
+            == ["activity", "events", "fsm", "metrics", "profile"]
+        assert merged["metrics"]["campaign/detected"]["value"] == 3
+        assert merged["profile"]["sim"] == {"calls": 4, "seconds": 0.75}
+        assert merged["events"] == {"deadlock": 1, "fault": 4 + 2}
+
+    def test_none_fragments_contribute_nothing(self):
+        fragments = self.fragments()
+        merged = merge_captures([None, fragments[0], None, fragments[1]])
+        assert merged == merge_captures(fragments)
+
+    def test_merge_is_byte_identical_regardless_of_insertion_order(self):
+        # Same per-shard fragments, different dict key orders — the
+        # serialized merge must not care (the runner's byte-identity
+        # guarantee rests on this plus deterministic shard fragments).
+        fragments = self.fragments()
+        shuffled = [json.loads(json.dumps(
+            {key: f[key] for key in reversed(list(f))})) for f in fragments]
+        a = json.dumps(merge_captures(fragments), sort_keys=True)
+        b = json.dumps(merge_captures(shuffled), sort_keys=True)
+        assert a == b
+
+    def test_merge_of_real_captures_roundtrips_as_dict(self):
+        caps = []
+        for hits in (2, 5):
+            cap = Capture(activity=False, fsm=False, events=True,
+                          profile=False)
+            cap.metrics.counter("campaign/detected").inc(hits)
+            cap.event("fault", gate="g1")
+            caps.append(cap.as_dict())
+        merged = merge_captures(caps)
+        assert merged["metrics"]["campaign/detected"]["value"] == 7
+        assert merged["events"]["fault"] == 2
+
+
+class TestEventKindMerge:
+    def test_sums_and_sorts(self):
+        merged = merge_event_kinds([{"b": 1}, {"a": 2, "b": 1}])
+        assert merged == {"a": 2, "b": 2}
+        assert list(merged) == ["a", "b"]
+
+    def test_profile_sums(self):
+        merged = merge_profile([{"x": {"calls": 1, "seconds": 0.5}},
+                                {"x": {"calls": 2, "seconds": 1.0}}])
+        assert merged["x"] == {"calls": 3, "seconds": 1.5}

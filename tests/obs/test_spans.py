@@ -1,0 +1,200 @@
+"""Spans: nesting, cross-process continuation, trees, critical path."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import ReproError
+from repro.obs import (SpanContext, SpanTracer, critical_path, read_spans,
+                       span_tree)
+
+
+def make_tracer(**kwargs):
+    """A tracer on deterministic clocks: mono ticks 1s, wall starts @100."""
+    ticks = {"mono": 0.0, "wall": 100.0}
+
+    def mono():
+        ticks["mono"] += 1.0
+        return ticks["mono"]
+
+    def wall():
+        ticks["wall"] += 1.0
+        return ticks["wall"]
+
+    return SpanTracer(clock=mono, wall=wall, **kwargs)
+
+
+class TestSpanLifecycle:
+    def test_context_manager_times_and_records(self):
+        tracer = make_tracer()
+        with tracer.span("compile", design="hcor") as span:
+            span.set(gates=12)
+        records = tracer.records()
+        assert len(records) == 1
+        record = records[0]
+        assert record["name"] == "compile"
+        assert record["status"] == "ok"
+        assert record["parent"] is None
+        assert record["dur"] > 0
+        assert record["attrs"] == {"design": "hcor", "gates": 12}
+
+    def test_children_nest_under_the_open_span(self):
+        tracer = make_tracer()
+        with tracer.span("campaign") as root:
+            with tracer.span("compile"):
+                pass
+            with tracer.span("simulate"):
+                pass
+        by_name = {r["name"]: r for r in tracer.records()}
+        assert by_name["compile"]["parent"] == root.span_id
+        assert by_name["simulate"]["parent"] == root.span_id
+        assert by_name["campaign"]["parent"] is None
+        # One trace id across the whole tree.
+        assert len({r["trace"] for r in tracer.records()}) == 1
+
+    def test_exception_marks_failed_and_propagates(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("shard 3"):
+                raise ValueError("boom")
+        (record,) = tracer.records()
+        assert record["status"] == "failed"
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_close_pops_unclosed_children_innermost_first(self):
+        tracer = make_tracer()
+        outer = tracer.begin("outer")
+        tracer.begin("inner")  # never closed explicitly
+        tracer.close(outer)
+        names = [r["name"] for r in tracer.records()]
+        assert names == ["inner", "outer"]
+
+    def test_closing_a_foreign_span_raises(self):
+        tracer = make_tracer()
+        other = make_tracer()
+        span = other.begin("elsewhere")
+        with pytest.raises(ReproError):
+            tracer.close(span)
+
+    def test_emit_records_without_open_close(self):
+        tracer = make_tracer()
+        with tracer.span("simulate") as parent:
+            tracer.emit("shard 0", status="failed", error="WorkerCrash")
+        failed = [r for r in tracer.records() if r["status"] == "failed"]
+        assert len(failed) == 1
+        assert failed[0]["parent"] == parent.span_id
+        assert failed[0]["attrs"]["error"] == "WorkerCrash"
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = SpanTracer(enabled=False)
+        with tracer.span("anything") as span:
+            span.set(ignored=True).fail()
+        assert tracer.records() == []
+        assert len(tracer) == 0
+        assert tracer.begin("x") is None
+        tracer.close(None)  # a no-op, not an error
+        assert tracer.emit("y") is None
+        assert span.context() is None
+
+    def test_disabled_span_handle_is_shared(self):
+        # The no-op handle is one shared object — untraced code pays
+        # no allocation per span.
+        tracer = SpanTracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+
+class TestCrossProcessContinuation:
+    def test_context_json_roundtrip(self):
+        ctx = SpanContext("t1", "s1")
+        assert SpanContext.from_json(ctx.to_json()) == ctx
+        assert SpanContext.from_json(None) is None
+        assert SpanContext.from_json({}) is None
+
+    def test_child_tracer_continues_the_parent_trace(self):
+        parent = make_tracer()
+        with parent.span("campaign"):
+            with parent.span("simulate"):
+                wire = parent.current_context().to_json()
+                # ... the runner ships `wire` inside the job JSON ...
+                worker = make_tracer(parent=json.loads(json.dumps(wire)))
+                with worker.span("shard 0"):
+                    pass
+                shipped = worker.drain()
+                parent.add(shipped)
+        assert worker.trace == parent.trace
+        by_name = {r["name"]: r for r in parent.records()}
+        assert by_name["shard 0"]["trace"] == by_name["campaign"]["trace"]
+        assert by_name["shard 0"]["parent"] == by_name["simulate"]["span"]
+
+    def test_drain_pops_everything(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.drain() == []
+
+    def test_current_context_falls_back_to_the_continued_parent(self):
+        worker = make_tracer(parent={"trace": "t", "span": "s"})
+        assert worker.current_context() == SpanContext("t", "s")
+        # A root span opened here is a child of the remote parent.
+        with worker.span("shard 1"):
+            pass
+        (record,) = worker.records()
+        assert record["parent"] == "s"
+        assert record["trace"] == "t"
+
+
+class TestSerialization:
+    def test_write_and_read_jsonl_roundtrip(self):
+        tracer = make_tracer()
+        with tracer.span("root", items=3):
+            with tracer.span("leaf"):
+                pass
+        stream = io.StringIO()
+        assert tracer.write_jsonl(stream) == 2
+        assert read_spans(io.StringIO(stream.getvalue())) \
+            == tracer.records()
+
+    def test_read_spans_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_spans(io.StringIO('{"name": "ok"}\nnot json\n'))
+
+
+class TestTreeAndCriticalPath:
+    def records(self):
+        # campaign(10) -> compile(2), simulate(7) -> shard0(3), shard1(6)
+        return [
+            {"name": "campaign", "span": "c", "parent": None,
+             "start": 0.0, "dur": 10.0, "status": "ok"},
+            {"name": "compile", "span": "k", "parent": "c",
+             "start": 0.5, "dur": 2.0, "status": "ok"},
+            {"name": "simulate", "span": "s", "parent": "c",
+             "start": 2.5, "dur": 7.0, "status": "ok"},
+            {"name": "shard 0", "span": "s0", "parent": "s",
+             "start": 3.0, "dur": 3.0, "status": "ok"},
+            {"name": "shard 1", "span": "s1", "parent": "s",
+             "start": 3.0, "dur": 6.0, "status": "failed"},
+        ]
+
+    def test_tree_nests_and_sorts_children(self):
+        (root,) = span_tree(self.records())
+        assert root["record"]["name"] == "campaign"
+        assert [c["record"]["name"] for c in root["children"]] \
+            == ["compile", "simulate"]
+        simulate = root["children"][1]
+        assert [c["record"]["name"] for c in simulate["children"]] \
+            == ["shard 0", "shard 1"]
+
+    def test_orphans_become_roots(self):
+        records = self.records()[3:]  # shards without their parents
+        roots = span_tree(records)
+        assert [r["record"]["name"] for r in roots] \
+            == ["shard 0", "shard 1"]
+
+    def test_critical_path_descends_longest_child(self):
+        path = [r["name"] for r in critical_path(self.records())]
+        assert path == ["campaign", "simulate", "shard 1"]
+        assert critical_path([]) == []

@@ -1,0 +1,174 @@
+"""Live progress: journal folding, snapshots/ETA, rendering, following."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import TailState, follow, render_tail
+from repro.obs.tail import _feed_available, resolve_journal
+
+
+def meta_record(shards=2, per_shard=2):
+    plan = [[i * per_shard, (i + 1) * per_shard] for i in range(shards)]
+    return {"kind": "meta", "t": 0.0, "netlist": "hcor",
+            "job": {"kind": "campaign"}, "plan": plan,
+            "work_size": shards * per_shard}
+
+
+class TestTailState:
+    def test_meta_seeds_pending_shards(self):
+        state = TailState()
+        state.feed(meta_record(shards=3))
+        assert len(state.shards) == 3
+        assert all(s["status"] == "pending" for s in state.shards.values())
+        assert state.work_size == 6
+
+    def test_dispatch_progress_done_lifecycle(self):
+        state = TailState()
+        state.feed(meta_record())
+        state.feed({"kind": "shard_dispatched", "t": 0.1, "shard": 0,
+                    "worker": "w0", "attempt": 1})
+        assert state.shards[0]["status"] == "running"
+        assert state.workers == {"w0": "busy"}
+        state.feed({"kind": "progress", "t": 0.5, "shard": 0, "done": 1,
+                    "total": 2, "worker": "w0"})
+        assert state.items_done() == 1
+        state.feed({"kind": "shard_done", "t": 1.0, "shard": 0})
+        assert state.shards[0]["status"] == "done"
+        assert state.items_done() == 2
+        assert state.workers == {"w0": "idle"}
+
+    def test_retry_resets_shard_progress(self):
+        state = TailState()
+        state.feed(meta_record())
+        state.feed({"kind": "shard_dispatched", "t": 0.1, "shard": 1,
+                    "worker": "w1", "attempt": 1})
+        state.feed({"kind": "progress", "t": 0.2, "shard": 1, "done": 2,
+                    "total": 2})
+        state.feed({"kind": "shard_retried", "t": 0.3, "shard": 1,
+                    "attempt": 2, "error": "WorkerCrash"})
+        shard = state.shards[1]
+        assert shard["status"] == "pending"
+        assert shard["done"] == 0
+        assert shard["attempt"] == 2
+        assert state.items_done() == 0
+
+    def test_unknown_kinds_and_midstream_shards_are_tolerated(self):
+        state = TailState()
+        state.feed({"kind": "from_the_future", "t": 1.0})
+        # No meta seen (tailing from mid-file): shard ids synthesize.
+        state.feed({"kind": "progress", "t": 2.0, "shard": 7, "done": 3,
+                    "total": 5})
+        assert state.shards[7]["done"] == 3
+        assert state.t_last == 2.0
+
+    def test_run_end_finishes(self):
+        state = TailState()
+        state.feed(meta_record())
+        state.feed({"kind": "run_end", "t": 3.0, "complete": True})
+        assert state.finished
+        assert state.complete is True
+
+
+class TestSnapshot:
+    def test_rate_and_eta_extrapolate(self):
+        state = TailState()
+        state.feed(meta_record(shards=2, per_shard=2))
+        state.feed({"kind": "shard_done", "t": 2.0, "shard": 0})
+        snapshot = state.snapshot()
+        assert snapshot["items_done"] == 2
+        assert snapshot["work_size"] == 4
+        assert snapshot["rate"] == pytest.approx(1.0)
+        assert snapshot["eta_seconds"] == pytest.approx(2.0)
+        assert snapshot["by_status"] == {"done": 1, "pending": 1}
+
+    def test_eta_is_none_before_any_progress(self):
+        state = TailState()
+        state.feed(meta_record())
+        assert state.snapshot()["eta_seconds"] is None
+
+    def test_snapshot_is_json_safe(self):
+        state = TailState()
+        state.feed(meta_record())
+        json.dumps(state.snapshot())  # must not raise
+
+
+class TestRender:
+    def render(self, state):
+        return render_tail(state.snapshot())
+
+    def test_panel_shows_shards_progress_and_eta(self):
+        state = TailState()
+        state.feed(meta_record(shards=2, per_shard=2))
+        state.feed({"kind": "shard_dispatched", "t": 1.0, "shard": 0,
+                    "worker": "w0", "attempt": 1})
+        state.feed({"kind": "progress", "t": 2.0, "shard": 0, "done": 1,
+                    "total": 2})
+        text = self.render(state)
+        assert "campaign hcor — 1/4 work items (25.0%)" in text
+        assert "shard   0  running" in text
+        assert "1/2" in text
+        assert "ETA" in text
+
+    def test_finished_panel_shows_verdict(self):
+        state = TailState()
+        state.feed(meta_record(shards=1, per_shard=1))
+        state.feed({"kind": "shard_abandoned", "t": 1.0, "shard": 0})
+        state.feed({"kind": "run_end", "t": 2.0, "complete": False})
+        text = self.render(state)
+        assert "PARTIAL" in text
+        assert "abandoned" in text
+
+    def test_many_shards_are_elided(self):
+        state = TailState()
+        state.feed(meta_record(shards=50, per_shard=1))
+        text = render_tail(state.snapshot(), max_shards=10)
+        assert "... 40 more shards" in text
+
+
+class TestFeeding:
+    def test_torn_lines_complete_on_the_next_poll(self):
+        state = TailState()
+        buffer = []
+        record = json.dumps(meta_record())
+        head, tail = record[:10], record[10:]
+        assert _feed_available(io.StringIO(head), state, buffer) == 0
+        assert buffer  # the torn fragment is parked
+        assert _feed_available(io.StringIO(tail + "\n"), state, buffer) == 1
+        assert not buffer
+        assert state.work_size == 4
+
+    def test_resolve_journal_accepts_dir_or_file(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text("")
+        assert resolve_journal(str(tmp_path)) == str(journal)
+        assert resolve_journal(str(journal)) == str(journal)
+        with pytest.raises(FileNotFoundError):
+            resolve_journal(str(tmp_path / "absent"))
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            resolve_journal(str(empty))
+
+    def test_follow_once_renders_and_returns_state(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        records = [meta_record(),
+                   {"kind": "shard_done", "t": 1.0, "shard": 0},
+                   {"kind": "run_end", "t": 2.0, "complete": True}]
+        journal.write_text(
+            "".join(json.dumps(r) + "\n" for r in records))
+        stream = io.StringIO()
+        state = follow(str(journal), stream=stream, once=True)
+        assert state.finished
+        assert "campaign hcor" in stream.getvalue()
+
+    def test_follow_stops_at_run_end_without_once(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(json.dumps(meta_record()) + "\n"
+                           + json.dumps({"kind": "run_end", "t": 1.0,
+                                         "complete": True}) + "\n")
+        stream = io.StringIO()
+        state = follow(str(journal), stream=stream,
+                       sleep=lambda s: pytest.fail("should not sleep"))
+        assert state.finished and state.complete

@@ -1,0 +1,171 @@
+"""Merged campaign telemetry and tracing: deterministic, crash-proof."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.spans import read_spans, span_tree
+from repro.runner import ChaosPlan, RetryPolicy, ShardedRunner
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.01)
+
+
+def telemetry_bytes(outcome):
+    return json.dumps(outcome.telemetry, sort_keys=True)
+
+
+def run_sharded(job, cache, **kwargs):
+    kwargs.setdefault("retry", FAST_RETRY)
+    return ShardedRunner(job, cache=cache, **kwargs).run()
+
+
+class TestMergedTelemetry:
+    def test_outcome_carries_campaign_denominators(self, and2_job,
+                                                   and2_serial,
+                                                   shared_cache):
+        outcome = run_sharded(and2_job, shared_cache, workers=2,
+                              shard_size=1)
+        metrics = outcome.telemetry["metrics"]
+        assert metrics["campaign/work_size"]["value"] \
+            == and2_serial.collapsed_faults
+        assert metrics["campaign/total_faults"]["value"] \
+            == and2_serial.total_faults
+        assert metrics["campaign/skipped"]["value"] == 0
+        assert metrics["campaign/detected"]["value"] \
+            == sum(1 for r in and2_serial.results if r.detected)
+
+    def test_crash_keeps_denominators_intact_and_traces_the_failure(
+            self, and2_job, and2_serial, shared_cache, monkeypatch):
+        # The worker is SIGKILLed mid-shard via the REPRO_CHAOS knob the
+        # chaos CI job uses; the retried shard must leave the merged
+        # telemetry exactly as a calm run would, and the trace must
+        # show a failed span for the killed attempt.
+        monkeypatch.setenv("REPRO_CHAOS", json.dumps({"kill_shard": 1}))
+        from repro.obs import SpanTracer
+        runner = ShardedRunner(and2_job, cache=shared_cache, workers=2,
+                               shard_size=1, retry=FAST_RETRY,
+                               tracer=SpanTracer(enabled=True),
+                               chaos=ChaosPlan.from_env())
+        outcome = runner.run()
+        assert outcome.stats.worker_deaths >= 1
+        calm = run_sharded(and2_job, shared_cache, workers=2, shard_size=1)
+        assert telemetry_bytes(outcome) == telemetry_bytes(calm)
+        metrics = outcome.telemetry["metrics"]
+        assert metrics["campaign/work_size"]["value"] \
+            == and2_serial.collapsed_faults
+        assert metrics["campaign/skipped"]["value"] == 0
+        failed = [r for r in runner.tracer.records()
+                  if r.get("status") == "failed"]
+        assert failed, "the killed attempt must leave a failed span"
+        assert any(str(r["name"]).startswith("shard") for r in failed)
+
+    def test_abandoned_shard_still_reports_the_full_denominator(
+            self, and2_job, and2_serial, shared_cache):
+        outcome = run_sharded(and2_job, shared_cache, workers=2,
+                              shard_size=1, chaos=ChaosPlan(fatal_shard=1))
+        assert not outcome.report.complete
+        metrics = outcome.telemetry["metrics"]
+        assert metrics["campaign/work_size"]["value"] \
+            == and2_serial.collapsed_faults
+        assert metrics["campaign/skipped"]["value"] == 1
+
+    def test_telemetry_survives_resume_byte_identically(
+            self, and2_job, shared_cache, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        first = run_sharded(and2_job, shared_cache, workers=2,
+                            shard_size=1, journal_path=journal)
+        # Resume of a complete journal spawns nothing: every fragment
+        # is replayed from the shard_done records.
+        resumed = ShardedRunner.resume(journal, cache=shared_cache,
+                                       workers=2, retry=FAST_RETRY).run()
+        assert resumed.stats.workers_spawned == 0
+        assert telemetry_bytes(resumed) == telemetry_bytes(first)
+
+
+class TestHcorByteIdentity:
+    """The acceptance gate: one telemetry byte-form on the real design."""
+
+    CYCLES = 16
+
+    @pytest.fixture(scope="class")
+    def hcor_job(self):
+        from repro.runner import CampaignJob
+        return CampaignJob(design="hcor", cycles=self.CYCLES, seed=0,
+                           lanes=64)
+
+    @pytest.fixture(scope="class")
+    def hcor_reference(self, hcor_job, shared_cache):
+        outcome = ShardedRunner(hcor_job, cache=shared_cache, workers=1,
+                                retry=FAST_RETRY).run()
+        assert outcome.stats.shards > 1
+        return telemetry_bytes(outcome)
+
+    @pytest.mark.parametrize("workers", [4, 8])
+    def test_worker_count_never_changes_the_bytes(
+            self, hcor_job, hcor_reference, shared_cache, workers):
+        outcome = ShardedRunner(hcor_job, cache=shared_cache,
+                                workers=workers, retry=FAST_RETRY).run()
+        assert telemetry_bytes(outcome) == hcor_reference
+
+    def test_injected_crashes_never_change_the_bytes(
+            self, hcor_job, hcor_reference, shared_cache):
+        outcome = ShardedRunner(
+            hcor_job, cache=shared_cache, workers=4, retry=FAST_RETRY,
+            chaos=ChaosPlan(kill_shard=1, raise_shard=2)).run()
+        assert outcome.stats.retries >= 2
+        assert telemetry_bytes(outcome) == hcor_reference
+
+
+class TestCaptureDirectory:
+    def test_run_lands_all_four_artifacts(self, and2_job, and2_serial,
+                                          shared_cache, tmp_path):
+        capture = str(tmp_path / "capture")
+        outcome = run_sharded(and2_job, shared_cache, workers=2,
+                              shard_size=1, capture_dir=capture)
+        assert outcome.report == and2_serial
+        names = sorted(os.listdir(capture))
+        assert names == ["events.jsonl", "journal.jsonl", "metrics.json",
+                         "spans.jsonl"]
+        metrics = json.loads(
+            open(os.path.join(capture, "metrics.json")).read())
+        assert metrics == outcome.telemetry
+
+    def test_worker_spans_nest_under_the_campaign_span(
+            self, and2_job, shared_cache, tmp_path):
+        capture = str(tmp_path / "capture")
+        run_sharded(and2_job, shared_cache, workers=2, shard_size=1,
+                    capture_dir=capture)
+        spans = read_spans(os.path.join(capture, "spans.jsonl"))
+        assert len({s["trace"] for s in spans}) == 1  # one shared trace
+        (campaign,) = span_tree(spans)
+        assert campaign["record"]["name"] == "campaign"
+        phases = {c["record"]["name"]: c for c in campaign["children"]}
+        assert set(phases) == {"compile", "simulate", "merge"}
+        shard_spans = [c["record"]["name"]
+                       for c in phases["simulate"]["children"]]
+        assert any(name.startswith("shard") for name in shard_spans)
+        assert "worker_init" in shard_spans
+
+    def test_journal_streams_progress_for_the_tail(self, and2_job,
+                                                   shared_cache, tmp_path):
+        from repro.obs import TailState
+        from repro.runner import load_journal
+
+        capture = str(tmp_path / "capture")
+        run_sharded(and2_job, shared_cache, workers=2, shard_size=1,
+                    capture_dir=capture, heartbeat=0.0)
+        journal = os.path.join(capture, "journal.jsonl")
+        records = [json.loads(line) for line in open(journal) if line.strip()]
+        kinds = {r["kind"] for r in records}
+        assert {"meta", "shard_dispatched", "progress", "heartbeat",
+                "shard_done", "run_end"} <= kinds
+        # The advisory kinds never confuse resume...
+        state = load_journal(journal)
+        assert state.run_complete
+        # ...and the tail folds the same file into a finished run.
+        tail = TailState()
+        for record in records:
+            tail.feed(record)
+        assert tail.finished and tail.complete
+        assert tail.items_done() == tail.work_size > 0

@@ -56,6 +56,15 @@ Two layering contracts are enforced by walking every module with
    ``repro.lint.bits``: narrowing reaches them only as an ordinary
    validated pass in a pipeline.
 
+8. The distributed-observability core — ``repro.obs.spans``,
+   ``repro.obs.aggregate`` and ``repro.obs.tail`` — is what the
+   orchestration layer builds *on*, so it must be importable without
+   it: those modules may import only ``repro.core`` and sibling
+   ``repro.obs`` modules (not even ``ir``/``fixpt``; ``repro.runner``
+   is already banned package-wide by contract 5 — the tail reads the
+   runner's journal as plain JSONL precisely so watching a campaign
+   never loads the orchestration layer).
+
 Run from the repository root::
 
     python tools/check_layering.py
@@ -105,6 +114,10 @@ BITS_MAY_IMPORT = ("core", "ir", "fixpt")
 BITS_LINT_MAY_IMPORT = ("repro.lint.interval",)
 #: Engine packages that must not import repro.lint.bits.
 BITS_FREE = ("sim", "hdl", "synth")
+#: Contract 8: the distributed-observability core modules and the only
+#: subpackages they may import.
+SPANS_MODULES = ("spans.py", "aggregate.py", "tail.py")
+SPANS_MAY_IMPORT = ("obs", "core")
 PACKAGE = "repro"
 
 
@@ -360,6 +373,24 @@ def check_bits_layer(src_root: Path) -> List[str]:
     return violations
 
 
+def check_spans_layer(src_root: Path) -> List[str]:
+    """Violations of the distributed-obs-core contract (8), as messages."""
+    violations: List[str] = []
+    core = {Path(PACKAGE) / "obs" / name for name in SPANS_MODULES}
+    for rel, lineno, target in _imports(src_root, "obs"):
+        if rel not in core:
+            continue
+        subpackage = _subpackage_of(target)
+        if subpackage is None or subpackage in SPANS_MAY_IMPORT:
+            continue
+        violations.append(
+            f"{rel}:{lineno}: imports {target} — the distributed-obs "
+            f"core ({', '.join(SPANS_MODULES)}) may depend only on "
+            f"repro.core and sibling repro.obs modules"
+        )
+    return violations
+
+
 def main(argv: Tuple[str, ...] = ()) -> int:
     root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
     src_root = root / "src"
@@ -367,7 +398,8 @@ def main(argv: Tuple[str, ...] = ()) -> int:
                   + check_obs_layer(src_root) + check_lane_layer(src_root)
                   + check_runner_layer(src_root)
                   + check_equiv_layer(src_root)
-                  + check_bits_layer(src_root))
+                  + check_bits_layer(src_root)
+                  + check_spans_layer(src_root))
     if violations:
         print("layering violations:")
         for message in violations:
@@ -380,7 +412,9 @@ def main(argv: Tuple[str, ...] = ()) -> int:
           "nothing imports repro.runner; the only ir->lint edges are "
           "ir/equiv->lint.interval and ir/passes->lint.bits, no engine "
           "imports ir.equiv; lint/bits depends only on core/ir/fixpt "
-          "plus lint.interval and no engine imports it")
+          "plus lint.interval and no engine imports it; obs "
+          "spans/aggregate/tail depend only on core and sibling obs "
+          "modules")
     return 0
 
 
